@@ -1,0 +1,191 @@
+// Package calcite is a Go reproduction of Apache Calcite (SIGMOD 2018): a
+// foundational framework for optimized query processing over heterogeneous
+// data sources. It provides SQL parsing and validation, a relational algebra
+// with a trait framework (calling conventions, collations), a rule-based
+// cost-based optimizer with pluggable metadata providers, an enumerable
+// execution engine, materialized-view rewriting, streaming/geospatial/
+// semi-structured SQL extensions, and an adapter architecture with backends
+// for CSV files, an embedded SQL database (JDBC-style), a Splunk-like event
+// store, a Cassandra-like wide-column store, a MongoDB-like document store,
+// and event streams.
+//
+// Quick start:
+//
+//	conn := calcite.Open()
+//	conn.AddTable("emps", calcite.Columns{
+//		{"empid", calcite.BigIntType}, {"name", calcite.VarcharType},
+//	}, [][]any{{int64(1), "Bill"}})
+//	res, err := conn.Query("SELECT name FROM emps WHERE empid = 1")
+package calcite
+
+import (
+	"calcite/internal/avatica"
+	"calcite/internal/builder"
+	"calcite/internal/core"
+	"calcite/internal/mv"
+	"calcite/internal/plan"
+	"calcite/internal/rel"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// Connection is a configured framework instance: a catalog, rule sets,
+// planner engines and an executor (the full lifecycle of Figure 1 of the
+// paper).
+type Connection struct {
+	// Framework exposes the underlying engine for advanced configuration
+	// (planner mode, fix point, rules, metadata cache).
+	Framework *core.Framework
+}
+
+// Open creates a connection with the default optimizer configuration.
+func Open() *Connection {
+	return &Connection{Framework: core.New()}
+}
+
+// Result is a query result: column names plus rows of values.
+type Result = core.Result
+
+// Adapter is the contract data-source adapters fulfil (§5 of the paper).
+type Adapter = core.Adapter
+
+// Query parses, validates, optimizes and executes a SQL statement.
+// Dynamic parameters ("?") bind positionally from params.
+func (c *Connection) Query(sql string, params ...any) (*Result, error) {
+	return c.Framework.Execute(sql, params...)
+}
+
+// Exec is an alias of Query for DDL/DML statements.
+func (c *Connection) Exec(sql string, params ...any) (*Result, error) {
+	return c.Framework.Execute(sql, params...)
+}
+
+// Explain returns the optimized plan of a query as indented text.
+func (c *Connection) Explain(sql string) (string, error) {
+	res, err := c.Framework.Execute("EXPLAIN " + sql)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}
+
+// ExplainLogical returns the logical (pre-optimization) plan text.
+func (c *Connection) ExplainLogical(sql string) (string, error) {
+	res, err := c.Framework.Execute("EXPLAIN LOGICAL " + sql)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}
+
+// Plan parses and optimizes a query, returning both plans for inspection.
+func (c *Connection) Plan(sql string) (logical, optimized rel.Node, err error) {
+	logical, err = c.Framework.ParseAndConvert(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	optimized, err = c.Framework.Optimize(logical)
+	return logical, optimized, err
+}
+
+// RegisterAdapter plugs an adapter (schema + rules + converters) into the
+// connection.
+func (c *Connection) RegisterAdapter(a Adapter) { c.Framework.RegisterAdapter(a) }
+
+// Column declares one column for AddTable.
+type Column struct {
+	Name string
+	Type *types.Type
+}
+
+// Columns is a table layout.
+type Columns []Column
+
+// Shared column types for table declarations.
+var (
+	BigIntType    = types.BigInt
+	IntegerType   = types.Integer
+	DoubleType    = types.Double
+	VarcharType   = types.Varchar
+	BooleanType   = types.Boolean
+	TimestampType = types.Timestamp
+	GeometryType  = types.Geometry
+	AnyType       = types.Any
+)
+
+// MapType builds a MAP column type (semi-structured data, §7.1).
+func MapType(key, value *types.Type) *types.Type { return types.Map(key, value) }
+
+// ArrayType builds an ARRAY column type.
+func ArrayType(elem *types.Type) *types.Type { return types.Array(elem) }
+
+// AddTable registers an in-memory table in the root schema and returns it
+// (rows may be appended later via INSERT or the returned handle).
+func (c *Connection) AddTable(name string, cols Columns, rows [][]any) *schema.MemTable {
+	fields := make([]types.Field, len(cols))
+	for i, col := range cols {
+		fields[i] = types.Field{Name: col.Name, Type: col.Type.WithNullable(true)}
+	}
+	t := schema.NewMemTable(name, types.Row(fields...), rows)
+	c.Framework.Catalog.AddTable(t)
+	return t
+}
+
+// Builder returns a relational expression builder over the connection's
+// catalog — the language-integrated construction API of §3 (the paper's
+// Pig example).
+func (c *Connection) Builder() *builder.Builder {
+	return builder.New(c.Framework.Catalog)
+}
+
+// ExecutePlan optimizes and runs a hand-built relational expression.
+func (c *Connection) ExecutePlan(node rel.Node) (*Result, error) {
+	optimized, err := c.Framework.Optimize(node)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := core.RunPhysical(optimized)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: optimized.RowType().FieldNames(), Rows: rows}, nil
+}
+
+// RegisterLattice declares a star-schema lattice whose tiles answer
+// aggregate queries (§6 materialized views, lattice algorithm).
+func (c *Connection) RegisterLattice(l *mv.Lattice) {
+	c.Framework.Views.RegisterLattice(l)
+}
+
+// UseHeuristicPlanner switches physical planning to the exhaustive
+// rule-driven engine (§6's second planner engine).
+func (c *Connection) UseHeuristicPlanner() {
+	c.Framework.Planner = core.HeuristicHep
+}
+
+// UseCostBasedPlanner switches back to the Volcano-style engine, optionally
+// with the δ-threshold heuristic fix point.
+func (c *Connection) UseCostBasedPlanner(heuristicFixpoint bool, delta float64) {
+	c.Framework.Planner = core.VolcanoCostBased
+	if heuristicFixpoint {
+		c.Framework.FixPoint = plan.Heuristic
+		c.Framework.Delta = delta
+	} else {
+		c.Framework.FixPoint = plan.Exhaustive
+	}
+}
+
+// Serve starts an Avatica-style JSON/HTTP server for this connection on
+// addr (use "127.0.0.1:0" for an ephemeral port) and returns the bound
+// address and a shutdown function.
+func (c *Connection) Serve(addr string) (string, func() error, error) {
+	srv := avatica.NewServer(c.Framework)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, srv.Stop, nil
+}
+
+// Dial connects to a remote Avatica-style server.
+func Dial(addr string) *avatica.Client { return avatica.NewClient(addr) }

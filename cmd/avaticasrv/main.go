@@ -1,0 +1,52 @@
+// Command avaticasrv serves a framework instance over the Avatica-style
+// JSON/HTTP protocol (the remote-driver deployment of Table 1).
+//
+// Usage:
+//
+//	avaticasrv -addr 127.0.0.1:8765 [-csv dir]
+//
+// Then POST {"sql": "SELECT ..."} to /execute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"calcite"
+	"calcite/internal/adapter/csvfile"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8765", "listen address")
+	csvDir := flag.String("csv", "", "directory of CSV files to serve as schema 'csv'")
+	flag.Parse()
+
+	conn := calcite.Open()
+	if *csvDir != "" {
+		a, err := csvfile.Load("csv", *csvDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conn.RegisterAdapter(a)
+	}
+	conn.AddTable("demo", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "msg", Type: calcite.VarcharType},
+	}, [][]any{{int64(1), "hello"}, {int64(2), "world"}})
+
+	bound, stop, err := conn.Serve(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("avatica server listening on", bound)
+	fmt.Println(`try: curl -d '{"sql":"SELECT * FROM demo"}' http://` + bound + `/execute`)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	stop()
+}

@@ -1,0 +1,154 @@
+// Command calcite is an interactive SQL shell over the framework: it loads
+// CSV directories as schemas (the quickstart adapter) plus an optional demo
+// catalog, then reads SQL statements from stdin and prints results.
+//
+// Usage:
+//
+//	calcite -csv path/to/dir          # load *.csv as tables in schema "csv"
+//	calcite -demo                     # load the built-in demo tables
+//	echo "SELECT 1+1" | calcite -demo
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"calcite"
+	"calcite/internal/adapter/csvfile"
+	"calcite/internal/types"
+)
+
+func main() {
+	csvDir := flag.String("csv", "", "directory of CSV files to load as schema 'csv'")
+	demo := flag.Bool("demo", false, "load demo tables (emps, depts)")
+	flag.Parse()
+
+	conn := calcite.Open()
+	if *csvDir != "" {
+		a, err := csvfile.Load("csv", *csvDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conn.RegisterAdapter(a)
+	}
+	if *demo {
+		loadDemo(conn)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("calcite shell — end statements with ';', \\q to quit")
+	}
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Print("calcite> ")
+			} else {
+				fmt.Print("      -> ")
+			}
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || strings.EqualFold(trimmed, "quit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(strings.TrimSpace(buf.String()), ";") {
+			sql := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			runSQL(conn, sql)
+		}
+		prompt()
+	}
+	if rest := strings.TrimSpace(buf.String()); rest != "" {
+		runSQL(conn, strings.TrimSuffix(rest, ";"))
+	}
+}
+
+func runSQL(conn *calcite.Connection, sql string) {
+	if sql == "" {
+		return
+	}
+	res, err := conn.Query(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	printTable(res)
+}
+
+func printTable(res *calcite.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := types.FormatValue(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			fmt.Printf("| %-*s ", widths[i], p)
+		}
+		fmt.Println("|")
+	}
+	sep := ""
+	for _, w := range widths {
+		sep += "+" + strings.Repeat("-", w+2)
+	}
+	sep += "+"
+	fmt.Println(sep)
+	line(res.Columns)
+	fmt.Println(sep)
+	for _, row := range cells {
+		line(row)
+	}
+	fmt.Println(sep)
+	fmt.Printf("%d row(s)\n", len(res.Rows))
+}
+
+func loadDemo(conn *calcite.Connection) {
+	conn.AddTable("emps", calcite.Columns{
+		{Name: "empid", Type: calcite.BigIntType},
+		{Name: "name", Type: calcite.VarcharType},
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "sal", Type: calcite.DoubleType},
+	}, [][]any{
+		{int64(100), "Bill", int64(10), 10000.0},
+		{int64(110), "Theodore", int64(10), 11500.0},
+		{int64(150), "Sebastian", int64(10), 7000.0},
+		{int64(200), "Eric", int64(20), 8000.0},
+	})
+	conn.AddTable("depts", calcite.Columns{
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "dname", Type: calcite.VarcharType},
+	}, [][]any{
+		{int64(10), "Sales"}, {int64(20), "Marketing"},
+	})
+}
+
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,89 @@
+// Federation: the paper's Figure 2 scenario as a runnable program — a
+// Products table in a MySQL-like SQL server joined with an Orders event
+// index in a Splunk-like engine. The optimizer pushes the WHERE clause into
+// Splunk and turns the join into an in-engine lookup join.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calcite"
+	"calcite/internal/adapter/splunk"
+	"calcite/internal/adapter/sqldb"
+	"calcite/internal/rel"
+	"calcite/internal/rel2sql"
+	"calcite/internal/types"
+)
+
+func main() {
+	// The "MySQL" backend: reachable only through SQL strings.
+	mysql := sqldb.NewServer("mysql")
+	mysql.CreateTable("products",
+		types.Row(
+			types.Field{Name: "id", Type: types.BigInt},
+			types.Field{Name: "name", Type: types.Varchar},
+			types.Field{Name: "price", Type: types.Double},
+		),
+		[][]any{
+			{int64(1), "Widget", 9.99},
+			{int64(2), "Gadget", 19.99},
+			{int64(3), "Gizmo", 29.99},
+		})
+
+	// The "Splunk" backend: an event store with an SPL-like language.
+	engine := splunk.NewEngine()
+	engine.AddIndex(&splunk.Index{
+		Name: "orders",
+		Fields: []types.Field{
+			{Name: "rowtime", Type: types.Timestamp},
+			{Name: "product_id", Type: types.BigInt},
+			{Name: "units", Type: types.BigInt},
+		},
+		Events: [][]any{
+			{int64(1000), int64(1), int64(10)},
+			{int64(2000), int64(2), int64(30)},
+			{int64(3000), int64(3), int64(40)},
+			{int64(4000), int64(1), int64(50)},
+			{int64(5000), int64(2), int64(5)},
+		},
+	})
+	// Wire the ODBC-style lookup from Splunk into MySQL (Figure 2).
+	engine.SetLookup(func(table, key string, value any) ([]string, [][]any, error) {
+		rows, err := mysql.Lookup(table, key, value)
+		return []string{"id", "name", "price"}, rows, err
+	})
+
+	conn := calcite.Open()
+	jdbc, err := sqldb.New("mysql", mysql, rel2sql.MySQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn.RegisterAdapter(jdbc)
+	conn.RegisterAdapter(splunk.New("splunk", engine))
+
+	sql := `SELECT p.name, o.units
+	        FROM splunk.orders o
+	        JOIN mysql.products p ON o.product_id = p.id
+	        WHERE o.units > 25`
+
+	logical, optimized, err := conn.Plan(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Logical plan (join not yet placed):")
+	fmt.Print(rel.Explain(logical))
+	fmt.Println("\nOptimized plan (filter + join pushed into Splunk):")
+	fmt.Print(rel.Explain(optimized))
+
+	res, err := conn.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nResults:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-8v units=%v\n", row[0], row[1])
+	}
+	fmt.Println("\nSPL sent to Splunk:", engine.LastQuery())
+	fmt.Println("SQL sent to MySQL: ", mysql.LastQuery())
+}

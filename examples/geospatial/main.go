@@ -1,0 +1,62 @@
+// Geospatial: the §7.3 extensions — the GEOMETRY type, WKT parsing and the
+// OpenGIS-style ST_* functions, including the paper's "which country
+// contains Amsterdam" query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calcite"
+)
+
+func main() {
+	conn := calcite.Open()
+	conn.AddTable("country", calcite.Columns{
+		{Name: "name", Type: calcite.VarcharType},
+		{Name: "boundary", Type: calcite.VarcharType},
+	}, [][]any{
+		{"Netherlands", "POLYGON ((3.3 50.7, 7.2 50.7, 7.2 53.6, 3.3 53.6, 3.3 50.7))"},
+		{"Belgium", "POLYGON ((2.5 49.5, 6.4 49.5, 6.4 51.5, 2.5 51.5, 2.5 49.5))"},
+		{"Luxembourg", "POLYGON ((5.7 49.4, 6.5 49.4, 6.5 50.2, 5.7 50.2, 5.7 49.4))"},
+	})
+
+	// The paper's query, verbatim shape.
+	res, err := conn.Query(`SELECT name FROM (
+		SELECT name,
+		       ST_GeomFromText('POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33, 4.82 52.33, 4.82 52.43))') AS "Amsterdam",
+		       ST_GeomFromText(boundary) AS "Country"
+		FROM country
+	) t WHERE ST_Contains("Country", "Amsterdam")`)
+	must(err)
+	fmt.Println("Country containing Amsterdam:", res.Rows[0][0])
+
+	// Distances from a point to each country boundary.
+	res, err = conn.Query(`
+		SELECT name, ST_DISTANCE(ST_POINT(4.35, 50.85), ST_GeomFromText(boundary)) AS d
+		FROM country ORDER BY d`)
+	must(err)
+	fmt.Println("\nDistance from Brussels to each boundary (0 = inside):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-12v %v\n", row[0], row[1])
+	}
+
+	// Areas and intersection tests.
+	res, err = conn.Query(`
+		SELECT name,
+		       ST_AREA(ST_GeomFromText(boundary)) AS area,
+		       ST_INTERSECTS(ST_GeomFromText(boundary),
+		                     ST_GeomFromText('LINESTRING (4 49, 6 54)')) AS crossed
+		FROM country ORDER BY area DESC`)
+	must(err)
+	fmt.Println("\nAreas and whether a 4E49N-6E54N flight path crosses:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-12v area=%-8v crossed=%v\n", row[0], row[1], row[2])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Pig-style builder: §3's expression-builder interface. Systems with their
+// own query languages (the paper shows an Apache Pig script) construct
+// operator trees directly and hand them to the optimizer — no SQL involved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calcite"
+	"calcite/internal/builder"
+	"calcite/internal/rel"
+)
+
+func main() {
+	conn := calcite.Open()
+	conn.AddTable("employee_data", calcite.Columns{
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "sal", Type: calcite.DoubleType},
+	}, [][]any{
+		{int64(10), 1000.0}, {int64(10), 2000.0},
+		{int64(20), 1500.0}, {int64(20), 500.0}, {int64(30), 800.0},
+	})
+
+	// The paper's Pig script:
+	//   emp = LOAD 'employee_data' AS (deptno, sal);
+	//   emp_by_dept = GROUP emp by (deptno);
+	//   emp_agg = FOREACH emp_by_dept GENERATE GROUP as deptno,
+	//             COUNT(emp.sal) AS c, SUM(emp.sal) as s;
+	node, err := conn.Builder().
+		Scan("employee_data").
+		Aggregate(builder.GroupKey("deptno"),
+			builder.Count(false, "c", "sal"),
+			builder.Sum(false, "s", "sal")).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Plan built without SQL:")
+	fmt.Print(rel.Explain(node))
+
+	res, err := conn.ExecutePlan(node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndump emp_agg;")
+	for _, row := range res.Rows {
+		fmt.Printf("  (%v, %v, %v)\n", row[0], row[1], row[2])
+	}
+
+	// A longer pipeline: filter + join + sort, still SQL-free.
+	conn.AddTable("dept_names", calcite.Columns{
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "dname", Type: calcite.VarcharType},
+	}, [][]any{
+		{int64(10), "Sales"}, {int64(20), "Marketing"}, {int64(30), "Ops"},
+	})
+	b := conn.Builder()
+	b = b.Scan("employee_data")
+	b = b.Filter(b.Greater(b.Field("sal"), b.Literal(700.0)))
+	b = b.Scan("dept_names")
+	node, err = b.
+		JoinOn(rel.InnerJoin, "deptno", "deptno").
+		Sort("-sal").
+		Limit(0, 3).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = conn.ExecutePlan(node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTop 3 salaries with departments:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %v\n", row)
+	}
+}

@@ -1,0 +1,81 @@
+// Quickstart: create tables, run SQL, inspect plans — the five-minute tour
+// of the framework's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calcite"
+)
+
+func main() {
+	conn := calcite.Open()
+
+	conn.AddTable("emps", calcite.Columns{
+		{Name: "empid", Type: calcite.BigIntType},
+		{Name: "name", Type: calcite.VarcharType},
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "sal", Type: calcite.DoubleType},
+	}, [][]any{
+		{int64(100), "Bill", int64(10), 10000.0},
+		{int64(110), "Theodore", int64(10), 11500.0},
+		{int64(150), "Sebastian", int64(10), 7000.0},
+		{int64(200), "Eric", int64(20), 8000.0},
+	})
+	conn.AddTable("depts", calcite.Columns{
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "dname", Type: calcite.VarcharType},
+	}, [][]any{
+		{int64(10), "Sales"}, {int64(20), "Marketing"},
+	})
+
+	// Plain query.
+	res, err := conn.Query("SELECT name, sal FROM emps WHERE sal > 7500 ORDER BY sal DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("High earners:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-10v %v\n", row[0], row[1])
+	}
+
+	// Join + aggregate (the optimizer pushes the filter below the join —
+	// Figure 4's FilterIntoJoinRule).
+	res, err = conn.Query(`
+		SELECT d.dname, COUNT(*) AS headcount, AVG(e.sal) AS avg_sal
+		FROM emps e JOIN depts d ON e.deptno = d.deptno
+		WHERE e.sal > 7000
+		GROUP BY d.dname
+		ORDER BY headcount DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDepartment stats:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-12v headcount=%v avg=%v\n", row[0], row[1], row[2])
+	}
+
+	// DDL + DML.
+	mustExec(conn, "CREATE TABLE notes (id BIGINT, body VARCHAR(100))")
+	mustExec(conn, "INSERT INTO notes VALUES (1, 'first'), (2, 'second')")
+	res, err = conn.Query("SELECT body FROM notes WHERE id = ?", int64(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nParameterized lookup:", res.Rows[0][0])
+
+	// Inspect the optimizer's output.
+	plan, err := conn.Explain("SELECT dname FROM depts WHERE deptno = 10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nOptimized plan:")
+	fmt.Print(plan)
+}
+
+func mustExec(conn *calcite.Connection, sql string) {
+	if _, err := conn.Exec(sql); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Semi-structured: the §7.1 workflow — a MongoDB-like document store exposed
+// as _MAP tables, typed relational views over the documents (the paper's
+// zips example), and joins between document data and relational data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calcite"
+	"calcite/internal/adapter/mongo"
+)
+
+func main() {
+	store := mongo.NewStore()
+	store.AddCollection("zips", []map[string]any{
+		{"city": "AMSTERDAM", "state": "NH", "pop": float64(821752), "loc": []any{4.9041, 52.3676}},
+		{"city": "ROTTERDAM", "state": "ZH", "pop": float64(623652), "loc": []any{4.4777, 51.9244}},
+		{"city": "UTRECHT", "state": "UT", "pop": float64(345080), "loc": []any{5.1214, 52.0907}},
+		{"city": "EINDHOVEN", "state": "NB", "pop": float64(229126), "loc": []any{5.4697, 51.4416}},
+	})
+
+	conn := calcite.Open()
+	conn.RegisterAdapter(mongo.New("mongo_raw", store))
+
+	// Raw access: one _MAP column per document, [] item operator.
+	res, err := conn.Query(`
+		SELECT CAST(_MAP['city'] AS VARCHAR(20)) AS city
+		FROM mongo_raw.zips
+		WHERE CAST(_MAP['pop'] AS DOUBLE) > 400000`)
+	must(err)
+	fmt.Println("Big cities (raw _MAP access):")
+	for _, row := range res.Rows {
+		fmt.Println(" ", row[0])
+	}
+	fmt.Println("Pushed-down Mongo query:", store.LastQuery())
+
+	// The paper's typed view.
+	_, err = conn.Exec(`CREATE VIEW zips AS
+		SELECT CAST(_MAP['city'] AS VARCHAR(20)) AS city,
+		       CAST(_MAP['loc'][0] AS DOUBLE) AS longitude,
+		       CAST(_MAP['loc'][1] AS DOUBLE) AS latitude,
+		       CAST(_MAP['pop'] AS DOUBLE) AS pop
+		FROM mongo_raw.zips`)
+	must(err)
+
+	// Relational table joined against the document view.
+	conn.AddTable("provinces", calcite.Columns{
+		{Name: "city", Type: calcite.VarcharType},
+		{Name: "province", Type: calcite.VarcharType},
+	}, [][]any{
+		{"AMSTERDAM", "Noord-Holland"},
+		{"ROTTERDAM", "Zuid-Holland"},
+		{"UTRECHT", "Utrecht"},
+	})
+
+	res, err = conn.Query(`
+		SELECT z.city, p.province, z.pop
+		FROM zips z JOIN provinces p ON z.city = p.city
+		WHERE z.latitude > 52
+		ORDER BY z.pop DESC`)
+	must(err)
+	fmt.Println("\nNorthern cities with provinces (view ⋈ relational):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-10v %-14v pop=%v\n", row[0], row[1], row[2])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

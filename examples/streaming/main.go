@@ -1,0 +1,104 @@
+// Streaming: the §7.2 extensions — the STREAM directive, sliding windows
+// over rowtime, tumbling group windows, a stream-to-stream join with an
+// implicit window, and hopping/session windows via the stream package.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calcite"
+	"calcite/internal/adapter/streamtab"
+	"calcite/internal/rex"
+	"calcite/internal/stream"
+	"calcite/internal/types"
+)
+
+func main() {
+	hour := int64(3600 * 1000)
+
+	orders := streamtab.NewTable("orders", types.Row(
+		types.Field{Name: "rowtime", Type: types.Timestamp},
+		types.Field{Name: "orderId", Type: types.BigInt},
+		types.Field{Name: "productId", Type: types.BigInt},
+		types.Field{Name: "units", Type: types.BigInt},
+	), 0)
+	for i := int64(0); i < 10; i++ {
+		if err := orders.Append([]any{i * hour / 3, i, i%3 + 1, 10 * (i + 1)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	orders.SetWatermark(2 * hour) // events after this are "incoming"
+
+	shipments := streamtab.NewTable("shipments", types.Row(
+		types.Field{Name: "rowtime", Type: types.Timestamp},
+		types.Field{Name: "orderId", Type: types.BigInt},
+	), 0)
+	shipments.Append(
+		[]any{hour / 4, int64(0)},
+		[]any{hour / 2, int64(1)},
+		[]any{2 * hour, int64(3)},
+	)
+
+	conn := calcite.Open()
+	adapter := streamtab.New("s")
+	adapter.AddTable(orders)
+	adapter.AddTable(shipments)
+	conn.RegisterAdapter(adapter)
+
+	// 1. STREAM vs history: without STREAM, only rows before the watermark.
+	hist, err := conn.Query("SELECT COUNT(*) FROM s.orders")
+	must(err)
+	strm, err := conn.Query("SELECT STREAM rowtime, orderId FROM s.orders WHERE units > 25")
+	must(err)
+	fmt.Printf("history rows=%v, incoming stream rows (units>25)=%d\n", hist.Rows[0][0], len(strm.Rows))
+
+	// 2. Sliding window (the paper's unitsLastHour query).
+	res, err := conn.Query(`
+		SELECT STREAM rowtime, productId, units,
+		       SUM(units) OVER (ORDER BY rowtime PARTITION BY productId
+		                        RANGE INTERVAL '1' HOUR PRECEDING) AS unitsLastHour
+		FROM s.orders`)
+	must(err)
+	fmt.Println("\nSliding-window sums (last 3):")
+	for _, row := range res.Rows[len(res.Rows)-3:] {
+		fmt.Printf("  t=%v product=%v units=%v lastHour=%v\n", row[0], row[1], row[2], row[3])
+	}
+
+	// 3. Tumbling group window.
+	res, err = conn.Query(`
+		SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS wend,
+		       productId, COUNT(*) AS c, SUM(units) AS units
+		FROM s.orders
+		GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId`)
+	must(err)
+	fmt.Printf("\nTumbling windows: %d result rows\n", len(res.Rows))
+
+	// 4. Stream-to-stream join with an implicit window on both rowtimes.
+	res, err = conn.Query(`
+		SELECT STREAM o.rowtime, o.orderId, s2.rowtime AS shipTime
+		FROM s.orders o
+		JOIN s.shipments s2 ON o.orderId = s2.orderId
+		AND s2.rowtime BETWEEN o.rowtime AND o.rowtime + INTERVAL '1' HOUR`)
+	must(err)
+	fmt.Printf("\nStream-stream join matches: %d\n", len(res.Rows))
+
+	// 5. Hopping and session windows (stream package API).
+	cur, err := orders.StreamScan()
+	must(err)
+	events, err := stream.EventsFromCursor(cur, 0)
+	must(err)
+	count := []rex.AggCall{rex.NewAggCall(rex.AggCount, nil, false, "c")}
+	hop, err := stream.Hop(events, hour/2, hour, nil, count)
+	must(err)
+	fmt.Printf("\nHopping windows (slide 30m, size 1h): %d windows\n", len(hop))
+	ses, err := stream.Session(events, 25*60*1000, []int{2}, count)
+	must(err)
+	fmt.Printf("Session windows (25m gap, per product): %d sessions\n", len(ses))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

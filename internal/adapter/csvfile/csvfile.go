@@ -1,0 +1,152 @@
+// Package csvfile is the CSV file adapter — the canonical Calcite tutorial
+// adapter and this reproduction's quickstart backend. A directory of .csv
+// files becomes a schema; each file becomes a table. Column types come from
+// header cells of the form "name:type" (type defaults to varchar).
+//
+// Following Figure 3, the adapter consists of a model (the directory path),
+// a schema factory (Load), and a schema of tables.
+package csvfile
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"calcite/internal/core"
+	"calcite/internal/plan"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// Adapter exposes a directory of CSV files as a schema.
+type Adapter struct {
+	schema *schema.BaseSchema
+}
+
+// Load reads every .csv file of dir into an adapter schema named name.
+func Load(name, dir string) (*Adapter, error) {
+	s := schema.NewBaseSchema(name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("csvfile: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		t, err := LoadTable(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		s.AddTable(t)
+	}
+	return &Adapter{schema: s}, nil
+}
+
+// LoadTable reads one CSV file into an in-memory table.
+func LoadTable(path string) (*schema.MemTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvfile: %v", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvfile: reading %s: %v", path, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvfile: %s has no header", path)
+	}
+	fields, parsers, err := parseHeader(records[0])
+	if err != nil {
+		return nil, fmt.Errorf("csvfile: %s: %v", path, err)
+	}
+	rows := make([][]any, 0, len(records)-1)
+	for li, rec := range records[1:] {
+		if len(rec) != len(fields) {
+			return nil, fmt.Errorf("csvfile: %s line %d has %d cells, want %d", path, li+2, len(rec), len(fields))
+		}
+		row := make([]any, len(rec))
+		for i, cell := range rec {
+			v, err := parsers[i](cell)
+			if err != nil {
+				return nil, fmt.Errorf("csvfile: %s line %d col %s: %v", path, li+2, fields[i].Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".csv")
+	return schema.NewMemTable(name, types.Row(fields...), rows), nil
+}
+
+type cellParser func(string) (any, error)
+
+func parseHeader(header []string) ([]types.Field, []cellParser, error) {
+	fields := make([]types.Field, len(header))
+	parsers := make([]cellParser, len(header))
+	for i, h := range header {
+		name, typeName := h, "varchar"
+		if idx := strings.IndexByte(h, ':'); idx >= 0 {
+			name, typeName = h[:idx], strings.ToLower(h[idx+1:])
+		}
+		var t *types.Type
+		var p cellParser
+		switch typeName {
+		case "int", "bigint", "long", "integer":
+			t = types.BigInt
+			p = func(s string) (any, error) {
+				if s == "" {
+					return nil, nil
+				}
+				return strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			}
+		case "double", "float", "decimal":
+			t = types.Double
+			p = func(s string) (any, error) {
+				if s == "" {
+					return nil, nil
+				}
+				return strconv.ParseFloat(strings.TrimSpace(s), 64)
+			}
+		case "boolean", "bool":
+			t = types.Boolean
+			p = func(s string) (any, error) {
+				if s == "" {
+					return nil, nil
+				}
+				return strconv.ParseBool(strings.TrimSpace(s))
+			}
+		case "timestamp":
+			t = types.Timestamp
+			p = func(s string) (any, error) {
+				if s == "" {
+					return nil, nil
+				}
+				return types.ParseTimestampMillis(strings.TrimSpace(s))
+			}
+		case "varchar", "string", "char":
+			t = types.Varchar
+			p = func(s string) (any, error) { return s, nil }
+		default:
+			return nil, nil, fmt.Errorf("unknown column type %q", typeName)
+		}
+		fields[i] = types.Field{Name: name, Type: t.WithNullable(true)}
+		parsers[i] = p
+	}
+	return fields, parsers, nil
+}
+
+// AdapterSchema implements core.Adapter.
+func (a *Adapter) AdapterSchema() schema.Schema { return a.schema }
+
+// Rules implements core.Adapter. CSV files support no pushdown; everything
+// runs in the enumerable convention.
+func (a *Adapter) Rules() []plan.Rule { return nil }
+
+// Converters implements core.Adapter.
+func (a *Adapter) Converters() []core.ConverterReg { return nil }

@@ -1,0 +1,40 @@
+// Package mem is the in-memory adapter: the minimal adapter of §5 — it only
+// provides scannable tables, demonstrating that "if an adapter implements
+// the table scan operator, the Calcite optimizer is then able to use
+// client-side operators such as sorting, filtering, and joins to execute
+// arbitrary SQL queries against these tables". It contributes no rules and
+// no converters; everything executes in the enumerable convention.
+package mem
+
+import (
+	"calcite/internal/core"
+	"calcite/internal/plan"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// Adapter exposes in-memory tables as a schema.
+type Adapter struct {
+	schema *schema.BaseSchema
+}
+
+// New creates an empty adapter with the given schema name.
+func New(name string) *Adapter {
+	return &Adapter{schema: schema.NewBaseSchema(name)}
+}
+
+// AddTable registers an in-memory table.
+func (a *Adapter) AddTable(name string, rowType *types.Type, rows [][]any) *schema.MemTable {
+	t := schema.NewMemTable(name, rowType, rows)
+	a.schema.AddTable(t)
+	return t
+}
+
+// AdapterSchema implements core.Adapter.
+func (a *Adapter) AdapterSchema() schema.Schema { return a.schema }
+
+// Rules implements core.Adapter (none: the minimal adapter).
+func (a *Adapter) Rules() []plan.Rule { return nil }
+
+// Converters implements core.Adapter (none).
+func (a *Adapter) Converters() []core.ConverterReg { return nil }

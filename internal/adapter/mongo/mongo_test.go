@@ -1,0 +1,112 @@
+package mongo_test
+
+import (
+	"strings"
+	"testing"
+
+	"calcite"
+	"calcite/internal/adapter/mongo"
+	"calcite/internal/types"
+)
+
+func zipsConn(t testing.TB) (*calcite.Connection, *mongo.Store) {
+	t.Helper()
+	store := mongo.NewStore()
+	store.AddCollection("zips", []map[string]any{
+		{"city": "AMSTERDAM", "pop": float64(821752), "loc": []any{4.9041, 52.3676}},
+		{"city": "ROTTERDAM", "pop": float64(623652), "loc": []any{4.4777, 51.9244}},
+		{"city": "UTRECHT", "pop": float64(345080), "loc": []any{5.1214, 52.0907}},
+	})
+	conn := calcite.Open()
+	conn.RegisterAdapter(mongo.New("mongo_raw", store))
+	return conn, store
+}
+
+// TestPaperZipsView runs §7.1's exact view definition and query pattern.
+func TestPaperZipsView(t *testing.T) {
+	conn, _ := zipsConn(t)
+	if _, err := conn.Exec(`CREATE VIEW zips AS
+		SELECT CAST(_MAP['city'] AS VARCHAR(20)) AS city,
+		       CAST(_MAP['loc'][0] AS DOUBLE) AS longitude,
+		       CAST(_MAP['loc'][1] AS DOUBLE) AS latitude
+		FROM mongo_raw.zips`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("SELECT city, longitude FROM zips WHERE latitude > 52 ORDER BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "AMSTERDAM" || res.Rows[1][0] != "UTRECHT" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+// TestFilterPushdownToJSON: simple _MAP comparisons become find documents.
+func TestFilterPushdownToJSON(t *testing.T) {
+	conn, store := zipsConn(t)
+	res, err := conn.Query(`SELECT CAST(_MAP['city'] AS VARCHAR(20)) AS city
+		FROM mongo_raw.zips WHERE CAST(_MAP['pop'] AS DOUBLE) > 400000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	q := store.LastQuery()
+	if !strings.Contains(q, `"pop"`) || !strings.Contains(q, "$gt") {
+		t.Errorf("filter not pushed: %q", q)
+	}
+}
+
+// TestEqualityAndStringFilters.
+func TestEqualityAndStringFilters(t *testing.T) {
+	conn, store := zipsConn(t)
+	res, err := conn.Query(`SELECT _MAP['pop'] FROM mongo_raw.zips WHERE CAST(_MAP['city'] AS VARCHAR(20)) = 'UTRECHT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if pop, _ := types.AsFloat(res.Rows[0][0]); pop != 345080 {
+		t.Fatalf("pop: %v", res.Rows[0][0])
+	}
+	if !strings.Contains(store.LastQuery(), `"city"`) {
+		t.Errorf("query: %q", store.LastQuery())
+	}
+}
+
+// TestStoreOperators exercises the store's find-document semantics directly.
+func TestStoreOperators(t *testing.T) {
+	store := mongo.NewStore()
+	store.AddCollection("c", []map[string]any{
+		{"a": float64(1)}, {"a": float64(5)}, {"b": "x"},
+	})
+	cases := []struct {
+		filter string
+		want   int
+	}{
+		{`{}`, 3},
+		{`{"a": {"$gte": 1}}`, 2},
+		{`{"a": {"$gt": 1, "$lt": 10}}`, 1},
+		{`{"a": 5}`, 1},
+		{`{"a": {"$ne": 5}}`, 1},
+		{`{"b": "x"}`, 1},
+		{`{"missing": 1}`, 0},
+	}
+	for _, c := range cases {
+		docs, err := store.Find("c", c.filter)
+		if err != nil {
+			t.Fatalf("Find(%s): %v", c.filter, err)
+		}
+		if len(docs) != c.want {
+			t.Errorf("Find(%s) = %d docs, want %d", c.filter, len(docs), c.want)
+		}
+	}
+	if _, err := store.Find("nope", "{}"); err == nil {
+		t.Error("unknown collection should error")
+	}
+	if _, err := store.Find("c", `{"a": {"$regex": "x"}}`); err == nil {
+		t.Error("unsupported operator should error")
+	}
+}

@@ -1,0 +1,127 @@
+// Package sqldb provides (1) Server, a standalone SQL database engine
+// reachable only through SQL text — the stand-in for the MySQL backend of
+// Figure 2 — and (2) the JDBC-style adapter that connects the framework to
+// such a server, generating dialect SQL for pushed-down expressions (the
+// "JDBC adapter" row of Table 2: "SQL (multiple dialects)").
+//
+// The boundary is deliberately string-typed: the optimizer's output crosses
+// into the server only as SQL, exactly like a remote RDBMS over a wire
+// protocol. DESIGN.md documents this substitution.
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"calcite/internal/core"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// Server is a mini SQL database: storage plus a SQL interface. Internally it
+// runs its own instance of the query engine over a private catalog,
+// mirroring a real remote RDBMS (a full database engine behind a SQL
+// string API).
+type Server struct {
+	name string
+
+	// Network simulates wire costs: a fixed per-request latency plus a
+	// per-result-row transfer cost. Zero by default; the federation
+	// benchmarks set it so that data movement — not in-process call
+	// overhead — dominates, as on a real network.
+	Network NetworkCost
+
+	mu sync.Mutex
+	fw *core.Framework
+	// Queries records every SQL statement received (tests assert on the
+	// pushed-down SQL text).
+	Queries []string
+}
+
+// NetworkCost models the wire between the framework and a backend.
+type NetworkCost struct {
+	PerRequest time.Duration
+	PerRow     time.Duration
+}
+
+// Charge sleeps for the simulated transfer of n result rows.
+func (c NetworkCost) Charge(rows int) {
+	d := c.PerRequest + time.Duration(rows)*c.PerRow
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// NewServer creates an empty database server.
+func NewServer(name string) *Server {
+	return &Server{name: name, fw: core.New()}
+}
+
+// CreateTable defines a table with the given columns and rows.
+func (s *Server) CreateTable(name string, rowType *types.Type, rows [][]any) *schema.MemTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := schema.NewMemTable(name, rowType, rows)
+	s.fw.Catalog.AddTable(t)
+	return t
+}
+
+// Query executes a SQL string and returns column names and rows — the only
+// way data leaves the server.
+func (s *Server) Query(sql string) ([]string, [][]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Queries = append(s.Queries, sql)
+	res, err := s.fw.Execute(sql)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sqldb[%s]: %v", s.name, err)
+	}
+	s.Network.Charge(len(res.Rows))
+	return res.Columns, res.Rows, nil
+}
+
+// LastQuery returns the most recent SQL text received (for tests and the
+// Table 2 reproduction).
+func (s *Server) LastQuery() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.Queries) == 0 {
+		return ""
+	}
+	return s.Queries[len(s.Queries)-1]
+}
+
+// TableNames lists the server's tables.
+func (s *Server) TableNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fw.Catalog.TableNames()
+}
+
+// TableType returns a table's row type (the adapter's schema factory reads
+// remote metadata through this, per Figure 3).
+func (s *Server) TableType(name string) (*types.Type, schema.Statistics, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.fw.Catalog.Table(name)
+	if !ok {
+		return nil, schema.Statistics{}, fmt.Errorf("sqldb[%s]: no table %q", s.name, name)
+	}
+	return t.RowType(), t.Stats(), nil
+}
+
+// Lookup performs a single-key equality lookup — the ODBC-style lookup
+// facility Figure 2's Splunk backend uses to join into MySQL.
+func (s *Server) Lookup(table, keyColumn string, value any) ([][]any, error) {
+	sql := fmt.Sprintf("SELECT * FROM %s WHERE %s = %s", table, keyColumn, sqlLit(value))
+	_, rows, err := s.Query(sql)
+	return rows, err
+}
+
+func sqlLit(v any) string {
+	if s, ok := v.(string); ok {
+		return "'" + s + "'"
+	}
+	return types.FormatValue(v)
+}

@@ -1,0 +1,128 @@
+package sqldb_test
+
+import (
+	"strings"
+	"testing"
+
+	"calcite"
+	"calcite/internal/adapter/sqldb"
+	"calcite/internal/rel2sql"
+	"calcite/internal/types"
+)
+
+func newServer() *sqldb.Server {
+	s := sqldb.NewServer("db")
+	s.CreateTable("products", types.Row(
+		types.Field{Name: "id", Type: types.BigInt},
+		types.Field{Name: "name", Type: types.Varchar},
+		types.Field{Name: "price", Type: types.Double},
+	), [][]any{
+		{int64(1), "Widget", 9.99},
+		{int64(2), "Gadget", 19.99},
+		{int64(3), "Gizmo", 29.99},
+	})
+	return s
+}
+
+func TestServerSQLBoundary(t *testing.T) {
+	s := newServer()
+	cols, rows, err := s.Query("SELECT name FROM products WHERE price > 10 ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || len(rows) != 2 || rows[0][0] != "Gadget" {
+		t.Fatalf("cols=%v rows=%v", cols, rows)
+	}
+	if _, _, err := s.Query("SELECT nosuch FROM products"); err == nil {
+		t.Error("server should validate SQL")
+	}
+	if rows, err := s.Lookup("products", "id", int64(2)); err != nil || len(rows) != 1 {
+		t.Fatalf("lookup: %v %v", rows, err)
+	}
+}
+
+// TestFullPushdown: filter + project + aggregate + sort all travel to the
+// server as one dialect-SQL statement.
+func TestFullPushdown(t *testing.T) {
+	s := newServer()
+	conn := calcite.Open()
+	a, err := sqldb.New("db", s, rel2sql.Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.RegisterAdapter(a)
+
+	res, err := conn.Query(`SELECT name FROM db.products WHERE price > 10 ORDER BY name LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "Gadget" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	sql := s.LastQuery()
+	for _, frag := range []string{"WHERE", "ORDER BY", "LIMIT 1", `"name"`} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("pushed SQL missing %q: %s", frag, sql)
+		}
+	}
+
+	res, err = conn.Query("SELECT COUNT(*) AS c, SUM(price) AS s FROM db.products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := types.AsInt(res.Rows[0][0]); c != 3 {
+		t.Fatalf("count: %v", res.Rows)
+	}
+	if !strings.Contains(s.LastQuery(), "COUNT(*)") {
+		t.Errorf("aggregate not pushed: %s", s.LastQuery())
+	}
+}
+
+// TestTwoSidedJoinPushdown: a join with both sides on the same server is
+// executed remotely.
+func TestTwoSidedJoinPushdown(t *testing.T) {
+	s := newServer()
+	s.CreateTable("orders", types.Row(
+		types.Field{Name: "pid", Type: types.BigInt},
+		types.Field{Name: "qty", Type: types.BigInt},
+	), [][]any{{int64(1), int64(5)}, {int64(2), int64(7)}})
+	conn := calcite.Open()
+	a, err := sqldb.New("db", s, rel2sql.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.RegisterAdapter(a)
+	res, err := conn.Query(`SELECT p.name, o.qty FROM db.products p JOIN db.orders o ON p.id = o.pid ORDER BY p.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if !strings.Contains(s.LastQuery(), "JOIN") {
+		t.Errorf("join not pushed: %s", s.LastQuery())
+	}
+}
+
+// TestMixedLocalRemoteJoin: a remote table joined with a local table uses
+// the converter boundary correctly.
+func TestMixedLocalRemoteJoin(t *testing.T) {
+	s := newServer()
+	conn := calcite.Open()
+	a, err := sqldb.New("db", s, rel2sql.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.RegisterAdapter(a)
+	conn.AddTable("tags", calcite.Columns{
+		{Name: "pid", Type: calcite.BigIntType},
+		{Name: "tag", Type: calcite.VarcharType},
+	}, [][]any{{int64(1), "hot"}, {int64(9), "cold"}})
+	res, err := conn.Query(`SELECT p.name, t.tag FROM db.products p JOIN tags t ON p.id = t.pid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1] != "hot" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}

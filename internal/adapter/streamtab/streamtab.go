@@ -1,0 +1,115 @@
+// Package streamtab is the stream adapter (§7.2): tables whose rows are
+// time-ordered events. Querying a stream table without the STREAM directive
+// returns "existing records which have already been received" (the history,
+// up to the watermark); with STREAM, the system processes the incoming
+// records — here, every buffered event including those past the watermark.
+package streamtab
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"calcite/internal/core"
+	"calcite/internal/plan"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// Table is a time-ordered event table. It implements schema.ScannableTable
+// (history), schema.StreamableTable and StreamScan (incoming records).
+type Table struct {
+	name       string
+	rowType    *types.Type
+	rowtimeCol int
+
+	mu        sync.RWMutex
+	events    [][]any
+	watermark int64
+}
+
+// NewTable creates a stream table; rowtimeCol is the ordinal of the
+// monotonic event-time column (int64 epoch millis).
+func NewTable(name string, rowType *types.Type, rowtimeCol int) *Table {
+	return &Table{name: name, rowType: rowType, rowtimeCol: rowtimeCol}
+}
+
+// Append adds events; rowtime must be non-decreasing.
+func (t *Table) Append(rows ...[]any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	last := int64(-1 << 62)
+	if n := len(t.events); n > 0 {
+		last, _ = t.events[n-1][t.rowtimeCol].(int64)
+	}
+	for _, row := range rows {
+		ts, ok := row[t.rowtimeCol].(int64)
+		if !ok {
+			return fmt.Errorf("streamtab: rowtime column must be int64 millis, got %T", row[t.rowtimeCol])
+		}
+		if ts < last {
+			return fmt.Errorf("streamtab: out-of-order event (rowtime %d < %d); streams are time-ordered sets of records", ts, last)
+		}
+		last = ts
+		t.events = append(t.events, row)
+	}
+	return nil
+}
+
+// SetWatermark marks events at or before ts as historical.
+func (t *Table) SetWatermark(ts int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.watermark = ts
+}
+
+func (t *Table) Name() string         { return t.name }
+func (t *Table) RowType() *types.Type { return t.rowType }
+func (t *Table) RowtimeColumn() int   { return t.rowtimeCol }
+
+func (t *Table) Stats() schema.Statistics {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return schema.Statistics{RowCount: float64(len(t.events))}
+}
+
+// Scan returns the historical rows (rowtime <= watermark): the semantics of
+// querying a stream without the STREAM keyword.
+func (t *Table) Scan() (schema.Cursor, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i := sort.Search(len(t.events), func(i int) bool {
+		ts, _ := t.events[i][t.rowtimeCol].(int64)
+		return ts > t.watermark
+	})
+	return schema.NewSliceCursor(append([][]any(nil), t.events[:i]...)), nil
+}
+
+// StreamScan returns all buffered events — the incoming records a STREAM
+// query processes.
+func (t *Table) StreamScan() (schema.Cursor, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return schema.NewSliceCursor(append([][]any(nil), t.events...)), nil
+}
+
+// Adapter groups stream tables in a schema.
+type Adapter struct {
+	schema *schema.BaseSchema
+}
+
+// New creates a stream adapter schema.
+func New(name string) *Adapter { return &Adapter{schema: schema.NewBaseSchema(name)} }
+
+// AddTable registers a stream table.
+func (a *Adapter) AddTable(t *Table) { a.schema.AddTable(t) }
+
+// AdapterSchema implements core.Adapter.
+func (a *Adapter) AdapterSchema() schema.Schema { return a.schema }
+
+// Rules implements core.Adapter (streams execute in the enumerable
+// convention; windowing is planned by sql2rel).
+func (a *Adapter) Rules() []plan.Rule { return nil }
+
+// Converters implements core.Adapter.
+func (a *Adapter) Converters() []core.ConverterReg { return nil }

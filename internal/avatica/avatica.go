@@ -1,0 +1,295 @@
+// Package avatica implements the framework's remote driver, the analogue of
+// Calcite's Avatica JDBC driver (§1: "Calcite includes a driver conforming
+// to the standard Java API (JDBC)"). A Server exposes a framework instance
+// over a JSON/HTTP protocol with prepare/execute/close semantics; Client is
+// the matching database-driver-style client.
+package avatica
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"calcite/internal/core"
+	"calcite/internal/types"
+)
+
+// --- wire protocol ---
+
+// PrepareRequest asks the server to validate and plan a statement.
+type PrepareRequest struct {
+	SQL string `json:"sql"`
+}
+
+// PrepareResponse returns the statement handle.
+type PrepareResponse struct {
+	StatementID int64    `json:"statementId"`
+	Columns     []string `json:"columns,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// ExecuteRequest executes a prepared statement or a direct SQL string.
+type ExecuteRequest struct {
+	StatementID int64  `json:"statementId,omitempty"`
+	SQL         string `json:"sql,omitempty"`
+	Params      []any  `json:"params,omitempty"`
+	// MaxRows truncates the response (0 = unlimited).
+	MaxRows int `json:"maxRows,omitempty"`
+}
+
+// ExecuteResponse carries the result set.
+type ExecuteResponse struct {
+	Columns     []string `json:"columns"`
+	ColumnTypes []string `json:"columnTypes"`
+	Rows        [][]any  `json:"rows"`
+	Truncated   bool     `json:"truncated,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	ElapsedMs   float64  `json:"elapsedMs"`
+}
+
+// CloseRequest releases a prepared statement.
+type CloseRequest struct {
+	StatementID int64 `json:"statementId"`
+}
+
+// --- server ---
+
+// Server serves a Framework over HTTP.
+type Server struct {
+	fw *core.Framework
+
+	mu      sync.Mutex
+	nextID  int64
+	stmts   map[int64]string
+	httpSrv *http.Server
+	addr    string
+}
+
+// NewServer wraps a framework.
+func NewServer(fw *core.Framework) *Server {
+	return &Server{fw: fw, stmts: map[int64]string{}}
+}
+
+// Handler returns the HTTP handler (also usable without a listener).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/prepare", s.handlePrepare)
+	mux.HandleFunc("/execute", s.handleExecute)
+	mux.HandleFunc("/close", s.handleClose)
+	return mux
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves in
+// the background. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.addr = ln.Addr().String()
+	go s.httpSrv.Serve(ln)
+	return s.addr, nil
+}
+
+// Stop shuts the server down.
+func (s *Server) Stop() error {
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req PrepareRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, PrepareResponse{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.stmts[id] = req.SQL
+	s.mu.Unlock()
+	writeJSON(w, PrepareResponse{StatementID: id})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req ExecuteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, ExecuteResponse{Error: err.Error()})
+		return
+	}
+	sql := req.SQL
+	if req.StatementID != 0 {
+		s.mu.Lock()
+		stored, ok := s.stmts[req.StatementID]
+		s.mu.Unlock()
+		if !ok {
+			writeJSON(w, ExecuteResponse{Error: fmt.Sprintf("avatica: unknown statement %d", req.StatementID)})
+			return
+		}
+		sql = stored
+	}
+	params := make([]any, len(req.Params))
+	for i, p := range req.Params {
+		params[i] = normalizeJSON(p)
+	}
+	start := time.Now()
+	res, err := s.fw.Execute(sql, params...)
+	if err != nil {
+		writeJSON(w, ExecuteResponse{Error: err.Error()})
+		return
+	}
+	rows := res.Rows
+	truncated := false
+	if req.MaxRows > 0 && len(rows) > req.MaxRows {
+		rows = rows[:req.MaxRows]
+		truncated = true
+	}
+	colTypes := make([]string, len(res.Columns))
+	if len(rows) > 0 {
+		for i := range colTypes {
+			colTypes[i] = fmt.Sprintf("%T", rows[0][i])
+		}
+	}
+	writeJSON(w, ExecuteResponse{
+		Columns:     res.Columns,
+		ColumnTypes: colTypes,
+		Rows:        rows,
+		Truncated:   truncated,
+		ElapsedMs:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	var req CloseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, map[string]string{"error": err.Error()})
+		return
+	}
+	s.mu.Lock()
+	delete(s.stmts, req.StatementID)
+	s.mu.Unlock()
+	writeJSON(w, map[string]bool{"closed": true})
+}
+
+// normalizeJSON converts decoded JSON values to engine runtime values
+// (JSON numbers arrive as float64; integral ones become int64).
+func normalizeJSON(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+		return x
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalizeJSON(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = normalizeJSON(e)
+		}
+		return out
+	}
+	return v
+}
+
+// --- client ---
+
+// Client talks to an avatica Server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient creates a client for the given address ("host:port").
+func NewClient(addr string) *Client {
+	return &Client{BaseURL: "http://" + addr, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	return json.NewDecoder(httpResp.Body).Decode(resp)
+}
+
+// Prepare registers a statement and returns its handle.
+func (c *Client) Prepare(sql string) (int64, error) {
+	var resp PrepareResponse
+	if err := c.post("/prepare", PrepareRequest{SQL: sql}, &resp); err != nil {
+		return 0, err
+	}
+	if resp.Error != "" {
+		return 0, fmt.Errorf("avatica: %s", resp.Error)
+	}
+	return resp.StatementID, nil
+}
+
+// Query executes SQL directly.
+func (c *Client) Query(sql string, params ...any) (*ExecuteResponse, error) {
+	var resp ExecuteResponse
+	if err := c.post("/execute", ExecuteRequest{SQL: sql, Params: params}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("avatica: %s", resp.Error)
+	}
+	normalizeRows(&resp)
+	return &resp, nil
+}
+
+// Execute runs a prepared statement.
+func (c *Client) Execute(statementID int64, params ...any) (*ExecuteResponse, error) {
+	var resp ExecuteResponse
+	if err := c.post("/execute", ExecuteRequest{StatementID: statementID, Params: params}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("avatica: %s", resp.Error)
+	}
+	normalizeRows(&resp)
+	return &resp, nil
+}
+
+// Close releases a prepared statement.
+func (c *Client) Close(statementID int64) error {
+	var resp map[string]any
+	return c.post("/close", CloseRequest{StatementID: statementID}, &resp)
+}
+
+// normalizeRows converts JSON-decoded cell values back to runtime types
+// using the server-reported column types.
+func normalizeRows(resp *ExecuteResponse) {
+	for _, row := range resp.Rows {
+		for i, v := range row {
+			if i < len(resp.ColumnTypes) && resp.ColumnTypes[i] == "int64" {
+				if iv, ok := types.AsFloat(v); ok {
+					row[i] = int64(iv)
+					continue
+				}
+			}
+			row[i] = normalizeJSON(v)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package avatica_test
+
+import (
+	"testing"
+
+	"calcite"
+	"calcite/internal/avatica"
+	"calcite/internal/types"
+)
+
+func startServer(t *testing.T) (*avatica.Client, func()) {
+	t.Helper()
+	conn := calcite.Open()
+	conn.AddTable("emps", calcite.Columns{
+		{Name: "empid", Type: calcite.BigIntType},
+		{Name: "name", Type: calcite.VarcharType},
+		{Name: "sal", Type: calcite.DoubleType},
+	}, [][]any{
+		{int64(1), "a", 100.0},
+		{int64(2), "b", 200.0},
+		{int64(3), "c", 300.0},
+	})
+	srv := avatica.NewServer(conn.Framework)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return avatica.NewClient(addr), func() { srv.Stop() }
+}
+
+func TestQueryOverHTTP(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	resp, err := client.Query("SELECT name, sal FROM emps WHERE sal > 150 ORDER BY sal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 || resp.Rows[0][0] != "b" {
+		t.Fatalf("rows: %v", resp.Rows)
+	}
+	if len(resp.Columns) != 2 || resp.Columns[0] != "name" {
+		t.Fatalf("columns: %v", resp.Columns)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	id, err := client.Prepare("SELECT empid FROM emps WHERE sal > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Execute(id, 150.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 {
+		t.Fatalf("rows: %v", resp.Rows)
+	}
+	// int64 columns survive the JSON wire format.
+	if v, ok := resp.Rows[0][0].(int64); !ok || v != 2 {
+		t.Fatalf("empid decoded as %T %v", resp.Rows[0][0], resp.Rows[0][0])
+	}
+	if err := client.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Execute(id); err == nil {
+		t.Error("closed statement should error")
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	if _, err := client.Query("SELECT nosuch FROM emps"); err == nil {
+		t.Error("expected validation error over the wire")
+	}
+	if _, err := client.Query("NOT SQL AT ALL"); err == nil {
+		t.Error("expected parse error over the wire")
+	}
+}
+
+func TestDDLOverWire(t *testing.T) {
+	client, stop := startServer(t)
+	defer stop()
+	if _, err := client.Query("CREATE TABLE t2 (x BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query("INSERT INTO t2 VALUES (41), (42)"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Query("SELECT SUM(x) FROM t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := types.AsInt(resp.Rows[0][0]); v != 83 {
+		t.Fatalf("sum: %v", resp.Rows[0][0])
+	}
+}

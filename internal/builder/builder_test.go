@@ -1,0 +1,124 @@
+package builder_test
+
+import (
+	"testing"
+
+	"calcite/internal/builder"
+	"calcite/internal/exec"
+	"calcite/internal/plan"
+	"calcite/internal/rel"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+func catalog() schema.Schema {
+	root := schema.NewBaseSchema("root")
+	root.AddTable(schema.NewMemTable("emps", types.Row(
+		types.Field{Name: "deptno", Type: types.BigInt},
+		types.Field{Name: "sal", Type: types.Double},
+	), [][]any{
+		{int64(10), 100.0}, {int64(10), 200.0}, {int64(20), 300.0},
+	}))
+	root.AddTable(schema.NewMemTable("depts", types.Row(
+		types.Field{Name: "deptno", Type: types.BigInt},
+		types.Field{Name: "dname", Type: types.Varchar},
+	), [][]any{{int64(10), "S"}, {int64(20), "M"}}))
+	return root
+}
+
+func execute(t *testing.T, node rel.Node) [][]any {
+	t.Helper()
+	vp := plan.NewVolcanoPlanner(exec.Rules()...)
+	best, err := vp.Optimize(node, trait.Enumerable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Execute(exec.NewContext(), best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestScanFilterProject(t *testing.T) {
+	b := builder.New(catalog())
+	b = b.Scan("emps")
+	b = b.Filter(b.Greater(b.Field("sal"), b.Literal(150.0)))
+	node, err := b.ProjectNamed("deptno").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := execute(t, node)
+	if len(rows) != 2 {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestAggregateAndSort(t *testing.T) {
+	node, err := builder.New(catalog()).
+		Scan("emps").
+		Aggregate(builder.GroupKey("deptno"),
+			builder.Sum(false, "total", "sal"),
+			builder.Avg("avg", "sal"),
+			builder.Min("lo", "sal"),
+			builder.Max("hi", "sal")).
+		Sort("-total").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := execute(t, node)
+	if len(rows) != 2 {
+		t.Fatalf("rows: %v", rows)
+	}
+	if top, _ := types.AsFloat(rows[0][1]); top != 300 {
+		t.Fatalf("top total: %v", rows[0])
+	}
+}
+
+func TestJoinUnionValuesLimit(t *testing.T) {
+	b := builder.New(catalog())
+	node, err := b.Scan("emps").Scan("depts").
+		JoinOn(rel.InnerJoin, "deptno", "deptno").
+		Limit(0, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(execute(t, node)) != 2 {
+		t.Fatal("join+limit")
+	}
+
+	node, err = builder.New(catalog()).
+		Values([]string{"x"}, []any{int64(1)}, []any{int64(2)}).
+		Values([]string{"x"}, []any{int64(3)}).
+		Union(true, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(execute(t, node)) != 3 {
+		t.Fatal("union of values")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := builder.New(catalog()).Scan("missing").Build(); err == nil {
+		t.Error("unknown table")
+	}
+	b := builder.New(catalog()).Scan("emps")
+	b.Field("nope")
+	if _, err := b.Build(); err == nil {
+		t.Error("unknown field")
+	}
+	if _, err := builder.New(catalog()).Build(); err == nil {
+		t.Error("empty stack")
+	}
+	if _, err := builder.New(catalog()).Scan("emps").Scan("depts").Build(); err == nil {
+		t.Error("two expressions left on stack")
+	}
+	if _, err := builder.New(catalog()).Scan("emps").Sort("nope").Build(); err == nil {
+		t.Error("unknown sort column")
+	}
+}

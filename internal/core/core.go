@@ -1,0 +1,306 @@
+// Package core wires the framework components of Figure 1 of the paper into
+// a query lifecycle: SQL parser/validator → sql-to-rel converter → optimizer
+// (rules + metadata providers + planner engines) → enumerable executor. It
+// also hosts the adapter registry (schemas + pushdown rules + converters)
+// and the DDL surface listed in §9 (CREATE TABLE, CREATE [MATERIALIZED]
+// VIEW, INSERT, EXPLAIN).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"calcite/internal/exec"
+	"calcite/internal/meta"
+	"calcite/internal/mv"
+	"calcite/internal/parser"
+	"calcite/internal/plan"
+	"calcite/internal/rel"
+	"calcite/internal/rules"
+	"calcite/internal/schema"
+	"calcite/internal/sql2rel"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// ConverterReg registers a convention converter factory with the planner.
+type ConverterReg struct {
+	From, To trait.Convention
+	Factory  func(input rel.Node) rel.Node
+}
+
+// Adapter is the contract an adapter package fulfils to join the framework
+// (§5, Figure 3): a schema of tables, planner rules that push operators into
+// the backend, converters that move rows out of the backend's convention,
+// and optional metadata providers with backend statistics.
+type Adapter interface {
+	// AdapterSchema returns the schema exposing the backend's tables.
+	AdapterSchema() schema.Schema
+	// Rules returns the adapter's planner rules.
+	Rules() []plan.Rule
+	// Converters returns the adapter's convention converters.
+	Converters() []ConverterReg
+}
+
+// MetaAdapter is an Adapter that also contributes metadata providers.
+type MetaAdapter interface {
+	Adapter
+	MetaProviders() []meta.Provider
+}
+
+// PlannerChoice selects the physical planning engine.
+type PlannerChoice int
+
+const (
+	// VolcanoCostBased uses the cost-based engine (default).
+	VolcanoCostBased PlannerChoice = iota
+	// HeuristicHep uses the exhaustive rule-driven engine.
+	HeuristicHep
+)
+
+// Framework is a configured instance of the query processing system.
+type Framework struct {
+	// Catalog is the root schema; adapters add sub-schemas.
+	Catalog *schema.BaseSchema
+	// LogicalRules run in the logical rewrite phase (Hep).
+	LogicalRules []plan.Rule
+	// PhysicalRules run in the implementation phase.
+	PhysicalRules []plan.Rule
+	// Converters available to the physical planner.
+	Converters []ConverterReg
+	// Providers are extra metadata providers (adapters, tests).
+	Providers []meta.Provider
+	// Planner selects the physical engine.
+	Planner PlannerChoice
+	// FixPoint configures the Volcano fix point (Exhaustive/Heuristic δ).
+	FixPoint plan.FixPointMode
+	// Delta is the Heuristic-mode improvement threshold.
+	Delta float64
+	// DisableLogicalPhase skips logical rewrites (for ablations).
+	DisableLogicalPhase bool
+	// MetadataCache toggles the metadata memo cache (experiment E8).
+	MetadataCache bool
+
+	// Views holds materialized views registered via CREATE MATERIALIZED
+	// VIEW or adapter declarations.
+	Views *mv.Registry
+
+	// LastPlanner exposes statistics of the most recent physical planning
+	// run (for tests and benchmarks).
+	LastPlanner *plan.VolcanoPlanner
+}
+
+// New returns a framework with the default rule sets, the enumerable
+// execution convention, and an empty catalog.
+func New() *Framework {
+	return &Framework{
+		Catalog:       schema.NewBaseSchema("root"),
+		LogicalRules:  rules.DefaultLogicalRules(),
+		PhysicalRules: exec.Rules(),
+		Providers:     []meta.Provider{exec.MetadataProvider()},
+		MetadataCache: true,
+		Views:         mv.NewRegistry(),
+	}
+}
+
+// RegisterAdapter plugs an adapter into the framework.
+func (f *Framework) RegisterAdapter(a Adapter) {
+	f.Catalog.AddSchema(a.AdapterSchema())
+	f.PhysicalRules = append(f.PhysicalRules, a.Rules()...)
+	f.Converters = append(f.Converters, a.Converters()...)
+	if ma, ok := a.(MetaAdapter); ok {
+		f.Providers = append(f.Providers, ma.MetaProviders()...)
+	}
+}
+
+// NewMetaQuery builds a metadata session with all registered providers.
+func (f *Framework) NewMetaQuery() *meta.Query {
+	q := meta.NewQuery(f.Providers...)
+	q.CacheEnabled = f.MetadataCache
+	return q
+}
+
+// ParseAndConvert runs parser + validator + sql2rel, returning the logical
+// plan of a query statement.
+func (f *Framework) ParseAndConvert(sql string) (rel.Node, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return sql2rel.New(f.Catalog).Convert(stmt)
+}
+
+// Optimize runs the two-phase optimization program over a logical plan:
+// logical rewrites to fix point (Hep), then physical implementation with
+// the selected engine and the materialized-view rewriting rules (§6).
+func (f *Framework) Optimize(logical rel.Node) (rel.Node, error) {
+	mq := f.NewMetaQuery()
+
+	node := logical
+	if !f.DisableLogicalPhase {
+		node = f.logicalOptimize(node, mq)
+		mq.InvalidateCache()
+	}
+
+	physRules := append([]plan.Rule(nil), f.PhysicalRules...)
+	physRules = append(physRules, f.Views.SubstitutionRules()...)
+
+	if f.Planner == HeuristicHep {
+		hep := plan.NewHepPlanner(physRules...)
+		hep.Meta = mq
+		out := hep.Optimize(node)
+		return out, nil
+	}
+
+	vp := plan.NewVolcanoPlanner(physRules...)
+	vp.Meta = mq
+	vp.Mode = f.FixPoint
+	if f.Delta > 0 {
+		vp.Delta = f.Delta
+	}
+	for _, c := range f.Converters {
+		vp.AddConverter(c.From, c.To, c.Factory)
+	}
+	f.LastPlanner = vp
+	return vp.Optimize(node, trait.Enumerable)
+}
+
+// logicalOptimize runs the logical rewrite phase to fix point.
+func (f *Framework) logicalOptimize(node rel.Node, mq *meta.Query) rel.Node {
+	hep := plan.NewHepPlanner(f.LogicalRules...)
+	hep.Meta = mq
+	return hep.Optimize(node)
+}
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	// Plan is set for EXPLAIN.
+	Plan string
+}
+
+// Execute parses, plans and runs a SQL statement (including DDL).
+func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *parser.ExplainStmt:
+		return f.explain(s)
+	case *parser.CreateTableStmt:
+		return f.createTable(s)
+	case *parser.CreateViewStmt:
+		return f.createView(s, sql)
+	}
+	logical, err := sql2rel.New(f.Catalog).Convert(stmt)
+	if err != nil {
+		return nil, err
+	}
+	physical, err := f.Optimize(logical)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext()
+	ctx.Evaluator.Params = params
+	rows, err := exec.Execute(ctx, physical)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: physical.RowType().FieldNames(), Rows: rows}, nil
+}
+
+func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
+	logical, err := sql2rel.New(f.Catalog).Convert(s.Target)
+	if err != nil {
+		return nil, err
+	}
+	text := rel.Explain(logical)
+	if !s.Logical {
+		physical, err := f.Optimize(logical)
+		if err != nil {
+			return nil, err
+		}
+		text = rel.Explain(physical)
+	}
+	var rows [][]any
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rows = append(rows, []any{line})
+	}
+	return &Result{Columns: []string{"PLAN"}, Rows: rows, Plan: text}, nil
+}
+
+func (f *Framework) createTable(s *parser.CreateTableStmt) (*Result, error) {
+	fields := make([]types.Field, len(s.Cols))
+	for i, c := range s.Cols {
+		t, err := validateType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = types.Field{Name: c.Name, Type: t.WithNullable(true)}
+	}
+	name := s.Name[len(s.Name)-1]
+	target := f.Catalog
+	if len(s.Name) > 1 {
+		sub, ok := f.Catalog.SubSchema(s.Name[0])
+		if !ok {
+			return nil, fmt.Errorf("core: schema %q not found", s.Name[0])
+		}
+		base, ok := sub.(*schema.BaseSchema)
+		if !ok {
+			return nil, fmt.Errorf("core: schema %q does not accept DDL", s.Name[0])
+		}
+		target = base
+	}
+	target.AddTable(schema.NewMemTable(name, types.Row(fields...), nil))
+	return &Result{Columns: []string{"RESULT"}, Rows: [][]any{{"table created"}}}, nil
+}
+
+func (f *Framework) createView(s *parser.CreateViewStmt, originalSQL string) (*Result, error) {
+	name := s.Name[len(s.Name)-1]
+	logical, err := sql2rel.New(f.Catalog).Convert(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	if !s.Materialized {
+		f.Catalog.AddTable(&schema.ViewTable{
+			ViewName: name,
+			SQL:      s.SQL,
+			Type:     logical.RowType(),
+		})
+		return &Result{Columns: []string{"RESULT"}, Rows: [][]any{{"view created"}}}, nil
+	}
+	// Materialized view: execute the definition now, store the rows, and
+	// register the (definition plan, storage table) pair with the rewriting
+	// registry (§6 "materialized views").
+	physical, err := f.Optimize(logical)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Execute(exec.NewContext(), physical)
+	if err != nil {
+		return nil, err
+	}
+	table := schema.NewMemTable(name, logical.RowType(), rows)
+	f.Catalog.AddTable(table)
+	// Register the definition plan in its canonical (logically optimized)
+	// form so the substitution rule can unify it with incoming queries,
+	// which are normalized the same way before physical planning.
+	f.Views.Register(&mv.MaterializedView{
+		Name:  name,
+		Plan:  f.logicalOptimize(logical, f.NewMetaQuery()),
+		Table: table,
+	})
+	return &Result{Columns: []string{"RESULT"}, Rows: [][]any{{fmt.Sprintf("materialized view created (%d rows)", len(rows))}}}, nil
+}
+
+func validateType(ts parser.TypeSpec) (*types.Type, error) {
+	return sql2rel.ConvertTypeSpec(ts)
+}
+
+// RunPhysical executes an already-optimized physical plan and returns its
+// rows (a convenience for callers that built plans directly).
+func RunPhysical(physical rel.Node) ([][]any, error) {
+	return exec.Execute(exec.NewContext(), physical)
+}

@@ -1,0 +1,74 @@
+// Package cost defines the optimizer's cost model. Per §6 of the paper, the
+// default cost function combines estimations for CPU, IO and memory used by
+// an expression; the planner compares alternative plans with it. Cost values
+// are supplied by metadata providers and are fully pluggable.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cost is the estimated resource usage of executing a relational expression
+// (cumulative: the expression and all of its inputs).
+type Cost struct {
+	Rows float64 // rows processed
+	CPU  float64 // CPU work units
+	IO   float64 // IO work units (pages / network requests)
+	Mem  float64 // peak memory units
+}
+
+// Zero is the cost of doing nothing.
+var Zero = Cost{}
+
+// Infinite is the cost assigned to unimplementable expressions; any real
+// plan beats it.
+var Infinite = Cost{
+	Rows: math.Inf(1), CPU: math.Inf(1), IO: math.Inf(1), Mem: math.Inf(1),
+}
+
+// Tiny is a negligible non-zero cost (e.g. a converter's bookkeeping).
+var Tiny = Cost{Rows: 1, CPU: 1, IO: 0, Mem: 0}
+
+// New returns a cost with the given components.
+func New(rows, cpu, io, mem float64) Cost {
+	return Cost{Rows: rows, CPU: cpu, IO: io, Mem: mem}
+}
+
+// Plus returns the component-wise sum.
+func (c Cost) Plus(o Cost) Cost {
+	return Cost{
+		Rows: c.Rows + o.Rows,
+		CPU:  c.CPU + o.CPU,
+		IO:   c.IO + o.IO,
+		Mem:  c.Mem + o.Mem,
+	}
+}
+
+// Times scales every component.
+func (c Cost) Times(f float64) Cost {
+	return Cost{Rows: c.Rows * f, CPU: c.CPU * f, IO: c.IO * f, Mem: c.Mem * f}
+}
+
+// Scalar collapses the cost to a single comparable number. The weights
+// mirror Calcite's VolcanoCost: CPU and rows dominate, IO is weighted as
+// more expensive per unit, memory breaks ties.
+func (c Cost) Scalar() float64 {
+	return c.Rows + c.CPU + 4*c.IO + 0.01*c.Mem
+}
+
+// Less reports whether c is strictly cheaper than o.
+func (c Cost) Less(o Cost) bool { return c.Scalar() < o.Scalar() }
+
+// IsInfinite reports whether any component is infinite.
+func (c Cost) IsInfinite() bool {
+	return math.IsInf(c.Rows, 1) || math.IsInf(c.CPU, 1) ||
+		math.IsInf(c.IO, 1) || math.IsInf(c.Mem, 1)
+}
+
+func (c Cost) String() string {
+	if c.IsInfinite() {
+		return "{inf}"
+	}
+	return fmt.Sprintf("{%.4g rows, %.4g cpu, %.4g io, %.4g mem}", c.Rows, c.CPU, c.IO, c.Mem)
+}

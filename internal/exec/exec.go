@@ -1,0 +1,96 @@
+// Package exec implements the enumerable calling convention of §5 of the
+// paper: physical relational operators that "simply operate over tuples via
+// an iterator interface". The enumerable convention is how Calcite executes
+// operators that are not available in an adapter's backend — e.g. joining
+// rows collected from two different engines — and is the default execution
+// target of the framework.
+//
+// Every operator here is a rel.Node in the trait.Enumerable convention that
+// additionally implements Bound: it can produce a cursor over its rows.
+package exec
+
+import (
+	"fmt"
+
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+)
+
+// Context carries per-query execution state.
+type Context struct {
+	// Evaluator evaluates row expressions (holds prepared-statement
+	// parameters).
+	Evaluator *rex.Evaluator
+}
+
+// NewContext returns an execution context with no parameters.
+func NewContext() *Context { return &Context{Evaluator: &rex.Evaluator{}} }
+
+// Bound is a relational expression that can be executed: binding it yields a
+// cursor over its output rows.
+type Bound interface {
+	rel.Node
+	Bind(ctx *Context) (schema.Cursor, error)
+}
+
+// Execute binds root and drains it into a row slice.
+func Execute(ctx *Context, root rel.Node) ([][]any, error) {
+	cur, err := BindNode(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out [][]any
+	for {
+		row, err := cur.Next()
+		if err == schema.Done {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+}
+
+// BindNode binds a plan node, reporting a clear error for unexecutable
+// (non-enumerable) nodes.
+func BindNode(ctx *Context, n rel.Node) (schema.Cursor, error) {
+	b, ok := n.(Bound)
+	if !ok {
+		return nil, fmt.Errorf("exec: plan node %s is not executable (convention %s); optimize to the enumerable convention first",
+			n.Op(), n.Traits().String())
+	}
+	return b.Bind(ctx)
+}
+
+// funcCursor adapts functions to schema.Cursor.
+type funcCursor struct {
+	next  func() ([]any, error)
+	close func() error
+}
+
+func (c *funcCursor) Next() ([]any, error) { return c.next() }
+func (c *funcCursor) Close() error {
+	if c.close != nil {
+		return c.close()
+	}
+	return nil
+}
+
+// drain materializes all rows of a cursor and closes it.
+func drain(cur schema.Cursor) ([][]any, error) {
+	defer cur.Close()
+	var rows [][]any
+	for {
+		row, err := cur.Next()
+		if err == schema.Done {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+}

@@ -1,0 +1,454 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+func enumerableTraits() trait.Set { return trait.NewSet(trait.Enumerable) }
+
+// Scan is the enumerable full-table scan over any ScannableTable.
+type Scan struct {
+	*rel.TableScan
+}
+
+// NewScan creates an enumerable scan; the table must be scannable.
+func NewScan(table schema.ScannableTable, qualifiedName []string) *Scan {
+	return &Scan{TableScan: rel.NewTableScan(trait.Enumerable, table, qualifiedName)}
+}
+
+func (s *Scan) WithNewInputs(inputs []rel.Node) rel.Node { return s }
+
+func (s *Scan) Bind(ctx *Context) (schema.Cursor, error) {
+	st, ok := s.Table.(schema.ScannableTable)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %s is not scannable", s.Table.Name())
+	}
+	return st.Scan()
+}
+
+func (s *Scan) Unwrap() rel.Node {
+	return rel.NewTableScan(trait.Logical, s.Table, s.QualifiedName)
+}
+
+// Filter is the enumerable filter.
+type Filter struct {
+	*rel.Filter
+}
+
+// NewFilter creates an enumerable filter.
+func NewFilter(input rel.Node, condition rex.Node) *Filter {
+	return &Filter{Filter: rel.NewFilterTraits("EnumerableFilter", enumerableTraits(), input, condition)}
+}
+
+func (f *Filter) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewFilter(inputs[0], f.Condition)
+}
+
+func (f *Filter) Unwrap() rel.Node { return rel.NewFilter(f.Inputs()[0], f.Condition) }
+
+func (f *Filter) Bind(ctx *Context) (schema.Cursor, error) {
+	in, err := BindNode(ctx, f.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	return &funcCursor{
+		next: func() ([]any, error) {
+			for {
+				row, err := in.Next()
+				if err != nil {
+					return nil, err
+				}
+				keep, err := ctx.Evaluator.EvalBool(f.Condition, row)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					return row, nil
+				}
+			}
+		},
+		close: in.Close,
+	}, nil
+}
+
+// Project is the enumerable projection.
+type Project struct {
+	*rel.Project
+}
+
+// NewProject creates an enumerable projection.
+func NewProject(input rel.Node, exprs []rex.Node, names []string) *Project {
+	return &Project{Project: rel.NewProjectTraits("EnumerableProject", enumerableTraits(), input, exprs, names)}
+}
+
+func (p *Project) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewProject(inputs[0], p.Exprs, p.FieldNames())
+}
+
+func (p *Project) Unwrap() rel.Node {
+	return rel.NewProject(p.Inputs()[0], p.Exprs, p.FieldNames())
+}
+
+func (p *Project) Bind(ctx *Context) (schema.Cursor, error) {
+	in, err := BindNode(ctx, p.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	return &funcCursor{
+		next: func() ([]any, error) {
+			row, err := in.Next()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]any, len(p.Exprs))
+			for i, e := range p.Exprs {
+				v, err := ctx.Evaluator.Eval(e, row)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		},
+		close: in.Close,
+	}, nil
+}
+
+// Values is the enumerable constant-rows operator.
+type Values struct {
+	*rel.Values
+}
+
+// NewValues creates enumerable Values.
+func NewValues(rowType *types.Type, tuples [][]rex.Node) *Values {
+	return &Values{Values: rel.NewValuesTraits("EnumerableValues", enumerableTraits(), rowType, tuples)}
+}
+
+func (v *Values) WithNewInputs(inputs []rel.Node) rel.Node { return v }
+
+func (v *Values) Unwrap() rel.Node { return rel.NewValues(v.RowType(), v.Tuples) }
+
+func (v *Values) Bind(ctx *Context) (schema.Cursor, error) {
+	rows := make([][]any, len(v.Tuples))
+	for i, t := range v.Tuples {
+		row := make([]any, len(t))
+		for j, e := range t {
+			val, err := ctx.Evaluator.Eval(e, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = val
+		}
+		rows[i] = row
+	}
+	return schema.NewSliceCursor(rows), nil
+}
+
+// Sort is the enumerable sort with optional OFFSET/FETCH; with an empty
+// collation it degenerates to a streaming limit.
+type Sort struct {
+	*rel.Sort
+}
+
+// NewSort creates an enumerable sort.
+func NewSort(input rel.Node, collation trait.Collation, offset, fetch int64) *Sort {
+	ts := enumerableTraits().WithCollation(collation)
+	return &Sort{Sort: rel.NewSortTraits("EnumerableSort", ts, input, collation, offset, fetch)}
+}
+
+// NewLimit creates a pure limit (no sorting).
+func NewLimit(input rel.Node, offset, fetch int64) *Sort {
+	s := NewSort(input, nil, offset, fetch)
+	return s
+}
+
+func (s *Sort) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewSort(inputs[0], s.Collation, s.Offset, s.Fetch)
+}
+
+func (s *Sort) Unwrap() rel.Node {
+	return rel.NewSort(s.Inputs()[0], s.Collation, s.Offset, s.Fetch)
+}
+
+// CompareRows orders two rows by a collation.
+func CompareRows(a, b []any, collation trait.Collation) int {
+	for _, fc := range collation {
+		c := types.Compare(a[fc.Field], b[fc.Field])
+		if fc.Direction == trait.Descending {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (s *Sort) Bind(ctx *Context) (schema.Cursor, error) {
+	in, err := BindNode(ctx, s.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Collation) == 0 {
+		// Pure limit: stream.
+		skipped := int64(0)
+		returned := int64(0)
+		return &funcCursor{
+			next: func() ([]any, error) {
+				for skipped < s.Offset {
+					if _, err := in.Next(); err != nil {
+						return nil, err
+					}
+					skipped++
+				}
+				if s.Fetch >= 0 && returned >= s.Fetch {
+					return nil, schema.Done
+				}
+				row, err := in.Next()
+				if err != nil {
+					return nil, err
+				}
+				returned++
+				return row, nil
+			},
+			close: in.Close,
+		}, nil
+	}
+	rows, err := drain(in)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return CompareRows(rows[i], rows[j], s.Collation) < 0
+	})
+	if s.Offset > 0 {
+		if s.Offset >= int64(len(rows)) {
+			rows = nil
+		} else {
+			rows = rows[s.Offset:]
+		}
+	}
+	if s.Fetch >= 0 && s.Fetch < int64(len(rows)) {
+		rows = rows[:s.Fetch]
+	}
+	return schema.NewSliceCursor(rows), nil
+}
+
+// Aggregate is the enumerable hash aggregate.
+type Aggregate struct {
+	*rel.Aggregate
+}
+
+// NewAggregate creates an enumerable hash aggregate.
+func NewAggregate(input rel.Node, groupKeys []int, calls []rex.AggCall) *Aggregate {
+	return &Aggregate{Aggregate: rel.NewAggregateTraits("EnumerableAggregate", enumerableTraits(), input, groupKeys, calls)}
+}
+
+func (a *Aggregate) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewAggregate(inputs[0], a.GroupKeys, a.Calls)
+}
+
+func (a *Aggregate) Unwrap() rel.Node {
+	return rel.NewAggregate(a.Inputs()[0], a.GroupKeys, a.Calls)
+}
+
+func (a *Aggregate) Bind(ctx *Context) (schema.Cursor, error) {
+	in, err := BindNode(ctx, a.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	rows, err := drain(in)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		key  []any
+		accs []rex.Accumulator
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rows {
+		k := types.HashRowKey(row, a.GroupKeys)
+		g, ok := groups[k]
+		if !ok {
+			key := make([]any, len(a.GroupKeys))
+			for i, gk := range a.GroupKeys {
+				key[i] = row[gk]
+			}
+			accs := make([]rex.Accumulator, len(a.Calls))
+			for i, c := range a.Calls {
+				accs[i] = rex.NewAccumulator(c)
+			}
+			g = &group{key: key, accs: accs}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for _, acc := range g.accs {
+			if err := acc.Add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Global aggregate over empty input still yields one row.
+	if len(a.GroupKeys) == 0 && len(order) == 0 {
+		accs := make([]rex.Accumulator, len(a.Calls))
+		for i, c := range a.Calls {
+			accs[i] = rex.NewAccumulator(c)
+		}
+		groups[""] = &group{accs: accs}
+		order = append(order, "")
+	}
+	out := make([][]any, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		row := make([]any, 0, len(g.key)+len(g.accs))
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		out = append(out, row)
+	}
+	return schema.NewSliceCursor(out), nil
+}
+
+// SetOp is the enumerable UNION / INTERSECT / MINUS.
+type SetOp struct {
+	*rel.SetOp
+}
+
+// NewSetOp creates an enumerable set operation.
+func NewSetOp(kind rel.SetOpKind, all bool, inputs ...rel.Node) *SetOp {
+	name := map[rel.SetOpKind]string{
+		rel.UnionOp:     "EnumerableUnion",
+		rel.IntersectOp: "EnumerableIntersect",
+		rel.MinusOp:     "EnumerableMinus",
+	}[kind]
+	return &SetOp{SetOp: rel.NewSetOpTraits(name, enumerableTraits(), kind, all, inputs...)}
+}
+
+func (s *SetOp) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewSetOp(s.Kind, s.All, inputs...)
+}
+
+func (s *SetOp) Unwrap() rel.Node { return rel.NewSetOp(s.Kind, s.All, s.Inputs()...) }
+
+func (s *SetOp) Bind(ctx *Context) (schema.Cursor, error) {
+	var inputs [][][]any
+	for _, in := range s.Inputs() {
+		cur, err := BindNode(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := drain(cur)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, rows)
+	}
+	key := func(row []any) string {
+		cols := make([]int, len(row))
+		for i := range cols {
+			cols[i] = i
+		}
+		return types.HashRowKey(row, cols)
+	}
+	var out [][]any
+	switch s.Kind {
+	case rel.UnionOp:
+		seen := map[string]bool{}
+		for _, rows := range inputs {
+			for _, row := range rows {
+				if s.All {
+					out = append(out, row)
+					continue
+				}
+				k := key(row)
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, row)
+				}
+			}
+		}
+	case rel.IntersectOp:
+		counts := map[string]int{}
+		for _, row := range inputs[1] {
+			counts[key(row)]++
+		}
+		emitted := map[string]bool{}
+		for _, row := range inputs[0] {
+			k := key(row)
+			if counts[k] > 0 {
+				if s.All {
+					counts[k]--
+					out = append(out, row)
+				} else if !emitted[k] {
+					emitted[k] = true
+					out = append(out, row)
+				}
+			}
+		}
+	case rel.MinusOp:
+		counts := map[string]int{}
+		for _, row := range inputs[1] {
+			counts[key(row)]++
+		}
+		emitted := map[string]bool{}
+		for _, row := range inputs[0] {
+			k := key(row)
+			if counts[k] > 0 {
+				if s.All {
+					counts[k]--
+				}
+				continue
+			}
+			if s.All {
+				out = append(out, row)
+			} else if !emitted[k] {
+				emitted[k] = true
+				out = append(out, row)
+			}
+		}
+	}
+	return schema.NewSliceCursor(out), nil
+}
+
+// TableModify is the enumerable INSERT executor.
+type TableModify struct {
+	*rel.TableModify
+}
+
+// NewTableModify creates an enumerable insert.
+func NewTableModify(m *rel.TableModify, input rel.Node) *TableModify {
+	inner := rel.NewTableModify(m.Table, m.QualifiedName, input)
+	return &TableModify{TableModify: inner}
+}
+
+func (m *TableModify) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewTableModify(m.TableModify, inputs[0])
+}
+
+func (m *TableModify) Op() string { return "EnumerableTableModify" }
+
+func (m *TableModify) Traits() trait.Set { return enumerableTraits() }
+
+func (m *TableModify) Bind(ctx *Context) (schema.Cursor, error) {
+	in, err := BindNode(ctx, m.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	rows, err := drain(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Table.Insert(rows); err != nil {
+		return nil, err
+	}
+	return schema.NewSliceCursor([][]any{{int64(len(rows))}}), nil
+}

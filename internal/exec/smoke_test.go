@@ -1,0 +1,91 @@
+package exec_test
+
+import (
+	"testing"
+
+	"calcite/internal/exec"
+	"calcite/internal/plan"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+func empTable() *schema.MemTable {
+	rt := types.Row(
+		types.Field{Name: "empid", Type: types.BigInt},
+		types.Field{Name: "deptno", Type: types.BigInt},
+		types.Field{Name: "sal", Type: types.Double},
+	)
+	return schema.NewMemTable("emps", rt, [][]any{
+		{int64(1), int64(10), 1000.0},
+		{int64(2), int64(10), 2000.0},
+		{int64(3), int64(20), 1500.0},
+		{int64(4), int64(20), 500.0},
+		{int64(5), int64(30), 700.0},
+	})
+}
+
+// TestVolcanoEndToEnd optimizes a logical filter+project+aggregate plan to
+// the enumerable convention and executes it.
+func TestVolcanoEndToEnd(t *testing.T) {
+	emps := empTable()
+	scan := rel.NewTableScan(trait.Logical, emps, []string{"emps"})
+	filter := rel.NewFilter(scan, rex.NewCall(rex.OpGreater,
+		rex.NewInputRef(2, types.Double), rex.Float(600)))
+	agg := rel.NewAggregate(filter, []int{1}, []rex.AggCall{
+		rex.NewAggCall(rex.AggCount, nil, false, "c"),
+		rex.NewAggCall(rex.AggSum, []int{2}, false, "s"),
+	})
+
+	p := plan.NewVolcanoPlanner(exec.Rules()...)
+	best, err := p.Optimize(agg, trait.Enumerable)
+	if err != nil {
+		t.Fatalf("Optimize: %v\nplan:\n%s", err, rel.Explain(agg))
+	}
+	rows, err := exec.Execute(exec.NewContext(), best)
+	if err != nil {
+		t.Fatalf("Execute: %v\nplan:\n%s", err, rel.Explain(best))
+	}
+	// deptno 10: 2 rows sum 3000; deptno 20: 1 row (1500); deptno 30: 1 row (700)
+	want := map[int64][2]any{
+		10: {int64(2), int64(3000)},
+		20: {int64(1), int64(1500)},
+		30: {int64(1), int64(700)},
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %v", len(rows), rows)
+	}
+	for _, r := range rows {
+		w, ok := want[r[0].(int64)]
+		if !ok {
+			t.Fatalf("unexpected group %v", r)
+		}
+		if !types.ValuesEqual(r[1], w[0]) {
+			t.Errorf("group %v count=%v want %v", r[0], r[1], w[0])
+		}
+		sum, _ := types.AsFloat(r[2])
+		wsum, _ := types.AsFloat(w[1])
+		if sum != wsum {
+			t.Errorf("group %v sum=%v want %v", r[0], r[2], w[1])
+		}
+	}
+}
+
+// TestHepMatchesConcrete verifies a Hep pass applies exec conversion rules.
+func TestHepMatchesConcrete(t *testing.T) {
+	emps := empTable()
+	scan := rel.NewTableScan(trait.Logical, emps, []string{"emps"})
+	filter := rel.NewFilter(scan, rex.Bool(true))
+
+	hp := plan.NewHepPlanner(exec.Rules()...)
+	out := hp.Optimize(filter)
+	rows, err := exec.Execute(exec.NewContext(), out)
+	if err != nil {
+		t.Fatalf("Execute after hep: %v\nplan:\n%s", err, rel.Explain(out))
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+}

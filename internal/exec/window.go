@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"sort"
+
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// Window is the enumerable window-aggregate operator (§4's window operator:
+// partition, order, frame bounds, and the aggregate functions to execute on
+// each window). It materializes its input, partitions, orders each
+// partition, and evaluates every aggregate over each row's frame.
+type Window struct {
+	*rel.Window
+}
+
+// NewWindow creates an enumerable window operator.
+func NewWindow(input rel.Node, groups []rel.WindowGroup) *Window {
+	return &Window{Window: rel.NewWindowTraits("EnumerableWindow", enumerableTraits(), input, groups)}
+}
+
+func (w *Window) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewWindow(inputs[0], w.Groups)
+}
+
+func (w *Window) Unwrap() rel.Node { return rel.NewWindow(w.Inputs()[0], w.Groups) }
+
+func (w *Window) Bind(ctx *Context) (schema.Cursor, error) {
+	in, err := BindNode(ctx, w.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	rows, err := drain(in)
+	if err != nil {
+		return nil, err
+	}
+
+	// Output rows start as copies of the input with space for agg results.
+	nAggs := 0
+	for _, g := range w.Groups {
+		nAggs += len(g.Calls)
+	}
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		o := make([]any, len(row), len(row)+nAggs)
+		copy(o, row)
+		out[i] = o[:len(row)+nAggs]
+	}
+
+	aggOffset := len(w.RowType().Fields) - nAggs
+	col := aggOffset
+	for _, g := range w.Groups {
+		if err := w.computeGroup(rows, out, g, col); err != nil {
+			return nil, err
+		}
+		col += len(g.Calls)
+	}
+	return schema.NewSliceCursor(out), nil
+}
+
+func (w *Window) computeGroup(rows, out [][]any, g rel.WindowGroup, col int) error {
+	// Partition row indices.
+	parts := map[string][]int{}
+	var order []string
+	for i, row := range rows {
+		k := types.HashRowKey(row, g.PartitionKeys)
+		if _, ok := parts[k]; !ok {
+			order = append(order, k)
+		}
+		parts[k] = append(parts[k], i)
+	}
+	for _, k := range order {
+		idx := parts[k]
+		// Order the partition.
+		sort.SliceStable(idx, func(a, b int) bool {
+			return CompareRows(rows[idx[a]], rows[idx[b]], g.OrderKeys) < 0
+		})
+		for pos, ri := range idx {
+			lo, hi := frameBounds(rows, idx, pos, g)
+			for ci, callDef := range g.Calls {
+				acc := rex.NewAccumulator(callDef)
+				for p := lo; p <= hi; p++ {
+					if err := acc.Add(rows[idx[p]]); err != nil {
+						return err
+					}
+				}
+				out[ri][col+ci] = acc.Result()
+			}
+		}
+	}
+	return nil
+}
+
+// frameBounds computes the [lo, hi] positions (inclusive) of the window
+// frame for the row at position pos of the ordered partition idx.
+func frameBounds(rows [][]any, idx []int, pos int, g rel.WindowGroup) (int, int) {
+	f := g.Frame
+	if f.Rows {
+		lo := 0
+		if f.Preceding >= 0 {
+			lo = pos - int(f.Preceding)
+			if lo < 0 {
+				lo = 0
+			}
+		}
+		hi := pos
+		if f.Following > 0 {
+			hi = pos + int(f.Following)
+			if hi >= len(idx) {
+				hi = len(idx) - 1
+			}
+		} else if f.Following < 0 {
+			hi = len(idx) - 1
+		}
+		return lo, hi
+	}
+	// RANGE frame over the first order key (the paper's sliding windows:
+	// "RANGE INTERVAL '1' HOUR PRECEDING" over rowtime).
+	if len(g.OrderKeys) == 0 {
+		return 0, len(idx) - 1 // no order: whole partition
+	}
+	keyCol := g.OrderKeys[0].Field
+	cur, curOK := types.AsFloat(rows[idx[pos]][keyCol])
+	lo := 0
+	if f.Preceding >= 0 && curOK {
+		limit := cur - float64(f.Preceding)
+		for lo < pos {
+			v, ok := types.AsFloat(rows[idx[lo]][keyCol])
+			if ok && v >= limit {
+				break
+			}
+			lo++
+		}
+	}
+	// RANGE frames end at the last peer of the current row.
+	hi := pos
+	for hi+1 < len(idx) && CompareRows(rows[idx[hi+1]], rows[idx[pos]], g.OrderKeys) == 0 {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,326 @@
+// Package geo implements the GEOMETRY data type and the OpenGIS-style ST_*
+// functions of §7.3 of the paper: points, linestrings and polygons parsed
+// from WKT (well-known text), with containment, intersection and distance
+// predicates sufficient to run the paper's example queries (e.g. finding the
+// country that contains Amsterdam).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Point is a 2-D coordinate.
+type Point struct {
+	X, Y float64
+}
+
+// GeomKind enumerates geometry kinds.
+type GeomKind int
+
+const (
+	PointKind GeomKind = iota
+	LineStringKind
+	PolygonKind
+)
+
+func (k GeomKind) String() string {
+	switch k {
+	case PointKind:
+		return "POINT"
+	case LineStringKind:
+		return "LINESTRING"
+	case PolygonKind:
+		return "POLYGON"
+	}
+	return "GEOMETRY"
+}
+
+// Geometry is a geometric object: a point, a linestring, or a polygon with
+// an exterior ring (holes are not supported). Geometry values are immutable.
+type Geometry struct {
+	Kind   GeomKind
+	Points []Point // the point, the line, or the exterior ring (closed)
+}
+
+// NewPoint returns a point geometry.
+func NewPoint(x, y float64) *Geometry {
+	return &Geometry{Kind: PointKind, Points: []Point{{x, y}}}
+}
+
+// NewPolygon returns a polygon geometry from a ring. The ring is closed
+// automatically if its last point differs from its first.
+func NewPolygon(ring []Point) *Geometry {
+	if len(ring) > 0 && ring[0] != ring[len(ring)-1] {
+		ring = append(append([]Point(nil), ring...), ring[0])
+	}
+	return &Geometry{Kind: PolygonKind, Points: ring}
+}
+
+// String renders the geometry as WKT.
+func (g *Geometry) String() string {
+	var b strings.Builder
+	coords := func() string {
+		parts := make([]string, len(g.Points))
+		for i, p := range g.Points {
+			parts[i] = fmt.Sprintf("%s %s",
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64))
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch g.Kind {
+	case PointKind:
+		fmt.Fprintf(&b, "POINT (%s)", coords())
+	case LineStringKind:
+		fmt.Fprintf(&b, "LINESTRING (%s)", coords())
+	case PolygonKind:
+		fmt.Fprintf(&b, "POLYGON ((%s))", coords())
+	}
+	return b.String()
+}
+
+// FromText parses a WKT string into a Geometry (ST_GeomFromText).
+func FromText(wkt string) (*Geometry, error) {
+	s := strings.TrimSpace(wkt)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasPrefix(upper, "POINT"):
+		pts, err := parseCoords(s[len("POINT"):], 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Geometry{Kind: PointKind, Points: pts}, nil
+	case strings.HasPrefix(upper, "LINESTRING"):
+		pts, err := parseCoords(s[len("LINESTRING"):], 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Geometry{Kind: LineStringKind, Points: pts}, nil
+	case strings.HasPrefix(upper, "POLYGON"):
+		pts, err := parseCoords(s[len("POLYGON"):], 2)
+		if err != nil {
+			return nil, err
+		}
+		return NewPolygon(pts), nil
+	}
+	return nil, fmt.Errorf("geo: unsupported WKT %q", wkt)
+}
+
+// parseCoords parses "(x y, x y, ...)" with depth levels of parentheses.
+func parseCoords(s string, depth int) ([]Point, error) {
+	s = strings.TrimSpace(s)
+	for i := 0; i < depth; i++ {
+		if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("geo: malformed WKT coordinates %q", s)
+		}
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	var pts []Point
+	for _, pair := range strings.Split(s, ",") {
+		fields := strings.Fields(strings.TrimSpace(pair))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("geo: malformed WKT coordinate %q", pair)
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geo: bad X coordinate %q: %v", fields[0], err)
+		}
+		y, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geo: bad Y coordinate %q: %v", fields[1], err)
+		}
+		pts = append(pts, Point{x, y})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("geo: empty WKT geometry")
+	}
+	return pts, nil
+}
+
+// containsPoint reports whether polygon ring contains p (ray casting;
+// boundary points count as contained).
+func containsPoint(ring []Point, p Point) bool {
+	n := len(ring)
+	if n < 4 {
+		return false
+	}
+	for i := 0; i < n-1; i++ {
+		if onSegment(ring[i], ring[i+1], p) {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-2; i < n-1; j, i = i, i+1 {
+		pi, pj := ring[i], ring[j]
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			xCross := (pj.X-pi.X)*(p.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+func onSegment(a, b, p Point) bool {
+	cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+	if math.Abs(cross) > 1e-12 {
+		return false
+	}
+	return p.X >= math.Min(a.X, b.X)-1e-12 && p.X <= math.Max(a.X, b.X)+1e-12 &&
+		p.Y >= math.Min(a.Y, b.Y)-1e-12 && p.Y <= math.Max(a.Y, b.Y)+1e-12
+}
+
+// Contains reports whether g spatially contains o (ST_Contains). Supported:
+// polygon⊇point, polygon⊇polygon (every vertex contained), polygon⊇line,
+// point⊇point.
+func Contains(g, o *Geometry) bool {
+	if g == nil || o == nil {
+		return false
+	}
+	switch g.Kind {
+	case PolygonKind:
+		for _, p := range o.Points {
+			if !containsPoint(g.Points, p) {
+				return false
+			}
+		}
+		return true
+	case PointKind:
+		return o.Kind == PointKind && g.Points[0] == o.Points[0]
+	}
+	return false
+}
+
+// Intersects reports whether the two geometries share at least one point
+// (approximate for line/line: segment intersection tests).
+func Intersects(a, b *Geometry) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	// Any vertex containment counts.
+	if a.Kind == PolygonKind {
+		for _, p := range b.Points {
+			if containsPoint(a.Points, p) {
+				return true
+			}
+		}
+	}
+	if b.Kind == PolygonKind {
+		for _, p := range a.Points {
+			if containsPoint(b.Points, p) {
+				return true
+			}
+		}
+	}
+	// Segment/segment intersection for the outlines.
+	segA, segB := segments(a), segments(b)
+	for _, s1 := range segA {
+		for _, s2 := range segB {
+			if segmentsIntersect(s1[0], s1[1], s2[0], s2[1]) {
+				return true
+			}
+		}
+	}
+	if a.Kind == PointKind && b.Kind == PointKind {
+		return a.Points[0] == b.Points[0]
+	}
+	return false
+}
+
+func segments(g *Geometry) [][2]Point {
+	var out [][2]Point
+	for i := 0; i+1 < len(g.Points); i++ {
+		out = append(out, [2]Point{g.Points[i], g.Points[i+1]})
+	}
+	return out
+}
+
+func segmentsIntersect(p1, p2, p3, p4 Point) bool {
+	d1 := cross(p3, p4, p1)
+	d2 := cross(p3, p4, p2)
+	d3 := cross(p1, p2, p3)
+	d4 := cross(p1, p2, p4)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(p3, p4, p1)) ||
+		(d2 == 0 && onSegment(p3, p4, p2)) ||
+		(d3 == 0 && onSegment(p1, p2, p3)) ||
+		(d4 == 0 && onSegment(p1, p2, p4))
+}
+
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Distance returns the minimum Euclidean distance between the two
+// geometries' outlines/points (0 if they intersect).
+func Distance(a, b *Geometry) float64 {
+	if Intersects(a, b) {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, p := range a.Points {
+		for _, s := range segmentsOrSelf(b) {
+			if d := pointSegDistance(p, s[0], s[1]); d < min {
+				min = d
+			}
+		}
+	}
+	for _, p := range b.Points {
+		for _, s := range segmentsOrSelf(a) {
+			if d := pointSegDistance(p, s[0], s[1]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+func segmentsOrSelf(g *Geometry) [][2]Point {
+	if segs := segments(g); len(segs) > 0 {
+		return segs
+	}
+	return [][2]Point{{g.Points[0], g.Points[0]}}
+}
+
+func pointSegDistance(p, a, b Point) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	lenSq := dx*dx + dy*dy
+	t := 0.0
+	if lenSq > 0 {
+		t = ((p.X-a.X)*dx + (p.Y-a.Y)*dy) / lenSq
+		t = math.Max(0, math.Min(1, t))
+	}
+	cx, cy := a.X+t*dx, a.Y+t*dy
+	return math.Hypot(p.X-cx, p.Y-cy)
+}
+
+// Area returns the area enclosed by a polygon (0 for other kinds).
+func Area(g *Geometry) float64 {
+	if g == nil || g.Kind != PolygonKind {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i+1 < len(g.Points); i++ {
+		a, b := g.Points[i], g.Points[i+1]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	return math.Abs(sum) / 2
+}
+
+// Envelope returns the bounding box of g as a polygon.
+func Envelope(g *Geometry) *Geometry {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range g.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	return NewPolygon([]Point{{minX, minY}, {maxX, minY}, {maxX, maxY}, {minX, maxY}})
+}

@@ -1,0 +1,116 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromTextRoundTrip(t *testing.T) {
+	for _, wkt := range []string{
+		"POINT (4.9 52.37)",
+		"LINESTRING (0 0, 1 1, 2 0)",
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+	} {
+		g, err := FromText(wkt)
+		if err != nil {
+			t.Fatalf("FromText(%q): %v", wkt, err)
+		}
+		g2, err := FromText(g.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", g.String(), err)
+		}
+		if g2.Kind != g.Kind || len(g2.Points) != len(g.Points) {
+			t.Errorf("round trip changed %q -> %q", wkt, g2.String())
+		}
+	}
+	if _, err := FromText("CIRCLE (1 1)"); err == nil {
+		t.Error("unsupported WKT should error")
+	}
+	if _, err := FromText("POINT (x y)"); err == nil {
+		t.Error("bad coordinates should error")
+	}
+}
+
+func TestContains(t *testing.T) {
+	square, _ := FromText("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+	inner, _ := FromText("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))")
+	if !Contains(square, NewPoint(5, 5)) {
+		t.Error("center should be contained")
+	}
+	if Contains(square, NewPoint(15, 5)) {
+		t.Error("outside point contained")
+	}
+	if !Contains(square, NewPoint(0, 5)) {
+		t.Error("boundary counts as contained")
+	}
+	if !Contains(square, inner) {
+		t.Error("inner polygon should be contained")
+	}
+	if Contains(inner, square) {
+		t.Error("outer polygon must not be contained in inner")
+	}
+}
+
+// Property: points strictly inside a random axis-aligned box are contained,
+// points strictly outside are not.
+func TestContainsBoxProperty(t *testing.T) {
+	f := func(cx, cy int16, w, h uint8) bool {
+		x, y := float64(cx), float64(cy)
+		dw, dh := float64(w%50)+1, float64(h%50)+1
+		box := NewPolygon([]Point{{x, y}, {x + dw, y}, {x + dw, y + dh}, {x, y + dh}})
+		if !Contains(box, NewPoint(x+dw/2, y+dh/2)) {
+			return false
+		}
+		return !Contains(box, NewPoint(x+dw+1, y+dh+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, _ := FromText("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	b, _ := FromText("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))")
+	c, _ := FromText("POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))")
+	if !Intersects(a, b) {
+		t.Error("overlapping polygons should intersect")
+	}
+	if Intersects(a, c) {
+		t.Error("distant polygons should not intersect")
+	}
+	line, _ := FromText("LINESTRING (-1 2, 5 2)")
+	if !Intersects(a, line) {
+		t.Error("crossing line should intersect")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := NewPoint(0, 0)
+	b := NewPoint(3, 4)
+	if d := Distance(a, b); math.Abs(d-5) > 1e-9 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	square, _ := FromText("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")
+	if d := Distance(square, NewPoint(1, 1)); d != 0 {
+		t.Errorf("inside point distance = %v", d)
+	}
+	if d := Distance(square, NewPoint(4, 0)); math.Abs(d-2) > 1e-9 {
+		t.Errorf("edge distance = %v, want 2", d)
+	}
+}
+
+func TestAreaAndEnvelope(t *testing.T) {
+	square, _ := FromText("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	if a := Area(square); a != 16 {
+		t.Errorf("area = %v", a)
+	}
+	if a := Area(NewPoint(1, 1)); a != 0 {
+		t.Errorf("point area = %v", a)
+	}
+	line, _ := FromText("LINESTRING (1 2, 5 8)")
+	env := Envelope(line)
+	if env.Kind != PolygonKind || !Contains(env, NewPoint(3, 5)) {
+		t.Errorf("envelope wrong: %v", env)
+	}
+}

@@ -1,0 +1,243 @@
+// Package linq is the Go analogue of Calcite's LINQ4J (§7.4 of the paper):
+// a language-integrated query API that lets programmers express queries in
+// the host language instead of SQL, following the conventions of Microsoft's
+// LINQ. Enumerable pipelines compose lazily and can front any row source,
+// including cursors from the execution engine.
+package linq
+
+import (
+	"sort"
+
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// Enumerable is a lazily evaluated sequence of T.
+type Enumerable[T any] struct {
+	iterate func(yield func(T) bool)
+}
+
+// FromSlice builds an Enumerable over a slice.
+func FromSlice[T any](items []T) Enumerable[T] {
+	return Enumerable[T]{iterate: func(yield func(T) bool) {
+		for _, it := range items {
+			if !yield(it) {
+				return
+			}
+		}
+	}}
+}
+
+// FromCursor builds an Enumerable over an engine cursor (rows are reused
+// only after the cursor ends; each row is yielded as produced).
+func FromCursor(cur schema.Cursor) Enumerable[[]any] {
+	return Enumerable[[]any]{iterate: func(yield func([]any) bool) {
+		defer cur.Close()
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				return
+			}
+			if !yield(row) {
+				return
+			}
+		}
+	}}
+}
+
+// Where keeps elements satisfying pred.
+func (e Enumerable[T]) Where(pred func(T) bool) Enumerable[T] {
+	return Enumerable[T]{iterate: func(yield func(T) bool) {
+		e.iterate(func(t T) bool {
+			if pred(t) {
+				return yield(t)
+			}
+			return true
+		})
+	}}
+}
+
+// Take limits the sequence to n elements.
+func (e Enumerable[T]) Take(n int) Enumerable[T] {
+	return Enumerable[T]{iterate: func(yield func(T) bool) {
+		count := 0
+		e.iterate(func(t T) bool {
+			if count >= n {
+				return false
+			}
+			count++
+			return yield(t)
+		})
+	}}
+}
+
+// Skip drops the first n elements.
+func (e Enumerable[T]) Skip(n int) Enumerable[T] {
+	return Enumerable[T]{iterate: func(yield func(T) bool) {
+		count := 0
+		e.iterate(func(t T) bool {
+			count++
+			if count <= n {
+				return true
+			}
+			return yield(t)
+		})
+	}}
+}
+
+// ToSlice materializes the sequence.
+func (e Enumerable[T]) ToSlice() []T {
+	var out []T
+	e.iterate(func(t T) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of elements.
+func (e Enumerable[T]) Count() int {
+	n := 0
+	e.iterate(func(T) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Any reports whether any element satisfies pred.
+func (e Enumerable[T]) Any(pred func(T) bool) bool {
+	found := false
+	e.iterate(func(t T) bool {
+		if pred(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// First returns the first element (ok=false when empty).
+func (e Enumerable[T]) First() (T, bool) {
+	var out T
+	ok := false
+	e.iterate(func(t T) bool {
+		out = t
+		ok = true
+		return false
+	})
+	return out, ok
+}
+
+// OrderBy sorts by a comparable key (stable).
+func (e Enumerable[T]) OrderBy(less func(a, b T) bool) Enumerable[T] {
+	return Enumerable[T]{iterate: func(yield func(T) bool) {
+		items := e.ToSlice()
+		sort.SliceStable(items, func(i, j int) bool { return less(items[i], items[j]) })
+		for _, it := range items {
+			if !yield(it) {
+				return
+			}
+		}
+	}}
+}
+
+// Select projects each element (free function: Go methods cannot introduce
+// type parameters).
+func Select[T, U any](e Enumerable[T], f func(T) U) Enumerable[U] {
+	return Enumerable[U]{iterate: func(yield func(U) bool) {
+		e.iterate(func(t T) bool { return yield(f(t)) })
+	}}
+}
+
+// SelectMany flat-maps each element.
+func SelectMany[T, U any](e Enumerable[T], f func(T) []U) Enumerable[U] {
+	return Enumerable[U]{iterate: func(yield func(U) bool) {
+		e.iterate(func(t T) bool {
+			for _, u := range f(t) {
+				if !yield(u) {
+					return false
+				}
+			}
+			return true
+		})
+	}}
+}
+
+// Grouping is one group produced by GroupBy.
+type Grouping[K comparable, T any] struct {
+	Key   K
+	Items []T
+}
+
+// GroupBy groups elements by key, preserving first-seen key order.
+func GroupBy[T any, K comparable](e Enumerable[T], key func(T) K) Enumerable[Grouping[K, T]] {
+	return Enumerable[Grouping[K, T]]{iterate: func(yield func(Grouping[K, T]) bool) {
+		groups := map[K]*Grouping[K, T]{}
+		var order []K
+		e.iterate(func(t T) bool {
+			k := key(t)
+			g, ok := groups[k]
+			if !ok {
+				g = &Grouping[K, T]{Key: k}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.Items = append(g.Items, t)
+			return true
+		})
+		for _, k := range order {
+			if !yield(*groups[k]) {
+				return
+			}
+		}
+	}}
+}
+
+// Join hash-joins two enumerables on matching keys — the LINQ equivalent of
+// the paper's EnumerableJoin.
+func Join[L, R, K comparable, O any](left Enumerable[L], right Enumerable[R],
+	leftKey func(L) K, rightKey func(R) K, result func(L, R) O) Enumerable[O] {
+	return Enumerable[O]{iterate: func(yield func(O) bool) {
+		table := map[K][]R{}
+		right.iterate(func(r R) bool {
+			k := rightKey(r)
+			table[k] = append(table[k], r)
+			return true
+		})
+		left.iterate(func(l L) bool {
+			for _, r := range table[leftKey(l)] {
+				if !yield(result(l, r)) {
+					return false
+				}
+			}
+			return true
+		})
+	}}
+}
+
+// Aggregate folds the sequence.
+func Aggregate[T, A any](e Enumerable[T], seed A, fold func(A, T) A) A {
+	acc := seed
+	e.iterate(func(t T) bool {
+		acc = fold(acc, t)
+		return true
+	})
+	return acc
+}
+
+// SumFloat sums a float projection of the sequence.
+func SumFloat[T any](e Enumerable[T], f func(T) float64) float64 {
+	return Aggregate(e, 0.0, func(a float64, t T) float64 { return a + f(t) })
+}
+
+// Rows adapts a row slice ([][]any) to an Enumerable with typed access
+// helpers.
+func Rows(rows [][]any) Enumerable[[]any] { return FromSlice(rows) }
+
+// Col extracts column i of a row as a float (0 when not numeric).
+func Col(row []any, i int) float64 {
+	f, _ := types.AsFloat(row[i])
+	return f
+}

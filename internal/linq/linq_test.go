@@ -1,0 +1,109 @@
+package linq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWhereSelectTakeSkip(t *testing.T) {
+	nums := FromSlice([]int{1, 2, 3, 4, 5, 6})
+	got := Select(nums.Where(func(n int) bool { return n%2 == 0 }), func(n int) int { return n * 10 }).ToSlice()
+	if len(got) != 3 || got[0] != 20 || got[2] != 60 {
+		t.Fatalf("got %v", got)
+	}
+	if s := nums.Skip(2).Take(2).ToSlice(); len(s) != 2 || s[0] != 3 {
+		t.Fatalf("skip/take: %v", s)
+	}
+	if c := nums.Count(); c != 6 {
+		t.Fatalf("count: %d", c)
+	}
+	if !nums.Any(func(n int) bool { return n == 4 }) {
+		t.Error("Any failed")
+	}
+	if first, ok := nums.Where(func(n int) bool { return n > 4 }).First(); !ok || first != 5 {
+		t.Errorf("First: %v %v", first, ok)
+	}
+}
+
+func TestGroupByAndJoin(t *testing.T) {
+	type emp struct {
+		name string
+		dept int
+	}
+	type dept struct {
+		id   int
+		name string
+	}
+	emps := FromSlice([]emp{{"a", 1}, {"b", 2}, {"c", 1}})
+	depts := FromSlice([]dept{{1, "Sales"}, {2, "Eng"}})
+
+	groups := GroupBy(emps, func(e emp) int { return e.dept }).ToSlice()
+	if len(groups) != 2 || len(groups[0].Items) != 2 {
+		t.Fatalf("groups: %+v", groups)
+	}
+
+	joined := Join(emps, depts,
+		func(e emp) int { return e.dept },
+		func(d dept) int { return d.id },
+		func(e emp, d dept) string { return e.name + "@" + d.name }).ToSlice()
+	if len(joined) != 3 || joined[0] != "a@Sales" {
+		t.Fatalf("join: %v", joined)
+	}
+}
+
+func TestOrderByAndAggregate(t *testing.T) {
+	nums := FromSlice([]float64{3, 1, 2})
+	sorted := nums.OrderBy(func(a, b float64) bool { return a < b }).ToSlice()
+	if sorted[0] != 1 || sorted[2] != 3 {
+		t.Fatalf("sorted: %v", sorted)
+	}
+	if s := SumFloat(nums, func(f float64) float64 { return f }); s != 6 {
+		t.Fatalf("sum: %v", s)
+	}
+	if folded := Aggregate(nums, 1.0, func(a, b float64) float64 { return a * b }); folded != 6 {
+		t.Fatalf("fold: %v", folded)
+	}
+}
+
+func TestSelectMany(t *testing.T) {
+	got := SelectMany(FromSlice([][]int{{1, 2}, {3}}), func(s []int) []int { return s }).ToSlice()
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("%v", got)
+	}
+}
+
+// Property: Where(p) ∘ Count == manual count.
+func TestWhereCountProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		manual := 0
+		for _, x := range xs {
+			if x%3 == 0 {
+				manual++
+			}
+		}
+		return FromSlice(xs).Where(func(n int) bool { return n%3 == 0 }).Count() == manual
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Take(n) yields at most n and preserves prefix order.
+func TestTakeProperty(t *testing.T) {
+	f := func(xs []int, n uint8) bool {
+		k := int(n % 10)
+		got := FromSlice(xs).Take(k).ToSlice()
+		if len(got) > k {
+			return false
+		}
+		for i := range got {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

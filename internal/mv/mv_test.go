@@ -1,0 +1,151 @@
+package mv_test
+
+import (
+	"strings"
+	"testing"
+
+	"calcite"
+	"calcite/internal/mv"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+func salesConn() (*calcite.Connection, *schema.MemTable) {
+	conn := calcite.Open()
+	var rows [][]any
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, []any{
+			[]string{"EU", "US"}[i%2],
+			[]string{"A", "B", "C"}[i%3],
+			float64(i % 50),
+		})
+	}
+	fact := conn.AddTable("sales", calcite.Columns{
+		{Name: "region", Type: calcite.VarcharType},
+		{Name: "product", Type: calcite.VarcharType},
+		{Name: "revenue", Type: calcite.DoubleType},
+	}, rows)
+	return conn, fact
+}
+
+func TestExactSubstitution(t *testing.T) {
+	conn, _ := salesConn()
+	if _, err := conn.Exec(`CREATE MATERIALIZED VIEW rev AS
+		SELECT region, SUM(revenue) AS total FROM sales GROUP BY region`); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := conn.Explain("SELECT region, SUM(revenue) AS total FROM sales GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "rev") || strings.Contains(plan, "table=[sales]") {
+		t.Errorf("query not answered from view:\n%s", plan)
+	}
+	// Results must match the base computation.
+	conn2, _ := salesConn()
+	want, err := conn2.Query("SELECT region, SUM(revenue) AS total FROM sales GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Query("SELECT region, SUM(revenue) AS total FROM sales GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Rows {
+		if types.Compare(want.Rows[i][1], got.Rows[i][1]) != 0 {
+			t.Errorf("row %d: %v vs %v", i, want.Rows[i], got.Rows[i])
+		}
+	}
+}
+
+func TestResidualFilterSubstitution(t *testing.T) {
+	conn, _ := salesConn()
+	if _, err := conn.Exec(`CREATE MATERIALIZED VIEW rev AS
+		SELECT region, SUM(revenue) AS total FROM sales GROUP BY region`); err != nil {
+		t.Fatal(err)
+	}
+	// A filter over the view's expression: partial rewriting with a
+	// residual predicate (§6).
+	sql := `SELECT t.region, t.total FROM (
+		SELECT region, SUM(revenue) AS total FROM sales GROUP BY region
+	) t WHERE t.total > 1000`
+	plan, err := conn.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "rev") {
+		t.Errorf("residual rewrite missed:\n%s", plan)
+	}
+	if _, err := conn.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatticeTileSelection(t *testing.T) {
+	conn, fact := salesConn()
+	measures := []rex.AggCall{
+		rex.NewAggCall(rex.AggSum, []int{2}, false, "rev"),
+		rex.NewAggCall(rex.AggCount, nil, false, "cnt"),
+	}
+	tileRegion, err := mv.BuildTile(fact, []string{"sales"}, []int{0}, measures, "tile_region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tileBoth, err := mv.BuildTile(fact, []string{"sales"}, []int{0, 1}, measures, "tile_both")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.RegisterLattice(&mv.Lattice{
+		Name:  "cube",
+		Fact:  fact,
+		Tiles: []*mv.Tile{tileRegion, tileBoth},
+	})
+
+	// GROUP BY region: covered by the smaller tile_region.
+	plan, err := conn.Explain("SELECT region, SUM(revenue) FROM sales GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "tile_region") {
+		t.Errorf("smallest covering tile not used:\n%s", plan)
+	}
+	// GROUP BY product: only tile_both covers it.
+	plan, err = conn.Explain("SELECT product, SUM(revenue) FROM sales GROUP BY product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "tile_both") {
+		t.Errorf("rollup tile not used:\n%s", plan)
+	}
+	// COUNT rolls up as SUM of partial counts: verify the numbers.
+	res, err := conn.Query("SELECT product, COUNT(*) AS c FROM sales GROUP BY product ORDER BY product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, row := range res.Rows {
+		v, _ := types.AsInt(row[1])
+		total += v
+	}
+	if total != 1000 {
+		t.Errorf("rolled-up counts sum to %d, want 1000", total)
+	}
+}
+
+func TestDistinctAggregatesDoNotRollUp(t *testing.T) {
+	conn, fact := salesConn()
+	measures := []rex.AggCall{rex.NewAggCall(rex.AggSum, []int{2}, false, "rev")}
+	tile, err := mv.BuildTile(fact, []string{"sales"}, []int{0}, measures, "tile_region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.RegisterLattice(&mv.Lattice{Name: "cube", Fact: fact, Tiles: []*mv.Tile{tile}})
+	plan, err := conn.Explain("SELECT region, COUNT(DISTINCT product) FROM sales GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "tile_region") {
+		t.Errorf("DISTINCT aggregate must not use tiles:\n%s", plan)
+	}
+}

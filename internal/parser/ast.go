@@ -1,0 +1,296 @@
+// Package parser implements the SQL parser of the framework (§3: "Calcite
+// contains a query parser and validator that can translate a SQL query to a
+// tree of relational operators"). The dialect is ANSI SQL plus the paper's
+// extensions: the STREAM directive and group-window functions (§7.2), the
+// `[]` item operator on semi-structured data (§7.1), geospatial functions
+// (§7.3), and the DDL statements listed as §9 future work (CREATE TABLE,
+// CREATE [MATERIALIZED] VIEW, INSERT, EXPLAIN).
+package parser
+
+import "strings"
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is a parsed scalar expression.
+type Expr interface{ expr() }
+
+// TableExpr is a parsed FROM-clause item.
+type TableExpr interface{ tableExpr() }
+
+// SelectStmt is a SELECT query block.
+type SelectStmt struct {
+	Stream   bool // SELECT STREAM ... (§7.2)
+	Distinct bool
+	Items    []SelectItem
+	From     TableExpr // nil for "SELECT <exprs>" without FROM
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Offset   Expr
+	Limit    Expr
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one item of the select list.
+type SelectItem struct {
+	// Star is true for "*" or "alias.*" (Table holds the qualifier).
+	Star  bool
+	Table string
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SetOpStmt combines two query expressions with UNION/INTERSECT/EXCEPT.
+type SetOpStmt struct {
+	Op    string // "UNION", "INTERSECT", "EXCEPT"
+	All   bool
+	Left  Statement
+	Right Statement
+	// Trailing ORDER BY / LIMIT applying to the whole set operation.
+	OrderBy []OrderItem
+	Offset  Expr
+	Limit   Expr
+}
+
+func (*SetOpStmt) stmt() {}
+
+// ValuesStmt is a VALUES constructor.
+type ValuesStmt struct {
+	Rows [][]Expr
+}
+
+func (*ValuesStmt) stmt() {}
+
+// InsertStmt is INSERT INTO t [(cols)] <query|values>.
+type InsertStmt struct {
+	Table   []string
+	Columns []string
+	Source  Statement
+}
+
+func (*InsertStmt) stmt() {}
+
+// ColumnDef is a column of CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type TypeSpec
+}
+
+// CreateTableStmt is CREATE TABLE t (cols).
+type CreateTableStmt struct {
+	Name []string
+	Cols []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateViewStmt is CREATE [MATERIALIZED] VIEW v AS query.
+type CreateViewStmt struct {
+	Name         []string
+	Materialized bool
+	Query        Statement
+	// SQL is the original text of the view body (stored for re-expansion).
+	SQL string
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// ExplainStmt is EXPLAIN [PLAN FOR] query.
+type ExplainStmt struct {
+	Target Statement
+	// Logical requests the un-optimized plan.
+	Logical bool
+}
+
+func (*ExplainStmt) stmt() {}
+
+// TypeSpec is a parsed type name, e.g. VARCHAR(20) or MAP<VARCHAR, ANY>.
+type TypeSpec struct {
+	Name      string
+	Precision int
+	Scale     int
+	Elem      *TypeSpec // ARRAY/MULTISET element or MAP value
+	Key       *TypeSpec // MAP key
+}
+
+// Ident is a (possibly qualified) identifier: a, a.b, a.b.c.
+type Ident struct {
+	Parts []string
+}
+
+func (*Ident) expr() {}
+
+func (i *Ident) String() string { return strings.Join(i.Parts, ".") }
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Text  string
+	IsInt bool
+}
+
+func (*NumberLit) expr() {}
+
+// StringLit is a character literal.
+type StringLit struct{ Value string }
+
+func (*StringLit) expr() {}
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct{ Value bool }
+
+func (*BoolLit) expr() {}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+// IntervalLit is INTERVAL '<n>' <unit>; it normalizes to milliseconds.
+type IntervalLit struct {
+	Millis int64
+	Text   string
+}
+
+func (*IntervalLit) expr() {}
+
+// ParamExpr is a dynamic parameter "?".
+type ParamExpr struct{ Index int }
+
+func (*ParamExpr) expr() {}
+
+// BinaryExpr is an infix operation (including AND/OR/LIKE/comparisons).
+type BinaryExpr struct {
+	Op    string // normalized upper-case: "=", "<>", "AND", "LIKE", "||", ...
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op      string // "NOT", "-"
+	Operand Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	Operand Expr
+	Not     bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Operand Expr
+	Low     Expr
+	High    Expr
+	Not     bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// InExpr is x [NOT] IN (list).
+type InExpr struct {
+	Operand Expr
+	List    []Expr
+	Not     bool
+}
+
+func (*InExpr) expr() {}
+
+// FuncCall is a function or aggregate invocation, possibly windowed.
+type FuncCall struct {
+	Name     string
+	Distinct bool
+	Star     bool // COUNT(*)
+	Args     []Expr
+	Over     *WindowSpec
+}
+
+func (*FuncCall) expr() {}
+
+// WindowSpec is an OVER clause.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+	// Frame; nil means the default (RANGE UNBOUNDED PRECEDING .. CURRENT ROW).
+	Frame *FrameSpec
+}
+
+// FrameSpec is ROWS/RANGE BETWEEN ... bounds.
+type FrameSpec struct {
+	Rows      bool
+	Preceding Expr // nil = UNBOUNDED
+	Following Expr // nil = CURRENT ROW
+}
+
+// CaseExpr is a searched or simple CASE.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+// WhenClause is one WHEN...THEN arm.
+type WhenClause struct {
+	When Expr
+	Then Expr
+}
+
+func (*CaseExpr) expr() {}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	Operand Expr
+	Type    TypeSpec
+}
+
+func (*CastExpr) expr() {}
+
+// ItemExpr is base[index] — the semi-structured item operator of §7.1.
+type ItemExpr struct {
+	Base  Expr
+	Index Expr
+}
+
+func (*ItemExpr) expr() {}
+
+// TableName is a named table in FROM, optionally aliased.
+type TableName struct {
+	Path  []string
+	Alias string
+}
+
+func (*TableName) tableExpr() {}
+
+// JoinExpr is an explicit or comma join.
+type JoinExpr struct {
+	Kind  string // "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "COMMA"
+	Left  TableExpr
+	Right TableExpr
+	On    Expr
+	Using []string
+}
+
+func (*JoinExpr) tableExpr() {}
+
+// SubqueryTable is a derived table: (query) alias.
+type SubqueryTable struct {
+	Query Statement
+	Alias string
+}
+
+func (*SubqueryTable) tableExpr() {}

@@ -1,0 +1,575 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Expression parsing: Pratt-style precedence climbing.
+//
+// Precedence (loosest to tightest):
+//
+//	OR < AND < NOT < comparison/IS/LIKE/BETWEEN/IN < || < + - < * / % < unary < postfix [] .
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Operand: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokSymbol && (t.text == "=" || t.text == "<>" || t.text == "<" ||
+			t.text == "<=" || t.text == ">" || t.text == ">="):
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+		case p.isKeyword("IS"):
+			p.pos++
+			not := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{Operand: left, Not: not}
+		case p.isKeyword("LIKE"):
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: "LIKE", Left: left, Right: right}
+		case p.isKeyword("NOT"):
+			// x NOT LIKE / NOT BETWEEN / NOT IN
+			save := p.pos
+			p.pos++
+			switch {
+			case p.acceptKeyword("LIKE"):
+				right, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &UnaryExpr{Op: "NOT", Operand: &BinaryExpr{Op: "LIKE", Left: left, Right: right}}
+			case p.isKeyword("BETWEEN"):
+				b, err := p.parseBetween(left)
+				if err != nil {
+					return nil, err
+				}
+				b.(*BetweenExpr).Not = true
+				left = b
+			case p.isKeyword("IN"):
+				in, err := p.parseIn(left)
+				if err != nil {
+					return nil, err
+				}
+				in.(*InExpr).Not = true
+				left = in
+			default:
+				p.pos = save
+				return left, nil
+			}
+		case p.isKeyword("BETWEEN"):
+			b, err := p.parseBetween(left)
+			if err != nil {
+				return nil, err
+			}
+			left = b
+		case p.isKeyword("IN"):
+			in, err := p.parseIn(left)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseBetween(operand Expr) (Expr, error) {
+	if err := p.expectKeyword("BETWEEN"); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{Operand: operand, Low: lo, High: hi}, nil
+}
+
+func (p *parser) parseIn(operand Expr) (Expr, error) {
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{Operand: operand, List: list}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-" || t.text == "||") {
+			p.pos++
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Operand: inner}, nil
+	}
+	if p.accept("+") {
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix handles the [] item operator.
+func (p *parser) parsePostfix() (Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("[") {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		base = &ItemExpr{Base: base, Index: idx}
+	}
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		return &NumberLit{Text: t.text, IsInt: t.isInt}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &StringLit{Value: t.text}, nil
+	case p.accept("?"):
+		e := &ParamExpr{Index: p.nextParam}
+		p.nextParam++
+		return e, nil
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokQuotedIdent:
+		return p.parseIdentExpr()
+	case t.kind == tokIdent:
+		upper := strings.ToUpper(t.text)
+		switch upper {
+		case "TRUE":
+			p.pos++
+			return &BoolLit{Value: true}, nil
+		case "FALSE":
+			p.pos++
+			return &BoolLit{Value: false}, nil
+		case "NULL":
+			p.pos++
+			return &NullLit{}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "INTERVAL":
+			return p.parseInterval()
+		}
+		// Function call?
+		if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			return p.parseFuncCall()
+		}
+		if reserved[upper] {
+			return nil, p.errorf("unexpected keyword %s in expression", upper)
+		}
+		return p.parseIdentExpr()
+	}
+	return nil, p.errorf("unexpected token in expression")
+}
+
+func (p *parser) parseIdentExpr() (Expr, error) {
+	parts := []string{p.next().text}
+	for p.accept(".") {
+		t := p.peek()
+		if t.kind != tokIdent && t.kind != tokQuotedIdent {
+			return nil, p.errorf("expected identifier after '.'")
+		}
+		p.pos++
+		parts = append(parts, t.text)
+	}
+	return &Ident{Parts: parts}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.pos++ // CASE
+	c := &CaseExpr{}
+	if !p.isKeyword("WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = operand
+	}
+	for p.acceptKeyword("WHEN") {
+		when, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{When: when, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	p.pos++ // CAST
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	operand, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	ts, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{Operand: operand, Type: ts}, nil
+}
+
+// parseInterval parses INTERVAL '<n>' <unit>.
+func (p *parser) parseInterval() (Expr, error) {
+	p.pos++ // INTERVAL
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errorf("expected string after INTERVAL")
+	}
+	p.pos++
+	n, err := strconv.ParseFloat(strings.TrimSpace(t.text), 64)
+	if err != nil {
+		return nil, p.errorf("bad interval value %q", t.text)
+	}
+	unitTok := p.peek()
+	if unitTok.kind != tokIdent {
+		return nil, p.errorf("expected interval unit")
+	}
+	p.pos++
+	var ms float64
+	switch strings.ToUpper(unitTok.text) {
+	case "SECOND", "SECONDS":
+		ms = 1000
+	case "MINUTE", "MINUTES":
+		ms = 60 * 1000
+	case "HOUR", "HOURS":
+		ms = 3600 * 1000
+	case "DAY", "DAYS":
+		ms = 24 * 3600 * 1000
+	default:
+		return nil, p.errorf("unsupported interval unit %q", unitTok.text)
+	}
+	return &IntervalLit{
+		Millis: int64(n * ms),
+		Text:   "INTERVAL '" + t.text + "' " + strings.ToUpper(unitTok.text),
+	}, nil
+}
+
+func (p *parser) parseFuncCall() (Expr, error) {
+	name := p.next().text
+	p.next() // "("
+	f := &FuncCall{Name: strings.ToUpper(name)}
+	if p.accept("*") {
+		f.Star = true
+	} else if !(p.peek().kind == tokSymbol && p.peek().text == ")") {
+		if p.acceptKeyword("DISTINCT") {
+			f.Distinct = true
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("OVER") {
+		spec, err := p.parseWindowSpec()
+		if err != nil {
+			return nil, err
+		}
+		f.Over = spec
+	}
+	return f, nil
+}
+
+func (p *parser) parseWindowSpec() (*WindowSpec, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	spec := &WindowSpec{}
+	// The paper's example writes ORDER BY before PARTITION BY; accept both
+	// clauses in either order.
+	for {
+		switch {
+		case p.acceptKeyword("PARTITION"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				spec.PartitionBy = append(spec.PartitionBy, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+		case p.acceptKeyword("ORDER"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item := OrderItem{Expr: e}
+				if p.acceptKeyword("DESC") {
+					item.Desc = true
+				} else {
+					p.acceptKeyword("ASC")
+				}
+				spec.OrderBy = append(spec.OrderBy, item)
+				if !p.accept(",") {
+					break
+				}
+			}
+		case p.isKeyword("ROWS") || p.isKeyword("RANGE"):
+			frame, err := p.parseFrameSpec()
+			if err != nil {
+				return nil, err
+			}
+			spec.Frame = frame
+		default:
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return spec, nil
+		}
+	}
+}
+
+func (p *parser) parseFrameSpec() (*FrameSpec, error) {
+	frame := &FrameSpec{}
+	if p.acceptKeyword("ROWS") {
+		frame.Rows = true
+	} else if err := p.expectKeyword("RANGE"); err != nil {
+		return nil, err
+	}
+	parseBound := func() (Expr, bool, error) {
+		// Returns (bound, isCurrentRow, err); bound nil means UNBOUNDED.
+		if p.acceptKeyword("UNBOUNDED") {
+			return nil, false, nil
+		}
+		if p.acceptKeyword("CURRENT") {
+			if err := p.expectKeyword("ROW"); err != nil {
+				return nil, false, err
+			}
+			return nil, true, nil
+		}
+		e, err := p.parseAdditive()
+		return e, false, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, loCur, err := parseBound()
+		if err != nil {
+			return nil, err
+		}
+		if !loCur {
+			if err := p.expectKeyword("PRECEDING"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, hiCur, err := parseBound()
+		if err != nil {
+			return nil, err
+		}
+		if !hiCur {
+			if p.acceptKeyword("FOLLOWING") {
+				// bounded following
+			} else if err := p.expectKeyword("PRECEDING"); err != nil {
+				return nil, err
+			}
+		}
+		frame.Preceding = lo
+		if loCur {
+			frame.Preceding = &NumberLit{Text: "0", IsInt: true}
+		}
+		if !hiCur {
+			frame.Following = hi
+		}
+		return frame, nil
+	}
+	// Short form: "<N> PRECEDING" or "UNBOUNDED PRECEDING" or "CURRENT ROW".
+	lo, loCur, err := parseBound()
+	if err != nil {
+		return nil, err
+	}
+	if !loCur {
+		if err := p.expectKeyword("PRECEDING"); err != nil {
+			return nil, err
+		}
+		frame.Preceding = lo
+	} else {
+		frame.Preceding = &NumberLit{Text: "0", IsInt: true}
+	}
+	return frame, nil
+}

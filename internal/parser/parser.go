@@ -1,0 +1,683 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SQL statement.
+func Parse(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+	// nextParam numbers dynamic parameters in order of appearance.
+	nextParam int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("parser: %s (at position %d near %q)", fmt.Sprintf(format, args...), t.pos, t.text)
+}
+
+// isKeyword reports whether the next token is the given (upper-case) keyword.
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.ToUpper(t.text) == kw
+}
+
+// acceptKeyword consumes a keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes a required keyword.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+// accept consumes a symbol if present.
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required symbol.
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return p.errorf("expected %q", sym)
+	}
+	return nil
+}
+
+// reserved keywords cannot start an alias or be bare identifiers in certain
+// positions.
+var reserved = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "HAVING": true,
+	"ORDER": true, "LIMIT": true, "OFFSET": true, "UNION": true, "INTERSECT": true,
+	"EXCEPT": true, "JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"FULL": true, "CROSS": true, "ON": true, "USING": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "BY": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "CREATE": true, "EXPLAIN": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "IS": true, "NULL": true,
+	"BETWEEN": true, "IN": true, "LIKE": true, "CAST": true, "DISTINCT": true,
+	"STREAM": true, "OVER": true, "PARTITION": true, "ROWS": true, "RANGE": true,
+	"INTERVAL": true, "TRUE": true, "FALSE": true, "FETCH": true, "ASC": true,
+	"DESC": true, "ALL": true, "NATURAL": true, "PRECEDING": true, "FOLLOWING": true,
+	"UNBOUNDED": true, "CURRENT": true, "EXISTS": true, "TABLE": true, "VIEW": true,
+	"MATERIALIZED": true,
+}
+
+// parseIdentifier consumes one (unreserved or quoted) identifier.
+func (p *parser) parseIdentifier() (string, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokQuotedIdent:
+		p.pos++
+		return t.text, nil
+	case tokIdent:
+		if reserved[strings.ToUpper(t.text)] {
+			return "", p.errorf("unexpected keyword %s", strings.ToUpper(t.text))
+		}
+		p.pos++
+		return t.text, nil
+	}
+	return "", p.errorf("expected identifier")
+}
+
+// parseQualifiedName parses a dotted name.
+func (p *parser) parseQualifiedName() ([]string, error) {
+	first, err := p.parseIdentifier()
+	if err != nil {
+		return nil, err
+	}
+	parts := []string{first}
+	for p.accept(".") {
+		next, err := p.parseIdentifier()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return parts, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKeyword("EXPLAIN"):
+		p.pos++
+		logical := false
+		if p.acceptKeyword("LOGICAL") {
+			logical = true
+		}
+		p.acceptKeyword("PLAN")
+		p.acceptKeyword("FOR")
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Target: inner, Logical: logical}, nil
+	case p.isKeyword("INSERT"):
+		return p.parseInsert()
+	case p.isKeyword("CREATE"):
+		return p.parseCreate()
+	default:
+		return p.parseQueryExpr()
+	}
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.pos++ // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.accept("(") {
+		for {
+			c, err := p.parseIdentifier()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	src, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &InsertStmt{Table: name, Columns: cols, Source: src}, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.pos++ // CREATE
+	materialized := p.acceptKeyword("MATERIALIZED")
+	switch {
+	case p.acceptKeyword("TABLE"):
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var cols []ColumnDef
+		for {
+			cn, err := p.parseIdentifier()
+			if err != nil {
+				return nil, err
+			}
+			ts, err := p.parseTypeSpec()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, ColumnDef{Name: cn, Type: ts})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTableStmt{Name: name, Cols: cols}, nil
+	case p.acceptKeyword("VIEW"):
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		bodyStart := p.peek().pos
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{
+			Name:         name,
+			Materialized: materialized,
+			Query:        q,
+			SQL:          strings.TrimSpace(p.src[bodyStart:]),
+		}, nil
+	}
+	return nil, p.errorf("expected TABLE or VIEW after CREATE")
+}
+
+// parseQueryExpr parses select/values possibly combined with set operators
+// and a trailing ORDER BY/LIMIT/OFFSET.
+func (p *parser) parseQueryExpr() (Statement, error) {
+	left, err := p.parseQueryTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.isKeyword("UNION"):
+			op = "UNION"
+		case p.isKeyword("INTERSECT"):
+			op = "INTERSECT"
+		case p.isKeyword("EXCEPT"):
+			op = "EXCEPT"
+		default:
+			return p.attachOrderLimit(left)
+		}
+		p.pos++
+		all := p.acceptKeyword("ALL")
+		p.acceptKeyword("DISTINCT")
+		right, err := p.parseQueryTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOpStmt{Op: op, All: all, Left: left, Right: right}
+	}
+}
+
+// attachOrderLimit attaches trailing ORDER BY / OFFSET / LIMIT to a query.
+func (p *parser) attachOrderLimit(q Statement) (Statement, error) {
+	var orderBy []OrderItem
+	var limit, offset Expr
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			orderBy = append(orderBy, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	for {
+		switch {
+		case p.isKeyword("LIMIT"):
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			limit = e
+		case p.isKeyword("OFFSET"):
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.acceptKeyword("ROWS")
+			p.acceptKeyword("ROW")
+			offset = e
+		case p.isKeyword("FETCH"):
+			p.pos++
+			p.acceptKeyword("FIRST")
+			p.acceptKeyword("NEXT")
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.acceptKeyword("ROWS")
+			p.acceptKeyword("ROW")
+			p.acceptKeyword("ONLY")
+			limit = e
+		default:
+			goto done
+		}
+	}
+done:
+	if len(orderBy) == 0 && limit == nil && offset == nil {
+		return q, nil
+	}
+	switch s := q.(type) {
+	case *SelectStmt:
+		if len(s.OrderBy) == 0 && s.Limit == nil && s.Offset == nil {
+			s.OrderBy, s.Limit, s.Offset = orderBy, limit, offset
+			return s, nil
+		}
+	case *SetOpStmt:
+		s.OrderBy, s.Limit, s.Offset = orderBy, limit, offset
+		return s, nil
+	}
+	return nil, p.errorf("unexpected ORDER BY / LIMIT")
+}
+
+// parseQueryTerm parses SELECT ..., VALUES ..., or a parenthesized query.
+func (p *parser) parseQueryTerm() (Statement, error) {
+	switch {
+	case p.isKeyword("SELECT"):
+		return p.parseSelect()
+	case p.isKeyword("VALUES"):
+		p.pos++
+		var rows [][]Expr
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return &ValuesStmt{Rows: rows}, nil
+	case p.accept("("):
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	return nil, p.errorf("expected SELECT, VALUES or subquery")
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptKeyword("STREAM") {
+		sel.Stream = true
+	}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// alias.* ?
+	save := p.pos
+	if p.peek().kind == tokIdent && !reserved[strings.ToUpper(p.peek().text)] {
+		name := p.next().text
+		if p.accept(".") && p.accept("*") {
+			return SelectItem{Star: true, Table: name}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.parseAliasIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().kind == tokQuotedIdent ||
+		(p.peek().kind == tokIdent && !reserved[strings.ToUpper(p.peek().text)]) {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// parseAliasIdent allows quoted or plain identifiers as aliases.
+func (p *parser) parseAliasIdent() (string, error) {
+	t := p.peek()
+	if t.kind == tokQuotedIdent || t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", p.errorf("expected alias identifier")
+}
+
+// parseTableExpr parses the FROM clause with joins (left-associative).
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(","):
+			right, err := p.parseTablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinExpr{Kind: "COMMA", Left: left, Right: right}
+		case p.isKeyword("JOIN") || p.isKeyword("INNER") || p.isKeyword("LEFT") ||
+			p.isKeyword("RIGHT") || p.isKeyword("FULL") || p.isKeyword("CROSS"):
+			kind := "INNER"
+			switch {
+			case p.acceptKeyword("INNER"):
+			case p.acceptKeyword("LEFT"):
+				kind = "LEFT"
+				p.acceptKeyword("OUTER")
+			case p.acceptKeyword("RIGHT"):
+				kind = "RIGHT"
+				p.acceptKeyword("OUTER")
+			case p.acceptKeyword("FULL"):
+				kind = "FULL"
+				p.acceptKeyword("OUTER")
+			case p.acceptKeyword("CROSS"):
+				kind = "CROSS"
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseTablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			join := &JoinExpr{Kind: kind, Left: left, Right: right}
+			switch {
+			case p.acceptKeyword("ON"):
+				cond, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				join.On = cond
+			case p.acceptKeyword("USING"):
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				for {
+					c, err := p.parseIdentifier()
+					if err != nil {
+						return nil, err
+					}
+					join.Using = append(join.Using, c)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			default:
+				if kind != "CROSS" {
+					return nil, p.errorf("expected ON or USING after JOIN")
+				}
+			}
+			left = join
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.accept("(") {
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		alias := ""
+		if p.acceptKeyword("AS") {
+			a, err := p.parseAliasIdent()
+			if err != nil {
+				return nil, err
+			}
+			alias = a
+		} else if p.peek().kind == tokQuotedIdent ||
+			(p.peek().kind == tokIdent && !reserved[strings.ToUpper(p.peek().text)]) {
+			alias = p.next().text
+		}
+		return &SubqueryTable{Query: q, Alias: alias}, nil
+	}
+	path, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	t := &TableName{Path: path}
+	if p.acceptKeyword("AS") {
+		a, err := p.parseAliasIdent()
+		if err != nil {
+			return nil, err
+		}
+		t.Alias = a
+	} else if p.peek().kind == tokQuotedIdent ||
+		(p.peek().kind == tokIdent && !reserved[strings.ToUpper(p.peek().text)]) {
+		t.Alias = p.next().text
+	}
+	return t, nil
+}
+
+// parseTypeSpec parses a SQL type name.
+func (p *parser) parseTypeSpec() (TypeSpec, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return TypeSpec{}, p.errorf("expected type name")
+	}
+	name := strings.ToUpper(p.next().text)
+	ts := TypeSpec{Name: name}
+	// DOUBLE PRECISION
+	if name == "DOUBLE" {
+		p.acceptKeyword("PRECISION")
+	}
+	if p.accept("(") {
+		n := p.next()
+		prec, err := strconv.Atoi(n.text)
+		if err != nil {
+			return ts, p.errorf("bad type precision %q", n.text)
+		}
+		ts.Precision = prec
+		if p.accept(",") {
+			n2 := p.next()
+			sc, err := strconv.Atoi(n2.text)
+			if err != nil {
+				return ts, p.errorf("bad type scale %q", n2.text)
+			}
+			ts.Scale = sc
+		}
+		if err := p.expect(")"); err != nil {
+			return ts, err
+		}
+	}
+	if p.accept("<") {
+		// MAP<k, v>
+		k, err := p.parseTypeSpec()
+		if err != nil {
+			return ts, err
+		}
+		if p.accept(",") {
+			v, err := p.parseTypeSpec()
+			if err != nil {
+				return ts, err
+			}
+			ts.Key = &k
+			ts.Elem = &v
+		} else {
+			ts.Elem = &k
+		}
+		if err := p.expect(">"); err != nil {
+			return ts, err
+		}
+	}
+	// VARCHAR ARRAY / INT MULTISET postfix forms.
+	for {
+		if p.acceptKeyword("ARRAY") {
+			inner := ts
+			ts = TypeSpec{Name: "ARRAY", Elem: &inner}
+			continue
+		}
+		if p.acceptKeyword("MULTISET") {
+			inner := ts
+			ts = TypeSpec{Name: "MULTISET", Elem: &inner}
+			continue
+		}
+		break
+	}
+	return ts, nil
+}

@@ -1,0 +1,200 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseSelectBasics(t *testing.T) {
+	stmt := mustParse(t, `SELECT a, b.c AS x, * FROM t WHERE a > 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 10 OFFSET 5`)
+	sel := stmt.(*SelectStmt)
+	if len(sel.Items) != 3 || !sel.Items[2].Star {
+		t.Fatalf("items: %+v", sel.Items)
+	}
+	if sel.Items[1].Alias != "x" {
+		t.Errorf("alias: %+v", sel.Items[1])
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("missing clauses")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order: %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Error("missing limit/offset")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c USING (z), d`)
+	sel := stmt.(*SelectStmt)
+	comma := sel.From.(*JoinExpr)
+	if comma.Kind != "COMMA" {
+		t.Fatalf("outer join kind %s", comma.Kind)
+	}
+	left := comma.Left.(*JoinExpr)
+	if left.Kind != "LEFT" || len(left.Using) != 1 {
+		t.Fatalf("left join: %+v", left)
+	}
+	inner := left.Left.(*JoinExpr)
+	if inner.Kind != "INNER" || inner.On == nil {
+		t.Fatalf("inner join: %+v", inner)
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 LIMIT 3`)
+	s := stmt.(*SetOpStmt)
+	if s.Op != "UNION" || !s.All {
+		t.Fatalf("%+v", s)
+	}
+	if len(s.OrderBy) != 1 || s.Limit == nil {
+		t.Error("trailing order/limit missing")
+	}
+	stmt = mustParse(t, "SELECT a FROM t INTERSECT SELECT a FROM u EXCEPT SELECT a FROM v")
+	if stmt.(*SetOpStmt).Op != "EXCEPT" {
+		t.Error("set ops should associate left")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	sel := mustParse(t, `SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END,
+		CAST(b AS VARCHAR(10)), m['k'][0], a NOT IN (1, 2), c BETWEEN 1 AND 5,
+		d IS NOT NULL, -e + 2 * 3, s LIKE 'a%', ?, INTERVAL '1' HOUR
+		FROM t`).(*SelectStmt)
+	if len(sel.Items) != 10 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if _, ok := sel.Items[0].Expr.(*CaseExpr); !ok {
+		t.Error("case")
+	}
+	if c, ok := sel.Items[1].Expr.(*CastExpr); !ok || c.Type.Precision != 10 {
+		t.Error("cast")
+	}
+	if _, ok := sel.Items[2].Expr.(*ItemExpr); !ok {
+		t.Error("item")
+	}
+	if in, ok := sel.Items[3].Expr.(*InExpr); !ok || !in.Not {
+		t.Error("not in")
+	}
+	if iv, ok := sel.Items[9].Expr.(*IntervalLit); !ok || iv.Millis != 3600000 {
+		t.Error("interval")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a OR b AND c = d + e * f FROM t").(*SelectStmt)
+	or := sel.Items[0].Expr.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top op %s", or.Op)
+	}
+	and := or.Right.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("second op %s", and.Op)
+	}
+	eq := and.Right.(*BinaryExpr)
+	if eq.Op != "=" {
+		t.Fatalf("third op %s", eq.Op)
+	}
+	plus := eq.Right.(*BinaryExpr)
+	if plus.Op != "+" {
+		t.Fatalf("fourth op %s", plus.Op)
+	}
+	if plus.Right.(*BinaryExpr).Op != "*" {
+		t.Error("* should bind tightest")
+	}
+}
+
+func TestParseStreamAndWindows(t *testing.T) {
+	sel := mustParse(t, `SELECT STREAM rowtime, SUM(units) OVER (ORDER BY rowtime PARTITION BY p RANGE INTERVAL '1' HOUR PRECEDING) FROM orders`).(*SelectStmt)
+	if !sel.Stream {
+		t.Error("STREAM flag")
+	}
+	f := sel.Items[1].Expr.(*FuncCall)
+	if f.Over == nil || len(f.Over.PartitionBy) != 1 || len(f.Over.OrderBy) != 1 {
+		t.Fatalf("over: %+v", f.Over)
+	}
+	if f.Over.Frame == nil || f.Over.Frame.Rows {
+		t.Error("RANGE frame expected")
+	}
+	sel = mustParse(t, `SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) FROM o GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), p`).(*SelectStmt)
+	if len(sel.GroupBy) != 2 {
+		t.Error("group windows")
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	ct := mustParse(t, "CREATE TABLE s.t (id BIGINT, name VARCHAR(20), tags VARCHAR ARRAY)").(*CreateTableStmt)
+	if len(ct.Name) != 2 || len(ct.Cols) != 3 {
+		t.Fatalf("%+v", ct)
+	}
+	if ct.Cols[2].Type.Name != "ARRAY" {
+		t.Errorf("array type: %+v", ct.Cols[2].Type)
+	}
+	cv := mustParse(t, "CREATE MATERIALIZED VIEW v AS SELECT a FROM t").(*CreateViewStmt)
+	if !cv.Materialized || !strings.HasPrefix(cv.SQL, "SELECT") {
+		t.Fatalf("%+v", cv)
+	}
+	ins := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x')").(*InsertStmt)
+	if len(ins.Columns) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	ex := mustParse(t, "EXPLAIN SELECT 1").(*ExplainStmt)
+	if ex.Logical {
+		t.Error("explain should be physical by default")
+	}
+}
+
+func TestParseQuotedIdentifiers(t *testing.T) {
+	sel := mustParse(t, `SELECT "Weird Name", `+"`tick`"+` FROM "My Table"`).(*SelectStmt)
+	if sel.Items[0].Expr.(*Ident).Parts[0] != "Weird Name" {
+		t.Error("quoted ident")
+	}
+	if sel.From.(*TableName).Path[0] != "My Table" {
+		t.Error("quoted table")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, "SELECT 1 -- trailing\n FROM t /* block */ WHERE a = 1")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT 'unterminated",
+		"SELECT a FROM t JOIN u",                 // missing ON
+		"SELECT CASE END FROM t",                 // empty case
+		"SELECT * FROM t; SELECT 1 FROM u xx yy", // trailing garbage
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestParamNumbering(t *testing.T) {
+	sel := mustParse(t, "SELECT ? FROM t WHERE a = ? AND b = ?").(*SelectStmt)
+	if sel.Items[0].Expr.(*ParamExpr).Index != 0 {
+		t.Error("first param index")
+	}
+	and := sel.Where.(*BinaryExpr)
+	if and.Right.(*BinaryExpr).Right.(*ParamExpr).Index != 2 {
+		t.Error("third param index")
+	}
+}

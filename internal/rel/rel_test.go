@@ -1,0 +1,138 @@
+package rel_test
+
+import (
+	"strings"
+	"testing"
+
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+func scan() *rel.TableScan {
+	t := schema.NewMemTable("t", types.Row(
+		types.Field{Name: "a", Type: types.BigInt},
+		types.Field{Name: "b", Type: types.Varchar},
+	), nil)
+	return rel.NewTableScan(trait.Logical, t, []string{"t"})
+}
+
+func TestDigestDistinguishesAndUnifies(t *testing.T) {
+	s := scan()
+	cond := rex.NewCall(rex.OpGreater, rex.NewInputRef(0, types.BigInt), rex.Int(1))
+	f1 := rel.NewFilter(s, cond)
+	f2 := rel.NewFilter(s, cond)
+	if rel.Digest(f1) != rel.Digest(f2) {
+		t.Error("identical trees must share digests")
+	}
+	f3 := rel.NewFilter(s, rex.NewCall(rex.OpGreater, rex.NewInputRef(0, types.BigInt), rex.Int(2)))
+	if rel.Digest(f1) == rel.Digest(f3) {
+		t.Error("different conditions must differ")
+	}
+	// Convention is part of the digest.
+	sEnum := s.WithConvention(trait.Enumerable)
+	if rel.Digest(s) == rel.Digest(sEnum) {
+		t.Error("conventions must distinguish digests")
+	}
+}
+
+func TestJoinRowTypes(t *testing.T) {
+	l, r := scan(), scan()
+	inner := rel.NewJoin(rel.InnerJoin, l, r, rex.Bool(true))
+	if rel.FieldCount(inner) != 4 {
+		t.Errorf("inner width: %d", rel.FieldCount(inner))
+	}
+	semi := rel.NewJoin(rel.SemiJoin, l, r, rex.Bool(true))
+	if rel.FieldCount(semi) != 2 {
+		t.Errorf("semi width: %d", rel.FieldCount(semi))
+	}
+	left := rel.NewJoin(rel.LeftJoin, l, r, rex.Bool(true))
+	if !left.RowType().Fields[2].Type.Nullable {
+		t.Error("left join right side must be nullable")
+	}
+	full := rel.NewJoin(rel.FullJoin, l, r, rex.Bool(true))
+	if !full.RowType().Fields[0].Type.Nullable {
+		t.Error("full join left side must be nullable")
+	}
+}
+
+func TestAggregateRowType(t *testing.T) {
+	agg := rel.NewAggregate(scan(), []int{1}, []rex.AggCall{
+		rex.NewAggCall(rex.AggCount, nil, false, "c"),
+		rex.NewAggCall(rex.AggMin, []int{0}, false, "m"),
+	})
+	fields := agg.RowType().Fields
+	if len(fields) != 3 || fields[0].Name != "b" || fields[1].Name != "c" {
+		t.Errorf("fields: %v", fields)
+	}
+	if fields[1].Type.Kind != types.BigIntKind {
+		t.Errorf("count type: %s", fields[1].Type)
+	}
+	if !fields[2].Type.Nullable {
+		t.Error("MIN result should be nullable")
+	}
+}
+
+func TestWithNewInputsPreservesShape(t *testing.T) {
+	s := scan()
+	f := rel.NewFilter(s, rex.Bool(true))
+	p := rel.NewProject(f, []rex.Node{rex.NewInputRef(0, types.BigInt)}, []string{"a"})
+	s2 := scan()
+	f2 := f.WithNewInputs([]rel.Node{s2})
+	if f2.(*rel.Filter).Condition != f.Condition {
+		t.Error("condition lost")
+	}
+	p2 := p.WithNewInputs([]rel.Node{f2})
+	if rel.Digest(p2) != rel.Digest(p) {
+		t.Error("rebuilt tree digest changed")
+	}
+}
+
+func TestExplainAndWalk(t *testing.T) {
+	f := rel.NewFilter(scan(), rex.Bool(true))
+	text := rel.Explain(f)
+	if !strings.Contains(text, "LogicalFilter") || !strings.Contains(text, "LogicalTableScan") {
+		t.Errorf("explain: %s", text)
+	}
+	if rel.Count(f) != 2 {
+		t.Errorf("count: %d", rel.Count(f))
+	}
+	seen := 0
+	rel.Walk(f, func(rel.Node) bool { seen++; return true })
+	if seen != 2 {
+		t.Errorf("walk: %d", seen)
+	}
+	out := rel.TransformUp(f, func(n rel.Node) rel.Node { return n })
+	if out != f {
+		t.Error("identity transform should preserve node")
+	}
+}
+
+func TestWindowRowType(t *testing.T) {
+	w := rel.NewWindow(scan(), []rel.WindowGroup{{
+		OrderKeys: trait.Collation{{Field: 0, Direction: trait.Ascending}},
+		Frame:     rel.WindowFrame{Preceding: -1},
+		Calls:     []rex.AggCall{rex.NewAggCall(rex.AggSum, []int{0}, false, "s")},
+	}})
+	if rel.FieldCount(w) != 3 {
+		t.Errorf("window width: %d", rel.FieldCount(w))
+	}
+	if !strings.Contains(w.Attrs(), "UNBOUNDED PRECEDING") {
+		t.Errorf("frame attrs: %s", w.Attrs())
+	}
+}
+
+func TestValuesAndSetOpDigests(t *testing.T) {
+	rt := types.Row(types.Field{Name: "x", Type: types.BigInt})
+	v1 := rel.NewValues(rt, [][]rex.Node{{rex.Int(1)}})
+	v2 := rel.NewValues(rt, [][]rex.Node{{rex.Int(2)}})
+	if rel.Digest(v1) == rel.Digest(v2) {
+		t.Error("values digests must include tuples")
+	}
+	u := rel.NewSetOp(rel.UnionOp, true, v1, v2)
+	if u.Kind != rel.UnionOp || len(u.Inputs()) != 2 {
+		t.Errorf("setop: %+v", u)
+	}
+}

@@ -1,0 +1,480 @@
+// Package rel2sql converts relational expressions back to SQL text (§3 of
+// the paper: "once the query has been optimized, Calcite can translate the
+// relational expression back to SQL", letting Calcite sit on top of any
+// engine with a SQL interface but no optimizer). It supports multiple SQL
+// dialects, mirroring the JDBC adapter of Table 2 ("SQL (multiple
+// dialects)").
+package rel2sql
+
+import (
+	"fmt"
+	"strings"
+
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// Dialect controls identifier quoting and clause syntax.
+type Dialect struct {
+	// Name identifies the dialect ("ansi", "mysql", "postgresql").
+	Name string
+	// QuoteStart/QuoteEnd wrap identifiers.
+	QuoteStart, QuoteEnd string
+	// LimitStyle selects "LIMIT n OFFSET m" vs "OFFSET m ROWS FETCH NEXT n
+	// ROWS ONLY".
+	LimitStyle string // "limit" or "fetch"
+}
+
+// Built-in dialects.
+var (
+	ANSI     = Dialect{Name: "ansi", QuoteStart: `"`, QuoteEnd: `"`, LimitStyle: "fetch"}
+	MySQL    = Dialect{Name: "mysql", QuoteStart: "`", QuoteEnd: "`", LimitStyle: "limit"}
+	Postgres = Dialect{Name: "postgresql", QuoteStart: `"`, QuoteEnd: `"`, LimitStyle: "limit"}
+)
+
+// Quote quotes an identifier.
+func (d Dialect) Quote(name string) string {
+	return d.QuoteStart + name + d.QuoteEnd
+}
+
+// Unparse renders the plan rooted at n as a SQL statement in the dialect.
+func Unparse(n rel.Node, d Dialect) (string, error) {
+	u := &unparser{dialect: d}
+	q, err := u.toQuery(n)
+	if err != nil {
+		return "", err
+	}
+	return q.sql(d), nil
+}
+
+// query is a SQL query under construction: either a raw table reference or
+// a full SELECT shape. Clauses are filled in until a conflicting clause
+// forces nesting into a subquery.
+type query struct {
+	// table is a plain FROM item (table name or subquery text with alias).
+	from      string
+	fields    []string // output column names (aliases usable by parents)
+	selectSQL []string // select list (empty = SELECT *)
+	where     []string
+	groupBy   []string
+	having    []string
+	orderBy   []string
+	limit     string
+	offset    string
+	isSetOp   bool
+	setSQL    string
+}
+
+func (q *query) sql(d Dialect) string {
+	if q.isSetOp && q.selectSQL == nil && q.where == nil && q.groupBy == nil &&
+		q.orderBy == nil && q.limit == "" && q.offset == "" {
+		return q.setSQL
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(q.selectSQL) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(q.selectSQL, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.from)
+	if len(q.where) > 0 {
+		b.WriteString(" WHERE " + strings.Join(q.where, " AND "))
+	}
+	if len(q.groupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(q.groupBy, ", "))
+	}
+	if len(q.having) > 0 {
+		b.WriteString(" HAVING " + strings.Join(q.having, " AND "))
+	}
+	if len(q.orderBy) > 0 {
+		b.WriteString(" ORDER BY " + strings.Join(q.orderBy, ", "))
+	}
+	switch d.LimitStyle {
+	case "limit":
+		if q.limit != "" {
+			b.WriteString(" LIMIT " + q.limit)
+		}
+		if q.offset != "" {
+			b.WriteString(" OFFSET " + q.offset)
+		}
+	default:
+		if q.offset != "" {
+			b.WriteString(" OFFSET " + q.offset + " ROWS")
+		}
+		if q.limit != "" {
+			b.WriteString(" FETCH NEXT " + q.limit + " ROWS ONLY")
+		}
+	}
+	return b.String()
+}
+
+type unparser struct {
+	dialect Dialect
+	aliasN  int
+}
+
+func (u *unparser) newAlias() string {
+	u.aliasN++
+	return fmt.Sprintf("t%d", u.aliasN-1)
+}
+
+// asSubquery wraps q as a FROM item and resets clause state.
+func (u *unparser) asSubquery(q *query, d Dialect) *query {
+	alias := u.newAlias()
+	return &query{
+		from:   "(" + q.sql(d) + ") AS " + d.Quote(alias),
+		fields: q.fields,
+	}
+}
+
+func fieldNames(n rel.Node) []string { return n.RowType().FieldNames() }
+
+func (u *unparser) toQuery(n rel.Node) (*query, error) {
+	d := u.dialect
+	switch x := n.(type) {
+	case *rel.TableScan:
+		parts := make([]string, len(x.QualifiedName))
+		for i, p := range x.QualifiedName {
+			parts[i] = d.Quote(p)
+		}
+		return &query{from: strings.Join(parts, "."), fields: fieldNames(x)}, nil
+	case *rel.Filter:
+		q, err := u.toQuery(x.Inputs()[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(q.groupBy) > 0 {
+			// Filter above aggregate = HAVING.
+			cond, err := u.expr(x.Condition, q.fields)
+			if err != nil {
+				return nil, err
+			}
+			q.having = append(q.having, cond)
+			return q, nil
+		}
+		if len(q.selectSQL) > 0 || q.limit != "" || q.offset != "" || len(q.orderBy) > 0 {
+			q = u.asSubquery(q, d)
+		}
+		cond, err := u.expr(x.Condition, q.fields)
+		if err != nil {
+			return nil, err
+		}
+		q.where = append(q.where, cond)
+		return q, nil
+	case *rel.Project:
+		q, err := u.toQuery(x.Inputs()[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(q.selectSQL) > 0 || len(q.groupBy) > 0 || q.limit != "" || q.offset != "" {
+			q = u.asSubquery(q, d)
+		}
+		names := x.FieldNames()
+		sel := make([]string, len(x.Exprs))
+		for i, e := range x.Exprs {
+			es, err := u.expr(e, q.fields)
+			if err != nil {
+				return nil, err
+			}
+			sel[i] = es + " AS " + d.Quote(names[i])
+		}
+		q.selectSQL = sel
+		q.fields = names
+		return q, nil
+	case *rel.Join:
+		lq, err := u.toQuery(x.Left())
+		if err != nil {
+			return nil, err
+		}
+		rq, err := u.toQuery(x.Right())
+		if err != nil {
+			return nil, err
+		}
+		// Always nest join inputs with aliases; qualify columns.
+		la, ra := u.newAlias(), u.newAlias()
+		lFrom := "(" + lq.sql(d) + ") AS " + d.Quote(la)
+		if isPlainTable(lq) {
+			lFrom = lq.from + " AS " + d.Quote(la)
+		}
+		rFrom := "(" + rq.sql(d) + ") AS " + d.Quote(ra)
+		if isPlainTable(rq) {
+			rFrom = rq.from + " AS " + d.Quote(ra)
+		}
+		combined := make([]string, 0, len(lq.fields)+len(rq.fields))
+		qualified := make([]string, 0, len(combined))
+		for _, f := range lq.fields {
+			combined = append(combined, f)
+			qualified = append(qualified, d.Quote(la)+"."+d.Quote(f))
+		}
+		for _, f := range rq.fields {
+			combined = append(combined, f)
+			qualified = append(qualified, d.Quote(ra)+"."+d.Quote(f))
+		}
+		cond, err := u.exprQualified(x.Condition, qualified)
+		if err != nil {
+			return nil, err
+		}
+		var joinKw string
+		switch x.Kind {
+		case rel.InnerJoin:
+			joinKw = "INNER JOIN"
+		case rel.LeftJoin:
+			joinKw = "LEFT JOIN"
+		case rel.RightJoin:
+			joinKw = "RIGHT JOIN"
+		case rel.FullJoin:
+			joinKw = "FULL JOIN"
+		default:
+			return nil, fmt.Errorf("rel2sql: cannot unparse %s join", x.Kind)
+		}
+		// Build a select list that disambiguates duplicate names.
+		outNames := fieldNames(x)
+		sel := make([]string, len(outNames))
+		for i := range outNames {
+			sel[i] = qualified[i] + " AS " + d.Quote(outNames[i])
+		}
+		return &query{
+			from:      lFrom + " " + joinKw + " " + rFrom + " ON " + cond,
+			fields:    outNames,
+			selectSQL: sel,
+		}, nil
+	case *rel.Aggregate:
+		q, err := u.toQuery(x.Inputs()[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(q.selectSQL) > 0 || len(q.groupBy) > 0 || q.limit != "" || q.offset != "" || len(q.orderBy) > 0 {
+			q = u.asSubquery(q, d)
+		}
+		outNames := fieldNames(x)
+		var sel, group []string
+		for i, k := range x.GroupKeys {
+			col := d.Quote(q.fields[k])
+			sel = append(sel, col+" AS "+d.Quote(outNames[i]))
+			group = append(group, col)
+		}
+		for i, call := range x.Calls {
+			s, err := u.aggCall(call, q.fields)
+			if err != nil {
+				return nil, err
+			}
+			sel = append(sel, s+" AS "+d.Quote(outNames[len(x.GroupKeys)+i]))
+		}
+		q.selectSQL = sel
+		q.groupBy = group
+		if len(group) == 0 {
+			q.groupBy = nil
+		}
+		q.fields = outNames
+		return q, nil
+	case *rel.Sort:
+		q, err := u.toQuery(x.Inputs()[0])
+		if err != nil {
+			return nil, err
+		}
+		if q.limit != "" || q.offset != "" {
+			q = u.asSubquery(q, d)
+		}
+		for _, fc := range x.Collation {
+			dir := ""
+			if fc.Direction == trait.Descending {
+				dir = " DESC"
+			}
+			q.orderBy = append(q.orderBy, d.Quote(q.fields[fc.Field])+dir)
+		}
+		if x.Fetch >= 0 {
+			q.limit = fmt.Sprint(x.Fetch)
+		}
+		if x.Offset > 0 {
+			q.offset = fmt.Sprint(x.Offset)
+		}
+		return q, nil
+	case *rel.SetOp:
+		var parts []string
+		for _, in := range x.Inputs() {
+			iq, err := u.toQuery(in)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, iq.sql(d))
+		}
+		op := map[rel.SetOpKind]string{
+			rel.UnionOp:     "UNION",
+			rel.IntersectOp: "INTERSECT",
+			rel.MinusOp:     "EXCEPT",
+		}[x.Kind]
+		if x.All {
+			op += " ALL"
+		}
+		setSQL := strings.Join(parts, " "+op+" ")
+		return &query{
+			isSetOp: true,
+			setSQL:  setSQL,
+			from:    "(" + setSQL + ") AS " + d.Quote(u.newAlias()),
+			fields:  fieldNames(x),
+		}, nil
+	case *rel.Values:
+		var rows []string
+		for _, t := range x.Tuples {
+			vals := make([]string, len(t))
+			for i, e := range t {
+				s, err := u.expr(e, nil)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = s
+			}
+			rows = append(rows, "("+strings.Join(vals, ", ")+")")
+		}
+		return &query{
+			from:   "(VALUES " + strings.Join(rows, ", ") + ") AS " + d.Quote(u.newAlias()),
+			fields: fieldNames(x),
+		}, nil
+	}
+	if w, ok := n.(rel.Wrapped); ok {
+		return u.toQuery(w.Unwrap())
+	}
+	return nil, fmt.Errorf("rel2sql: cannot unparse %s", n.Op())
+}
+
+func isPlainTable(q *query) bool {
+	return len(q.selectSQL) == 0 && len(q.where) == 0 && len(q.groupBy) == 0 &&
+		len(q.orderBy) == 0 && q.limit == "" && q.offset == "" && !q.isSetOp &&
+		!strings.HasPrefix(q.from, "(")
+}
+
+func (u *unparser) aggCall(a rex.AggCall, fields []string) (string, error) {
+	d := u.dialect
+	var arg string
+	switch {
+	case len(a.Args) == 0:
+		arg = "*"
+	default:
+		cols := make([]string, len(a.Args))
+		for i, c := range a.Args {
+			if c >= len(fields) {
+				return "", fmt.Errorf("rel2sql: aggregate arg $%d out of range", c)
+			}
+			cols[i] = d.Quote(fields[c])
+		}
+		arg = strings.Join(cols, ", ")
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	return a.Func.String() + "(" + arg + ")", nil
+}
+
+// expr renders a row expression with unqualified column names from fields.
+func (u *unparser) expr(e rex.Node, fields []string) (string, error) {
+	cols := make([]string, len(fields))
+	for i, f := range fields {
+		cols[i] = u.dialect.Quote(f)
+	}
+	return u.exprQualified(e, cols)
+}
+
+// exprQualified renders a row expression; cols[i] is the SQL for input ref i.
+func (u *unparser) exprQualified(e rex.Node, cols []string) (string, error) {
+	switch x := e.(type) {
+	case *rex.InputRef:
+		if x.Index >= len(cols) {
+			return "", fmt.Errorf("rel2sql: column $%d out of range", x.Index)
+		}
+		return cols[x.Index], nil
+	case *rex.Literal:
+		return sqlLiteral(x.Value), nil
+	case *rex.DynamicParam:
+		return "?", nil
+	case *rex.Call:
+		return u.call(x, cols)
+	}
+	return "", fmt.Errorf("rel2sql: cannot unparse expression %T", e)
+}
+
+func sqlLiteral(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'"
+	case bool:
+		if x {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return types.FormatValue(v)
+	}
+}
+
+func (u *unparser) call(c *rex.Call, cols []string) (string, error) {
+	args := make([]string, len(c.Operands))
+	for i, o := range c.Operands {
+		s, err := u.exprQualified(o, cols)
+		if err != nil {
+			return "", err
+		}
+		args[i] = s
+	}
+	switch c.Op {
+	case rex.OpAnd, rex.OpOr:
+		return "(" + strings.Join(args, " "+c.Op.Name+" ") + ")", nil
+	case rex.OpNot:
+		return "(NOT " + args[0] + ")", nil
+	case rex.OpIsNull:
+		return "(" + args[0] + " IS NULL)", nil
+	case rex.OpIsNotNull:
+		return "(" + args[0] + " IS NOT NULL)", nil
+	case rex.OpCast:
+		return "CAST(" + args[0] + " AS " + sqlTypeName(c.T) + ")", nil
+	case rex.OpCase:
+		var b strings.Builder
+		b.WriteString("CASE")
+		n := len(args)
+		for i := 0; i+1 < n; i += 2 {
+			b.WriteString(" WHEN " + args[i] + " THEN " + args[i+1])
+		}
+		if n%2 == 1 {
+			b.WriteString(" ELSE " + args[n-1])
+		}
+		b.WriteString(" END")
+		return b.String(), nil
+	case rex.OpItem:
+		return args[0] + "[" + args[1] + "]", nil
+	case rex.OpLike:
+		return "(" + args[0] + " LIKE " + args[1] + ")", nil
+	}
+	switch c.Op.Kind {
+	case rex.KindBinary:
+		if len(args) == 2 {
+			return "(" + args[0] + " " + c.Op.Symbol() + " " + args[1] + ")", nil
+		}
+	case rex.KindPrefix:
+		return "(" + c.Op.Symbol() + args[0] + ")", nil
+	}
+	return c.Op.Name + "(" + strings.Join(args, ", ") + ")", nil
+}
+
+func sqlTypeName(t *types.Type) string {
+	switch t.Kind {
+	case types.VarcharKind:
+		if t.Precision > 0 {
+			return fmt.Sprintf("VARCHAR(%d)", t.Precision)
+		}
+		return "VARCHAR"
+	case types.DoubleKind, types.FloatKind, types.DecimalKind:
+		return "DOUBLE"
+	case types.BigIntKind, types.IntegerKind, types.TinyIntKind:
+		return "BIGINT"
+	case types.BooleanKind:
+		return "BOOLEAN"
+	case types.TimestampKind:
+		return "TIMESTAMP"
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,131 @@
+package rel2sql_test
+
+import (
+	"strings"
+	"testing"
+
+	"calcite/internal/core"
+	"calcite/internal/rel2sql"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+func fixture() *core.Framework {
+	f := core.New()
+	f.Catalog.AddTable(schema.NewMemTable("emps", types.Row(
+		types.Field{Name: "empid", Type: types.BigInt},
+		types.Field{Name: "name", Type: types.Varchar},
+		types.Field{Name: "deptno", Type: types.BigInt},
+		types.Field{Name: "sal", Type: types.Double},
+	), [][]any{
+		{int64(1), "a", int64(10), 100.0},
+		{int64(2), "b", int64(20), 200.0},
+		{int64(3), "c", int64(10), 300.0},
+	}))
+	f.Catalog.AddTable(schema.NewMemTable("depts", types.Row(
+		types.Field{Name: "deptno", Type: types.BigInt},
+		types.Field{Name: "dname", Type: types.Varchar},
+	), [][]any{{int64(10), "S"}, {int64(20), "M"}}))
+	return f
+}
+
+// TestRoundTrip: unparse(convert(sql)) re-parses and produces the same rows
+// — the §3 "translate the relational expression back to SQL" feature.
+func TestRoundTrip(t *testing.T) {
+	f := fixture()
+	queries := []string{
+		"SELECT name FROM emps WHERE sal > 150",
+		"SELECT deptno, COUNT(*) AS c, SUM(sal) AS s FROM emps GROUP BY deptno",
+		"SELECT e.name, d.dname FROM emps e JOIN depts d ON e.deptno = d.deptno",
+		"SELECT name FROM emps ORDER BY sal DESC LIMIT 2",
+		"SELECT name FROM emps WHERE deptno = 10 UNION SELECT dname FROM depts",
+		"SELECT CASE WHEN sal > 150 THEN 'hi' ELSE 'lo' END AS band FROM emps",
+		"SELECT name FROM emps WHERE sal > 100 AND (deptno = 10 OR deptno = 20)",
+		"SELECT UPPER(name) AS u FROM emps WHERE name LIKE 'a%'",
+	}
+	for _, dialect := range []rel2sql.Dialect{rel2sql.ANSI, rel2sql.MySQL, rel2sql.Postgres} {
+		for _, q := range queries {
+			logical, err := f.ParseAndConvert(q)
+			if err != nil {
+				t.Fatalf("convert %q: %v", q, err)
+			}
+			sql, err := rel2sql.Unparse(logical, dialect)
+			if err != nil {
+				t.Fatalf("unparse %q (%s): %v", q, dialect.Name, err)
+			}
+			orig, err := f.Execute(q)
+			if err != nil {
+				t.Fatalf("execute original %q: %v", q, err)
+			}
+			rt, err := f.Execute(sql)
+			if err != nil {
+				t.Fatalf("execute round-trip of %q (%s):\n  %s\n  %v", q, dialect.Name, sql, err)
+			}
+			if len(orig.Rows) != len(rt.Rows) {
+				t.Errorf("row count mismatch for %q (%s): %d vs %d\nunparsed: %s",
+					q, dialect.Name, len(orig.Rows), len(rt.Rows), sql)
+				continue
+			}
+			// Compare as multisets of formatted rows.
+			if !sameRowMultiset(orig.Rows, rt.Rows) {
+				t.Errorf("rows differ for %q (%s)\nunparsed: %s\n%v vs %v",
+					q, dialect.Name, sql, orig.Rows, rt.Rows)
+			}
+		}
+	}
+}
+
+func sameRowMultiset(a, b [][]any) bool {
+	count := map[string]int{}
+	key := func(row []any) string {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = types.FormatValue(v)
+		}
+		return strings.Join(parts, "\x00")
+	}
+	for _, r := range a {
+		count[key(r)]++
+	}
+	for _, r := range b {
+		count[key(r)]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDialectQuoting(t *testing.T) {
+	f := fixture()
+	logical, err := f.ParseAndConvert("SELECT name FROM emps WHERE sal > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	my, _ := rel2sql.Unparse(logical, rel2sql.MySQL)
+	if !strings.Contains(my, "`name`") {
+		t.Errorf("mysql quoting: %s", my)
+	}
+	pg, _ := rel2sql.Unparse(logical, rel2sql.Postgres)
+	if !strings.Contains(pg, `"name"`) {
+		t.Errorf("postgres quoting: %s", pg)
+	}
+}
+
+func TestLimitStyles(t *testing.T) {
+	f := fixture()
+	logical, err := f.ParseAndConvert("SELECT name FROM emps ORDER BY name LIMIT 2 OFFSET 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	my, _ := rel2sql.Unparse(logical, rel2sql.MySQL)
+	if !strings.Contains(my, "LIMIT 2") || !strings.Contains(my, "OFFSET 1") {
+		t.Errorf("mysql limit: %s", my)
+	}
+	ansi, _ := rel2sql.Unparse(logical, rel2sql.ANSI)
+	if !strings.Contains(ansi, "FETCH NEXT 2 ROWS ONLY") || !strings.Contains(ansi, "OFFSET 1 ROWS") {
+		t.Errorf("ansi fetch: %s", ansi)
+	}
+}

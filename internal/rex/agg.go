@@ -1,0 +1,251 @@
+package rex
+
+import (
+	"fmt"
+	"strings"
+
+	"calcite/internal/types"
+)
+
+// AggFuncKind enumerates the built-in aggregate functions.
+type AggFuncKind int
+
+const (
+	AggCount AggFuncKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggCollect     // gathers values into a MULTISET
+	AggSingleValue // asserts exactly one input value (scalar subqueries)
+)
+
+var aggNames = map[AggFuncKind]string{
+	AggCount:       "COUNT",
+	AggSum:         "SUM",
+	AggMin:         "MIN",
+	AggMax:         "MAX",
+	AggAvg:         "AVG",
+	AggCollect:     "COLLECT",
+	AggSingleValue: "SINGLE_VALUE",
+}
+
+func (k AggFuncKind) String() string { return aggNames[k] }
+
+// LookupAggFunc resolves an aggregate function name.
+func LookupAggFunc(name string) (AggFuncKind, bool) {
+	for k, n := range aggNames {
+		if strings.EqualFold(n, name) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// AggCall describes one aggregate computation of an Aggregate operator:
+// the function, its argument ordinals into the input row (empty for
+// COUNT(*)), DISTINCT-ness, and the output field name.
+type AggCall struct {
+	Func     AggFuncKind
+	Args     []int
+	Distinct bool
+	Name     string
+	// FilterArg, when >= 0, is the ordinal of a boolean input column gating
+	// which rows the aggregate sees (FILTER clause). -1 means no filter.
+	FilterArg int
+}
+
+// NewAggCall returns an AggCall with no filter.
+func NewAggCall(f AggFuncKind, args []int, distinct bool, name string) AggCall {
+	return AggCall{Func: f, Args: args, Distinct: distinct, Name: name, FilterArg: -1}
+}
+
+// ResultType computes the aggregate's result type from its input field types.
+func (a AggCall) ResultType(inputFields []types.Field) *types.Type {
+	switch a.Func {
+	case AggCount:
+		return types.BigInt
+	case AggAvg:
+		return types.Double.WithNullable(true)
+	case AggSum, AggMin, AggMax, AggSingleValue:
+		if len(a.Args) > 0 && a.Args[0] < len(inputFields) {
+			return inputFields[a.Args[0]].Type.WithNullable(true)
+		}
+		return types.Any
+	case AggCollect:
+		elem := types.Any
+		if len(a.Args) > 0 && a.Args[0] < len(inputFields) {
+			elem = inputFields[a.Args[0]].Type
+		}
+		return types.Multiset(elem)
+	}
+	return types.Any
+}
+
+// String renders the call for digests, e.g. "SUM(DISTINCT $2)".
+func (a AggCall) String() string {
+	var b strings.Builder
+	b.WriteString(a.Func.String())
+	b.WriteByte('(')
+	if a.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(a.Args) == 0 {
+		if a.Func == AggCount {
+			b.WriteByte('*')
+		}
+	} else {
+		for i, arg := range a.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "$%d", arg)
+		}
+	}
+	b.WriteByte(')')
+	if a.FilterArg >= 0 {
+		fmt.Fprintf(&b, " FILTER $%d", a.FilterArg)
+	}
+	return b.String()
+}
+
+// Accumulator is the running state of one aggregate over one group.
+type Accumulator interface {
+	// Add feeds one input row.
+	Add(row []any) error
+	// Result returns the aggregate value for the group.
+	Result() any
+}
+
+// NewAccumulator creates the accumulator for an aggregate call.
+func NewAccumulator(a AggCall) Accumulator {
+	base := &aggState{call: a}
+	if a.Distinct {
+		return &distinctState{inner: base, seen: map[string]bool{}}
+	}
+	return base
+}
+
+type aggState struct {
+	call    AggCall
+	count   int64
+	sumF    float64
+	sumI    int64
+	allInts bool
+	started bool
+	minV    any
+	maxV    any
+	values  []any
+	err     error
+}
+
+func (s *aggState) Add(row []any) error {
+	if s.call.FilterArg >= 0 {
+		keep, _ := row[s.call.FilterArg].(bool)
+		if !keep {
+			return nil
+		}
+	}
+	if len(s.call.Args) == 0 { // COUNT(*)
+		s.count++
+		return nil
+	}
+	v := row[s.call.Args[0]]
+	if v == nil {
+		return nil // aggregates ignore NULLs
+	}
+	if !s.started {
+		s.started = true
+		s.allInts = true
+		s.minV, s.maxV = v, v
+	}
+	s.count++
+	switch s.call.Func {
+	case AggSum, AggAvg:
+		if i, ok := v.(int64); ok && s.allInts {
+			s.sumI += i
+			s.sumF += float64(i)
+		} else {
+			f, ok := types.AsFloat(v)
+			if !ok {
+				return fmt.Errorf("rex: %s over non-numeric %T", s.call.Func, v)
+			}
+			if s.allInts {
+				s.allInts = false
+			}
+			s.sumF += f
+		}
+	case AggMin:
+		if types.Compare(v, s.minV) < 0 {
+			s.minV = v
+		}
+	case AggMax:
+		if types.Compare(v, s.maxV) > 0 {
+			s.maxV = v
+		}
+	case AggCollect:
+		s.values = append(s.values, v)
+	case AggSingleValue:
+		s.values = append(s.values, v)
+		if len(s.values) > 1 {
+			return fmt.Errorf("rex: subquery returned more than one value")
+		}
+	}
+	return nil
+}
+
+func (s *aggState) Result() any {
+	switch s.call.Func {
+	case AggCount:
+		return s.count
+	case AggSum:
+		if !s.started {
+			return nil
+		}
+		if s.allInts {
+			return s.sumI
+		}
+		return s.sumF
+	case AggAvg:
+		if s.count == 0 {
+			return nil
+		}
+		return s.sumF / float64(s.count)
+	case AggMin:
+		return s.minV
+	case AggMax:
+		return s.maxV
+	case AggCollect:
+		return append([]any(nil), s.values...)
+	case AggSingleValue:
+		if len(s.values) == 0 {
+			return nil
+		}
+		return s.values[0]
+	}
+	return nil
+}
+
+type distinctState struct {
+	inner Accumulator
+	call  AggCall
+	seen  map[string]bool
+}
+
+func (d *distinctState) Add(row []any) error {
+	s := d.inner.(*aggState)
+	if len(s.call.Args) > 0 {
+		v := row[s.call.Args[0]]
+		if v == nil {
+			return nil
+		}
+		k := types.HashKey(v)
+		if d.seen[k] {
+			return nil
+		}
+		d.seen[k] = true
+	}
+	return d.inner.Add(row)
+}
+
+func (d *distinctState) Result() any { return d.inner.Result() }

@@ -1,0 +1,597 @@
+package rex
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"calcite/internal/geo"
+	"calcite/internal/types"
+)
+
+// OpKind classifies operators for unparsing and rule matching.
+type OpKind int
+
+const (
+	KindBinary   OpKind = iota // infix binary, e.g. =, +, AND
+	KindPrefix                 // prefix unary, e.g. NOT, -
+	KindPostfix                // postfix unary, e.g. IS NULL
+	KindFunction               // ordinary function call syntax
+	KindSpecial                // CASE, CAST, ITEM, ...
+)
+
+// Operator describes a scalar operator or function. Operators are singletons
+// compared by pointer; adapters and extensions may register additional
+// operators with RegisterFunction.
+type Operator struct {
+	Name string
+	Kind OpKind
+	// Sym is the infix/prefix symbol used for SQL unparsing ("=", "+").
+	// Empty means use Name.
+	Sym string
+	// infer computes the result type from operand expressions.
+	infer func(args []Node) *types.Type
+	// eval computes the result from evaluated operand values. Operators
+	// with non-strict semantics (AND/OR/CASE/COALESCE) are special-cased in
+	// the evaluator and leave eval nil.
+	eval func(args []any) (any, error)
+	// NullSafe, when true, lets eval see NULL arguments; otherwise any NULL
+	// argument yields NULL without calling eval (SQL strictness).
+	NullSafe bool
+}
+
+func (o *Operator) Symbol() string {
+	if o.Sym != "" {
+		return o.Sym
+	}
+	return o.Name
+}
+
+func inferBool(args []Node) *types.Type {
+	nullable := false
+	for _, a := range args {
+		if a.Type() != nil && a.Type().Nullable {
+			nullable = true
+		}
+	}
+	return types.Boolean.WithNullable(nullable)
+}
+
+func inferFirst(args []Node) *types.Type {
+	if len(args) == 0 {
+		return types.Any
+	}
+	return args[0].Type()
+}
+
+func inferLeastRestrictive(args []Node) *types.Type {
+	if len(args) == 0 {
+		return types.Any
+	}
+	t := args[0].Type()
+	for _, a := range args[1:] {
+		if lt := types.LeastRestrictive(t, a.Type()); lt != nil {
+			t = lt
+		}
+	}
+	return t
+}
+
+func inferArith(args []Node) *types.Type {
+	t := inferLeastRestrictive(args)
+	if t == nil || !t.Kind.IsNumeric() && !t.Kind.IsDatetime() && t.Kind != types.IntervalKind {
+		return types.Double.WithNullable(t != nil && t.Nullable)
+	}
+	return t
+}
+
+func constType(t *types.Type) func([]Node) *types.Type {
+	return func(args []Node) *types.Type {
+		nullable := false
+		for _, a := range args {
+			if a.Type() != nil && a.Type().Nullable {
+				nullable = true
+			}
+		}
+		return t.WithNullable(nullable)
+	}
+}
+
+func numeric2(f func(x, y float64) (any, error)) func([]any) (any, error) {
+	return func(args []any) (any, error) {
+		x, ok1 := types.AsFloat(args[0])
+		y, ok2 := types.AsFloat(args[1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("rex: non-numeric operands %T, %T", args[0], args[1])
+		}
+		return f(x, y)
+	}
+}
+
+// bothInts reports whether both runtime values are integers.
+func bothInts(a, b any) (int64, int64, bool) {
+	x, ok1 := a.(int64)
+	y, ok2 := b.(int64)
+	if ok1 && ok2 {
+		return x, y, true
+	}
+	return 0, 0, false
+}
+
+func cmpOp(name, sym string, pred func(c int) bool) *Operator {
+	return &Operator{
+		Name: name, Kind: KindBinary, Sym: sym,
+		infer: inferBool,
+		eval: func(args []any) (any, error) {
+			return pred(types.Compare(args[0], args[1])), nil
+		},
+	}
+}
+
+// The built-in operator table.
+var (
+	OpAnd = &Operator{Name: "AND", Kind: KindBinary, infer: inferBool}
+	OpOr  = &Operator{Name: "OR", Kind: KindBinary, infer: inferBool}
+	OpNot = &Operator{
+		Name: "NOT", Kind: KindPrefix, infer: inferBool,
+		eval: func(args []any) (any, error) {
+			b, ok := args[0].(bool)
+			if !ok {
+				return nil, fmt.Errorf("rex: NOT applied to %T", args[0])
+			}
+			return !b, nil
+		},
+	}
+
+	OpEquals       = cmpOp("=", "=", func(c int) bool { return c == 0 })
+	OpNotEquals    = cmpOp("<>", "<>", func(c int) bool { return c != 0 })
+	OpLess         = cmpOp("<", "<", func(c int) bool { return c < 0 })
+	OpLessEqual    = cmpOp("<=", "<=", func(c int) bool { return c <= 0 })
+	OpGreater      = cmpOp(">", ">", func(c int) bool { return c > 0 })
+	OpGreaterEqual = cmpOp(">=", ">=", func(c int) bool { return c >= 0 })
+
+	OpPlus = &Operator{
+		Name: "+", Kind: KindBinary, Sym: "+", infer: inferArith,
+		eval: func(args []any) (any, error) {
+			if x, y, ok := bothInts(args[0], args[1]); ok {
+				return x + y, nil
+			}
+			return numeric2(func(x, y float64) (any, error) { return x + y, nil })(args)
+		},
+	}
+	OpMinus = &Operator{
+		Name: "-", Kind: KindBinary, Sym: "-", infer: inferArith,
+		eval: func(args []any) (any, error) {
+			if x, y, ok := bothInts(args[0], args[1]); ok {
+				return x - y, nil
+			}
+			return numeric2(func(x, y float64) (any, error) { return x - y, nil })(args)
+		},
+	}
+	OpTimes = &Operator{
+		Name: "*", Kind: KindBinary, Sym: "*", infer: inferArith,
+		eval: func(args []any) (any, error) {
+			if x, y, ok := bothInts(args[0], args[1]); ok {
+				return x * y, nil
+			}
+			return numeric2(func(x, y float64) (any, error) { return x * y, nil })(args)
+		},
+	}
+	OpDivide = &Operator{
+		Name: "/", Kind: KindBinary, Sym: "/", infer: inferArith,
+		eval: func(args []any) (any, error) {
+			if x, y, ok := bothInts(args[0], args[1]); ok {
+				if y == 0 {
+					return nil, fmt.Errorf("rex: division by zero")
+				}
+				return x / y, nil
+			}
+			return numeric2(func(x, y float64) (any, error) {
+				if y == 0 {
+					return nil, fmt.Errorf("rex: division by zero")
+				}
+				return x / y, nil
+			})(args)
+		},
+	}
+	OpMod = &Operator{
+		Name: "MOD", Kind: KindFunction, infer: inferArith,
+		eval: func(args []any) (any, error) {
+			x, ok1 := types.AsInt(args[0])
+			y, ok2 := types.AsInt(args[1])
+			if !ok1 || !ok2 || y == 0 {
+				return nil, fmt.Errorf("rex: bad MOD operands")
+			}
+			return x % y, nil
+		},
+	}
+	OpUnaryMinus = &Operator{
+		Name: "-", Kind: KindPrefix, Sym: "-", infer: inferFirst,
+		eval: func(args []any) (any, error) {
+			switch x := args[0].(type) {
+			case int64:
+				return -x, nil
+			case float64:
+				return -x, nil
+			}
+			return nil, fmt.Errorf("rex: unary minus on %T", args[0])
+		},
+	}
+
+	OpIsNull = &Operator{
+		Name: "IS NULL", Kind: KindPostfix, infer: constType(types.Boolean),
+		NullSafe: true,
+		eval:     func(args []any) (any, error) { return args[0] == nil, nil },
+	}
+	OpIsNotNull = &Operator{
+		Name: "IS NOT NULL", Kind: KindPostfix, infer: constType(types.Boolean),
+		NullSafe: true,
+		eval:     func(args []any) (any, error) { return args[0] != nil, nil },
+	}
+
+	// OpCase is searched CASE: operands are [when1, then1, when2, then2, ...,
+	// else]. Lazily evaluated.
+	OpCase = &Operator{Name: "CASE", Kind: KindSpecial, infer: func(args []Node) *types.Type {
+		if len(args) == 0 {
+			return types.Any
+		}
+		var t *types.Type
+		for i := 1; i < len(args); i += 2 {
+			if t == nil {
+				t = args[i].Type()
+			} else if lt := types.LeastRestrictive(t, args[i].Type()); lt != nil {
+				t = lt
+			}
+		}
+		if len(args)%2 == 1 {
+			if lt := types.LeastRestrictive(t, args[len(args)-1].Type()); lt != nil {
+				t = lt
+			}
+		}
+		if t == nil {
+			t = types.Any
+		}
+		return t.WithNullable(true)
+	}}
+
+	// OpCast's result type is carried on the Call (NewCallTyped).
+	OpCast = &Operator{Name: "CAST", Kind: KindSpecial, infer: inferFirst}
+
+	OpCoalesce = &Operator{Name: "COALESCE", Kind: KindFunction, infer: inferLeastRestrictive}
+
+	// OpItem is the '[]' operator of §7.1 for ARRAY (1-based index) and MAP
+	// (key lookup) access.
+	OpItem = &Operator{
+		Name: "ITEM", Kind: KindSpecial,
+		infer: func(args []Node) *types.Type {
+			t := args[0].Type()
+			if t != nil && t.Elem != nil {
+				return t.Elem.WithNullable(true)
+			}
+			return types.Any
+		},
+		eval: func(args []any) (any, error) {
+			switch c := args[0].(type) {
+			case []any:
+				i, ok := types.AsInt(args[1])
+				if !ok {
+					return nil, fmt.Errorf("rex: non-integer array index %T", args[1])
+				}
+				// ARRAY access in the paper's zips example is 0-based
+				// ( _MAP['loc'][0] ), matching Calcite's ITEM on JSON data.
+				if i < 0 || int(i) >= len(c) {
+					return nil, nil
+				}
+				return c[i], nil
+			case map[string]any:
+				k, ok := args[1].(string)
+				if !ok {
+					k = types.FormatValue(args[1])
+				}
+				v, ok := c[k]
+				if !ok {
+					return nil, nil
+				}
+				return v, nil
+			}
+			return nil, fmt.Errorf("rex: ITEM on %T", args[0])
+		},
+	}
+
+	OpLike = &Operator{
+		Name: "LIKE", Kind: KindBinary, infer: inferBool,
+		eval: func(args []any) (any, error) {
+			s, ok1 := args[0].(string)
+			p, ok2 := args[1].(string)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("rex: LIKE on %T, %T", args[0], args[1])
+			}
+			return likeMatch(s, p), nil
+		},
+	}
+
+	OpConcat = &Operator{
+		Name: "||", Kind: KindBinary, Sym: "||", infer: constType(types.Varchar),
+		eval: func(args []any) (any, error) {
+			return types.FormatValue(args[0]) + types.FormatValue(args[1]), nil
+		},
+	}
+)
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	var match func(si, pi int) bool
+	match = func(si, pi int) bool {
+		for pi < len(pattern) {
+			switch pattern[pi] {
+			case '%':
+				for k := si; k <= len(s); k++ {
+					if match(k, pi+1) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if si >= len(s) {
+					return false
+				}
+				si++
+				pi++
+			default:
+				if si >= len(s) || s[si] != pattern[pi] {
+					return false
+				}
+				si++
+				pi++
+			}
+		}
+		return si == len(s)
+	}
+	return match(0, 0)
+}
+
+func fn(name string, t *types.Type, eval func([]any) (any, error)) *Operator {
+	return &Operator{Name: name, Kind: KindFunction, infer: constType(t), eval: eval}
+}
+
+func str1(name string, f func(string) any) *Operator {
+	return fn(name, types.Varchar, func(args []any) (any, error) {
+		s, ok := args[0].(string)
+		if !ok {
+			s = types.FormatValue(args[0])
+		}
+		return f(s), nil
+	})
+}
+
+func geom(v any) (*geo.Geometry, error) {
+	g, ok := v.(*geo.Geometry)
+	if !ok {
+		return nil, fmt.Errorf("rex: expected GEOMETRY, got %T", v)
+	}
+	return g, nil
+}
+
+// registry holds functions looked up by the SQL parser/validator by name.
+var registry = map[string]*Operator{}
+
+// RegisterFunction adds a function operator to the global lookup table used
+// by the SQL layer. It is how extensions (geospatial, streaming, adapters)
+// plug new functions into the framework.
+func RegisterFunction(op *Operator) {
+	registry[strings.ToUpper(op.Name)] = op
+}
+
+// LookupFunction finds a registered function by (case-insensitive) name.
+func LookupFunction(name string) (*Operator, bool) {
+	op, ok := registry[strings.ToUpper(name)]
+	return op, ok
+}
+
+// Additional built-in scalar functions.
+var (
+	OpUpper      = str1("UPPER", func(s string) any { return strings.ToUpper(s) })
+	OpLower      = str1("LOWER", func(s string) any { return strings.ToLower(s) })
+	OpTrim       = str1("TRIM", func(s string) any { return strings.TrimSpace(s) })
+	OpCharLength = &Operator{
+		Name: "CHAR_LENGTH", Kind: KindFunction, infer: constType(types.Integer),
+		eval: func(args []any) (any, error) {
+			s, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("rex: CHAR_LENGTH on %T", args[0])
+			}
+			return int64(len(s)), nil
+		},
+	}
+	OpSubstring = &Operator{
+		Name: "SUBSTRING", Kind: KindFunction, infer: constType(types.Varchar),
+		eval: func(args []any) (any, error) {
+			s, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("rex: SUBSTRING on %T", args[0])
+			}
+			from, _ := types.AsInt(args[1])
+			start := int(from) - 1
+			if start < 0 {
+				start = 0
+			}
+			if start > len(s) {
+				start = len(s)
+			}
+			end := len(s)
+			if len(args) > 2 {
+				n, _ := types.AsInt(args[2])
+				if e := start + int(n); e < end {
+					end = e
+				}
+			}
+			if end < start {
+				end = start
+			}
+			return s[start:end], nil
+		},
+	}
+	OpAbs = &Operator{
+		Name: "ABS", Kind: KindFunction, infer: inferFirst,
+		eval: func(args []any) (any, error) {
+			switch x := args[0].(type) {
+			case int64:
+				if x < 0 {
+					return -x, nil
+				}
+				return x, nil
+			case float64:
+				return math.Abs(x), nil
+			}
+			return nil, fmt.Errorf("rex: ABS on %T", args[0])
+		},
+	}
+	OpFloor = fn("FLOOR", types.BigInt, func(args []any) (any, error) {
+		f, ok := types.AsFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("rex: FLOOR on %T", args[0])
+		}
+		return int64(math.Floor(f)), nil
+	})
+	OpCeil = fn("CEIL", types.BigInt, func(args []any) (any, error) {
+		f, ok := types.AsFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("rex: CEIL on %T", args[0])
+		}
+		return int64(math.Ceil(f)), nil
+	})
+	OpPower = fn("POWER", types.Double, numeric2(func(x, y float64) (any, error) { return math.Pow(x, y), nil }))
+	OpSqrt  = fn("SQRT", types.Double, func(args []any) (any, error) {
+		f, ok := types.AsFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("rex: SQRT on %T", args[0])
+		}
+		return math.Sqrt(f), nil
+	})
+
+	// Geospatial functions (§7.3).
+	OpSTGeomFromText = &Operator{
+		Name: "ST_GEOMFROMTEXT", Kind: KindFunction, infer: constType(types.Geometry),
+		eval: func(args []any) (any, error) {
+			s, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("rex: ST_GeomFromText on %T", args[0])
+			}
+			return geo.FromText(s)
+		},
+	}
+	OpSTContains = fn("ST_CONTAINS", types.Boolean, func(args []any) (any, error) {
+		a, err := geom(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := geom(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return geo.Contains(a, b), nil
+	})
+	OpSTIntersects = fn("ST_INTERSECTS", types.Boolean, func(args []any) (any, error) {
+		a, err := geom(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := geom(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return geo.Intersects(a, b), nil
+	})
+	OpSTDistance = fn("ST_DISTANCE", types.Double, func(args []any) (any, error) {
+		a, err := geom(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := geom(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return geo.Distance(a, b), nil
+	})
+	OpSTPoint = fn("ST_POINT", types.Geometry, numeric2(func(x, y float64) (any, error) {
+		return geo.NewPoint(x, y), nil
+	}))
+	OpSTArea = fn("ST_AREA", types.Double, func(args []any) (any, error) {
+		g, err := geom(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return geo.Area(g), nil
+	})
+	OpSTEnvelope = fn("ST_ENVELOPE", types.Geometry, func(args []any) (any, error) {
+		g, err := geom(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return geo.Envelope(g), nil
+	})
+
+	// Group-window functions (§7.2). TUMBLE/HOP/SESSION are placeholders
+	// recognized by the streaming planner; the _END/_START companions are
+	// evaluated against the window-assigned timestamp.
+	OpTumble       = &Operator{Name: "TUMBLE", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpHop          = &Operator{Name: "HOP", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpSession      = &Operator{Name: "SESSION", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpTumbleStart  = &Operator{Name: "TUMBLE_START", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpTumbleEnd    = &Operator{Name: "TUMBLE_END", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpHopStart     = &Operator{Name: "HOP_START", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpHopEnd       = &Operator{Name: "HOP_END", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpSessionStart = &Operator{Name: "SESSION_START", Kind: KindFunction, infer: constType(types.Timestamp)}
+	OpSessionEnd   = &Operator{Name: "SESSION_END", Kind: KindFunction, infer: constType(types.Timestamp)}
+)
+
+func init() {
+	for _, op := range []*Operator{
+		OpMod, OpCoalesce, OpUpper, OpLower, OpTrim, OpCharLength, OpSubstring,
+		OpAbs, OpFloor, OpCeil, OpPower, OpSqrt,
+		OpSTGeomFromText, OpSTContains, OpSTIntersects, OpSTDistance,
+		OpSTPoint, OpSTArea, OpSTEnvelope,
+		OpTumble, OpHop, OpSession,
+		OpTumbleStart, OpTumbleEnd, OpHopStart, OpHopEnd, OpSessionStart, OpSessionEnd,
+	} {
+		RegisterFunction(op)
+	}
+}
+
+// Negate returns the complement comparison operator, or nil if op is not a
+// comparison (used by rules that push NOT through comparisons).
+func Negate(op *Operator) *Operator {
+	switch op {
+	case OpEquals:
+		return OpNotEquals
+	case OpNotEquals:
+		return OpEquals
+	case OpLess:
+		return OpGreaterEqual
+	case OpLessEqual:
+		return OpGreater
+	case OpGreater:
+		return OpLessEqual
+	case OpGreaterEqual:
+		return OpLess
+	}
+	return nil
+}
+
+// Mirror returns the comparison with swapped operands preserved semantics
+// (a < b  ==  b > a), or nil.
+func Mirror(op *Operator) *Operator {
+	switch op {
+	case OpEquals, OpNotEquals:
+		return op
+	case OpLess:
+		return OpGreater
+	case OpLessEqual:
+		return OpGreaterEqual
+	case OpGreater:
+		return OpLess
+	case OpGreaterEqual:
+		return OpLessEqual
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package rex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calcite/internal/types"
+)
+
+func eval(t *testing.T, n Node, row []any) any {
+	t.Helper()
+	var ev Evaluator
+	v, err := ev.Eval(n, row)
+	if err != nil {
+		t.Fatalf("eval %s: %v", n, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	row := []any{int64(6), 2.5}
+	a := NewInputRef(0, types.BigInt)
+	b := NewInputRef(1, types.Double)
+	if got := eval(t, NewCall(OpPlus, a, Int(4)), row); got != int64(10) {
+		t.Errorf("6+4 = %v", got)
+	}
+	if got := eval(t, NewCall(OpTimes, a, b), row); got != 15.0 {
+		t.Errorf("6*2.5 = %v", got)
+	}
+	if _, err := EvalConstant(NewCall(OpDivide, Int(1), Int(0))); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	null := Null()
+	tru, fls := Bool(true), Bool(false)
+	var ev Evaluator
+	check := func(n Node, want any) {
+		t.Helper()
+		v, err := ev.Eval(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Errorf("%s = %v, want %v", n, v, want)
+		}
+	}
+	check(NewCall(OpAnd, tru, null), nil)
+	check(NewCall(OpAnd, fls, null), false)
+	check(NewCall(OpOr, tru, null), true)
+	check(NewCall(OpOr, fls, null), nil)
+	check(NewCall(OpNot, null), nil) // strict
+	check(NewCall(OpIsNull, null), true)
+	check(NewCall(OpIsNotNull, null), false)
+	check(NewCall(OpEquals, null, Int(1)), nil)
+}
+
+func TestCaseAndCoalesce(t *testing.T) {
+	c := NewCall(OpCase, Bool(false), Str("a"), Bool(true), Str("b"), Str("c"))
+	if got, _ := EvalConstant(c); got != "b" {
+		t.Errorf("case = %v", got)
+	}
+	co := NewCall(OpCoalesce, Null(), Null(), Int(7))
+	if got, _ := EvalConstant(co); got != int64(7) {
+		t.Errorf("coalesce = %v", got)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_l", false},
+		{"", "%", true},
+		{"abc", "abc", true},
+		{"abc", "a%c%", true},
+	}
+	for _, c := range cases {
+		got, _ := EvalConstant(NewCall(OpLike, Str(c.s), Str(c.p)))
+		if got != c.want {
+			t.Errorf("LIKE(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func TestItemOperator(t *testing.T) {
+	row := []any{map[string]any{"city": "PARIS", "loc": []any{4.9, 52.3}}}
+	m := NewInputRef(0, types.Map(types.Varchar, types.Any))
+	city := NewCall(OpItem, m, Str("city"))
+	if got := eval(t, city, row); got != "PARIS" {
+		t.Errorf("_MAP['city'] = %v", got)
+	}
+	lon := NewCall(OpItem, NewCall(OpItem, m, Str("loc")), Int(0))
+	if got := eval(t, lon, row); got != 4.9 {
+		t.Errorf("_MAP['loc'][0] = %v", got)
+	}
+	missing := NewCall(OpItem, m, Str("nope"))
+	if got := eval(t, missing, row); got != nil {
+		t.Errorf("missing key = %v", got)
+	}
+}
+
+// randomBoolExpr builds a random boolean expression over 3 int columns.
+func randomBoolExpr(r *rand.Rand, depth int) Node {
+	if depth <= 0 || r.Intn(3) == 0 {
+		ops := []*Operator{OpEquals, OpLess, OpGreater, OpLessEqual, OpGreaterEqual, OpNotEquals}
+		return NewCall(ops[r.Intn(len(ops))],
+			NewInputRef(r.Intn(3), types.BigInt),
+			Int(int64(r.Intn(10))))
+	}
+	switch r.Intn(3) {
+	case 0:
+		return NewCall(OpAnd, randomBoolExpr(r, depth-1), randomBoolExpr(r, depth-1))
+	case 1:
+		return NewCall(OpOr, randomBoolExpr(r, depth-1), randomBoolExpr(r, depth-1))
+	default:
+		return NewCall(OpNot, randomBoolExpr(r, depth-1))
+	}
+}
+
+// Property: Simplify preserves evaluation on every row (the invariant behind
+// the ReduceExpressions rules).
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var ev Evaluator
+	for i := 0; i < 500; i++ {
+		expr := randomBoolExpr(r, 4)
+		simplified := Simplify(expr)
+		for trial := 0; trial < 10; trial++ {
+			row := []any{int64(r.Intn(10)), int64(r.Intn(10)), int64(r.Intn(10))}
+			v1, err1 := ev.Eval(expr, row)
+			v2, err2 := ev.Eval(simplified, row)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch for %s vs %s", expr, simplified)
+			}
+			if v1 != v2 {
+				t.Fatalf("simplify changed semantics:\n  %s = %v\n  %s = %v\n  row %v",
+					expr, v1, simplified, v2, row)
+			}
+		}
+	}
+}
+
+// Property: Conjuncts(And(terms)) flattens back to the same terms.
+func TestConjunctsRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%5) + 1
+		terms := make([]Node, count)
+		for i := range terms {
+			terms[i] = NewCall(OpEquals, NewInputRef(i, types.BigInt), Int(int64(i)))
+		}
+		flat := Conjuncts(And(terms...))
+		if len(flat) != count {
+			return false
+		}
+		for i := range flat {
+			if flat[i].String() != terms[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftRemapSubstitute(t *testing.T) {
+	e := NewCall(OpPlus, NewInputRef(1, types.BigInt), NewInputRef(3, types.BigInt))
+	shifted := Shift(e, 10)
+	if MaxInputRef(shifted) != 13 {
+		t.Errorf("shift: %s", shifted)
+	}
+	remapped := Remap(e, map[int]int{1: 0, 3: 1})
+	refs := InputBitmap(remapped)
+	if !refs[0] || !refs[1] || len(refs) != 2 {
+		t.Errorf("remap: %s", remapped)
+	}
+	sub := Substitute(NewInputRef(0, types.BigInt), []Node{Int(99)})
+	if got, _ := EvalConstant(sub); got != int64(99) {
+		t.Errorf("substitute: %v", got)
+	}
+}
+
+func TestAggAccumulators(t *testing.T) {
+	rows := [][]any{{int64(1)}, {int64(3)}, {nil}, {int64(3)}}
+	check := func(call AggCall, want any) {
+		t.Helper()
+		acc := NewAccumulator(call)
+		for _, r := range rows {
+			if err := acc.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := acc.Result(); types.Compare(got, want) != 0 {
+			t.Errorf("%s = %v, want %v", call, got, want)
+		}
+	}
+	check(NewAggCall(AggCount, nil, false, "c"), int64(4))      // COUNT(*)
+	check(NewAggCall(AggCount, []int{0}, false, "c"), int64(3)) // ignores NULL
+	check(NewAggCall(AggSum, []int{0}, false, "s"), int64(7))
+	check(NewAggCall(AggSum, []int{0}, true, "s"), int64(4)) // DISTINCT
+	check(NewAggCall(AggMin, []int{0}, false, "m"), int64(1))
+	check(NewAggCall(AggMax, []int{0}, false, "m"), int64(3))
+	check(NewAggCall(AggCount, []int{0}, true, "c"), int64(2))
+
+	avg := NewAccumulator(NewAggCall(AggAvg, []int{0}, false, "a"))
+	for _, r := range rows {
+		avg.Add(r)
+	}
+	if got := avg.Result(); got != 7.0/3.0 {
+		t.Errorf("avg = %v", got)
+	}
+	// SUM over empty input is NULL.
+	empty := NewAccumulator(NewAggCall(AggSum, []int{0}, false, "s"))
+	if empty.Result() != nil {
+		t.Error("SUM() over nothing should be NULL")
+	}
+}
+
+func TestNegateMirror(t *testing.T) {
+	if Negate(OpLess) != OpGreaterEqual || Negate(OpEquals) != OpNotEquals {
+		t.Error("Negate wrong")
+	}
+	if Mirror(OpLess) != OpGreater || Mirror(OpEquals) != OpEquals {
+		t.Error("Mirror wrong")
+	}
+	if Negate(OpPlus) != nil {
+		t.Error("Negate of non-comparison should be nil")
+	}
+}
+
+func TestLookupFunction(t *testing.T) {
+	if _, ok := LookupFunction("upper"); !ok {
+		t.Error("UPPER should be registered")
+	}
+	if _, ok := LookupFunction("st_contains"); !ok {
+		t.Error("ST_CONTAINS should be registered")
+	}
+	if _, ok := LookupFunction("nope"); ok {
+		t.Error("unknown function should miss")
+	}
+}

@@ -1,0 +1,156 @@
+package rex
+
+// The expression simplifier backs the ReduceExpressions planner rules (§6):
+// it folds constant sub-expressions, prunes trivial boolean structure
+// (x AND TRUE -> x, x OR TRUE -> TRUE), collapses constant CASE arms and
+// pushes NOT through comparisons. Simplification is semantics-preserving for
+// all rows — a property verified by property-based tests.
+
+// Simplify returns a simplified expression equivalent to n.
+func Simplify(n Node) Node {
+	switch c := n.(type) {
+	case *Call:
+		ops := make([]Node, len(c.Operands))
+		for i, o := range c.Operands {
+			ops[i] = Simplify(o)
+		}
+		n = &Call{Op: c.Op, Operands: ops, T: c.T}
+		return simplifyCall(n.(*Call))
+	default:
+		return n
+	}
+}
+
+func simplifyCall(c *Call) Node {
+	switch c.Op {
+	case OpAnd:
+		var terms []Node
+		for _, o := range c.Operands {
+			for _, t := range Conjuncts(o) {
+				if IsAlwaysFalse(t) {
+					return Bool(false)
+				}
+				if !IsAlwaysTrue(t) {
+					terms = append(terms, t)
+				}
+			}
+		}
+		terms = dedupe(terms)
+		switch len(terms) {
+		case 0:
+			return Bool(true)
+		case 1:
+			return terms[0]
+		}
+		return &Call{Op: OpAnd, Operands: terms, T: c.T}
+	case OpOr:
+		var terms []Node
+		for _, o := range c.Operands {
+			if oc, ok := o.(*Call); ok && oc.Op == OpOr {
+				terms = append(terms, oc.Operands...)
+				continue
+			}
+			if IsAlwaysTrue(o) {
+				return Bool(true)
+			}
+			if !IsAlwaysFalse(o) {
+				terms = append(terms, o)
+			}
+		}
+		terms = dedupe(terms)
+		switch len(terms) {
+		case 0:
+			return Bool(false)
+		case 1:
+			return terms[0]
+		}
+		return &Call{Op: OpOr, Operands: terms, T: c.T}
+	case OpNot:
+		inner := c.Operands[0]
+		if IsAlwaysTrue(inner) {
+			return Bool(false)
+		}
+		if IsAlwaysFalse(inner) {
+			return Bool(true)
+		}
+		if ic, ok := inner.(*Call); ok {
+			if ic.Op == OpNot {
+				return ic.Operands[0] // double negation
+			}
+			// Push NOT through comparisons only when neither side is
+			// nullable (3-valued logic makes NOT(a<b) ≠ a>=b with NULLs).
+			if neg := Negate(ic.Op); neg != nil &&
+				!nullableOperand(ic.Operands[0]) && !nullableOperand(ic.Operands[1]) {
+				return NewCall(neg, ic.Operands...)
+			}
+		}
+	case OpCase:
+		// Drop arms with constant-FALSE conditions; short-circuit on a
+		// constant-TRUE condition.
+		var ops []Node
+		n := len(c.Operands)
+		for i := 0; i+1 < n; i += 2 {
+			cond := c.Operands[i]
+			if IsAlwaysFalse(cond) {
+				continue
+			}
+			if IsAlwaysTrue(cond) {
+				if len(ops) == 0 {
+					return c.Operands[i+1]
+				}
+				ops = append(ops, c.Operands[i+1]) // becomes the ELSE
+				return &Call{Op: OpCase, Operands: ops, T: c.T}
+			}
+			ops = append(ops, cond, c.Operands[i+1])
+		}
+		if n%2 == 1 {
+			if len(ops) == 0 {
+				return c.Operands[n-1]
+			}
+			ops = append(ops, c.Operands[n-1])
+		}
+		if len(ops) != len(c.Operands) {
+			return &Call{Op: OpCase, Operands: ops, T: c.T}
+		}
+	case OpCast:
+		// CAST to the same type is the identity.
+		if c.Operands[0].Type().Equal(c.T) {
+			return c.Operands[0]
+		}
+	}
+
+	// Constant folding for strict deterministic operators.
+	if c.Op != OpCast && IsConstant(c) && foldable(c.Op) {
+		if v, err := EvalConstant(c); err == nil {
+			return NewLiteral(v, c.T)
+		}
+	}
+	return c
+}
+
+func nullableOperand(n Node) bool {
+	t := n.Type()
+	return t == nil || t.Nullable
+}
+
+// foldable reports whether an operator may be evaluated at plan time.
+func foldable(op *Operator) bool {
+	switch op {
+	case OpCase, OpCast:
+		return true
+	}
+	return op.eval != nil || op == OpAnd || op == OpOr || op == OpCoalesce
+}
+
+func dedupe(terms []Node) []Node {
+	seen := map[string]bool{}
+	out := terms[:0]
+	for _, t := range terms {
+		d := t.String()
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package rules
+
+import (
+	"calcite/internal/plan"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+)
+
+// JoinCommuteRule swaps the inputs of an inner join, adding a projection
+// that restores the original column order. Combined with JoinAssociateRule
+// it spans the join-order search space explored by the cost-based planner —
+// the "dynamic programming approach" §2 contrasts with heuristic optimizers
+// that "risk falling into local minima".
+func JoinCommuteRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "JoinCommuteRule",
+		Op:   logical[*rel.Join](),
+		Fire: func(call *plan.Call) {
+			j := call.Rel(0).(*rel.Join)
+			if j.Kind != rel.InnerJoin {
+				return
+			}
+			nLeft := rel.FieldCount(j.Left())
+			nRight := rel.FieldCount(j.Right())
+
+			// Remap condition refs: old left i -> nRight+i; old right
+			// nLeft+k -> k.
+			mapping := make(map[int]int, nLeft+nRight)
+			for i := 0; i < nLeft; i++ {
+				mapping[i] = nRight + i
+			}
+			for k := 0; k < nRight; k++ {
+				mapping[nLeft+k] = k
+			}
+			cond := rex.Remap(j.Condition, mapping)
+			swapped := rel.NewJoin(rel.InnerJoin, j.Right(), j.Left(), cond)
+
+			// Restore original output order: [left, right].
+			fields := j.RowType().Fields
+			exprs := make([]rex.Node, len(fields))
+			names := make([]string, len(fields))
+			for i := 0; i < nLeft; i++ {
+				exprs[i] = rex.NewInputRef(nRight+i, fields[i].Type)
+				names[i] = fields[i].Name
+			}
+			for k := 0; k < nRight; k++ {
+				exprs[nLeft+k] = rex.NewInputRef(k, fields[nLeft+k].Type)
+				names[nLeft+k] = fields[nLeft+k].Name
+			}
+			call.Transform(rel.NewProject(swapped, exprs, names))
+		},
+	}
+}
+
+// JoinAssociateRule rewrites (A ⋈ B) ⋈ C into A ⋈ (B ⋈ C), redistributing
+// the combined condition conjuncts to the lowest join that can evaluate
+// them. Inner joins only.
+func JoinAssociateRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "JoinAssociateRule",
+		Op:   logical[*rel.Join](logical[*rel.Join](), plan.AnyNode()),
+		Fire: func(call *plan.Call) {
+			top := call.Rel(0).(*rel.Join)
+			bottom := call.Rel(1).(*rel.Join)
+			if top.Kind != rel.InnerJoin || bottom.Kind != rel.InnerJoin {
+				return
+			}
+			a, b := bottom.Left(), bottom.Right()
+			c := top.Right()
+			nA, nB := rel.FieldCount(a), rel.FieldCount(b)
+			nC := rel.FieldCount(c)
+			total := nA + nB + nC
+
+			// All conjuncts, in top coordinates [A, B, C].
+			var all []rex.Node
+			all = append(all, rex.Conjuncts(bottom.Condition)...) // already [A,B] coords, valid in [A,B,C]
+			all = append(all, rex.Conjuncts(top.Condition)...)
+
+			// New bottom (B ⋈ C) sees [B, C] = old coords shifted by -nA.
+			var newBottomConds, newTopConds []rex.Node
+			for _, term := range all {
+				refs := rex.InputBitmap(term)
+				onlyBC := true
+				for r := range refs {
+					if r < nA || r >= total {
+						onlyBC = false
+						break
+					}
+				}
+				if onlyBC {
+					newBottomConds = append(newBottomConds, rex.Shift(term, -nA))
+				} else {
+					newTopConds = append(newTopConds, term)
+				}
+			}
+			newBottom := rel.NewJoin(rel.InnerJoin, b, c, rex.And(newBottomConds...))
+			// New top (A ⋈ (B⋈C)) output layout is [A, B, C]: identical to
+			// the old layout, so the remaining conjuncts keep their refs.
+			newTop := rel.NewJoin(rel.InnerJoin, a, newBottom, rex.And(newTopConds...))
+			call.Transform(newTop)
+		},
+	}
+}

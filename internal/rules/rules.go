@@ -1,0 +1,594 @@
+// Package rules implements the built-in planner rule library (§6 of the
+// paper: "Calcite includes several hundred optimization rules"; this
+// reproduction implements the canonical core — transposes, merges, pruning,
+// expression reduction, join reordering — including FilterIntoJoinRule, the
+// worked example of Figure 4). Adapter-specific pushdown rules live with
+// their adapters.
+package rules
+
+import (
+	"calcite/internal/plan"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// logical matches nodes of type T in the logical convention.
+func logical[T rel.Node](children ...*plan.Operand) *plan.Operand {
+	return plan.MatchNode(func(n rel.Node) bool {
+		if _, ok := n.(T); !ok {
+			return false
+		}
+		return trait.SameConvention(n.Traits().Convention, trait.Logical)
+	}, children...)
+}
+
+// DefaultLogicalRules returns the standard logical rewrite set applied to
+// every query before physical planning.
+func DefaultLogicalRules() []plan.Rule {
+	return []plan.Rule{
+		FilterIntoJoinRule(),
+		FilterProjectTransposeRule(),
+		FilterMergeRule(),
+		FilterAggregateTransposeRule(),
+		FilterSetOpTransposeRule(),
+		ProjectMergeRule(),
+		ProjectRemoveRule(),
+		FilterReduceExpressionsRule(),
+		ProjectReduceExpressionsRule(),
+		JoinReduceExpressionsRule(),
+		PruneEmptyFilterRule(),
+		PruneEmptyProjectRule(),
+		PruneEmptyJoinRule(),
+		PruneEmptySortRule(),
+		PruneEmptyAggregateRule(),
+		PruneEmptyUnionBranchRule(),
+		SortRemoveRule(),
+		SortProjectTransposeRule(),
+		LimitOverSortRule(),
+		UnionMergeRule(),
+		AggregateRemoveRule(),
+		AggregateProjectMergeRule(),
+	}
+}
+
+// JoinReorderRules returns the rules exploring the join-order space
+// (commute + associate), used by the cost-based planner experiments (E7).
+func JoinReorderRules() []plan.Rule {
+	return []plan.Rule{JoinCommuteRule(), JoinAssociateRule()}
+}
+
+// FilterIntoJoinRule pushes a Filter below a Join — the rule of Figure 4.
+// Conjuncts that reference only one join input move to that input; for inner
+// joins the remaining conjuncts merge into the join condition. "This
+// optimization can significantly reduce query execution time since we do not
+// need to perform the join for rows which do [not] match the predicate" (§6).
+func FilterIntoJoinRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "FilterIntoJoinRule",
+		Op:   logical[*rel.Filter](logical[*rel.Join]()),
+		Fire: func(call *plan.Call) {
+			filter := call.Rel(0).(*rel.Filter)
+			join := call.Rel(1).(*rel.Join)
+			nLeft := rel.FieldCount(join.Left())
+
+			var leftConds, rightConds, joinConds, aboveConds []rex.Node
+			for _, term := range rex.Conjuncts(filter.Condition) {
+				refs := rex.InputBitmap(term)
+				onlyLeft, onlyRight := true, true
+				for i := range refs {
+					if i >= nLeft {
+						onlyLeft = false
+					} else {
+						onlyRight = false
+					}
+				}
+				switch {
+				case onlyLeft && !join.Kind.GeneratesNullsOnLeft():
+					leftConds = append(leftConds, term)
+				case onlyRight && !join.Kind.GeneratesNullsOnRight() && join.Kind.ProjectsRight():
+					rightConds = append(rightConds, rex.Shift(term, -nLeft))
+				case join.Kind == rel.InnerJoin:
+					joinConds = append(joinConds, term)
+				default:
+					aboveConds = append(aboveConds, term)
+				}
+			}
+			if len(leftConds) == 0 && len(rightConds) == 0 && len(joinConds) == 0 {
+				return // nothing to push
+			}
+			left, right := join.Left(), join.Right()
+			if len(leftConds) > 0 {
+				left = rel.NewFilter(left, rex.And(leftConds...))
+			}
+			if len(rightConds) > 0 {
+				right = rel.NewFilter(right, rex.And(rightConds...))
+			}
+			cond := join.Condition
+			if len(joinConds) > 0 {
+				cond = rex.Simplify(rex.And(append([]rex.Node{cond}, joinConds...)...))
+			}
+			var result rel.Node = rel.NewJoin(join.Kind, left, right, cond)
+			if len(aboveConds) > 0 {
+				result = rel.NewFilter(result, rex.And(aboveConds...))
+			}
+			call.Transform(result)
+		},
+	}
+}
+
+// FilterProjectTransposeRule pushes a Filter below a Project by substituting
+// the project expressions into the condition.
+func FilterProjectTransposeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "FilterProjectTransposeRule",
+		Op:   logical[*rel.Filter](logical[*rel.Project]()),
+		Fire: func(call *plan.Call) {
+			filter := call.Rel(0).(*rel.Filter)
+			project := call.Rel(1).(*rel.Project)
+			newCond := rex.Substitute(filter.Condition, project.Exprs)
+			call.Transform(project.WithNewInputs([]rel.Node{
+				rel.NewFilter(project.Inputs()[0], newCond),
+			}))
+		},
+	}
+}
+
+// FilterMergeRule combines stacked Filters into one conjunction.
+func FilterMergeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "FilterMergeRule",
+		Op:   logical[*rel.Filter](logical[*rel.Filter]()),
+		Fire: func(call *plan.Call) {
+			top := call.Rel(0).(*rel.Filter)
+			bottom := call.Rel(1).(*rel.Filter)
+			call.Transform(rel.NewFilter(bottom.Inputs()[0],
+				rex.And(bottom.Condition, top.Condition)))
+		},
+	}
+}
+
+// ProjectMergeRule collapses stacked Projects by substitution.
+func ProjectMergeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "ProjectMergeRule",
+		Op:   logical[*rel.Project](logical[*rel.Project]()),
+		Fire: func(call *plan.Call) {
+			top := call.Rel(0).(*rel.Project)
+			bottom := call.Rel(1).(*rel.Project)
+			exprs := make([]rex.Node, len(top.Exprs))
+			for i, e := range top.Exprs {
+				exprs[i] = rex.Substitute(e, bottom.Exprs)
+			}
+			call.Transform(rel.NewProject(bottom.Inputs()[0], exprs, top.FieldNames()))
+		},
+	}
+}
+
+// ProjectRemoveRule drops identity projections (a pure field-preserving
+// Project is a no-op).
+func ProjectRemoveRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "ProjectRemoveRule",
+		Op:   logical[*rel.Project](),
+		Fire: func(call *plan.Call) {
+			p := call.Rel(0).(*rel.Project)
+			input := p.Inputs()[0]
+			if !rex.IsIdentityProjection(p.Exprs, rel.FieldCount(input)) {
+				return
+			}
+			// Identity also requires matching field names, otherwise the
+			// projection performs a rename that consumers may rely on for
+			// output labeling. Positional execution is unaffected, so for
+			// planning purposes the child is equivalent.
+			call.Transform(input)
+		},
+	}
+}
+
+// FilterAggregateTransposeRule pushes a Filter on group keys below the
+// Aggregate.
+func FilterAggregateTransposeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "FilterAggregateTransposeRule",
+		Op:   logical[*rel.Filter](logical[*rel.Aggregate]()),
+		Fire: func(call *plan.Call) {
+			filter := call.Rel(0).(*rel.Filter)
+			agg := call.Rel(1).(*rel.Aggregate)
+			// Every referenced output must be a group key.
+			mapping := map[int]int{}
+			for out, in := range agg.GroupKeys {
+				mapping[out] = in
+			}
+			var pushed, kept []rex.Node
+			for _, term := range rex.Conjuncts(filter.Condition) {
+				ok := true
+				for ref := range rex.InputBitmap(term) {
+					if _, isKey := mapping[ref]; !isKey {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					pushed = append(pushed, rex.Remap(term, mapping))
+				} else {
+					kept = append(kept, term)
+				}
+			}
+			if len(pushed) == 0 {
+				return
+			}
+			var result rel.Node = agg.WithNewInputs([]rel.Node{
+				rel.NewFilter(agg.Inputs()[0], rex.And(pushed...)),
+			})
+			if len(kept) > 0 {
+				result = rel.NewFilter(result, rex.And(kept...))
+			}
+			call.Transform(result)
+		},
+	}
+}
+
+// FilterSetOpTransposeRule pushes a Filter into every branch of a set
+// operation.
+func FilterSetOpTransposeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "FilterSetOpTransposeRule",
+		Op:   logical[*rel.Filter](logical[*rel.SetOp]()),
+		Fire: func(call *plan.Call) {
+			filter := call.Rel(0).(*rel.Filter)
+			setop := call.Rel(1).(*rel.SetOp)
+			inputs := make([]rel.Node, len(setop.Inputs()))
+			for i, in := range setop.Inputs() {
+				inputs[i] = rel.NewFilter(in, filter.Condition)
+			}
+			call.Transform(setop.WithNewInputs(inputs))
+		},
+	}
+}
+
+// UnionMergeRule flattens nested unions with the same ALL-ness.
+func UnionMergeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "UnionMergeRule",
+		Op:   logical[*rel.SetOp](),
+		Fire: func(call *plan.Call) {
+			u := call.Rel(0).(*rel.SetOp)
+			if u.Kind != rel.UnionOp {
+				return
+			}
+			var flat []rel.Node
+			changed := false
+			for _, in := range u.Inputs() {
+				if cu, ok := in.(*rel.SetOp); ok && cu.Kind == rel.UnionOp && cu.All == u.All &&
+					trait.SameConvention(cu.Traits().Convention, trait.Logical) {
+					flat = append(flat, cu.Inputs()...)
+					changed = true
+				} else {
+					flat = append(flat, in)
+				}
+			}
+			if changed {
+				call.Transform(rel.NewSetOp(rel.UnionOp, u.All, flat...))
+			}
+		},
+	}
+}
+
+// FilterReduceExpressionsRule simplifies filter conditions; a constant TRUE
+// filter becomes its input and a constant FALSE filter becomes empty Values.
+func FilterReduceExpressionsRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "FilterReduceExpressionsRule",
+		Op:   logical[*rel.Filter](),
+		Fire: func(call *plan.Call) {
+			f := call.Rel(0).(*rel.Filter)
+			simplified := rex.Simplify(f.Condition)
+			switch {
+			case rex.IsAlwaysTrue(simplified):
+				call.Transform(f.Inputs()[0])
+			case rex.IsAlwaysFalse(simplified):
+				call.Transform(rel.NewValues(f.RowType(), nil))
+			case simplified.String() != f.Condition.String():
+				call.Transform(rel.NewFilter(f.Inputs()[0], simplified))
+			}
+		},
+	}
+}
+
+// ProjectReduceExpressionsRule simplifies projection expressions.
+func ProjectReduceExpressionsRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "ProjectReduceExpressionsRule",
+		Op:   logical[*rel.Project](),
+		Fire: func(call *plan.Call) {
+			p := call.Rel(0).(*rel.Project)
+			exprs := make([]rex.Node, len(p.Exprs))
+			changed := false
+			for i, e := range p.Exprs {
+				exprs[i] = rex.Simplify(e)
+				if exprs[i].String() != e.String() {
+					changed = true
+				}
+			}
+			if changed {
+				call.Transform(rel.NewProject(p.Inputs()[0], exprs, p.FieldNames()))
+			}
+		},
+	}
+}
+
+// JoinReduceExpressionsRule simplifies join conditions.
+func JoinReduceExpressionsRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "JoinReduceExpressionsRule",
+		Op:   logical[*rel.Join](),
+		Fire: func(call *plan.Call) {
+			j := call.Rel(0).(*rel.Join)
+			simplified := rex.Simplify(j.Condition)
+			if simplified.String() != j.Condition.String() {
+				call.Transform(rel.NewJoin(j.Kind, j.Left(), j.Right(), simplified))
+			}
+		},
+	}
+}
+
+// isEmptyValues recognizes the canonical empty relation.
+func isEmptyValues(n rel.Node) bool {
+	v, ok := n.(*rel.Values)
+	return ok && len(v.Tuples) == 0
+}
+
+func emptyOf(t *types.Type) rel.Node { return rel.NewValues(t, nil) }
+
+// PruneEmptyFilterRule: Filter(empty) -> empty.
+func PruneEmptyFilterRule() plan.Rule {
+	return pruneSingleInput("PruneEmptyFilterRule", logical[*rel.Filter](logical[*rel.Values]()))
+}
+
+// PruneEmptyProjectRule: Project(empty) -> empty.
+func PruneEmptyProjectRule() plan.Rule {
+	return pruneSingleInput("PruneEmptyProjectRule", logical[*rel.Project](logical[*rel.Values]()))
+}
+
+// PruneEmptySortRule: Sort(empty) -> empty.
+func PruneEmptySortRule() plan.Rule {
+	return pruneSingleInput("PruneEmptySortRule", logical[*rel.Sort](logical[*rel.Values]()))
+}
+
+func pruneSingleInput(name string, op *plan.Operand) plan.Rule {
+	return &plan.FuncRule{
+		Name: name,
+		Op:   op,
+		Fire: func(call *plan.Call) {
+			if isEmptyValues(call.Rel(1)) {
+				call.Transform(emptyOf(call.Rel(0).RowType()))
+			}
+		},
+	}
+}
+
+// PruneEmptyAggregateRule: grouped Aggregate over empty input -> empty (a
+// global aggregate still returns one row and is preserved).
+func PruneEmptyAggregateRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "PruneEmptyAggregateRule",
+		Op:   logical[*rel.Aggregate](logical[*rel.Values]()),
+		Fire: func(call *plan.Call) {
+			agg := call.Rel(0).(*rel.Aggregate)
+			if len(agg.GroupKeys) > 0 && isEmptyValues(call.Rel(1)) {
+				call.Transform(emptyOf(agg.RowType()))
+			}
+		},
+	}
+}
+
+// PruneEmptyJoinRule: inner/semi join with an empty input -> empty.
+func PruneEmptyJoinRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "PruneEmptyJoinRule",
+		Op:   logical[*rel.Join](),
+		Fire: func(call *plan.Call) {
+			j := call.Rel(0).(*rel.Join)
+			leftEmpty := isEmptyValues(j.Left())
+			rightEmpty := isEmptyValues(j.Right())
+			switch j.Kind {
+			case rel.InnerJoin, rel.SemiJoin:
+				if leftEmpty || rightEmpty {
+					call.Transform(emptyOf(j.RowType()))
+				}
+			case rel.LeftJoin:
+				if leftEmpty {
+					call.Transform(emptyOf(j.RowType()))
+				}
+			case rel.RightJoin:
+				if rightEmpty {
+					call.Transform(emptyOf(j.RowType()))
+				}
+			case rel.AntiJoin:
+				if leftEmpty {
+					call.Transform(emptyOf(j.RowType()))
+				}
+			}
+		},
+	}
+}
+
+// PruneEmptyUnionBranchRule drops empty branches from unions.
+func PruneEmptyUnionBranchRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "PruneEmptyUnionBranchRule",
+		Op:   logical[*rel.SetOp](),
+		Fire: func(call *plan.Call) {
+			u := call.Rel(0).(*rel.SetOp)
+			if u.Kind != rel.UnionOp {
+				return
+			}
+			var kept []rel.Node
+			for _, in := range u.Inputs() {
+				if !isEmptyValues(in) {
+					kept = append(kept, in)
+				}
+			}
+			switch {
+			case len(kept) == len(u.Inputs()):
+				return
+			case len(kept) == 0:
+				call.Transform(emptyOf(u.RowType()))
+			case len(kept) == 1 && u.All:
+				call.Transform(kept[0])
+			default:
+				call.Transform(rel.NewSetOp(u.Kind, u.All, kept...))
+			}
+		},
+	}
+}
+
+// SortRemoveRule removes a Sort whose input already satisfies the required
+// collation — the trait-based optimization highlighted in §4 ("if the input
+// to the sort operator is already correctly ordered ... the sort operation
+// can be removed"). Sorts with OFFSET/FETCH keep their limiting behaviour
+// and are not removed.
+func SortRemoveRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "SortRemoveRule",
+		Op:   logical[*rel.Sort](),
+		Fire: func(call *plan.Call) {
+			s := call.Rel(0).(*rel.Sort)
+			if s.Offset > 0 || s.Fetch >= 0 || len(s.Collation) == 0 {
+				return
+			}
+			inputCollation := call.Meta.Collations(s.Inputs()[0])
+			if inputCollation.Satisfies(s.Collation) {
+				call.Transform(s.Inputs()[0])
+			}
+		},
+	}
+}
+
+// SortProjectTransposeRule pushes a Sort below a Project when every sort
+// key maps to a plain column of the project's input, enabling adapters to
+// see (and absorb) the sort (§6's CassandraSort example).
+func SortProjectTransposeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "SortProjectTransposeRule",
+		Op:   logical[*rel.Sort](logical[*rel.Project]()),
+		Fire: func(call *plan.Call) {
+			s := call.Rel(0).(*rel.Sort)
+			p := call.Rel(1).(*rel.Project)
+			if len(s.Collation) == 0 {
+				return // pure limits stay above
+			}
+			mapped := make(trait.Collation, len(s.Collation))
+			for i, fc := range s.Collation {
+				ref, ok := p.Exprs[fc.Field].(*rex.InputRef)
+				if !ok {
+					return
+				}
+				mapped[i] = trait.FieldCollation{Field: ref.Index, Direction: fc.Direction}
+			}
+			sorted := rel.NewSort(p.Inputs()[0], mapped, s.Offset, s.Fetch)
+			call.Transform(p.WithNewInputs([]rel.Node{sorted}))
+		},
+	}
+}
+
+// LimitOverSortRule merges a pure limit over a Sort into a single Sort with
+// OFFSET/FETCH (top-N).
+func LimitOverSortRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "LimitOverSortRule",
+		Op:   logical[*rel.Sort](logical[*rel.Sort]()),
+		Fire: func(call *plan.Call) {
+			limit := call.Rel(0).(*rel.Sort)
+			inner := call.Rel(1).(*rel.Sort)
+			if len(limit.Collation) != 0 || (limit.Offset == 0 && limit.Fetch < 0) {
+				return
+			}
+			if inner.Offset > 0 || inner.Fetch >= 0 {
+				return
+			}
+			call.Transform(rel.NewSort(inner.Inputs()[0], inner.Collation, limit.Offset, limit.Fetch))
+		},
+	}
+}
+
+// AggregateRemoveRule removes an Aggregate with no aggregate calls whose
+// group keys are already unique in the input (e.g. DISTINCT on a key).
+func AggregateRemoveRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "AggregateRemoveRule",
+		Op:   logical[*rel.Aggregate](),
+		Fire: func(call *plan.Call) {
+			agg := call.Rel(0).(*rel.Aggregate)
+			if len(agg.Calls) != 0 || len(agg.GroupKeys) == 0 {
+				return
+			}
+			input := agg.Inputs()[0]
+			if !call.Meta.ColumnsUnique(input, agg.GroupKeys) {
+				return
+			}
+			exprs := make([]rex.Node, len(agg.GroupKeys))
+			names := make([]string, len(agg.GroupKeys))
+			for i, k := range agg.GroupKeys {
+				f := input.RowType().Fields[k]
+				exprs[i] = rex.NewInputRef(k, f.Type)
+				names[i] = f.Name
+			}
+			call.Transform(rel.NewProject(input, exprs, names))
+		},
+	}
+}
+
+// AggregateProjectMergeRule merges an Aggregate with its input Project when
+// all used expressions are direct column references.
+func AggregateProjectMergeRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "AggregateProjectMergeRule",
+		Op:   logical[*rel.Aggregate](logical[*rel.Project]()),
+		Fire: func(call *plan.Call) {
+			agg := call.Rel(0).(*rel.Aggregate)
+			project := call.Rel(1).(*rel.Project)
+			resolve := func(col int) (int, bool) {
+				if col >= len(project.Exprs) {
+					return 0, false
+				}
+				ref, ok := project.Exprs[col].(*rex.InputRef)
+				if !ok {
+					return 0, false
+				}
+				return ref.Index, true
+			}
+			keys := make([]int, len(agg.GroupKeys))
+			for i, k := range agg.GroupKeys {
+				nk, ok := resolve(k)
+				if !ok {
+					return
+				}
+				keys[i] = nk
+			}
+			calls := make([]rex.AggCall, len(agg.Calls))
+			for i, c := range agg.Calls {
+				nc := c
+				nc.Args = make([]int, len(c.Args))
+				for ai, a := range c.Args {
+					na, ok := resolve(a)
+					if !ok {
+						return
+					}
+					nc.Args[ai] = na
+				}
+				if c.FilterArg >= 0 {
+					nf, ok := resolve(c.FilterArg)
+					if !ok {
+						return
+					}
+					nc.FilterArg = nf
+				}
+				calls[i] = nc
+			}
+			call.Transform(rel.NewAggregate(project.Inputs()[0], keys, calls))
+		},
+	}
+}

@@ -1,0 +1,110 @@
+package schema
+
+import (
+	"testing"
+
+	"calcite/internal/types"
+)
+
+func rt() *types.Type {
+	return types.Row(types.Field{Name: "x", Type: types.BigInt})
+}
+
+func TestBaseSchemaCaseInsensitive(t *testing.T) {
+	s := NewBaseSchema("root")
+	s.AddTable(NewMemTable("Emps", rt(), nil))
+	if _, ok := s.Table("EMPS"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := s.Table("emps"); !ok {
+		t.Error("lower-case lookup")
+	}
+	if names := s.TableNames(); len(names) != 1 || names[0] != "Emps" {
+		t.Errorf("names: %v", names)
+	}
+	s.RemoveTable("emps")
+	if _, ok := s.Table("emps"); ok {
+		t.Error("table should be removed")
+	}
+}
+
+func TestResolveQualifiedAndFallback(t *testing.T) {
+	root := NewBaseSchema("root")
+	sub := NewBaseSchema("hr")
+	sub.AddTable(NewMemTable("emps", rt(), nil))
+	root.AddSchema(sub)
+
+	if _, path, err := Resolve(root, []string{"hr", "emps"}); err != nil || len(path) != 2 {
+		t.Fatalf("qualified resolve: %v %v", path, err)
+	}
+	// Unqualified names search one sub-schema level.
+	if _, path, err := Resolve(root, []string{"emps"}); err != nil || path[0] != "hr" {
+		t.Fatalf("fallback resolve: %v %v", path, err)
+	}
+	if _, _, err := Resolve(root, []string{"nosuch"}); err == nil {
+		t.Error("missing table should error")
+	}
+	if _, _, err := Resolve(root, []string{"noschema", "emps"}); err == nil {
+		t.Error("missing schema should error")
+	}
+}
+
+func TestMemTableStatsAndInsert(t *testing.T) {
+	mt := NewMemTable("t", rt(), [][]any{{int64(1)}})
+	if mt.Stats().RowCount != 1 {
+		t.Errorf("stats: %+v", mt.Stats())
+	}
+	if err := mt.Insert([][]any{{int64(2)}, {int64(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := mt.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := cur.Next()
+		if err == Done {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("rows after insert: %d", n)
+	}
+}
+
+func TestStatisticsIsKey(t *testing.T) {
+	s := Statistics{UniqueColumns: [][]int{{0}, {1, 2}}}
+	if !s.IsKey([]int{0}) || !s.IsKey([]int{0, 3}) {
+		t.Error("superset of a key is a key")
+	}
+	if !s.IsKey([]int{1, 2}) {
+		t.Error("composite key")
+	}
+	if s.IsKey([]int{1}) {
+		t.Error("partial composite is not a key")
+	}
+	if (Statistics{}).IsKey([]int{0}) {
+		t.Error("no keys declared")
+	}
+}
+
+func TestSliceCursor(t *testing.T) {
+	c := NewSliceCursor([][]any{{1}, {2}})
+	if _, err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); err != Done {
+		t.Error("expected Done")
+	}
+	if err := c.Close(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package sql2rel converts validated SQL ASTs into logical relational
+// algebra (§3 of the paper: the parser/validator "translate[s] a SQL query
+// to a tree of relational operators"). It implements star expansion,
+// aggregate and window construction, view expansion, set operations, the
+// STREAM directive with group windows and monotonicity validation (§7.2),
+// and INSERT.
+package sql2rel
+
+import (
+	"fmt"
+	"strings"
+
+	"calcite/internal/parser"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+	"calcite/internal/validate"
+)
+
+// Converter translates statements against a root catalog schema.
+type Converter struct {
+	Catalog schema.Schema
+	// viewDepth guards against recursive view definitions.
+	viewDepth int
+}
+
+// New returns a converter over the given root schema.
+func New(catalog schema.Schema) *Converter { return &Converter{Catalog: catalog} }
+
+// Convert translates a query statement (SELECT/VALUES/set operation/INSERT)
+// into a logical plan. DDL statements are handled by the connection layer,
+// not here.
+func (c *Converter) Convert(stmt parser.Statement) (rel.Node, error) {
+	switch s := stmt.(type) {
+	case *parser.SelectStmt:
+		return c.convertSelect(s)
+	case *parser.SetOpStmt:
+		return c.convertSetOp(s)
+	case *parser.ValuesStmt:
+		return c.convertValues(s)
+	case *parser.InsertStmt:
+		return c.convertInsert(s)
+	}
+	return nil, fmt.Errorf("sql2rel: unsupported statement %T", stmt)
+}
+
+func (c *Converter) convertValues(v *parser.ValuesStmt) (rel.Node, error) {
+	if len(v.Rows) == 0 {
+		return nil, fmt.Errorf("sql2rel: empty VALUES")
+	}
+	width := len(v.Rows[0])
+	conv := &validate.ExprConverter{Scope: validate.NewScope(nil)}
+	tuples := make([][]rex.Node, len(v.Rows))
+	colTypes := make([]*types.Type, width)
+	for ri, row := range v.Rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("sql2rel: VALUES rows have unequal widths (%d vs %d)", len(row), width)
+		}
+		tuple := make([]rex.Node, width)
+		for ci, e := range row {
+			n, err := conv.Convert(e)
+			if err != nil {
+				return nil, err
+			}
+			tuple[ci] = n
+			if colTypes[ci] == nil {
+				colTypes[ci] = n.Type()
+			} else if lr := types.LeastRestrictive(colTypes[ci], n.Type()); lr != nil {
+				colTypes[ci] = lr
+			}
+		}
+		tuples[ri] = tuple
+	}
+	fields := make([]types.Field, width)
+	for i, t := range colTypes {
+		fields[i] = types.Field{Name: fmt.Sprintf("EXPR$%d", i), Type: t}
+	}
+	return rel.NewValues(types.Row(fields...), tuples), nil
+}
+
+func (c *Converter) convertSetOp(s *parser.SetOpStmt) (rel.Node, error) {
+	left, err := c.Convert(s.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.Convert(s.Right)
+	if err != nil {
+		return nil, err
+	}
+	if rel.FieldCount(left) != rel.FieldCount(right) {
+		return nil, fmt.Errorf("sql2rel: %s operands have different column counts (%d vs %d)",
+			s.Op, rel.FieldCount(left), rel.FieldCount(right))
+	}
+	var kind rel.SetOpKind
+	switch s.Op {
+	case "UNION":
+		kind = rel.UnionOp
+	case "INTERSECT":
+		kind = rel.IntersectOp
+	case "EXCEPT":
+		kind = rel.MinusOp
+	default:
+		return nil, fmt.Errorf("sql2rel: unknown set operator %q", s.Op)
+	}
+	var node rel.Node = rel.NewSetOp(kind, s.All, left, right)
+	return c.applyOrderLimit(node, s.OrderBy, s.Offset, s.Limit, nil)
+}
+
+func (c *Converter) convertInsert(ins *parser.InsertStmt) (rel.Node, error) {
+	table, path, err := schema.Resolve(c.Catalog, ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	mod, ok := table.(schema.ModifiableTable)
+	if !ok {
+		return nil, fmt.Errorf("sql2rel: table %q is not modifiable", strings.Join(ins.Table, "."))
+	}
+	source, err := c.Convert(ins.Source)
+	if err != nil {
+		return nil, err
+	}
+	target := table.RowType().Fields
+	if len(ins.Columns) == 0 {
+		if rel.FieldCount(source) != len(target) {
+			return nil, fmt.Errorf("sql2rel: INSERT has %d values for %d columns",
+				rel.FieldCount(source), len(target))
+		}
+		return rel.NewTableModify(mod, path, source), nil
+	}
+	if rel.FieldCount(source) != len(ins.Columns) {
+		return nil, fmt.Errorf("sql2rel: INSERT has %d values for %d named columns",
+			rel.FieldCount(source), len(ins.Columns))
+	}
+	// Map named columns onto the table layout, NULL-filling the rest.
+	colPos := map[string]int{}
+	for i, name := range ins.Columns {
+		colPos[strings.ToLower(name)] = i
+	}
+	exprs := make([]rex.Node, len(target))
+	names := make([]string, len(target))
+	srcFields := source.RowType().Fields
+	for i, f := range target {
+		names[i] = f.Name
+		if srcIdx, ok := colPos[strings.ToLower(f.Name)]; ok {
+			exprs[i] = rex.NewInputRef(srcIdx, srcFields[srcIdx].Type)
+		} else {
+			exprs[i] = rex.NewLiteral(nil, f.Type.WithNullable(true))
+		}
+	}
+	project := rel.NewProject(source, exprs, names)
+	return rel.NewTableModify(mod, path, project), nil
+}
+
+// fromResult carries the converted FROM clause.
+type fromResult struct {
+	node  rel.Node
+	scope *validate.Scope
+	// monotonicCols marks absolute column offsets carrying event time of
+	// streamed tables (for §7.2 monotonicity validation).
+	monotonicCols map[int]bool
+}
+
+// streamView exposes a streamable table's incoming records (the STREAM
+// directive, §7.2): scanning it yields the stream rather than the history.
+type streamView struct {
+	schema.StreamableTable
+}
+
+func (v streamView) Scan() (schema.Cursor, error) {
+	if ss, ok := v.StreamableTable.(interface {
+		StreamScan() (schema.Cursor, error)
+	}); ok {
+		return ss.StreamScan()
+	}
+	if sc, ok := v.StreamableTable.(schema.ScannableTable); ok {
+		return sc.Scan()
+	}
+	return nil, fmt.Errorf("sql2rel: stream table %s is not scannable", v.Name())
+}
+
+func (c *Converter) convertFrom(te parser.TableExpr, stream bool) (*fromResult, error) {
+	switch t := te.(type) {
+	case *parser.TableName:
+		table, path, err := schema.Resolve(c.Catalog, t.Path)
+		if err != nil {
+			return nil, err
+		}
+		alias := t.Alias
+		if alias == "" {
+			alias = t.Path[len(t.Path)-1]
+		}
+		// Views expand inline.
+		if view, ok := table.(*schema.ViewTable); ok {
+			return c.expandView(view, alias)
+		}
+		res := &fromResult{monotonicCols: map[int]bool{}}
+		scanTable := table
+		if stream {
+			st, ok := table.(schema.StreamableTable)
+			if !ok {
+				return nil, fmt.Errorf("sql2rel: table %q is not a stream; the STREAM directive requires a stream table", alias)
+			}
+			scanTable = streamView{st}
+			res.monotonicCols[st.RowtimeColumn()] = true
+		} else if st, ok := table.(schema.StreamableTable); ok {
+			// Even without STREAM the rowtime column stays monotonic.
+			res.monotonicCols[st.RowtimeColumn()] = true
+		}
+		res.node = rel.NewTableScan(trait.Logical, scanTable, path)
+		res.scope = validate.NewScope(nil)
+		res.scope.AddNamespace(alias, table.RowType().Fields)
+		return res, nil
+	case *parser.SubqueryTable:
+		inner, err := c.Convert(t.Query)
+		if err != nil {
+			return nil, err
+		}
+		alias := t.Alias
+		if alias == "" {
+			alias = fmt.Sprintf("EXPR$%d", 0)
+		}
+		res := &fromResult{node: inner, monotonicCols: map[int]bool{}}
+		res.scope = validate.NewScope(nil)
+		res.scope.AddNamespace(alias, inner.RowType().Fields)
+		return res, nil
+	case *parser.JoinExpr:
+		return c.convertJoin(t, stream)
+	}
+	return nil, fmt.Errorf("sql2rel: unsupported FROM item %T", te)
+}
+
+func (c *Converter) convertJoin(j *parser.JoinExpr, stream bool) (*fromResult, error) {
+	left, err := c.convertFrom(j.Left, stream)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.convertFrom(j.Right, stream)
+	if err != nil {
+		return nil, err
+	}
+	leftWidth := rel.FieldCount(left.node)
+
+	// Combined scope: left namespaces then right namespaces (shifted).
+	combined := validate.NewScope(nil)
+	for _, ns := range left.scope.Namespaces {
+		combined.AddNamespace(ns.Alias, ns.Fields)
+	}
+	for _, ns := range right.scope.Namespaces {
+		combined.AddNamespace(ns.Alias, ns.Fields)
+	}
+	mono := map[int]bool{}
+	for col := range left.monotonicCols {
+		mono[col] = true
+	}
+	for col := range right.monotonicCols {
+		mono[col+leftWidth] = true
+	}
+
+	var kind rel.JoinKind
+	switch j.Kind {
+	case "INNER", "CROSS", "COMMA":
+		kind = rel.InnerJoin
+	case "LEFT":
+		kind = rel.LeftJoin
+	case "RIGHT":
+		kind = rel.RightJoin
+	case "FULL":
+		kind = rel.FullJoin
+	default:
+		return nil, fmt.Errorf("sql2rel: unsupported join kind %q", j.Kind)
+	}
+
+	var condition rex.Node = rex.Bool(true)
+	switch {
+	case j.On != nil:
+		conv := &validate.ExprConverter{Scope: combined}
+		cond, err := conv.Convert(j.On)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type().Kind != types.BooleanKind && cond.Type().Kind != types.AnyKind {
+			return nil, fmt.Errorf("sql2rel: JOIN condition must be BOOLEAN, got %s", cond.Type())
+		}
+		condition = cond
+	case len(j.Using) > 0:
+		var terms []rex.Node
+		for _, col := range j.Using {
+			li, lt, err := left.scope.Resolve([]string{col})
+			if err != nil {
+				return nil, fmt.Errorf("sql2rel: USING column %q: %v", col, err)
+			}
+			ri, rt, err := right.scope.Resolve([]string{col})
+			if err != nil {
+				return nil, fmt.Errorf("sql2rel: USING column %q: %v", col, err)
+			}
+			terms = append(terms, rex.Eq(
+				rex.NewInputRef(li, lt),
+				rex.NewInputRef(ri+leftWidth, rt),
+			))
+		}
+		condition = rex.And(terms...)
+	}
+
+	// §7.2: a stream-to-stream join requires an implicit window — the join
+	// condition must bound both rowtime columns.
+	if stream && len(left.monotonicCols) > 0 && len(right.monotonicCols) > 0 {
+		refs := rex.InputBitmap(condition)
+		leftOK, rightOK := false, false
+		for col := range left.monotonicCols {
+			if refs[col] {
+				leftOK = true
+			}
+		}
+		for col := range right.monotonicCols {
+			if refs[col+leftWidth] {
+				rightOK = true
+			}
+		}
+		if !leftOK || !rightOK {
+			return nil, fmt.Errorf("sql2rel: stream-to-stream join requires an implicit window over both rowtime columns in the JOIN condition (§7.2)")
+		}
+	}
+
+	return &fromResult{
+		node:          rel.NewJoin(kind, left.node, right.node, condition),
+		scope:         combined,
+		monotonicCols: mono,
+	}, nil
+}
+
+// expandView parses and converts a stored view body.
+func (c *Converter) expandView(view *schema.ViewTable, alias string) (*fromResult, error) {
+	if c.viewDepth > 16 {
+		return nil, fmt.Errorf("sql2rel: view expansion too deep (cyclic view %q?)", view.ViewName)
+	}
+	stmt, err := parser.Parse(view.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("sql2rel: parsing view %q: %v", view.ViewName, err)
+	}
+	c.viewDepth++
+	inner, err := c.Convert(stmt)
+	c.viewDepth--
+	if err != nil {
+		return nil, fmt.Errorf("sql2rel: expanding view %q: %v", view.ViewName, err)
+	}
+	res := &fromResult{node: inner, monotonicCols: map[int]bool{}}
+	res.scope = validate.NewScope(nil)
+	res.scope.AddNamespace(alias, inner.RowType().Fields)
+	return res, nil
+}
+
+// ConvertTypeSpec exposes parsed-type conversion to the connection layer
+// (CREATE TABLE).
+func ConvertTypeSpec(ts parser.TypeSpec) (*types.Type, error) {
+	return validate.ConvertType(ts)
+}

@@ -1,0 +1,760 @@
+package sql2rel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"calcite/internal/parser"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+	"calcite/internal/validate"
+)
+
+// groupWindowFuncs are the group-window functions of §7.2 recognized in
+// GROUP BY.
+var groupWindowFuncs = map[string]bool{"TUMBLE": true, "HOP": true, "SESSION": true}
+
+func (c *Converter) convertSelect(sel *parser.SelectStmt) (rel.Node, error) {
+	// ---- FROM ----
+	var input rel.Node
+	var scope *validate.Scope
+	mono := map[int]bool{}
+	if sel.From != nil {
+		from, err := c.convertFrom(sel.From, sel.Stream)
+		if err != nil {
+			return nil, err
+		}
+		input, scope, mono = from.node, from.scope, from.monotonicCols
+	} else {
+		// SELECT without FROM: a single empty row.
+		input = rel.NewValues(types.Row(), [][]rex.Node{{}})
+		scope = validate.NewScope(nil)
+	}
+
+	// ---- WHERE ----
+	if sel.Where != nil {
+		conv := &validate.ExprConverter{Scope: scope}
+		cond, err := conv.Convert(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type().Kind != types.BooleanKind && cond.Type().Kind != types.AnyKind {
+			return nil, fmt.Errorf("sql2rel: WHERE must be BOOLEAN, got %s", cond.Type())
+		}
+		input = rel.NewFilter(input, cond)
+	}
+
+	// ---- expand stars ----
+	items, err := expandStars(sel.Items, scope)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- aggregate or plain path ----
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, it := range items {
+		if exprHasAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var projectExprs []rex.Node
+	var projectNames []string
+	var selConv *validate.ExprConverter
+
+	if hasAgg {
+		node, conv, err := c.buildAggregate(sel, input, scope, mono)
+		if err != nil {
+			return nil, err
+		}
+		input = node
+		selConv = conv
+	} else {
+		selConv = &validate.ExprConverter{Scope: scope}
+		// Window functions (OVER) are only supported in the non-aggregated
+		// path (matching the paper's streaming examples).
+		node, conv, err := c.attachWindows(sel, items, input, scope, mono, selConv)
+		if err != nil {
+			return nil, err
+		}
+		input = node
+		selConv = conv
+	}
+
+	// ---- final projection ----
+	for i, it := range items {
+		e, err := selConv.Convert(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		projectExprs = append(projectExprs, e)
+		projectNames = append(projectNames, deriveName(it, i))
+	}
+	project := rel.NewProject(input, projectExprs, projectNames)
+	var node rel.Node = project
+
+	// ---- HAVING ---- (converted against the aggregate, applied above it,
+	// below the final projection: we filter the aggregate output directly.)
+	// Handled inside buildAggregate via havingFilter.
+
+	// ---- DISTINCT ----
+	if sel.Distinct {
+		keys := make([]int, len(projectExprs))
+		for i := range keys {
+			keys[i] = i
+		}
+		node = rel.NewAggregate(node, keys, nil)
+	}
+
+	// ---- ORDER BY / OFFSET / LIMIT ----
+	return c.applyOrderLimit(node, sel.OrderBy, sel.Offset, sel.Limit, selConv)
+}
+
+// expandStars replaces * and alias.* with explicit column items.
+func expandStars(items []parser.SelectItem, scope *validate.Scope) ([]parser.SelectItem, error) {
+	var out []parser.SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		if it.Table != "" {
+			ns, ok := scope.ResolveNamespace(it.Table)
+			if !ok {
+				return nil, fmt.Errorf("sql2rel: unknown table alias %q in %s.*", it.Table, it.Table)
+			}
+			for _, f := range ns.Fields {
+				out = append(out, parser.SelectItem{
+					Expr:  &parser.Ident{Parts: []string{it.Table, f.Name}},
+					Alias: f.Name,
+				})
+			}
+			continue
+		}
+		for _, ns := range scope.Namespaces {
+			for _, f := range ns.Fields {
+				out = append(out, parser.SelectItem{
+					Expr:  &parser.Ident{Parts: []string{ns.Alias, f.Name}},
+					Alias: f.Name,
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sql2rel: empty select list")
+	}
+	return out, nil
+}
+
+// exprHasAggregate walks a parsed expression for non-windowed aggregate
+// calls.
+func exprHasAggregate(e parser.Expr) bool {
+	found := false
+	walkExpr(e, func(x parser.Expr) {
+		if f, ok := x.(*parser.FuncCall); ok && f.Over == nil {
+			if _, isAgg := rex.LookupAggFunc(f.Name); isAgg || f.Star {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func walkExpr(e parser.Expr, visit func(parser.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *parser.BinaryExpr:
+		walkExpr(x.Left, visit)
+		walkExpr(x.Right, visit)
+	case *parser.UnaryExpr:
+		walkExpr(x.Operand, visit)
+	case *parser.IsNullExpr:
+		walkExpr(x.Operand, visit)
+	case *parser.BetweenExpr:
+		walkExpr(x.Operand, visit)
+		walkExpr(x.Low, visit)
+		walkExpr(x.High, visit)
+	case *parser.InExpr:
+		walkExpr(x.Operand, visit)
+		for _, i := range x.List {
+			walkExpr(i, visit)
+		}
+	case *parser.CaseExpr:
+		walkExpr(x.Operand, visit)
+		for _, w := range x.Whens {
+			walkExpr(w.When, visit)
+			walkExpr(w.Then, visit)
+		}
+		walkExpr(x.Else, visit)
+	case *parser.CastExpr:
+		walkExpr(x.Operand, visit)
+	case *parser.ItemExpr:
+		walkExpr(x.Base, visit)
+		walkExpr(x.Index, visit)
+	case *parser.FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	}
+}
+
+// buildAggregate constructs pre-projection + Aggregate (+ HAVING filter) and
+// returns the node plus the converter for select items over the aggregate
+// output.
+func (c *Converter) buildAggregate(sel *parser.SelectStmt, input rel.Node, scope *validate.Scope, mono map[int]bool) (rel.Node, *validate.ExprConverter, error) {
+	rawConv := &validate.ExprConverter{Scope: scope}
+	inFields := scope.AllFields()
+
+	// Pre-projection expressions: group keys first, aggregate arguments
+	// after.
+	var preExprs []rex.Node
+	var preNames []string
+	groupMap := map[string]int{}
+	groupTypes := map[string]*types.Type{}
+	special := map[string]func(call *parser.FuncCall) (rex.Node, error){}
+	monotonicGroup := false
+
+	for gi, g := range sel.GroupBy {
+		digest := validate.ExprDigest(g)
+		if _, dup := groupMap[digest]; dup {
+			continue
+		}
+		// Group-window function (§7.2)?
+		if f, ok := g.(*parser.FuncCall); ok && groupWindowFuncs[strings.ToUpper(f.Name)] {
+			name := strings.ToUpper(f.Name)
+			if name != "TUMBLE" {
+				return nil, nil, fmt.Errorf("sql2rel: %s windows are supported through the stream package API; SQL GROUP BY supports TUMBLE (see §7.2 notes in DESIGN.md)", name)
+			}
+			if len(f.Args) != 2 {
+				return nil, nil, fmt.Errorf("sql2rel: TUMBLE requires (rowtime, interval)")
+			}
+			tsExpr, err := rawConv.Convert(f.Args[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			sizeExpr, err := rawConv.Convert(f.Args[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			size, err := rex.EvalConstant(sizeExpr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sql2rel: TUMBLE interval must be constant: %v", err)
+			}
+			sizeMs, ok := types.AsInt(size)
+			if !ok || sizeMs <= 0 {
+				return nil, nil, fmt.Errorf("sql2rel: bad TUMBLE interval %v", size)
+			}
+			// window_start = ts - (ts % size)
+			start := rex.NewCallTyped(rex.OpCast, types.Timestamp,
+				rex.NewCall(rex.OpMinus, tsExpr, rex.NewCall(rex.OpMod, tsExpr, rex.Int(sizeMs))))
+			idx := len(preExprs)
+			preExprs = append(preExprs, start)
+			preNames = append(preNames, fmt.Sprintf("$w%d_start", gi))
+			groupMap[digest] = idx
+			groupTypes[digest] = types.Timestamp
+			monotonicGroup = true
+
+			argDigest := validate.ExprDigest(f.Args[0]) + "," + validate.ExprDigest(f.Args[1])
+			registerTumbleAux(special, argDigest, idx, sizeMs)
+			continue
+		}
+		e, err := rawConv.Convert(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Ordinal GROUP BY (GROUP BY 1) refers to the select item.
+		if lit, ok := e.(*rex.Literal); ok {
+			if ord, isInt := lit.Value.(int64); isInt && int(ord) >= 1 {
+				items, _ := expandStars(sel.Items, scope)
+				if int(ord) <= len(items) {
+					g = items[ord-1].Expr
+					digest = validate.ExprDigest(g)
+					e, err = rawConv.Convert(g)
+					if err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+		if ref, ok := e.(*rex.InputRef); ok && mono[ref.Index] {
+			monotonicGroup = true
+		}
+		idx := len(preExprs)
+		preExprs = append(preExprs, e)
+		preNames = append(preNames, groupFieldName(g, inFields, e))
+		groupMap[digest] = idx
+		groupTypes[digest] = e.Type()
+	}
+	nGroups := len(preExprs)
+
+	// §7.2: "Streaming queries involving window aggregates require the
+	// presence of monotonic or quasi-monotonic expressions in the GROUP BY
+	// clause".
+	if sel.Stream && len(sel.GroupBy) > 0 && !monotonicGroup {
+		return nil, nil, fmt.Errorf("sql2rel: streaming aggregation requires a monotonic expression (rowtime or a group window such as TUMBLE) in GROUP BY (§7.2)")
+	}
+
+	// Aggregate calls collected from the select list / HAVING.
+	var calls []rex.AggCall
+	callIdx := map[string]int{}
+	sink := func(f *parser.FuncCall) (int, *types.Type, error) {
+		digest := validate.ExprDigest(f)
+		if i, ok := callIdx[digest]; ok {
+			return nGroups + i, calls[i].ResultType(fieldsOf(preExprs, preNames)), nil
+		}
+		kind, ok := rex.LookupAggFunc(f.Name)
+		if !ok && f.Star {
+			kind = rex.AggCount
+		} else if !ok {
+			return 0, nil, fmt.Errorf("sql2rel: unknown aggregate %q", f.Name)
+		}
+		var args []int
+		if !f.Star {
+			for _, a := range f.Args {
+				e, err := rawConv.Convert(a)
+				if err != nil {
+					return 0, nil, err
+				}
+				args = append(args, len(preExprs))
+				preExprs = append(preExprs, e)
+				preNames = append(preNames, fmt.Sprintf("$agg_arg%d", len(preExprs)))
+			}
+		}
+		call := rex.NewAggCall(kind, args, f.Distinct, strings.ToUpper(f.Name))
+		i := len(calls)
+		calls = append(calls, call)
+		callIdx[digest] = i
+		return nGroups + i, call.ResultType(fieldsOf(preExprs, preNames)), nil
+	}
+
+	aggConv := &validate.ExprConverter{
+		Scope:        scope, // unused for idents in agg mode (errors instead)
+		GroupExprMap: groupMap,
+		GroupTypes:   groupTypes,
+		AggSink:      sink,
+		RawScope:     scope,
+		SpecialFuncs: special,
+	}
+
+	// Pre-convert select items and HAVING so every aggregate argument lands
+	// in the pre-projection before we materialize the Aggregate node.
+	items, err := expandStars(sel.Items, scope)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, it := range items {
+		if _, err := aggConv.Convert(it.Expr); err != nil {
+			return nil, nil, err
+		}
+	}
+	var havingExpr rex.Node
+	if sel.Having != nil {
+		havingExpr, err = aggConv.Convert(sel.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		// ORDER BY over aggregates (e.g. ORDER BY COUNT(*) DESC) must also
+		// register their calls; ordinals and aliases are skipped here.
+		if exprHasAggregate(o.Expr) {
+			if _, err := aggConv.Convert(o.Expr); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	var node rel.Node = input
+	if !rex.IsIdentityProjection(preExprs, rel.FieldCount(input)) {
+		node = rel.NewProject(input, preExprs, preNames)
+	}
+	keys := make([]int, nGroups)
+	for i := range keys {
+		keys[i] = i
+	}
+	node = rel.NewAggregate(node, keys, calls)
+	if havingExpr != nil {
+		node = rel.NewFilter(node, havingExpr)
+	}
+
+	// The select-item converter over the aggregate output reuses the same
+	// group/agg mappings (all aggregate args already registered; the sink
+	// now only resolves digests).
+	outConv := &validate.ExprConverter{
+		Scope:        validate.NewScope(nil),
+		GroupExprMap: groupMap,
+		GroupTypes:   groupTypes,
+		SpecialFuncs: special,
+		AggSink: func(f *parser.FuncCall) (int, *types.Type, error) {
+			digest := validate.ExprDigest(f)
+			if i, ok := callIdx[digest]; ok {
+				return nGroups + i, node.RowType().Fields[nGroups+i].Type, nil
+			}
+			return 0, nil, fmt.Errorf("sql2rel: aggregate %s not registered", f.Name)
+		},
+	}
+	return node, outConv, nil
+}
+
+// registerTumbleAux wires TUMBLE_START/TUMBLE_END for a TUMBLE group key.
+func registerTumbleAux(special map[string]func(*parser.FuncCall) (rex.Node, error), argDigest string, keyIdx int, sizeMs int64) {
+	match := func(f *parser.FuncCall) bool {
+		if len(f.Args) != 2 {
+			return false
+		}
+		return validate.ExprDigest(f.Args[0])+","+validate.ExprDigest(f.Args[1]) == argDigest
+	}
+	special["TUMBLE_START"] = func(f *parser.FuncCall) (rex.Node, error) {
+		if !match(f) {
+			return nil, fmt.Errorf("sql2rel: TUMBLE_START arguments do not match the GROUP BY TUMBLE")
+		}
+		return rex.NewInputRef(keyIdx, types.Timestamp), nil
+	}
+	special["TUMBLE_END"] = func(f *parser.FuncCall) (rex.Node, error) {
+		if !match(f) {
+			return nil, fmt.Errorf("sql2rel: TUMBLE_END arguments do not match the GROUP BY TUMBLE")
+		}
+		return rex.NewCallTyped(rex.OpCast, types.Timestamp,
+			rex.NewCall(rex.OpPlus, rex.NewInputRef(keyIdx, types.Timestamp), rex.Int(sizeMs))), nil
+	}
+}
+
+func fieldsOf(exprs []rex.Node, names []string) []types.Field {
+	out := make([]types.Field, len(exprs))
+	for i, e := range exprs {
+		out[i] = types.Field{Name: names[i], Type: e.Type()}
+	}
+	return out
+}
+
+// groupFieldName derives a good output name for a grouped expression.
+func groupFieldName(g parser.Expr, inFields []types.Field, e rex.Node) string {
+	if id, ok := g.(*parser.Ident); ok {
+		return id.Parts[len(id.Parts)-1]
+	}
+	if ref, ok := e.(*rex.InputRef); ok && ref.Index < len(inFields) {
+		return inFields[ref.Index].Name
+	}
+	return "EXPR$" + validate.ExprDigest(g)
+}
+
+// attachWindows builds a rel.Window for OVER-clause calls in the select list
+// and returns a converter that resolves those calls to window output columns.
+func (c *Converter) attachWindows(sel *parser.SelectStmt, items []parser.SelectItem, input rel.Node, scope *validate.Scope, mono map[int]bool, base *validate.ExprConverter) (rel.Node, *validate.ExprConverter, error) {
+	// Collect windowed calls.
+	var winCalls []*parser.FuncCall
+	for _, it := range items {
+		walkExpr(it.Expr, func(x parser.Expr) {
+			if f, ok := x.(*parser.FuncCall); ok && f.Over != nil {
+				winCalls = append(winCalls, f)
+			}
+		})
+	}
+	if len(winCalls) == 0 {
+		return input, base, nil
+	}
+
+	rawConv := &validate.ExprConverter{Scope: scope}
+	inWidth := rel.FieldCount(input)
+	inFields := input.RowType().Fields
+
+	// Pre-projection: input columns plus any non-column expressions needed
+	// as partition keys, order keys or aggregate arguments.
+	preExprs := make([]rex.Node, inWidth)
+	preNames := make([]string, inWidth)
+	for i, f := range inFields {
+		preExprs[i] = rex.NewInputRef(i, f.Type)
+		preNames[i] = f.Name
+	}
+	colOf := func(e parser.Expr) (int, error) {
+		n, err := rawConv.Convert(e)
+		if err != nil {
+			return 0, err
+		}
+		if ref, ok := n.(*rex.InputRef); ok {
+			return ref.Index, nil
+		}
+		idx := len(preExprs)
+		preExprs = append(preExprs, n)
+		preNames = append(preNames, fmt.Sprintf("$w_expr%d", idx))
+		return idx, nil
+	}
+
+	type groupKey struct {
+		spec string
+	}
+	type groupBuild struct {
+		group   *rel.WindowGroup
+		digests []string
+	}
+	groups := map[groupKey]*groupBuild{}
+	var groupOrder []groupKey
+	callSlot := map[string]int{} // call digest -> output ordinal
+	seenCall := map[string]bool{}
+
+	for _, f := range winCalls {
+		digest := validate.ExprDigest(f)
+		if seenCall[digest] {
+			continue
+		}
+		seenCall[digest] = true
+		kind, ok := rex.LookupAggFunc(f.Name)
+		if !ok && f.Star {
+			kind = rex.AggCount
+		} else if !ok {
+			return nil, nil, fmt.Errorf("sql2rel: unknown window function %q", f.Name)
+		}
+		var args []int
+		if !f.Star {
+			for _, a := range f.Args {
+				col, err := colOf(a)
+				if err != nil {
+					return nil, nil, err
+				}
+				args = append(args, col)
+			}
+		}
+		// Window spec -> group.
+		var partCols []int
+		for _, pe := range f.Over.PartitionBy {
+			col, err := colOf(pe)
+			if err != nil {
+				return nil, nil, err
+			}
+			partCols = append(partCols, col)
+		}
+		var orderKeys trait.Collation
+		for _, oe := range f.Over.OrderBy {
+			col, err := colOf(oe.Expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			dir := trait.Ascending
+			if oe.Desc {
+				dir = trait.Descending
+			}
+			orderKeys = append(orderKeys, trait.FieldCollation{Field: col, Direction: dir})
+		}
+		// §7.2: in a STREAM query, a sliding window must be ordered by a
+		// monotonic expression.
+		if sel.Stream {
+			okMono := false
+			for _, k := range orderKeys {
+				if mono[k.Field] {
+					okMono = true
+				}
+			}
+			if !okMono {
+				return nil, nil, fmt.Errorf("sql2rel: streaming window aggregation requires ORDER BY on a monotonic (rowtime) column (§7.2)")
+			}
+		}
+		frame := rel.WindowFrame{Rows: false, Preceding: -1, Following: 0}
+		if f.Over.Frame != nil {
+			frame.Rows = f.Over.Frame.Rows
+			frame.Preceding = -1
+			if f.Over.Frame.Preceding != nil {
+				p, err := rawConv.Convert(f.Over.Frame.Preceding)
+				if err != nil {
+					return nil, nil, err
+				}
+				v, err := rex.EvalConstant(p)
+				if err != nil {
+					return nil, nil, fmt.Errorf("sql2rel: frame bound must be constant: %v", err)
+				}
+				iv, _ := types.AsInt(v)
+				frame.Preceding = iv
+			}
+			if f.Over.Frame.Following != nil {
+				p, err := rawConv.Convert(f.Over.Frame.Following)
+				if err != nil {
+					return nil, nil, err
+				}
+				v, err := rex.EvalConstant(p)
+				if err != nil {
+					return nil, nil, fmt.Errorf("sql2rel: frame bound must be constant: %v", err)
+				}
+				iv, _ := types.AsInt(v)
+				frame.Following = iv
+			}
+		}
+		key := groupKey{spec: fmt.Sprintf("%v|%s|%s", partCols, orderKeys, frame)}
+		gb, ok := groups[key]
+		if !ok {
+			gb = &groupBuild{group: &rel.WindowGroup{PartitionKeys: partCols, OrderKeys: orderKeys, Frame: frame}}
+			groups[key] = gb
+			groupOrder = append(groupOrder, key)
+		}
+		name := strings.ToUpper(f.Name)
+		gb.group.Calls = append(gb.group.Calls, rex.NewAggCall(kind, args, f.Distinct, name))
+		gb.digests = append(gb.digests, digest)
+	}
+
+	// Assign output ordinals: window output = pre-projected fields then one
+	// column per call, in group order.
+	finalGroups := make([]rel.WindowGroup, 0, len(groupOrder))
+	slot := len(preExprs)
+	for _, key := range groupOrder {
+		gb := groups[key]
+		finalGroups = append(finalGroups, *gb.group)
+		for _, d := range gb.digests {
+			callSlot[d] = slot
+			slot++
+		}
+	}
+
+	var node rel.Node = input
+	if len(preExprs) != inWidth {
+		node = rel.NewProject(input, preExprs, preNames)
+	}
+	node = rel.NewWindow(node, finalGroups)
+	winFields := node.RowType().Fields
+
+	outConv := &validate.ExprConverter{
+		Scope: scopeOf(winFields),
+		WindowSink: func(f *parser.FuncCall) (rex.Node, error) {
+			idx, ok := callSlot[validate.ExprDigest(f)]
+			if !ok {
+				return nil, fmt.Errorf("sql2rel: window call %s not registered", f.Name)
+			}
+			return rex.NewInputRef(idx, winFields[idx].Type), nil
+		},
+	}
+	// Give the original namespaces to the window output scope so qualified
+	// references (o.rowtime) still resolve (offsets are unchanged).
+	outConv.Scope = validate.NewScope(nil)
+	for _, ns := range scope.Namespaces {
+		outConv.Scope.AddNamespace(ns.Alias, ns.Fields)
+	}
+	return node, outConv, nil
+}
+
+// deriveName picks the output column name for a select item.
+func deriveName(it parser.SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if id, ok := it.Expr.(*parser.Ident); ok {
+		return id.Parts[len(id.Parts)-1]
+	}
+	return fmt.Sprintf("EXPR$%d", i)
+}
+
+func scopeOf(fields []types.Field) *validate.Scope {
+	s := validate.NewScope(nil)
+	s.AddNamespace("", fields)
+	return s
+}
+
+// applyOrderLimit attaches ORDER BY / OFFSET / LIMIT above a plan whose
+// output columns were produced by selConv (nil when ordering a set
+// operation).
+func (c *Converter) applyOrderLimit(node rel.Node, orderBy []parser.OrderItem, offsetE, limitE parser.Expr, selConv *validate.ExprConverter) (rel.Node, error) {
+	offset, fetch := int64(0), int64(-1)
+	if offsetE != nil {
+		v, err := constInt(offsetE)
+		if err != nil {
+			return nil, fmt.Errorf("sql2rel: OFFSET must be a constant integer: %v", err)
+		}
+		offset = v
+	}
+	if limitE != nil {
+		v, err := constInt(limitE)
+		if err != nil {
+			return nil, fmt.Errorf("sql2rel: LIMIT must be a constant integer: %v", err)
+		}
+		fetch = v
+	}
+	if len(orderBy) == 0 {
+		if offset == 0 && fetch < 0 {
+			return node, nil
+		}
+		return rel.NewSort(node, nil, offset, fetch), nil
+	}
+
+	fields := node.RowType().Fields
+	var collation trait.Collation
+	hidden := 0
+	project, isProject := node.(*rel.Project)
+
+	for _, o := range orderBy {
+		dir := trait.Ascending
+		if o.Desc {
+			dir = trait.Descending
+		}
+		// 1) ordinal
+		if n, ok := o.Expr.(*parser.NumberLit); ok && n.IsInt {
+			ord, _ := strconv.ParseInt(n.Text, 10, 64)
+			if ord < 1 || int(ord) > len(fields) {
+				return nil, fmt.Errorf("sql2rel: ORDER BY ordinal %d out of range", ord)
+			}
+			collation = append(collation, trait.FieldCollation{Field: int(ord - 1), Direction: dir})
+			continue
+		}
+		// 2) output column name / alias
+		if id, ok := o.Expr.(*parser.Ident); ok && len(id.Parts) == 1 {
+			found := -1
+			for i, f := range fields {
+				if strings.EqualFold(f.Name, id.Parts[0]) {
+					found = i
+					break
+				}
+			}
+			if found >= 0 {
+				collation = append(collation, trait.FieldCollation{Field: found, Direction: dir})
+				continue
+			}
+		}
+		// 3) expression over the select input (hidden sort column).
+		if selConv == nil || !isProject {
+			return nil, fmt.Errorf("sql2rel: cannot ORDER BY expression here")
+		}
+		e, err := selConv.Convert(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		// Same expression as an existing projected column?
+		found := -1
+		for i, pe := range project.Exprs {
+			if pe.String() == e.String() {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			exprs := append(append([]rex.Node(nil), project.Exprs...), e)
+			names := append(append([]string(nil), project.FieldNames()...), fmt.Sprintf("$sort%d", hidden))
+			project = rel.NewProject(project.Inputs()[0], exprs, names)
+			node = project
+			found = len(exprs) - 1
+			hidden++
+		}
+		collation = append(collation, trait.FieldCollation{Field: found, Direction: dir})
+	}
+
+	var sorted rel.Node = rel.NewSort(node, collation, offset, fetch)
+	if hidden > 0 {
+		// Re-project to drop hidden sort columns.
+		visible := len(fields)
+		exprs := make([]rex.Node, visible)
+		names := make([]string, visible)
+		for i := 0; i < visible; i++ {
+			exprs[i] = rex.NewInputRef(i, fields[i].Type)
+			names[i] = fields[i].Name
+		}
+		sorted = rel.NewProject(sorted, exprs, names)
+	}
+	return sorted, nil
+}
+
+func constInt(e parser.Expr) (int64, error) {
+	if n, ok := e.(*parser.NumberLit); ok && n.IsInt {
+		return strconv.ParseInt(n.Text, 10, 64)
+	}
+	return 0, fmt.Errorf("not an integer literal")
+}

@@ -1,0 +1,224 @@
+// Package stream implements the streaming extensions of §7.2 of the paper:
+// windows over time-ordered event streams. Tumbling windows are also
+// reachable from SQL (GROUP BY TUMBLE(...)); hopping and session windows —
+// which require assigning one input row to multiple (or data-dependent)
+// windows — are provided here as first-class stream transforms, mirroring
+// the TUMBLE/HOPPING/SESSION functions the paper describes.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+)
+
+// Event is one element of a stream: a row plus its event time (epoch
+// millis). Rowtime must be non-decreasing within a stream ("streams as
+// time-ordered sets of records or events").
+type Event struct {
+	Rowtime int64
+	Row     []any
+}
+
+// Window is one time window with its aggregate results.
+type Window struct {
+	Start, End int64
+	// Key holds the grouping key values (nil for global windows).
+	Key []any
+	// Values holds one result per aggregate call.
+	Values []any
+}
+
+// windowAgg aggregates the events assigned to one (window, key) pair.
+func aggregate(events []Event, calls []rex.AggCall) ([]any, error) {
+	accs := make([]rex.Accumulator, len(calls))
+	for i, c := range calls {
+		accs[i] = rex.NewAccumulator(c)
+	}
+	for _, e := range events {
+		for _, acc := range accs {
+			if err := acc.Add(e.Row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]any, len(accs))
+	for i, acc := range accs {
+		out[i] = acc.Result()
+	}
+	return out, nil
+}
+
+// groupKeyOf extracts the key columns of an event row.
+func groupKeyOf(e Event, keyCols []int) (string, []any) {
+	key := make([]any, len(keyCols))
+	for i, c := range keyCols {
+		key[i] = e.Row[c]
+	}
+	cols := make([]int, len(keyCols))
+	copy(cols, keyCols)
+	return fmt.Sprint(key), key
+}
+
+// slot accumulates the events of one (window, key) pair.
+type slot struct {
+	start int64
+	key   []any
+	evs   []Event
+}
+
+// Tumble assigns each event to exactly one fixed-size window
+// [n*size, (n+1)*size) and aggregates per (window, key).
+func Tumble(events []Event, size int64, keyCols []int, calls []rex.AggCall) ([]Window, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("stream: tumble size must be positive")
+	}
+	slots := map[string]*slot{}
+	var order []string
+	for _, e := range events {
+		start := e.Rowtime - mod(e.Rowtime, size)
+		ks, key := groupKeyOf(e, keyCols)
+		id := fmt.Sprintf("%d|%s", start, ks)
+		s, ok := slots[id]
+		if !ok {
+			s = &slot{start: start, key: key}
+			slots[id] = s
+			order = append(order, id)
+		}
+		s.evs = append(s.evs, e)
+	}
+	return finish(slots, order, size, calls)
+}
+
+// Hop assigns each event to every window of length size that starts each
+// slide period and contains the event (hopping windows emit overlapping
+// results).
+func Hop(events []Event, slide, size int64, keyCols []int, calls []rex.AggCall) ([]Window, error) {
+	if slide <= 0 || size <= 0 {
+		return nil, fmt.Errorf("stream: hop slide and size must be positive")
+	}
+	slots := map[string]*slot{}
+	var order []string
+	for _, e := range events {
+		// Windows with start in (rowtime-size, rowtime] aligned to slide.
+		first := e.Rowtime - mod(e.Rowtime, slide)
+		for start := first; start > e.Rowtime-size; start -= slide {
+			ks, key := groupKeyOf(e, keyCols)
+			id := fmt.Sprintf("%d|%s", start, ks)
+			s, ok := slots[id]
+			if !ok {
+				s = &slot{start: start, key: key}
+				slots[id] = s
+				order = append(order, id)
+			}
+			s.evs = append(s.evs, e)
+		}
+	}
+	return finish(slots, order, size, calls)
+}
+
+// Session groups consecutive events of the same key separated by gaps of
+// less than `gap` into one window; a quiet period of at least `gap` closes
+// the session.
+func Session(events []Event, gap int64, keyCols []int, calls []rex.AggCall) ([]Window, error) {
+	if gap <= 0 {
+		return nil, fmt.Errorf("stream: session gap must be positive")
+	}
+	// Split events per key, preserving time order.
+	byKey := map[string][]Event{}
+	keys := map[string][]any{}
+	var order []string
+	for _, e := range events {
+		ks, key := groupKeyOf(e, keyCols)
+		if _, ok := byKey[ks]; !ok {
+			order = append(order, ks)
+			keys[ks] = key
+		}
+		byKey[ks] = append(byKey[ks], e)
+	}
+	var out []Window
+	for _, ks := range order {
+		evs := byKey[ks]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Rowtime < evs[j].Rowtime })
+		var cur []Event
+		flush := func() error {
+			if len(cur) == 0 {
+				return nil
+			}
+			vals, err := aggregate(cur, calls)
+			if err != nil {
+				return err
+			}
+			out = append(out, Window{
+				Start:  cur[0].Rowtime,
+				End:    cur[len(cur)-1].Rowtime + gap,
+				Key:    keys[ks],
+				Values: vals,
+			})
+			cur = nil
+			return nil
+		}
+		for _, e := range evs {
+			if len(cur) > 0 && e.Rowtime-cur[len(cur)-1].Rowtime >= gap {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			cur = append(cur, e)
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func finish(slots map[string]*slot, order []string, size int64, calls []rex.AggCall) ([]Window, error) {
+	out := make([]Window, 0, len(order))
+	for _, id := range order {
+		s := slots[id]
+		vals, err := aggregate(s.evs, calls)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Window{Start: s.start, End: s.start + size, Key: s.key, Values: vals})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return fmt.Sprint(out[i].Key) < fmt.Sprint(out[j].Key)
+	})
+	return out, nil
+}
+
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// EventsFromCursor reads a cursor into events using rowtimeCol as the event
+// time column.
+func EventsFromCursor(cur schema.Cursor, rowtimeCol int) ([]Event, error) {
+	defer cur.Close()
+	var out []Event
+	for {
+		row, err := cur.Next()
+		if err == schema.Done {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ts, ok := row[rowtimeCol].(int64)
+		if !ok {
+			return nil, fmt.Errorf("stream: rowtime column %d is %T, want int64 millis", rowtimeCol, row[rowtimeCol])
+		}
+		out = append(out, Event{Rowtime: ts, Row: row})
+	}
+}

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"testing"
+
+	"calcite/internal/rex"
+	"calcite/internal/types"
+)
+
+func evts(ts ...int64) []Event {
+	out := make([]Event, len(ts))
+	for i, t := range ts {
+		out[i] = Event{Rowtime: t, Row: []any{t, int64(i % 2), int64(10)}}
+	}
+	return out
+}
+
+var countCall = []rex.AggCall{rex.NewAggCall(rex.AggCount, nil, false, "c")}
+
+func TestTumble(t *testing.T) {
+	events := evts(0, 10, 99, 100, 150, 250)
+	ws, err := Tumble(events, 100, nil, countCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("windows: %+v", ws)
+	}
+	wantCounts := []int64{3, 2, 1}
+	for i, w := range ws {
+		if w.End-w.Start != 100 {
+			t.Errorf("window %d size %d", i, w.End-w.Start)
+		}
+		if w.Values[0] != wantCounts[i] {
+			t.Errorf("window %d count %v want %v", i, w.Values[0], wantCounts[i])
+		}
+	}
+}
+
+func TestTumbleKeyed(t *testing.T) {
+	events := evts(0, 10, 20, 30)
+	ws, err := Tumble(events, 100, []int{1}, countCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("expected 2 key groups: %+v", ws)
+	}
+}
+
+func TestHopOverlap(t *testing.T) {
+	// Window size 100, slide 50: each event lands in exactly 2 windows.
+	events := evts(60)
+	ws, err := Hop(events, 50, 100, nil, countCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("hop windows: %+v", ws)
+	}
+	// Every window containing the event must actually cover rowtime 60.
+	for _, w := range ws {
+		if !(w.Start <= 60 && 60 < w.End) {
+			t.Errorf("window [%d,%d) does not cover event", w.Start, w.End)
+		}
+	}
+}
+
+// Property: hop with slide == size equals tumble.
+func TestHopEqualsTumbleWhenNoOverlap(t *testing.T) {
+	events := evts(0, 10, 99, 100, 150, 250, 260, 399)
+	tw, err := Tumble(events, 100, nil, countCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := Hop(events, 100, 100, nil, countCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tw) != len(hw) {
+		t.Fatalf("tumble %d vs hop %d windows", len(tw), len(hw))
+	}
+	for i := range tw {
+		if tw[i].Start != hw[i].Start || tw[i].Values[0] != hw[i].Values[0] {
+			t.Errorf("window %d differs: %+v vs %+v", i, tw[i], hw[i])
+		}
+	}
+}
+
+func TestSession(t *testing.T) {
+	// Gaps >= 100 split sessions.
+	events := evts(0, 10, 20, 200, 210, 500)
+	ws, err := Session(events, 100, nil, countCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("sessions: %+v", ws)
+	}
+	if ws[0].Values[0] != int64(3) || ws[1].Values[0] != int64(2) || ws[2].Values[0] != int64(1) {
+		t.Errorf("session counts: %+v", ws)
+	}
+}
+
+func TestSessionPerKey(t *testing.T) {
+	events := []Event{
+		{Rowtime: 0, Row: []any{int64(0), "a"}},
+		{Rowtime: 50, Row: []any{int64(50), "b"}},
+		{Rowtime: 60, Row: []any{int64(60), "a"}},
+	}
+	ws, err := Session(events, 100, []int{1}, countCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("per-key sessions: %+v", ws)
+	}
+}
+
+func TestWindowSums(t *testing.T) {
+	sum := []rex.AggCall{rex.NewAggCall(rex.AggSum, []int{2}, false, "s")}
+	ws, err := Tumble(evts(0, 10, 20), 100, nil, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := types.AsInt(ws[0].Values[0]); v != 30 {
+		t.Errorf("sum: %v", ws[0].Values[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Tumble(nil, 0, nil, countCall); err == nil {
+		t.Error("zero tumble size should error")
+	}
+	if _, err := Hop(nil, 0, 10, nil, countCall); err == nil {
+		t.Error("zero slide should error")
+	}
+	if _, err := Session(nil, -1, nil, countCall); err == nil {
+		t.Error("negative gap should error")
+	}
+}

@@ -1,0 +1,197 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindPredicates(t *testing.T) {
+	if !BigIntKind.IsNumeric() || !BigIntKind.IsExactNumeric() {
+		t.Error("BIGINT should be exact numeric")
+	}
+	if !DoubleKind.IsNumeric() || DoubleKind.IsExactNumeric() {
+		t.Error("DOUBLE should be approximate numeric")
+	}
+	if !VarcharKind.IsCharacter() || VarcharKind.IsNumeric() {
+		t.Error("VARCHAR should be character only")
+	}
+	if !TimestampKind.IsDatetime() {
+		t.Error("TIMESTAMP should be datetime")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]*Type{
+		"BIGINT":             BigInt,
+		"VARCHAR(20)":        VarcharN(20),
+		"MAP<VARCHAR, ANY?>": Map(Varchar, Any),
+		"BIGINT ARRAY":       Array(BigInt),
+		"DOUBLE?":            Double.WithNullable(true),
+		"ROW(a BIGINT)":      Row(Field{Name: "a", Type: BigInt}),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !Row(Field{"a", BigInt}).Equal(Row(Field{"a", BigInt})) {
+		t.Error("identical row types should be equal")
+	}
+	if Row(Field{"a", BigInt}).Equal(Row(Field{"b", BigInt})) {
+		t.Error("differently named fields should differ")
+	}
+	if BigInt.Equal(BigInt.WithNullable(true)) {
+		t.Error("nullability should matter")
+	}
+}
+
+func TestLeastRestrictive(t *testing.T) {
+	cases := []struct {
+		a, b *Type
+		want Kind
+	}{
+		{Integer, Double, DoubleKind},
+		{BigInt, Integer, BigIntKind},
+		{Varchar, VarcharN(5), VarcharKind},
+		{Null, BigInt, BigIntKind},
+		{Date, Timestamp, TimestampKind},
+	}
+	for _, c := range cases {
+		got := LeastRestrictive(c.a, c.b)
+		if got == nil || got.Kind != c.want {
+			t.Errorf("LeastRestrictive(%s, %s) = %v, want kind %s", c.a, c.b, got, c.want)
+		}
+	}
+	if LeastRestrictive(Boolean, BigInt) != nil {
+		t.Error("BOOLEAN and BIGINT should be incompatible")
+	}
+}
+
+// Property: LeastRestrictive is commutative over scalar kinds.
+func TestLeastRestrictiveCommutative(t *testing.T) {
+	kinds := []*Type{Boolean, Integer, BigInt, Double, Varchar, Timestamp, Date, Null}
+	f := func(i, j uint8) bool {
+		a := kinds[int(i)%len(kinds)]
+		b := kinds[int(j)%len(kinds)]
+		x := LeastRestrictive(a, b)
+		y := LeastRestrictive(b, a)
+		if x == nil || y == nil {
+			return (x == nil) == (y == nil)
+		}
+		return x.Kind == y.Kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LeastRestrictive is idempotent: LR(a, a).Kind == a.Kind.
+func TestLeastRestrictiveIdempotent(t *testing.T) {
+	for _, a := range []*Type{Boolean, Integer, BigInt, Double, Varchar, Timestamp} {
+		got := LeastRestrictive(a, a)
+		if got == nil || got.Kind != a.Kind {
+			t.Errorf("LR(%s,%s) = %v", a, a, got)
+		}
+	}
+}
+
+// Property: Compare is a total order consistent with equality on int64s.
+func TestCompareTotalOrderInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		// antisymmetry
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// transitivity spot check
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HashKey equality matches Compare==0 for mixed numerics.
+func TestHashKeyConsistentWithCompare(t *testing.T) {
+	f := func(a int32) bool {
+		// Restricted to the range where float64 is exact.
+		v := int64(a)
+		return HashKey(v) == HashKey(float64(v)) && Compare(v, float64(v)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareNulls(t *testing.T) {
+	if Compare(nil, int64(1)) != -1 || Compare(int64(1), nil) != 1 || Compare(nil, nil) != 0 {
+		t.Error("NULL should sort first")
+	}
+	if ValuesEqual(nil, nil) {
+		t.Error("NULL must not equal NULL")
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	cases := []struct {
+		in   any
+		t    *Type
+		want any
+	}{
+		{"42", BigInt, int64(42)},
+		{int64(3), Double, float64(3)},
+		{3.9, BigInt, int64(3)},
+		{"true", Boolean, true},
+		{int64(7), Varchar, "7"},
+		{"abcdef", VarcharN(3), "abc"},
+		{nil, BigInt, nil},
+	}
+	for _, c := range cases {
+		got, err := CoerceTo(c.in, c.t)
+		if err != nil {
+			t.Errorf("CoerceTo(%v, %s): %v", c.in, c.t, err)
+			continue
+		}
+		if Compare(got, c.want) != 0 && !(got == nil && c.want == nil) {
+			t.Errorf("CoerceTo(%v, %s) = %v, want %v", c.in, c.t, got, c.want)
+		}
+	}
+	if _, err := CoerceTo("notanumber", BigInt); err == nil {
+		t.Error("expected cast error")
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	ms, err := ParseTimestampMillis("2018-06-10 12:30:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTimestampMillis(ms); got != "2018-06-10 12:30:00.000" {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestConcatFieldsRenamesDuplicates(t *testing.T) {
+	out := ConcatFields(
+		[]Field{{"id", BigInt}, {"name", Varchar}},
+		[]Field{{"id", BigInt}, {"x", Double}},
+	)
+	if out[2].Name == "id" {
+		t.Errorf("duplicate not renamed: %v", out)
+	}
+	if out[0].Name != "id" || out[3].Name != "x" {
+		t.Errorf("unexpected names: %v", out)
+	}
+}
+
+func TestStatisticsLikeFieldIndex(t *testing.T) {
+	rt := Row(Field{"Alpha", BigInt}, Field{"beta", Varchar})
+	if rt.FieldIndex("ALPHA") != 0 || rt.FieldIndex("Beta") != 1 || rt.FieldIndex("x") != -1 {
+		t.Error("FieldIndex should be case-insensitive")
+	}
+}

@@ -1,0 +1,547 @@
+// Package validate implements the SQL validator (§3 of the paper: the
+// component that, together with the parser, translates SQL to relational
+// algebra). It resolves identifiers against the catalog through lexical
+// scopes, type-checks expressions, expands stars, and converts parsed
+// expressions into typed row expressions (rex). The sql2rel converter builds
+// relational operators on top of these facilities.
+package validate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"calcite/internal/parser"
+	"calcite/internal/rex"
+	"calcite/internal/types"
+)
+
+// Namespace is one named row source visible in a scope (a FROM item).
+type Namespace struct {
+	// Alias is the exposed name (table alias or table name).
+	Alias string
+	// Fields are the columns contributed.
+	Fields []types.Field
+	// Offset is the position of the namespace's first column in the
+	// combined input row.
+	Offset int
+}
+
+// Scope is a lexical scope for identifier resolution.
+type Scope struct {
+	Parent     *Scope
+	Namespaces []Namespace
+}
+
+// NewScope creates a scope with the given parent.
+func NewScope(parent *Scope) *Scope { return &Scope{Parent: parent} }
+
+// AddNamespace appends a row source; offsets are assigned sequentially.
+func (s *Scope) AddNamespace(alias string, fields []types.Field) {
+	s.Namespaces = append(s.Namespaces, Namespace{
+		Alias:  alias,
+		Fields: fields,
+		Offset: s.Width(),
+	})
+}
+
+// Width is the total number of columns visible in this scope (excluding
+// parents).
+func (s *Scope) Width() int {
+	w := 0
+	for _, ns := range s.Namespaces {
+		w += len(ns.Fields)
+	}
+	return w
+}
+
+// AllFields returns the concatenated fields of all namespaces.
+func (s *Scope) AllFields() []types.Field {
+	var out []types.Field
+	for _, ns := range s.Namespaces {
+		out = append(out, ns.Fields...)
+	}
+	return out
+}
+
+// Resolve finds a column by (possibly qualified) name. It returns the
+// absolute column index and type. Resolution is case-insensitive and
+// reports ambiguity errors, per ANSI semantics.
+func (s *Scope) Resolve(parts []string) (int, *types.Type, error) {
+	switch len(parts) {
+	case 1:
+		name := parts[0]
+		found := -1
+		var ft *types.Type
+		for _, ns := range s.Namespaces {
+			for i, f := range ns.Fields {
+				if strings.EqualFold(f.Name, name) {
+					if found >= 0 {
+						return 0, nil, fmt.Errorf("validate: column %q is ambiguous", name)
+					}
+					found = ns.Offset + i
+					ft = f.Type
+				}
+			}
+		}
+		if found >= 0 {
+			return found, ft, nil
+		}
+	case 2:
+		tbl, col := parts[0], parts[1]
+		for _, ns := range s.Namespaces {
+			if !strings.EqualFold(ns.Alias, tbl) {
+				continue
+			}
+			for i, f := range ns.Fields {
+				if strings.EqualFold(f.Name, col) {
+					return ns.Offset + i, f.Type, nil
+				}
+			}
+			return 0, nil, fmt.Errorf("validate: column %q not found in %q", col, tbl)
+		}
+	default:
+		// schema.table.column: try the trailing two parts.
+		if len(parts) > 2 {
+			return s.Resolve(parts[len(parts)-2:])
+		}
+	}
+	if s.Parent != nil {
+		return s.Parent.Resolve(parts)
+	}
+	return 0, nil, fmt.Errorf("validate: column %q not found", strings.Join(parts, "."))
+}
+
+// ResolveNamespace finds a namespace by alias (for "alias.*" expansion).
+func (s *Scope) ResolveNamespace(alias string) (Namespace, bool) {
+	for _, ns := range s.Namespaces {
+		if strings.EqualFold(ns.Alias, alias) {
+			return ns, true
+		}
+	}
+	return Namespace{}, false
+}
+
+// ConvertType translates a parsed type spec into a *types.Type.
+func ConvertType(ts parser.TypeSpec) (*types.Type, error) {
+	switch ts.Name {
+	case "BOOLEAN":
+		return types.Boolean, nil
+	case "TINYINT", "SMALLINT":
+		return types.Scalar(types.TinyIntKind), nil
+	case "INT", "INTEGER":
+		return types.Integer, nil
+	case "BIGINT":
+		return types.BigInt, nil
+	case "FLOAT", "REAL":
+		return types.Scalar(types.FloatKind), nil
+	case "DOUBLE", "DECIMAL", "NUMERIC":
+		return types.Double, nil
+	case "VARCHAR", "CHAR", "STRING", "TEXT":
+		t := &types.Type{Kind: types.VarcharKind, Precision: ts.Precision}
+		return t, nil
+	case "TIMESTAMP":
+		return types.Timestamp, nil
+	case "DATE":
+		return types.Date, nil
+	case "TIME":
+		return types.Scalar(types.TimeKind), nil
+	case "GEOMETRY":
+		return types.Geometry, nil
+	case "ANY":
+		return types.Any, nil
+	case "ARRAY", "MULTISET":
+		elem := types.Any
+		if ts.Elem != nil {
+			e, err := ConvertType(*ts.Elem)
+			if err != nil {
+				return nil, err
+			}
+			elem = e
+		}
+		if ts.Name == "ARRAY" {
+			return types.Array(elem), nil
+		}
+		return types.Multiset(elem), nil
+	case "MAP":
+		key, val := types.Varchar, types.Any
+		if ts.Key != nil {
+			k, err := ConvertType(*ts.Key)
+			if err != nil {
+				return nil, err
+			}
+			key = k
+		}
+		if ts.Elem != nil {
+			v, err := ConvertType(*ts.Elem)
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		return types.Map(key, val), nil
+	}
+	return nil, fmt.Errorf("validate: unknown type %q", ts.Name)
+}
+
+// AggUse records one aggregate call discovered inside an expression.
+type AggUse struct {
+	Call parser.FuncCall
+	// Key is the digest used to dedupe identical calls.
+	Key string
+}
+
+// ExprConverter converts parsed expressions to typed rex nodes within a
+// scope. When Aggs is non-nil the converter is in "aggregating" mode:
+// aggregate function calls are collected into Aggs and replaced by
+// placeholder references computed by the caller.
+type ExprConverter struct {
+	Scope *Scope
+	// GroupExprMap maps the digest of a grouped expression to its output
+	// ordinal in the aggregate (aggregating mode).
+	GroupExprMap map[string]int
+	GroupTypes   map[string]*types.Type
+	// AggSink collects aggregate calls (aggregating mode); it returns the
+	// output ordinal the call's result will occupy.
+	AggSink func(call *parser.FuncCall) (int, *types.Type, error)
+	// RawScope, in aggregating mode, is the scope of the aggregate's input
+	// (used to convert aggregate arguments and grouped expressions).
+	RawScope *Scope
+	// SpecialFuncs intercepts function calls by upper-case name before the
+	// global registry lookup; used for group-window auxiliary functions
+	// (TUMBLE_END etc., §7.2).
+	SpecialFuncs map[string]func(call *parser.FuncCall) (rex.Node, error)
+	// WindowSink handles calls with an OVER clause (set by the select-list
+	// converter while building the Window operator).
+	WindowSink func(call *parser.FuncCall) (rex.Node, error)
+}
+
+var binOps = map[string]*rex.Operator{
+	"=": rex.OpEquals, "<>": rex.OpNotEquals, "<": rex.OpLess,
+	"<=": rex.OpLessEqual, ">": rex.OpGreater, ">=": rex.OpGreaterEqual,
+	"+": rex.OpPlus, "-": rex.OpMinus, "*": rex.OpTimes, "/": rex.OpDivide,
+	"%": rex.OpMod, "||": rex.OpConcat, "LIKE": rex.OpLike,
+	"AND": rex.OpAnd, "OR": rex.OpOr,
+}
+
+// Convert translates e into a typed rex node.
+func (c *ExprConverter) Convert(e parser.Expr) (rex.Node, error) {
+	// In aggregating mode, a whole sub-expression equal to a GROUP BY
+	// expression resolves to the corresponding aggregate output column.
+	if c.GroupExprMap != nil {
+		if idx, ok := c.GroupExprMap[ExprDigest(e)]; ok {
+			return rex.NewInputRef(idx, c.GroupTypes[ExprDigest(e)]), nil
+		}
+	}
+	switch x := e.(type) {
+	case *parser.Ident:
+		if c.GroupExprMap != nil {
+			return nil, fmt.Errorf("validate: column %q must appear in GROUP BY or be used in an aggregate function", x.String())
+		}
+		idx, t, err := c.Scope.Resolve(x.Parts)
+		if err != nil {
+			return nil, err
+		}
+		return rex.NewInputRef(idx, t), nil
+	case *parser.NumberLit:
+		if x.IsInt {
+			v, err := strconv.ParseInt(x.Text, 10, 64)
+			if err == nil {
+				return rex.Int(v), nil
+			}
+		}
+		f, err := strconv.ParseFloat(x.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("validate: bad number %q", x.Text)
+		}
+		return rex.Float(f), nil
+	case *parser.StringLit:
+		return rex.Str(x.Value), nil
+	case *parser.BoolLit:
+		return rex.Bool(x.Value), nil
+	case *parser.NullLit:
+		return rex.Null(), nil
+	case *parser.IntervalLit:
+		return rex.NewLiteral(x.Millis, types.Interval), nil
+	case *parser.ParamExpr:
+		return &rex.DynamicParam{Index: x.Index, T: types.Any}, nil
+	case *parser.BinaryExpr:
+		op, ok := binOps[x.Op]
+		if !ok {
+			return nil, fmt.Errorf("validate: unknown operator %q", x.Op)
+		}
+		l, err := c.Convert(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.Convert(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkOperandTypes(op, l, r); err != nil {
+			return nil, err
+		}
+		return rex.NewCall(op, l, r), nil
+	case *parser.UnaryExpr:
+		operand, err := c.Convert(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return rex.NewCall(rex.OpNot, operand), nil
+		}
+		if lit, ok := operand.(*rex.Literal); ok {
+			switch v := lit.Value.(type) {
+			case int64:
+				return rex.NewLiteral(-v, lit.T), nil
+			case float64:
+				return rex.NewLiteral(-v, lit.T), nil
+			}
+		}
+		return rex.NewCall(rex.OpUnaryMinus, operand), nil
+	case *parser.IsNullExpr:
+		operand, err := c.Convert(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			return rex.NewCall(rex.OpIsNotNull, operand), nil
+		}
+		return rex.NewCall(rex.OpIsNull, operand), nil
+	case *parser.BetweenExpr:
+		operand, err := c.Convert(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.Convert(x.Low)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.Convert(x.High)
+		if err != nil {
+			return nil, err
+		}
+		between := rex.And(
+			rex.NewCall(rex.OpGreaterEqual, operand, lo),
+			rex.NewCall(rex.OpLessEqual, operand, hi),
+		)
+		if x.Not {
+			return rex.NewCall(rex.OpNot, between), nil
+		}
+		return between, nil
+	case *parser.InExpr:
+		operand, err := c.Convert(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		var terms []rex.Node
+		for _, item := range x.List {
+			v, err := c.Convert(item)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, rex.Eq(operand, v))
+		}
+		in := rex.Or(terms...)
+		if x.Not {
+			return rex.NewCall(rex.OpNot, in), nil
+		}
+		return in, nil
+	case *parser.CaseExpr:
+		var operands []rex.Node
+		for _, w := range x.Whens {
+			var cond rex.Node
+			var err error
+			if x.Operand != nil {
+				// Simple CASE: operand = when.
+				base, err2 := c.Convert(x.Operand)
+				if err2 != nil {
+					return nil, err2
+				}
+				when, err2 := c.Convert(w.When)
+				if err2 != nil {
+					return nil, err2
+				}
+				cond = rex.Eq(base, when)
+			} else {
+				cond, err = c.Convert(w.When)
+				if err != nil {
+					return nil, err
+				}
+			}
+			then, err := c.Convert(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			operands = append(operands, cond, then)
+		}
+		if x.Else != nil {
+			els, err := c.Convert(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			operands = append(operands, els)
+		}
+		return rex.NewCall(rex.OpCase, operands...), nil
+	case *parser.CastExpr:
+		operand, err := c.Convert(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		t, err := ConvertType(x.Type)
+		if err != nil {
+			return nil, err
+		}
+		return rex.NewCallTyped(rex.OpCast, t.WithNullable(operand.Type().Nullable), operand), nil
+	case *parser.ItemExpr:
+		base, err := c.Convert(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := c.Convert(x.Index)
+		if err != nil {
+			return nil, err
+		}
+		return rex.NewCall(rex.OpItem, base, idx), nil
+	case *parser.FuncCall:
+		return c.convertFuncCall(x)
+	}
+	return nil, fmt.Errorf("validate: unsupported expression %T", e)
+}
+
+func (c *ExprConverter) convertFuncCall(x *parser.FuncCall) (rex.Node, error) {
+	if x.Over != nil {
+		if c.WindowSink != nil {
+			return c.WindowSink(x)
+		}
+		return nil, fmt.Errorf("validate: window function %s is not allowed here", x.Name)
+	}
+	if fn, ok := c.SpecialFuncs[strings.ToUpper(x.Name)]; ok {
+		return fn(x)
+	}
+	if _, isAgg := rex.LookupAggFunc(x.Name); isAgg && !x.Star || x.Star {
+		if c.AggSink == nil {
+			return nil, fmt.Errorf("validate: aggregate function %s is not allowed here", x.Name)
+		}
+		idx, t, err := c.AggSink(x)
+		if err != nil {
+			return nil, err
+		}
+		return rex.NewInputRef(idx, t), nil
+	}
+	op, ok := rex.LookupFunction(x.Name)
+	if !ok {
+		return nil, fmt.Errorf("validate: unknown function %q", x.Name)
+	}
+	args := make([]rex.Node, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.Convert(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return rex.NewCall(op, args...), nil
+}
+
+// checkOperandTypes rejects statically ill-typed binary operations (e.g.
+// AND over non-booleans, arithmetic over geometry).
+func checkOperandTypes(op *rex.Operator, l, r rex.Node) error {
+	lt, rt := l.Type(), r.Type()
+	switch op {
+	case rex.OpAnd, rex.OpOr:
+		for _, t := range []*types.Type{lt, rt} {
+			if t.Kind != types.BooleanKind && t.Kind != types.AnyKind && t.Kind != types.NullKind {
+				return fmt.Errorf("validate: %s requires BOOLEAN operands, got %s", op.Name, t)
+			}
+		}
+	case rex.OpPlus, rex.OpMinus, rex.OpTimes, rex.OpDivide:
+		for _, t := range []*types.Type{lt, rt} {
+			if !t.Kind.IsNumeric() && !t.Kind.IsDatetime() && t.Kind != types.IntervalKind &&
+				t.Kind != types.AnyKind && t.Kind != types.NullKind {
+				return fmt.Errorf("validate: %s requires numeric operands, got %s", op.Name, t)
+			}
+		}
+	case rex.OpEquals, rex.OpNotEquals, rex.OpLess, rex.OpLessEqual, rex.OpGreater, rex.OpGreaterEqual:
+		if lt.Kind == types.AnyKind || rt.Kind == types.AnyKind ||
+			lt.Kind == types.NullKind || rt.Kind == types.NullKind {
+			return nil
+		}
+		if types.LeastRestrictive(lt, rt) == nil {
+			return fmt.Errorf("validate: cannot compare %s with %s", lt, rt)
+		}
+	}
+	return nil
+}
+
+// ExprDigest renders a parsed expression canonically, for matching GROUP BY
+// expressions against select-list expressions.
+func ExprDigest(e parser.Expr) string {
+	switch x := e.(type) {
+	case *parser.Ident:
+		return strings.ToLower(strings.Join(x.Parts, "."))
+	case *parser.NumberLit:
+		return x.Text
+	case *parser.StringLit:
+		return "'" + x.Value + "'"
+	case *parser.BoolLit:
+		return fmt.Sprint(x.Value)
+	case *parser.NullLit:
+		return "null"
+	case *parser.IntervalLit:
+		return fmt.Sprintf("interval(%d)", x.Millis)
+	case *parser.ParamExpr:
+		return fmt.Sprintf("?%d", x.Index)
+	case *parser.BinaryExpr:
+		return "(" + ExprDigest(x.Left) + " " + x.Op + " " + ExprDigest(x.Right) + ")"
+	case *parser.UnaryExpr:
+		return "(" + x.Op + " " + ExprDigest(x.Operand) + ")"
+	case *parser.IsNullExpr:
+		s := "(" + ExprDigest(x.Operand) + " is null)"
+		if x.Not {
+			s = "(" + ExprDigest(x.Operand) + " is not null)"
+		}
+		return s
+	case *parser.BetweenExpr:
+		return fmt.Sprintf("(%s between %s and %s not=%v)", ExprDigest(x.Operand), ExprDigest(x.Low), ExprDigest(x.High), x.Not)
+	case *parser.InExpr:
+		parts := make([]string, len(x.List))
+		for i, it := range x.List {
+			parts[i] = ExprDigest(it)
+		}
+		return fmt.Sprintf("(%s in (%s) not=%v)", ExprDigest(x.Operand), strings.Join(parts, ","), x.Not)
+	case *parser.CaseExpr:
+		var b strings.Builder
+		b.WriteString("case(")
+		if x.Operand != nil {
+			b.WriteString(ExprDigest(x.Operand))
+		}
+		for _, w := range x.Whens {
+			fmt.Fprintf(&b, " when %s then %s", ExprDigest(w.When), ExprDigest(w.Then))
+		}
+		if x.Else != nil {
+			b.WriteString(" else " + ExprDigest(x.Else))
+		}
+		b.WriteString(")")
+		return b.String()
+	case *parser.CastExpr:
+		return fmt.Sprintf("cast(%s as %s(%d))", ExprDigest(x.Operand), x.Type.Name, x.Type.Precision)
+	case *parser.ItemExpr:
+		return ExprDigest(x.Base) + "[" + ExprDigest(x.Index) + "]"
+	case *parser.FuncCall:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = ExprDigest(a)
+		}
+		star := ""
+		if x.Star {
+			star = "*"
+		}
+		distinct := ""
+		if x.Distinct {
+			distinct = "distinct "
+		}
+		return strings.ToLower(x.Name) + "(" + distinct + star + strings.Join(parts, ",") + ")"
+	}
+	return fmt.Sprintf("%T", e)
+}
