@@ -398,6 +398,77 @@ func BenchmarkSQL_WindowAggregate(b *testing.B) {
 	}
 }
 
+// --- vectorized batch execution vs row-at-a-time interpretation ---
+
+// vecConn builds a 3-column table of nRows rows for the row/batch A-B
+// benches (ints, nullable floats, short strings).
+func vecConn(nRows int) *calcite.Connection {
+	conn := calcite.Open()
+	rows := make([][]any, nRows)
+	for i := range rows {
+		var score any
+		if i%5 != 0 {
+			score = float64(i%1000) / 4
+		}
+		rows[i] = []any{int64(i), score, fmt.Sprintf("n%03d", i%500)}
+	}
+	conn.AddTable("big", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "score", Type: calcite.DoubleType},
+		{Name: "name", Type: calcite.VarcharType},
+	}, rows)
+	return conn
+}
+
+// benchRowVsBatch plans sql once and then measures pure execution of the
+// same physical plan under the row and batch conventions (b.Run sub-benches
+// "Row" and "Batch"), so the comparison isolates the execution layer.
+func benchRowVsBatch(b *testing.B, conn *calcite.Connection, sql string, wantRows int) {
+	_, optimized, err := conn.Plan(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runMode := func(b *testing.B, batch bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := exec.NewContext()
+			ctx.BatchMode = batch
+			rows, err := exec.Execute(ctx, optimized)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if wantRows >= 0 && len(rows) != wantRows {
+				b.Fatalf("got %d rows, want %d", len(rows), wantRows)
+			}
+		}
+	}
+	b.Run("Row", func(b *testing.B) { runMode(b, false) })
+	b.Run("Batch", func(b *testing.B) { runMode(b, true) })
+}
+
+// BenchmarkExec_RowVsBatch_Filter: selective predicate over 200k rows.
+func BenchmarkExec_RowVsBatch_Filter(b *testing.B) {
+	conn := vecConn(200000)
+	benchRowVsBatch(b, conn,
+		"SELECT id FROM big WHERE id > 150000 AND score IS NOT NULL", -1)
+}
+
+// BenchmarkExec_RowVsBatch_Project: arithmetic + comparison projection over
+// every row of 200k.
+func BenchmarkExec_RowVsBatch_Project(b *testing.B) {
+	conn := vecConn(200000)
+	benchRowVsBatch(b, conn,
+		"SELECT id + 1, score * 2, id > 1000 FROM big", 200000)
+}
+
+// BenchmarkExec_RowVsBatch_HashJoin: 100k-row probe side against a 100-row
+// build side, emitting the joined rows.
+func BenchmarkExec_RowVsBatch_HashJoin(b *testing.B) {
+	conn := figure4Conn(100000, 100)
+	benchRowVsBatch(b, conn,
+		"SELECT products.name FROM sales JOIN products USING (productId)", 100000)
+}
+
 // --- parse/plan micro benches (framework overhead) ---
 
 func BenchmarkParseOnly(b *testing.B) {

@@ -157,6 +157,16 @@ func (c *Connection) RegisterLattice(l *mv.Lattice) {
 	c.Framework.Views.RegisterLattice(l)
 }
 
+// ForceRowMode toggles the row-at-a-time execution path. By default queries
+// execute through the vectorized batch convention (column-major batches,
+// compiled expressions); forcing row mode restores the interpreted
+// row-at-a-time iterators for debugging and A/B measurement.
+func (c *Connection) ForceRowMode(on bool) { c.Framework.RowMode = on }
+
+// SetBatchSize overrides the vectorized path's rows-per-batch granularity
+// (<= 0 restores the default).
+func (c *Connection) SetBatchSize(n int) { c.Framework.BatchSize = n }
+
 // UseHeuristicPlanner switches physical planning to the exhaustive
 // rule-driven engine (§6's second planner engine).
 func (c *Connection) UseHeuristicPlanner() {

@@ -1,0 +1,3 @@
+module calcite
+
+go 1.22

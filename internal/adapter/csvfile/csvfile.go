@@ -4,7 +4,9 @@
 // header cells of the form "name:type" (type defaults to varchar).
 //
 // Following Figure 3, the adapter consists of a model (the directory path),
-// a schema factory (Load), and a schema of tables.
+// a schema factory (Load), and a schema of tables. Loaded tables are
+// schema.MemTable values and therefore batch-scannable: queries over CSV
+// data run on the vectorized execution path by default.
 package csvfile
 
 import (

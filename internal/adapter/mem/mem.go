@@ -4,6 +4,10 @@
 // client-side operators such as sorting, filtering, and joins to execute
 // arbitrary SQL queries against these tables". It contributes no rules and
 // no converters; everything executes in the enumerable convention.
+//
+// Its tables are schema.MemTable, which implements BatchScannableTable, so
+// scans feed the vectorized batch execution path column-major by default
+// (row-at-a-time scanning remains available through the Cursor contract).
 package mem
 
 import (

@@ -80,6 +80,12 @@ type Framework struct {
 	DisableLogicalPhase bool
 	// MetadataCache toggles the metadata memo cache (experiment E8).
 	MetadataCache bool
+	// RowMode forces the row-at-a-time execution path, disabling the default
+	// vectorized batch convention (debugging and A/B measurement).
+	RowMode bool
+	// BatchSize overrides the vectorized path's rows-per-batch; <= 0 uses
+	// schema.DefaultBatchSize.
+	BatchSize int
 
 	// Views holds materialized views registered via CREATE MATERIALIZED
 	// VIEW or adapter declarations.
@@ -202,7 +208,7 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewContext()
+	ctx := f.newExecContext()
 	ctx.Evaluator.Params = params
 	rows, err := exec.Execute(ctx, physical)
 	if err != nil {
@@ -278,7 +284,7 @@ func (f *Framework) createView(s *parser.CreateViewStmt, originalSQL string) (*R
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Execute(exec.NewContext(), physical)
+	rows, err := exec.Execute(f.newExecContext(), physical)
 	if err != nil {
 		return nil, err
 	}
@@ -297,6 +303,15 @@ func (f *Framework) createView(s *parser.CreateViewStmt, originalSQL string) (*R
 
 func validateType(ts parser.TypeSpec) (*types.Type, error) {
 	return sql2rel.ConvertTypeSpec(ts)
+}
+
+// newExecContext builds an execution context honoring the framework's
+// execution-mode configuration.
+func (f *Framework) newExecContext() *exec.Context {
+	ctx := exec.NewContext()
+	ctx.BatchMode = !f.RowMode
+	ctx.BatchSize = f.BatchSize
+	return ctx
 }
 
 // RunPhysical executes an already-optimized physical plan and returns its

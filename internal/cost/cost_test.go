@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCostArithmetic(t *testing.T) {
+	a := New(100, 50, 10, 5)
+	b := New(1, 2, 3, 4)
+	sum := a.Plus(b)
+	if sum != (Cost{Rows: 101, CPU: 52, IO: 13, Mem: 9}) {
+		t.Fatalf("Plus: %+v", sum)
+	}
+	scaled := b.Times(3)
+	if scaled != (Cost{Rows: 3, CPU: 6, IO: 9, Mem: 12}) {
+		t.Fatalf("Times: %+v", scaled)
+	}
+	if z := Zero.Plus(Zero); z != Zero {
+		t.Fatalf("Zero is not additive identity: %+v", z)
+	}
+}
+
+func TestCostScalarWeights(t *testing.T) {
+	// The scalar mirrors VolcanoCost weighting: rows + cpu + 4*io + 0.01*mem.
+	c := New(1, 2, 3, 100)
+	if got, want := c.Scalar(), 1.0+2.0+12.0+1.0; got != want {
+		t.Fatalf("Scalar: %v want %v", got, want)
+	}
+	// IO is weighted heavier than CPU: same magnitudes, IO-heavy loses.
+	cpuHeavy := New(0, 10, 1, 0)
+	ioHeavy := New(0, 1, 10, 0)
+	if !cpuHeavy.Less(ioHeavy) {
+		t.Fatal("IO should be costlier than CPU at equal magnitude")
+	}
+}
+
+func TestCostComparison(t *testing.T) {
+	cheap := New(10, 10, 0, 0)
+	pricey := New(1000, 1000, 10, 10)
+	if !cheap.Less(pricey) || pricey.Less(cheap) {
+		t.Fatal("Less ordering broken")
+	}
+	if cheap.Less(cheap) {
+		t.Fatal("Less must be strict")
+	}
+	// Any real plan beats Infinite; Infinite never beats anything.
+	if !cheap.Less(Infinite) || Infinite.Less(cheap) {
+		t.Fatal("Infinite ordering broken")
+	}
+	if !pricey.Plus(Tiny).Less(Infinite) {
+		t.Fatal("finite + tiny must stay below Infinite")
+	}
+}
+
+func TestCostInfinity(t *testing.T) {
+	if Zero.IsInfinite() || Tiny.IsInfinite() {
+		t.Fatal("finite costs flagged infinite")
+	}
+	if !Infinite.IsInfinite() {
+		t.Fatal("Infinite not flagged")
+	}
+	partial := Cost{Rows: 1, CPU: math.Inf(1)}
+	if !partial.IsInfinite() {
+		t.Fatal("single infinite component not detected")
+	}
+	if Infinite.String() != "{inf}" {
+		t.Fatalf("Infinite.String: %q", Infinite.String())
+	}
+	if s := New(1, 2, 3, 4).String(); !strings.Contains(s, "rows") || !strings.Contains(s, "cpu") {
+		t.Fatalf("String: %q", s)
+	}
+	// Infinite absorbs addition.
+	if !Infinite.Plus(Tiny).IsInfinite() {
+		t.Fatal("Infinite + Tiny must stay infinite")
+	}
+}

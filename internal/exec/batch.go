@@ -1,0 +1,632 @@
+package exec
+
+// Batch-mode binding: the vectorized execution path of the enumerable
+// convention. Scan, Filter, Project, HashJoin, Aggregate and Sort process
+// column-major schema.Batch values — filters narrow selection vectors,
+// projections evaluate compiled closures (or typed kernels) per column, and
+// the hash join probes a batch at a time. Operators without a batch
+// implementation (window, set ops, nested-loop join, adapters' backend
+// cursors) keep their row contract and are bridged through the batch/row
+// shims in package schema, so any plan executes end-to-end in either mode
+// with identical results.
+
+import (
+	"sort"
+	"strings"
+
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// BatchBound is a Bound operator that can additionally produce its output as
+// column-major batches.
+type BatchBound interface {
+	Bound
+	BindBatch(ctx *Context) (schema.BatchCursor, error)
+}
+
+// BindBatch binds a plan node as a batch cursor, lifting row-only nodes
+// through the row→batch shim.
+func BindBatch(ctx *Context, n rel.Node) (schema.BatchCursor, error) {
+	if bb, ok := n.(BatchBound); ok {
+		return bb.BindBatch(ctx)
+	}
+	cur, err := bindRow(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return schema.BatchCursorFromCursor(cur, rel.FieldCount(n), ctx.batchSize()), nil
+}
+
+// drainBatches materializes every live row of a batch cursor and closes it.
+func drainBatches(bc schema.BatchCursor) ([][]any, error) {
+	defer bc.Close()
+	var rows [][]any
+	for {
+		b, err := bc.NextBatch()
+		if err == schema.Done {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = b.AppendRows(rows)
+	}
+}
+
+// batchesFromRows re-batches materialized rows (sort output, aggregates).
+func batchesFromRows(rows [][]any, width, batchSize int) schema.BatchCursor {
+	if batchSize <= 0 {
+		batchSize = schema.DefaultBatchSize
+	}
+	batches := make([]*schema.Batch, 0, (len(rows)+batchSize-1)/batchSize)
+	for start := 0; start < len(rows); start += batchSize {
+		end := start + batchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		batches = append(batches, schema.BatchFromRows(rows[start:end], width))
+	}
+	return schema.NewSliceBatchCursor(batches)
+}
+
+// iotaSel returns the dense selection [0, n), reusing buf.
+func iotaSel(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = int32(i)
+	}
+	return buf
+}
+
+// liveSel returns the batch's live row indices, using buf for dense batches.
+func liveSel(b *schema.Batch, buf []int32) ([]int32, []int32) {
+	if b.Sel != nil {
+		return b.Sel, buf
+	}
+	buf = iotaSel(buf, b.Len)
+	return buf, buf
+}
+
+// colPredicate compiles a predicate for column-major evaluation, falling
+// back to the tree-walking Evaluator (through a scratch row) when the
+// expression needs per-execution state (dynamic parameters, correlations).
+func colPredicate(ctx *Context, cond rex.Node, width int) func(cols [][]any, r int) (bool, error) {
+	if fn, err := rex.CompileColsBool(cond); err == nil {
+		return fn
+	}
+	scratch := make([]any, width)
+	ev := ctx.Evaluator
+	return func(cols [][]any, r int) (bool, error) {
+		for c := range scratch {
+			scratch[c] = cols[c][r]
+		}
+		return ev.EvalBool(cond, scratch)
+	}
+}
+
+// --- Scan ---
+
+// BindBatch scans batch-capable tables column-major and lifts everything
+// else through the shim.
+func (s *Scan) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	if bt, ok := s.Table.(schema.BatchScannableTable); ok {
+		return bt.ScanBatches(ctx.batchSize())
+	}
+	cur, err := s.Bind(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return schema.BatchCursorFromCursor(cur, len(s.Table.RowType().Fields), ctx.batchSize()), nil
+}
+
+// --- Filter ---
+
+type filterBatchCursor struct {
+	in     schema.BatchCursor
+	kernel rex.SelKernel
+	pred   func(cols [][]any, r int) (bool, error)
+	selBuf []int32 // output selection storage, reused batch-over-batch
+	dense  []int32 // dense-iota scratch
+}
+
+// BindBatch filters by narrowing each batch's selection vector: a typed
+// kernel when the predicate has a recognized hot shape, otherwise a compiled
+// closure per live row. Columns are never copied.
+func (f *Filter) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	in, err := BindBatch(ctx, f.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	c := &filterBatchCursor{in: in}
+	if k, ok := rex.FilterKernel(f.Condition); ok {
+		c.kernel = k
+	} else {
+		c.pred = colPredicate(ctx, f.Condition, rel.FieldCount(f.Inputs()[0]))
+	}
+	return c, nil
+}
+
+func (c *filterBatchCursor) NextBatch() (*schema.Batch, error) {
+	for {
+		b, err := c.in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		var sel []int32
+		sel, c.dense = liveSel(b, c.dense)
+		out := c.selBuf[:0]
+		if c.kernel != nil {
+			out, err = c.kernel(b.Cols, sel, out)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			for _, r := range sel {
+				keep, err := c.pred(b.Cols, int(r))
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					out = append(out, r)
+				}
+			}
+		}
+		c.selBuf = out
+		if len(out) == 0 {
+			continue
+		}
+		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out}, nil
+	}
+}
+
+func (c *filterBatchCursor) Close() error { return c.in.Close() }
+
+// --- Project ---
+
+type projExpr struct {
+	passthrough int // input ordinal for plain $i, else -1
+	kernel      rex.ColKernel
+	colFn       rex.ColFn
+}
+
+type projectBatchCursor struct {
+	in    schema.BatchCursor
+	exprs []projExpr
+	// evalAll, when set, handles expressions needing the Evaluator: a scratch
+	// row is assembled once per live row and every expression interprets it.
+	evalAll []rex.Node
+	ev      *rex.Evaluator
+	inWidth int
+	dense   []int32
+}
+
+// BindBatch projects each batch column-wise: pass-through references are
+// zero-copy on dense batches, recognized arithmetic shapes run as typed
+// kernels, everything else evaluates a compiled closure per live row.
+func (p *Project) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	in, err := BindBatch(ctx, p.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	c := &projectBatchCursor{in: in, inWidth: rel.FieldCount(p.Inputs()[0])}
+	exprs := make([]projExpr, len(p.Exprs))
+	for i, e := range p.Exprs {
+		pe := projExpr{passthrough: -1}
+		if ref, ok := e.(*rex.InputRef); ok {
+			pe.passthrough = ref.Index
+		}
+		if k, ok := rex.ArithKernel(e); ok {
+			pe.kernel = k
+		} else if fn, err := rex.CompileCols(e); err == nil {
+			pe.colFn = fn
+		} else {
+			// Dynamic state somewhere in the projection: run the whole batch
+			// through the interpreter on assembled rows.
+			c.evalAll = p.Exprs
+			c.ev = ctx.Evaluator
+			break
+		}
+		exprs[i] = pe
+	}
+	c.exprs = exprs
+	return c, nil
+}
+
+func (c *projectBatchCursor) NextBatch() (*schema.Batch, error) {
+	b, err := c.in.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if c.evalAll != nil {
+		return c.projectInterpreted(b)
+	}
+	var sel []int32
+	sel, c.dense = liveSel(b, c.dense)
+	n := len(sel)
+	cols := make([][]any, len(c.exprs))
+	for j, pe := range c.exprs {
+		if pe.passthrough >= 0 && b.Sel == nil {
+			cols[j] = b.Cols[pe.passthrough]
+			continue
+		}
+		col := make([]any, n)
+		switch {
+		case pe.kernel != nil:
+			if err := pe.kernel(b.Cols, sel, col); err != nil {
+				return nil, err
+			}
+		default:
+			for k, r := range sel {
+				v, err := pe.colFn(b.Cols, int(r))
+				if err != nil {
+					return nil, err
+				}
+				col[k] = v
+			}
+		}
+		cols[j] = col
+	}
+	return &schema.Batch{Len: n, Cols: cols}, nil
+}
+
+func (c *projectBatchCursor) projectInterpreted(b *schema.Batch) (*schema.Batch, error) {
+	var sel []int32
+	sel, c.dense = liveSel(b, c.dense)
+	n := len(sel)
+	cols := make([][]any, len(c.evalAll))
+	for j := range cols {
+		cols[j] = make([]any, n)
+	}
+	scratch := make([]any, c.inWidth)
+	for k, ri := range sel {
+		r := int(ri)
+		for cc := range scratch {
+			scratch[cc] = b.Cols[cc][r]
+		}
+		for j, e := range c.evalAll {
+			v, err := c.ev.Eval(e, scratch)
+			if err != nil {
+				return nil, err
+			}
+			cols[j][k] = v
+		}
+	}
+	return &schema.Batch{Len: n, Cols: cols}, nil
+}
+
+func (c *projectBatchCursor) Close() error { return c.in.Close() }
+
+// --- Sort / Limit ---
+
+type limitBatchCursor struct {
+	in       schema.BatchCursor
+	offset   int64
+	fetch    int64 // -1 = unlimited
+	skipped  int64
+	returned int64
+	dense    []int32
+}
+
+func (c *limitBatchCursor) NextBatch() (*schema.Batch, error) {
+	for {
+		if c.fetch >= 0 && c.returned >= c.fetch {
+			return nil, schema.Done
+		}
+		b, err := c.in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		var sel []int32
+		sel, c.dense = liveSel(b, c.dense)
+		// Skip the remaining OFFSET rows.
+		if c.skipped < c.offset {
+			skip := c.offset - c.skipped
+			if skip >= int64(len(sel)) {
+				c.skipped += int64(len(sel))
+				continue
+			}
+			c.skipped = c.offset
+			sel = sel[skip:]
+		}
+		// Cap at FETCH.
+		if c.fetch >= 0 {
+			if remain := c.fetch - c.returned; int64(len(sel)) > remain {
+				sel = sel[:remain]
+			}
+		}
+		c.returned += int64(len(sel))
+		out := append([]int32(nil), sel...)
+		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out}, nil
+	}
+}
+
+func (c *limitBatchCursor) Close() error { return c.in.Close() }
+
+// BindBatch sorts by materializing the batched input; a pure limit streams
+// batches, trimming selection vectors.
+func (s *Sort) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	in, err := BindBatch(ctx, s.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Collation) == 0 {
+		return &limitBatchCursor{in: in, offset: s.Offset, fetch: s.Fetch}, nil
+	}
+	rows, err := drainBatches(in)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return CompareRows(rows[i], rows[j], s.Collation) < 0
+	})
+	if s.Offset > 0 {
+		if s.Offset >= int64(len(rows)) {
+			rows = nil
+		} else {
+			rows = rows[s.Offset:]
+		}
+	}
+	if s.Fetch >= 0 && s.Fetch < int64(len(rows)) {
+		rows = rows[:s.Fetch]
+	}
+	return batchesFromRows(rows, rel.FieldCount(s), ctx.batchSize()), nil
+}
+
+// --- Aggregate ---
+
+// BindBatch aggregates the batched input. Grouping and accumulation reuse
+// the row-based accumulators over a scratch row per live row — the win is
+// upstream: the scan/filter/project subtree feeding the aggregate runs
+// vectorized.
+func (a *Aggregate) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	in, err := BindBatch(ctx, a.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	width := rel.FieldCount(a.Inputs()[0])
+	scratch := make([]any, width)
+
+	type group struct {
+		key  []any
+		accs []rex.Accumulator
+	}
+	groups := map[string]*group{}
+	var order []string
+	var dense []int32
+	for {
+		b, err := in.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		var sel []int32
+		sel, dense = liveSel(b, dense)
+		for _, ri := range sel {
+			r := int(ri)
+			for c := range scratch {
+				scratch[c] = b.Cols[c][r]
+			}
+			k := types.HashRowKey(scratch, a.GroupKeys)
+			g, ok := groups[k]
+			if !ok {
+				key := make([]any, len(a.GroupKeys))
+				for i, gk := range a.GroupKeys {
+					key[i] = scratch[gk]
+				}
+				accs := make([]rex.Accumulator, len(a.Calls))
+				for i, c := range a.Calls {
+					accs[i] = rex.NewAccumulator(c)
+				}
+				g = &group{key: key, accs: accs}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for _, acc := range g.accs {
+				if err := acc.Add(scratch); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Global aggregate over empty input still yields one row.
+	if len(a.GroupKeys) == 0 && len(order) == 0 {
+		accs := make([]rex.Accumulator, len(a.Calls))
+		for i, c := range a.Calls {
+			accs[i] = rex.NewAccumulator(c)
+		}
+		groups[""] = &group{accs: accs}
+		order = append(order, "")
+	}
+	out := make([][]any, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		row := make([]any, 0, len(g.key)+len(g.accs))
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		out = append(out, row)
+	}
+	return batchesFromRows(out, rel.FieldCount(a), ctx.batchSize()), nil
+}
+
+// --- HashJoin ---
+
+// hashColsKey mirrors types.HashRowKey over column-major data so probe keys
+// match build keys byte-for-byte.
+func hashColsKey(cols [][]any, r int, keys []int) string {
+	var b strings.Builder
+	for _, c := range keys {
+		b.WriteString(types.HashKey(cols[c][r]))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func colsHaveNullAt(cols [][]any, r int, keys []int) bool {
+	for _, c := range keys {
+		if cols[c][r] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// BindBatch executes the hash join vectorized: the build (right) side is
+// drained through batches into a hash table, then the probe (left) side
+// streams batch by batch, emitting matches directly into columnar output.
+func (j *HashJoin) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	rightBC, err := BindBatch(ctx, j.Right())
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := drainBatches(rightBC)
+	if err != nil {
+		return nil, err
+	}
+	leftBC, err := BindBatch(ctx, j.Left())
+	if err != nil {
+		return nil, err
+	}
+	defer leftBC.Close()
+
+	info := j.Info
+	leftWidth := rel.FieldCount(j.Left())
+	rightWidth := rel.FieldCount(j.Right())
+	emitRight := j.Kind != rel.SemiJoin && j.Kind != rel.AntiJoin
+	outWidth := leftWidth
+	if emitRight {
+		outWidth += rightWidth
+	}
+
+	table := make(map[string][]int32, len(rightRows))
+	for i, row := range rightRows {
+		if hasNullAt(row, info.RightKeys) {
+			continue // SQL equi-join: NULL keys never match
+		}
+		k := types.HashRowKey(row, info.RightKeys)
+		table[k] = append(table[k], int32(i))
+	}
+
+	// Residual (non-equi) condition over the concatenated row.
+	var residual func(row []any) (bool, error)
+	if info.Residual != nil {
+		if fn, err := rex.CompileBool(info.Residual); err == nil {
+			residual = fn
+		} else {
+			ev := ctx.Evaluator
+			cond := info.Residual
+			residual = func(row []any) (bool, error) { return ev.EvalBool(cond, row) }
+		}
+	}
+
+	outCols := make([][]any, outWidth)
+	emit := func(b *schema.Batch, l int, rrow []any) {
+		for c := 0; c < leftWidth; c++ {
+			outCols[c] = append(outCols[c], b.Cols[c][l])
+		}
+		if emitRight {
+			for c := 0; c < rightWidth; c++ {
+				if rrow == nil {
+					outCols[leftWidth+c] = append(outCols[leftWidth+c], nil)
+				} else {
+					outCols[leftWidth+c] = append(outCols[leftWidth+c], rrow[c])
+				}
+			}
+		}
+	}
+
+	combined := make([]any, leftWidth+rightWidth)
+	rightMatched := make([]bool, len(rightRows))
+	var dense []int32
+	nRows := 0
+	for {
+		b, err := leftBC.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		var sel []int32
+		sel, dense = liveSel(b, dense)
+		for _, li := range sel {
+			l := int(li)
+			var candidates []int32
+			if !colsHaveNullAt(b.Cols, l, info.LeftKeys) {
+				candidates = table[hashColsKey(b.Cols, l, info.LeftKeys)]
+			}
+			matched := false
+			for _, ri := range candidates {
+				rrow := rightRows[ri]
+				if residual != nil {
+					for c := 0; c < leftWidth; c++ {
+						combined[c] = b.Cols[c][l]
+					}
+					copy(combined[leftWidth:], rrow)
+					ok, err := residual(combined)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				matched = true
+				rightMatched[ri] = true
+				switch j.Kind {
+				case rel.SemiJoin, rel.AntiJoin:
+					// Emission decided after probing.
+				default:
+					emit(b, l, rrow)
+					nRows++
+				}
+				if j.Kind == rel.SemiJoin || j.Kind == rel.AntiJoin {
+					break
+				}
+			}
+			switch j.Kind {
+			case rel.SemiJoin:
+				if matched {
+					emit(b, l, nil)
+					nRows++
+				}
+			case rel.AntiJoin:
+				if !matched {
+					emit(b, l, nil)
+					nRows++
+				}
+			case rel.LeftJoin, rel.FullJoin:
+				if !matched {
+					emit(b, l, nil)
+					nRows++
+				}
+			}
+		}
+	}
+	if j.Kind == rel.RightJoin || j.Kind == rel.FullJoin {
+		nullLeft := make([]any, leftWidth)
+		for ri, rrow := range rightRows {
+			if !rightMatched[ri] {
+				for c := 0; c < leftWidth; c++ {
+					outCols[c] = append(outCols[c], nullLeft[c])
+				}
+				for c := 0; c < rightWidth; c++ {
+					outCols[leftWidth+c] = append(outCols[leftWidth+c], rrow[c])
+				}
+				nRows++
+			}
+		}
+	}
+	out := &schema.Batch{Len: nRows, Cols: outCols}
+	return schema.NewSliceBatchCursor([]*schema.Batch{out}), nil
+}

@@ -22,10 +22,30 @@ type Context struct {
 	// Evaluator evaluates row expressions (holds prepared-statement
 	// parameters).
 	Evaluator *rex.Evaluator
+	// BatchMode routes execution through the vectorized batch convention:
+	// operators that implement BatchBound exchange column-major batches and
+	// evaluate compiled expressions; the rest run row-at-a-time behind the
+	// batch/row shims. Disable to force the row-at-a-time interpreter path
+	// (debugging, and the baseline of the row-vs-batch benchmarks).
+	BatchMode bool
+	// BatchSize overrides the rows-per-batch granularity; <= 0 uses
+	// schema.DefaultBatchSize.
+	BatchSize int
 }
 
-// NewContext returns an execution context with no parameters.
-func NewContext() *Context { return &Context{Evaluator: &rex.Evaluator{}} }
+// NewContext returns an execution context with no parameters. Batch mode is
+// the default execution path.
+func NewContext() *Context { return &Context{Evaluator: &rex.Evaluator{}, BatchMode: true} }
+
+// NewRowContext returns a context that forces the row-at-a-time path.
+func NewRowContext() *Context { return &Context{Evaluator: &rex.Evaluator{}} }
+
+func (ctx *Context) batchSize() int {
+	if ctx.BatchSize > 0 {
+		return ctx.BatchSize
+	}
+	return schema.DefaultBatchSize
+}
 
 // Bound is a relational expression that can be executed: binding it yields a
 // cursor over its output rows.
@@ -36,6 +56,16 @@ type Bound interface {
 
 // Execute binds root and drains it into a row slice.
 func Execute(ctx *Context, root rel.Node) ([][]any, error) {
+	// A batch-capable root drains column-major; a row-only root drains its
+	// row cursor directly (its batch-capable subtree still binds vectorized
+	// through BindNode), avoiding a pointless rows→batches→rows roundtrip.
+	if _, ok := root.(BatchBound); ok && ctx.BatchMode {
+		bc, err := BindBatch(ctx, root)
+		if err != nil {
+			return nil, err
+		}
+		return drainBatches(bc)
+	}
 	cur, err := BindNode(ctx, root)
 	if err != nil {
 		return nil, err
@@ -54,9 +84,25 @@ func Execute(ctx *Context, root rel.Node) ([][]any, error) {
 	}
 }
 
-// BindNode binds a plan node, reporting a clear error for unexecutable
-// (non-enumerable) nodes.
+// BindNode binds a plan node as a row cursor, reporting a clear error for
+// unexecutable (non-enumerable) nodes. In batch mode, batch-capable nodes
+// bind vectorized and are flattened through the row shim, so row-only
+// consumers (window, set ops, adapters) still sit on a vectorized subtree.
 func BindNode(ctx *Context, n rel.Node) (schema.Cursor, error) {
+	if ctx.BatchMode {
+		if bb, ok := n.(BatchBound); ok {
+			bc, err := bb.BindBatch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return schema.RowCursorFromBatches(bc), nil
+		}
+	}
+	return bindRow(ctx, n)
+}
+
+// bindRow binds a node strictly through its row-cursor contract.
+func bindRow(ctx *Context, n rel.Node) (schema.Cursor, error) {
 	b, ok := n.(Bound)
 	if !ok {
 		return nil, fmt.Errorf("exec: plan node %s is not executable (convention %s); optimize to the enumerable convention first",

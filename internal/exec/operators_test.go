@@ -174,8 +174,11 @@ func TestWindowFrames(t *testing.T) {
 
 func scanOf2(t *schema.MemTable) rel.Node { return exec.NewScan(t, []string{t.Name()}) }
 
-// failingTable injects cursor errors (failure-injection coverage).
-type failingTable struct{ *schema.MemTable }
+// failingTable injects cursor errors (failure-injection coverage). It embeds
+// the Table interface (not *MemTable) so it does not advertise ScanBatches:
+// the overridden Scan must remain the only row source in both execution
+// modes.
+type failingTable struct{ schema.Table }
 
 type failingCursor struct{ n int }
 

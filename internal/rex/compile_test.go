@@ -1,0 +1,205 @@
+package rex
+
+import (
+	"reflect"
+	"testing"
+
+	"calcite/internal/types"
+)
+
+// compileFixtureRows exercises NULLs, ints, floats, strings and booleans.
+func compileFixtureRows() [][]any {
+	return [][]any{
+		{int64(1), 10.5, "alice", true},
+		{int64(2), nil, "bob", false},
+		{nil, 3.25, "carol", nil},
+		{int64(-7), 0.0, "", true},
+		{int64(5), 2.0, "dave", nil},
+	}
+}
+
+func compileFixtureExprs() []Node {
+	ref := func(i int, t *types.Type) Node { return NewInputRef(i, t) }
+	i0 := ref(0, types.BigInt)
+	f1 := ref(1, types.Double)
+	s2 := ref(2, types.Varchar)
+	b3 := ref(3, types.Boolean)
+	return []Node{
+		Int(42),
+		i0,
+		NewCall(OpEquals, i0, Int(2)),
+		NewCall(OpGreater, i0, Int(0)),
+		NewCall(OpLessEqual, Int(2), i0),
+		NewCall(OpNotEquals, s2, Str("bob")),
+		NewCall(OpLess, f1, Float(4.0)),
+		NewCall(OpGreaterEqual, f1, f1),
+		NewCall(OpPlus, i0, Int(3)),
+		NewCall(OpMinus, Float(100), f1),
+		NewCall(OpTimes, i0, i0),
+		NewCall(OpDivide, f1, Float(2)),
+		NewCall(OpIsNull, f1),
+		NewCall(OpIsNotNull, i0),
+		NewCall(OpNot, b3),
+		And(NewCall(OpGreater, i0, Int(0)), NewCall(OpIsNotNull, f1)),
+		Or(NewCall(OpEquals, s2, Str("alice")), b3),
+		NewCall(OpCase, NewCall(OpGreater, i0, Int(1)), Str("big"), Str("small")),
+		NewCall(OpCoalesce, f1, Float(-1)),
+		NewCallTyped(OpCast, types.Varchar, i0),
+		NewCall(OpUpper, s2),
+		NewCall(OpLike, s2, Str("%a%")),
+		NewCall(OpConcat, s2, Str("!")),
+	}
+}
+
+// TestCompileMatchesEvaluator: the compiled closures must agree with the
+// tree-walking interpreter on every expression/row pair, in both the
+// row-major and column-major forms.
+func TestCompileMatchesEvaluator(t *testing.T) {
+	rows := compileFixtureRows()
+	cols := make([][]any, 4)
+	for c := range cols {
+		cols[c] = make([]any, len(rows))
+		for r, row := range rows {
+			cols[c][r] = row[c]
+		}
+	}
+	ev := &Evaluator{}
+	for _, e := range compileFixtureExprs() {
+		rowFn, err := Compile(e)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", e, err)
+		}
+		colFn, err := CompileCols(e)
+		if err != nil {
+			t.Fatalf("CompileCols(%s): %v", e, err)
+		}
+		for r, row := range rows {
+			want, werr := ev.Eval(e, row)
+			got, gerr := rowFn(row)
+			if (werr == nil) != (gerr == nil) || !reflect.DeepEqual(want, got) {
+				t.Errorf("%s row %d: interp (%v, %v) vs compiled (%v, %v)", e, r, want, werr, got, gerr)
+			}
+			cgot, cerr := colFn(cols, r)
+			if (werr == nil) != (cerr == nil) || !reflect.DeepEqual(want, cgot) {
+				t.Errorf("%s row %d: interp (%v, %v) vs col-compiled (%v, %v)", e, r, want, werr, cgot, cerr)
+			}
+		}
+	}
+}
+
+// TestCompileRejectsDynamicState: params and correlation variables must fall
+// back to the Evaluator.
+func TestCompileRejectsDynamicState(t *testing.T) {
+	if _, err := Compile(&DynamicParam{Index: 0, T: types.BigInt}); err == nil {
+		t.Error("dynamic param should not compile")
+	}
+	if _, err := Compile(NewCall(OpEquals,
+		NewInputRef(0, types.BigInt),
+		&CorrelVariable{Name: "c0", T: types.BigInt})); err == nil {
+		t.Error("correlation variable should not compile")
+	}
+}
+
+// TestFilterKernelMatchesEvaluator: every kernel-recognized predicate must
+// select exactly the rows the interpreter keeps.
+func TestFilterKernelMatchesEvaluator(t *testing.T) {
+	rows := compileFixtureRows()
+	cols := make([][]any, 4)
+	for c := range cols {
+		cols[c] = make([]any, len(rows))
+		for r, row := range rows {
+			cols[c][r] = row[c]
+		}
+	}
+	sel := make([]int32, len(rows))
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	i0 := NewInputRef(0, types.BigInt)
+	f1 := NewInputRef(1, types.Double)
+	s2 := NewInputRef(2, types.Varchar)
+	preds := []Node{
+		NewCall(OpGreater, i0, Int(0)),
+		NewCall(OpLess, Int(0), i0),
+		NewCall(OpEquals, s2, Str("bob")),
+		NewCall(OpGreaterEqual, f1, Float(2.0)),
+		NewCall(OpNotEquals, i0, Int(2)),
+		NewCall(OpIsNull, f1),
+		NewCall(OpIsNotNull, i0),
+		NewCall(OpLess, i0, f1),
+		NewCall(OpEquals, i0, Null()),
+		And(NewCall(OpGreater, i0, Int(-10)), NewCall(OpIsNotNull, f1), NewCall(OpLess, f1, Float(11))),
+	}
+	ev := &Evaluator{}
+	for _, p := range preds {
+		kernel, ok := FilterKernel(p)
+		if !ok {
+			t.Fatalf("no kernel for %s", p)
+		}
+		got, err := kernel(cols, sel, nil)
+		if err != nil {
+			t.Fatalf("kernel %s: %v", p, err)
+		}
+		var want []int32
+		for r, row := range rows {
+			keep, err := ev.EvalBool(p, row)
+			if err != nil {
+				t.Fatalf("eval %s: %v", p, err)
+			}
+			if keep {
+				want = append(want, int32(r))
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: kernel %v vs interp %v", p, got, want)
+		}
+	}
+	// Unrecognized shapes must decline, not misfire.
+	if _, ok := FilterKernel(NewCall(OpLike, s2, Str("%a%"))); ok {
+		t.Error("LIKE should have no kernel")
+	}
+}
+
+// TestArithKernelMatchesEvaluator checks the projection kernels.
+func TestArithKernelMatchesEvaluator(t *testing.T) {
+	rows := compileFixtureRows()
+	cols := make([][]any, 4)
+	for c := range cols {
+		cols[c] = make([]any, len(rows))
+		for r, row := range rows {
+			cols[c][r] = row[c]
+		}
+	}
+	sel := []int32{0, 2, 4}
+	i0 := NewInputRef(0, types.BigInt)
+	f1 := NewInputRef(1, types.Double)
+	exprs := []Node{
+		i0,
+		Str("k"),
+		NewCall(OpPlus, i0, Int(100)),
+		NewCall(OpTimes, f1, Float(3)),
+		NewCall(OpMinus, i0, i0),
+		NewCall(OpDivide, f1, Float(4)),
+		NewCall(OpPlus, Int(1), f1),
+	}
+	ev := &Evaluator{}
+	for _, e := range exprs {
+		kernel, ok := ArithKernel(e)
+		if !ok {
+			t.Fatalf("no arith kernel for %s", e)
+		}
+		out := make([]any, len(sel))
+		if err := kernel(cols, sel, out); err != nil {
+			t.Fatalf("kernel %s: %v", e, err)
+		}
+		for k, r := range sel {
+			want, err := ev.Eval(e, rows[r])
+			if err != nil {
+				t.Fatalf("eval %s: %v", e, err)
+			}
+			if !reflect.DeepEqual(out[k], want) {
+				t.Errorf("%s row %d: kernel %v vs interp %v", e, r, out[k], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package rex
+
+// Batch kernels: specialized column loops for the hot predicates and
+// arithmetic shapes of analytic queries. Where the compiled closure form
+// (compile.go) removes tree-walking, a kernel additionally removes the
+// per-row closure dispatch: one type assertion and one branch per value,
+// inside a single loop over a column.
+//
+// Kernels are best-effort pattern matches. FilterKernel and ArithKernel
+// return ok=false for shapes they do not recognize and callers fall back to
+// the compiled closure (and from there to the Evaluator).
+
+import (
+	"strings"
+
+	"calcite/internal/types"
+)
+
+// SelKernel narrows a selection: it appends to out the indices of sel whose
+// rows satisfy the predicate, and returns out. NULL comparisons drop rows
+// (SQL filter semantics).
+type SelKernel func(cols [][]any, sel []int32, out []int32) ([]int32, error)
+
+// FilterKernel compiles a predicate into a selection kernel if it has one of
+// the recognized hot shapes:
+//
+//   - column ⋈ literal, literal ⋈ column (⋈ a comparison) on
+//     int64/float64/string columns
+//   - column ⋈ column
+//   - column IS NULL / IS NOT NULL
+//   - AND of recognized shapes (conjuncts narrow the selection in turn)
+func FilterKernel(n Node) (SelKernel, bool) {
+	c, ok := n.(*Call)
+	if !ok {
+		return nil, false
+	}
+	if c.Op == OpAnd {
+		kernels := make([]SelKernel, len(c.Operands))
+		for i, o := range c.Operands {
+			k, ok := FilterKernel(o)
+			if !ok {
+				return nil, false
+			}
+			kernels[i] = k
+		}
+		// The ping-pong scratch buffers live in the kernel's captured state
+		// so they reach steady size once and stay zero-alloc across batches
+		// (kernels are built per bind and used single-threaded).
+		var bufs [2][]int32
+		return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+			// Each conjunct filters the previous conjunct's survivors. Two
+			// scratch buffers ping-pong so a kernel never appends to the
+			// slice it is reading; the final conjunct appends to out.
+			cur := sel
+			for i, k := range kernels {
+				dst := out
+				if i < len(kernels)-1 {
+					dst = bufs[i%2][:0]
+				}
+				next, err := k(cols, cur, dst)
+				if err != nil {
+					return nil, err
+				}
+				if i == len(kernels)-1 {
+					return next, nil
+				}
+				bufs[i%2] = next
+				cur = next
+				if len(cur) == 0 {
+					return out, nil
+				}
+			}
+			return out, nil
+		}, true
+	}
+
+	switch c.Op {
+	case OpIsNull:
+		if ref, ok := c.Operands[0].(*InputRef); ok {
+			i := ref.Index
+			return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+				col := cols[i]
+				for _, r := range sel {
+					if col[r] == nil {
+						out = append(out, r)
+					}
+				}
+				return out, nil
+			}, true
+		}
+	case OpIsNotNull:
+		if ref, ok := c.Operands[0].(*InputRef); ok {
+			i := ref.Index
+			return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+				col := cols[i]
+				for _, r := range sel {
+					if col[r] != nil {
+						out = append(out, r)
+					}
+				}
+				return out, nil
+			}, true
+		}
+	}
+
+	pred := cmpPred(c.Op)
+	if pred == nil || len(c.Operands) != 2 {
+		return nil, false
+	}
+	// column ⋈ column
+	if lref, ok := c.Operands[0].(*InputRef); ok {
+		if rref, ok := c.Operands[1].(*InputRef); ok {
+			li, ri := lref.Index, rref.Index
+			return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+				lc, rc := cols[li], cols[ri]
+				for _, r := range sel {
+					a, b := lc[r], rc[r]
+					if a == nil || b == nil {
+						continue
+					}
+					if pred(types.Compare(a, b)) {
+						out = append(out, r)
+					}
+				}
+				return out, nil
+			}, true
+		}
+	}
+	// column ⋈ literal  /  literal ⋈ column (mirrored predicate)
+	if ref, ok := c.Operands[0].(*InputRef); ok {
+		if lit, ok := c.Operands[1].(*Literal); ok {
+			return cmpLiteralKernel(ref.Index, lit.Value, pred)
+		}
+	}
+	if lit, ok := c.Operands[0].(*Literal); ok {
+		if ref, ok := c.Operands[1].(*InputRef); ok {
+			mirrored := func(cmp int) bool { return pred(-cmp) }
+			return cmpLiteralKernel(ref.Index, lit.Value, mirrored)
+		}
+	}
+	return nil, false
+}
+
+// cmpLiteralKernel builds a typed column-vs-constant comparison loop.
+func cmpLiteralKernel(idx int, lit any, pred func(int) bool) (SelKernel, bool) {
+	switch k := lit.(type) {
+	case nil:
+		// ⋈ NULL is never true: the kernel selects nothing.
+		return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+			return out, nil
+		}, true
+	case int64:
+		return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+			col := cols[idx]
+			for _, r := range sel {
+				v := col[r]
+				if v == nil {
+					continue
+				}
+				if x, ok := v.(int64); ok {
+					switch {
+					case x < k:
+						if pred(-1) {
+							out = append(out, r)
+						}
+					case x > k:
+						if pred(1) {
+							out = append(out, r)
+						}
+					default:
+						if pred(0) {
+							out = append(out, r)
+						}
+					}
+					continue
+				}
+				if pred(types.Compare(v, k)) {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}, true
+	case float64:
+		return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+			col := cols[idx]
+			for _, r := range sel {
+				v := col[r]
+				if v == nil {
+					continue
+				}
+				if x, ok := v.(float64); ok {
+					switch {
+					case x < k:
+						if pred(-1) {
+							out = append(out, r)
+						}
+					case x > k:
+						if pred(1) {
+							out = append(out, r)
+						}
+					default:
+						if pred(types.Compare(v, k)) { // NaN handling
+							out = append(out, r)
+						}
+					}
+					continue
+				}
+				if pred(types.Compare(v, k)) {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}, true
+	case string:
+		return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+			col := cols[idx]
+			for _, r := range sel {
+				v := col[r]
+				if v == nil {
+					continue
+				}
+				if x, ok := v.(string); ok {
+					if pred(strings.Compare(x, k)) {
+						out = append(out, r)
+					}
+					continue
+				}
+				if pred(types.Compare(v, k)) {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}, true
+	case bool:
+		return func(cols [][]any, sel []int32, out []int32) ([]int32, error) {
+			col := cols[idx]
+			for _, r := range sel {
+				v := col[r]
+				if v == nil {
+					continue
+				}
+				if pred(types.Compare(v, k)) {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}, true
+	}
+	return nil, false
+}
+
+// ColKernel materializes one output value per selected row into out, which
+// callers size to len(sel).
+type ColKernel func(cols [][]any, sel []int32, out []any) error
+
+// ArithKernel compiles the hot projection shapes into a column kernel:
+//
+//   - $i                      (gather)
+//   - literal                 (broadcast)
+//   - $i ⊕ literal, literal ⊕ $i, $i ⊕ $j for ⊕ ∈ {+, -, *, /} with
+//     int64/float64 fast paths and strict NULL propagation
+//   - the same operand shapes under a comparison, producing a boolean column
+func ArithKernel(n Node) (ColKernel, bool) {
+	switch x := n.(type) {
+	case *InputRef:
+		i := x.Index
+		return func(cols [][]any, sel []int32, out []any) error {
+			col := cols[i]
+			for k, r := range sel {
+				out[k] = col[r]
+			}
+			return nil
+		}, true
+	case *Literal:
+		v := x.Value
+		return func(cols [][]any, sel []int32, out []any) error {
+			for k := range sel {
+				out[k] = v
+			}
+			return nil
+		}, true
+	case *Call:
+		if len(x.Operands) != 2 {
+			return nil, false
+		}
+		lhs, lok := operandGetter(x.Operands[0])
+		rhs, rok := operandGetter(x.Operands[1])
+		if !lok || !rok {
+			return nil, false
+		}
+		if pred := cmpPred(x.Op); pred != nil {
+			return func(cols [][]any, sel []int32, out []any) error {
+				for k, ri := range sel {
+					r := int(ri)
+					a := lhs(cols, r)
+					if a == nil {
+						out[k] = nil
+						continue
+					}
+					b := rhs(cols, r)
+					if b == nil {
+						out[k] = nil
+						continue
+					}
+					if xa, ok := a.(int64); ok {
+						if yb, ok := b.(int64); ok {
+							switch {
+							case xa < yb:
+								out[k] = pred(-1)
+							case xa > yb:
+								out[k] = pred(1)
+							default:
+								out[k] = pred(0)
+							}
+							continue
+						}
+					}
+					out[k] = pred(types.Compare(a, b))
+				}
+				return nil
+			}, true
+		}
+		var sym byte
+		switch x.Op {
+		case OpPlus:
+			sym = '+'
+		case OpMinus:
+			sym = '-'
+		case OpTimes:
+			sym = '*'
+		case OpDivide:
+			sym = '/'
+		default:
+			return nil, false
+		}
+		return func(cols [][]any, sel []int32, out []any) error {
+			for k, ri := range sel {
+				r := int(ri)
+				a := lhs(cols, r)
+				if a == nil {
+					out[k] = nil
+					continue
+				}
+				b := rhs(cols, r)
+				if b == nil {
+					out[k] = nil
+					continue
+				}
+				v, err := arithValues(sym, a, b)
+				if err != nil {
+					return err
+				}
+				out[k] = v
+			}
+			return nil
+		}, true
+	}
+	return nil, false
+}
+
+// operandGetter returns a direct value accessor for refs and literals.
+func operandGetter(n Node) (func(cols [][]any, r int) any, bool) {
+	switch x := n.(type) {
+	case *InputRef:
+		i := x.Index
+		return func(cols [][]any, r int) any { return cols[i][r] }, true
+	case *Literal:
+		v := x.Value
+		return func(cols [][]any, r int) any { return v }, true
+	}
+	return nil, false
+}

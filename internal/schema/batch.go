@@ -1,0 +1,299 @@
+package schema
+
+// Vectorized data movement: the batch calling convention.
+//
+// The enumerable convention of the paper pulls one row at a time through
+// Cursor. That row-at-a-time discipline pays an interface call, a bounds
+// check and usually an allocation per row per operator. The batch convention
+// amortizes those costs: operators exchange Batch values — column-major
+// groups of up to a few thousand rows with an optional selection vector — so
+// per-row work collapses into tight loops over slices.
+//
+// Both conventions interoperate: BatchCursorFromCursor lifts any row cursor
+// into batches, and RowCursorFromBatches flattens batches back into rows, so
+// every adapter written against Cursor keeps working unmodified while the
+// engine's hot path runs vectorized.
+
+// DefaultBatchSize is the number of rows an operator processes per batch. It
+// is chosen so a batch of a few wide columns stays comfortably inside L2.
+const DefaultBatchSize = 1024
+
+// Batch is a column-major group of rows. Cols[c][r] is the value of column c
+// in physical row r; every column has Len entries. Sel, when non-nil, is a
+// selection vector: the ordered physical row indices that are logically
+// present (filters narrow batches by replacing Sel instead of copying
+// columns). A nil Sel means all Len rows are live.
+type Batch struct {
+	// Len is the number of physical rows held by each column.
+	Len int
+	// Cols holds the column vectors; len(Cols) is the batch width.
+	Cols [][]any
+	// Sel selects the live subset of rows, in order; nil selects all.
+	Sel []int32
+}
+
+// NumRows returns the number of live (selected) rows.
+func (b *Batch) NumRows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.Len
+}
+
+// Width returns the number of columns.
+func (b *Batch) Width() int { return len(b.Cols) }
+
+// Row materializes the i'th live row (0 ≤ i < NumRows) as a fresh []any.
+func (b *Batch) Row(i int) []any {
+	r := i
+	if b.Sel != nil {
+		r = int(b.Sel[i])
+	}
+	row := make([]any, len(b.Cols))
+	for c, col := range b.Cols {
+		row[c] = col[r]
+	}
+	return row
+}
+
+// AppendRows materializes every live row onto dst and returns it. Row
+// storage comes from one arena allocation per batch (full slice expressions
+// keep the rows append-safe).
+func (b *Batch) AppendRows(dst [][]any) [][]any {
+	n := b.NumRows()
+	w := len(b.Cols)
+	if n == 0 {
+		return dst
+	}
+	if w == 0 {
+		for i := 0; i < n; i++ {
+			dst = append(dst, nil)
+		}
+		return dst
+	}
+	flat := make([]any, n*w)
+	for i := 0; i < n; i++ {
+		r := i
+		if b.Sel != nil {
+			r = int(b.Sel[i])
+		}
+		row := flat[i*w : (i+1)*w : (i+1)*w]
+		for c, col := range b.Cols {
+			row[c] = col[r]
+		}
+		dst = append(dst, row)
+	}
+	return dst
+}
+
+// Compact returns a batch with no selection vector: if b already is dense it
+// is returned unchanged, otherwise the selected rows are gathered into fresh
+// columns.
+func (b *Batch) Compact() *Batch {
+	if b.Sel == nil {
+		return b
+	}
+	n := len(b.Sel)
+	cols := make([][]any, len(b.Cols))
+	for c, col := range b.Cols {
+		dense := make([]any, n)
+		for i, r := range b.Sel {
+			dense[i] = col[r]
+		}
+		cols[c] = dense
+	}
+	return &Batch{Len: n, Cols: cols}
+}
+
+// BatchFromRows transposes row-major rows into a dense batch of the given
+// width (width matters when rows is empty or rows are zero-width).
+func BatchFromRows(rows [][]any, width int) *Batch {
+	cols := make([][]any, width)
+	for c := range cols {
+		col := make([]any, len(rows))
+		for r, row := range rows {
+			col[r] = row[c]
+		}
+		cols[c] = col
+	}
+	return &Batch{Len: len(rows), Cols: cols}
+}
+
+// BatchCursor iterates over batches. NextBatch returns (nil, Done) when
+// exhausted; returned batches are owned by the consumer until the next call.
+type BatchCursor interface {
+	NextBatch() (*Batch, error)
+	Close() error
+}
+
+// BatchScannableTable is a table that can enumerate its rows in column-major
+// batches directly, skipping the row-at-a-time shim. MemTable implements it,
+// which vectorizes every adapter built on MemTable storage (mem, csvfile).
+type BatchScannableTable interface {
+	Table
+	ScanBatches(batchSize int) (BatchCursor, error)
+}
+
+// SliceBatchCursor iterates over pre-built batches.
+type SliceBatchCursor struct {
+	Batches []*Batch
+	pos     int
+}
+
+// NewSliceBatchCursor returns a cursor over batches.
+func NewSliceBatchCursor(batches []*Batch) *SliceBatchCursor {
+	return &SliceBatchCursor{Batches: batches}
+}
+
+func (c *SliceBatchCursor) NextBatch() (*Batch, error) {
+	if c.pos >= len(c.Batches) {
+		return nil, Done
+	}
+	b := c.Batches[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *SliceBatchCursor) Close() error { return nil }
+
+// rowBatchCursor adapts a row Cursor to batches.
+type rowBatchCursor struct {
+	cur       Cursor
+	width     int
+	batchSize int
+	done      bool
+}
+
+// BatchCursorFromCursor lifts a row cursor into a batch cursor producing
+// dense batches of up to batchSize rows of the given width. It is the shim
+// that lets unconverted operators and adapters feed the vectorized path.
+func BatchCursorFromCursor(cur Cursor, width, batchSize int) BatchCursor {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &rowBatchCursor{cur: cur, width: width, batchSize: batchSize}
+}
+
+func (c *rowBatchCursor) NextBatch() (*Batch, error) {
+	if c.done {
+		return nil, Done
+	}
+	cols := make([][]any, c.width)
+	for i := range cols {
+		cols[i] = make([]any, 0, c.batchSize)
+	}
+	n := 0
+	for n < c.batchSize {
+		row, err := c.cur.Next()
+		if err == Done {
+			c.done = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range cols {
+			cols[i] = append(cols[i], row[i])
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, Done
+	}
+	return &Batch{Len: n, Cols: cols}, nil
+}
+
+func (c *rowBatchCursor) Close() error { return c.cur.Close() }
+
+// batchRowCursor adapts a BatchCursor to the row Cursor interface.
+type batchRowCursor struct {
+	bc  BatchCursor
+	cur *Batch
+	pos int
+}
+
+// RowCursorFromBatches flattens a batch cursor into a row cursor, so batch
+// producers can feed row-at-a-time consumers (the compatibility shim of the
+// Cursor contract).
+func RowCursorFromBatches(bc BatchCursor) Cursor {
+	return &batchRowCursor{bc: bc}
+}
+
+func (c *batchRowCursor) Next() ([]any, error) {
+	for c.cur == nil || c.pos >= c.cur.NumRows() {
+		b, err := c.bc.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		c.cur, c.pos = b, 0
+	}
+	row := c.cur.Row(c.pos)
+	c.pos++
+	return row, nil
+}
+
+func (c *batchRowCursor) Close() error { return c.bc.Close() }
+
+// memBatchCursor serves batches as zero-copy slices of a MemTable's
+// columnar snapshot: producing the next batch costs a few slice headers.
+type memBatchCursor struct {
+	cols      [][]any
+	n         int
+	batchSize int
+	pos       int
+}
+
+func (c *memBatchCursor) NextBatch() (*Batch, error) {
+	if c.pos >= c.n {
+		return nil, Done
+	}
+	end := c.pos + c.batchSize
+	if end > c.n {
+		end = c.n
+	}
+	cols := make([][]any, len(c.cols))
+	for i, col := range c.cols {
+		cols[i] = col[c.pos:end]
+	}
+	b := &Batch{Len: end - c.pos, Cols: cols}
+	c.pos = end
+	return b, nil
+}
+
+func (c *memBatchCursor) Close() error { return nil }
+
+// columns returns the columnar snapshot, building (and caching) it on first
+// use. The snapshot is immutable: Insert replaces it rather than appending.
+func (t *MemTable) columns() ([][]any, int) {
+	t.mu.RLock()
+	cols, n := t.cols, len(t.rows)
+	t.mu.RUnlock()
+	if cols != nil {
+		return cols, n
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cols == nil {
+		width := len(t.rowType.Fields)
+		cols = make([][]any, width)
+		for c := range cols {
+			col := make([]any, len(t.rows))
+			for r, row := range t.rows {
+				col[r] = row[c]
+			}
+			cols[c] = col
+		}
+		t.cols = cols
+	}
+	return t.cols, len(t.rows)
+}
+
+// ScanBatches implements BatchScannableTable: batches are zero-copy windows
+// over the table's columnar snapshot.
+func (t *MemTable) ScanBatches(batchSize int) (BatchCursor, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	cols, n := t.columns()
+	return &memBatchCursor{cols: cols, n: n, batchSize: batchSize}, nil
+}

@@ -232,6 +232,9 @@ type MemTable struct {
 	mu    sync.RWMutex
 	rows  [][]any
 	stats Statistics
+	// cols is a lazily built column-major snapshot of rows serving
+	// ScanBatches zero-copy; Insert invalidates it.
+	cols [][]any
 }
 
 // NewMemTable creates an in-memory table.
@@ -279,6 +282,7 @@ func (t *MemTable) Insert(rows [][]any) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rows = append(t.rows, rows...)
+	t.cols = nil // invalidate the columnar snapshot
 	return nil
 }
 

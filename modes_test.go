@@ -1,0 +1,164 @@
+package calcite_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"calcite"
+)
+
+// diffConn builds the differential-test catalog: the tables used by the SQL
+// suite in calcite_test.go (emps/depts style data) plus the bench fixture's
+// sales/products shape, with NULLs, strings, floats and duplicate keys.
+func diffConn() *calcite.Connection {
+	conn := calcite.Open()
+	conn.AddTable("emps", calcite.Columns{
+		{Name: "empid", Type: calcite.BigIntType},
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "name", Type: calcite.VarcharType},
+		{Name: "sal", Type: calcite.DoubleType},
+	}, [][]any{
+		{int64(1), int64(10), "Bill", 100.0},
+		{int64(2), int64(20), "Eric", 200.0},
+		{int64(3), int64(10), "Sebastian", 150.0},
+		{int64(4), int64(30), "Hongze", nil},
+		{int64(5), nil, "Nomad", 50.0},
+	})
+	conn.AddTable("depts", calcite.Columns{
+		{Name: "deptno", Type: calcite.BigIntType},
+		{Name: "dname", Type: calcite.VarcharType},
+	}, [][]any{
+		{int64(10), "Eng"},
+		{int64(20), "Sales"},
+		{int64(40), "Empty"},
+	})
+	sales := make([][]any, 3000)
+	for i := range sales {
+		var discount any
+		if i%3 == 0 {
+			discount = float64(i%10) / 100
+		}
+		sales[i] = []any{int64(i % 50), discount}
+	}
+	conn.AddTable("sales", calcite.Columns{
+		{Name: "productId", Type: calcite.BigIntType},
+		{Name: "discount", Type: calcite.DoubleType},
+	}, sales)
+	products := make([][]any, 50)
+	for i := range products {
+		products[i] = []any{int64(i), fmt.Sprintf("product-%d", i)}
+	}
+	conn.AddTable("products", calcite.Columns{
+		{Name: "productId", Type: calcite.BigIntType},
+		{Name: "name", Type: calcite.VarcharType},
+	}, products)
+	return conn
+}
+
+// diffQueries is the SQL suite both execution modes must agree on. It covers
+// every operator with a batch implementation (scan, filter, project, hash
+// join, aggregate, sort/limit) and the row-fallback operators (set ops,
+// window, values, nested-loop join) behind the shims.
+var diffQueries = []struct {
+	sql    string
+	params []any
+}{
+	{sql: "SELECT * FROM emps"},
+	{sql: "SELECT name FROM emps WHERE empid = 1"},
+	{sql: "SELECT deptno, SUM(sal) AS s FROM emps WHERE sal > 50 GROUP BY deptno ORDER BY deptno"},
+	{sql: "SELECT empid + 10, sal * 2, UPPER(name) FROM emps WHERE sal IS NOT NULL"},
+	{sql: "SELECT name FROM emps WHERE name LIKE '%i%' ORDER BY name"},
+	{sql: "SELECT name, CASE WHEN sal >= 150 THEN 'high' WHEN sal IS NULL THEN 'unknown' ELSE 'low' END FROM emps"},
+	{sql: "SELECT COALESCE(sal, 0), CAST(empid AS VARCHAR) FROM emps"},
+	{sql: "SELECT empid FROM emps WHERE deptno IN (10, 30)"},
+	{sql: "SELECT empid FROM emps WHERE sal BETWEEN 75 AND 175"},
+	{sql: "SELECT e.name, d.dname FROM emps e JOIN depts d ON e.deptno = d.deptno ORDER BY e.name"},
+	{sql: "SELECT e.name, d.dname FROM emps e LEFT JOIN depts d ON e.deptno = d.deptno ORDER BY e.name"},
+	{sql: "SELECT e.name, d.dname FROM emps e RIGHT JOIN depts d ON e.deptno = d.deptno"},
+	{sql: "SELECT e.name, d.dname FROM emps e FULL JOIN depts d ON e.deptno = d.deptno"},
+	{sql: "SELECT COUNT(*), COUNT(sal), AVG(sal), MIN(name), MAX(sal) FROM emps"},
+	{sql: "SELECT deptno, COUNT(*) AS c FROM emps GROUP BY deptno HAVING COUNT(*) > 1"},
+	{sql: "SELECT DISTINCT deptno FROM emps WHERE deptno IS NOT NULL ORDER BY deptno"},
+	{sql: "SELECT name FROM emps ORDER BY sal DESC LIMIT 2 OFFSET 1"},
+	{sql: "SELECT empid FROM emps WHERE deptno = 10 UNION SELECT deptno FROM depts"},
+	{sql: "SELECT deptno FROM emps INTERSECT SELECT deptno FROM depts"},
+	{sql: "SELECT deptno FROM depts EXCEPT SELECT deptno FROM emps"},
+	{sql: "SELECT dname FROM (SELECT deptno, dname FROM depts WHERE deptno < 30) t WHERE t.deptno > 5"},
+	{sql: "SELECT products.name, COUNT(*) FROM sales JOIN products USING (productId) WHERE sales.discount IS NOT NULL GROUP BY products.name ORDER BY COUNT(*) DESC, products.name"},
+	{sql: "SELECT productId, COUNT(*) OVER (PARTITION BY productId ORDER BY productId ROWS 10 PRECEDING) AS c FROM sales WHERE productId < 5"},
+	{sql: "SELECT empid, name FROM emps WHERE sal > ? ORDER BY empid", params: []any{120.0}},
+	{sql: "SELECT name FROM emps WHERE empid = ? AND deptno = ?", params: []any{int64(3), int64(10)}},
+}
+
+// TestRowAndBatchModesAgree runs every suite query through the vectorized
+// batch path and the row-at-a-time path and requires identical results.
+func TestRowAndBatchModesAgree(t *testing.T) {
+	batchConn := diffConn()
+	rowConn := diffConn()
+	rowConn.ForceRowMode(true)
+	for _, q := range diffQueries {
+		br, berr := batchConn.Query(q.sql, q.params...)
+		rr, rerr := rowConn.Query(q.sql, q.params...)
+		if (berr == nil) != (rerr == nil) {
+			t.Errorf("%s\n  batch err=%v row err=%v", q.sql, berr, rerr)
+			continue
+		}
+		if berr != nil {
+			t.Errorf("%s\n  both modes failed: %v", q.sql, berr)
+			continue
+		}
+		if !reflect.DeepEqual(br.Columns, rr.Columns) {
+			t.Errorf("%s\n  columns differ: %v vs %v", q.sql, br.Columns, rr.Columns)
+			continue
+		}
+		bRows := renderRows(br.Rows)
+		rRows := renderRows(rr.Rows)
+		// ORDER BY output must match in order; unordered results as multisets.
+		if !strings.Contains(strings.ToUpper(q.sql), "ORDER BY") {
+			sort.Strings(bRows)
+			sort.Strings(rRows)
+		}
+		if !reflect.DeepEqual(bRows, rRows) {
+			t.Errorf("%s\n  batch: %v\n  row:   %v", q.sql, bRows, rRows)
+		}
+	}
+}
+
+// TestBatchModeSmallBatches shakes out batch-boundary bugs by forcing a tiny
+// batch size (every operator sees many partial batches).
+func TestBatchModeSmallBatches(t *testing.T) {
+	tiny := diffConn()
+	tiny.SetBatchSize(3)
+	ref := diffConn()
+	ref.ForceRowMode(true)
+	for _, q := range diffQueries {
+		tr, terr := tiny.Query(q.sql, q.params...)
+		rr, rerr := ref.Query(q.sql, q.params...)
+		if (terr == nil) != (rerr == nil) {
+			t.Errorf("%s\n  tiny-batch err=%v row err=%v", q.sql, terr, rerr)
+			continue
+		}
+		if terr != nil {
+			continue
+		}
+		a, b := renderRows(tr.Rows), renderRows(rr.Rows)
+		if !strings.Contains(strings.ToUpper(q.sql), "ORDER BY") {
+			sort.Strings(a)
+			sort.Strings(b)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s (batchSize=3)\n  tiny: %v\n  row:  %v", q.sql, a, b)
+		}
+	}
+}
+
+func renderRows(rows [][]any) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%#v", r)
+	}
+	return out
+}
