@@ -16,6 +16,7 @@ import (
 	"calcite/internal/core"
 	"calcite/internal/exec"
 	"calcite/internal/meta"
+	"calcite/internal/parallel"
 	"calcite/internal/plan"
 	"calcite/internal/rel"
 	"calcite/internal/rel2sql"
@@ -467,6 +468,64 @@ func BenchmarkExec_RowVsBatch_HashJoin(b *testing.B) {
 	conn := figure4Conn(100000, 100)
 	benchRowVsBatch(b, conn,
 		"SELECT products.name FROM sales JOIN products USING (productId)", 100000)
+}
+
+// --- morsel-driven parallel execution scaling ---
+
+// benchSerialVsParallel plans sql once, then measures pure execution of the
+// same physical plan at 1, 2, 4 and 8 workers (sub-benches "P1".."P8"). P1
+// is the untouched serial plan; the others run the parallel rewrite
+// (morsels, exchanges, partitioned operators) over a shared worker pool.
+// Scaling is only visible on a multi-core runner: at GOMAXPROCS=1 the
+// parallel variants measure pure orchestration overhead.
+func benchSerialVsParallel(b *testing.B, conn *calcite.Connection, sql string, wantRows int) {
+	_, optimized, err := conn.Plan(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := conn.Framework.WorkerPool()
+	for _, p := range []int{1, 2, 4, 8} {
+		plan := optimized
+		if p > 1 {
+			plan = parallel.Parallelize(optimized, pool, p)
+		}
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := exec.Execute(exec.NewContext(), plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantRows >= 0 && len(rows) != wantRows {
+					b.Fatalf("got %d rows, want %d", len(rows), wantRows)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExec_SerialVsParallel_Filter: selective predicate over 400k rows,
+// no pipeline breaker — pure scan/filter scaling.
+func BenchmarkExec_SerialVsParallel_Filter(b *testing.B) {
+	conn := vecConn(400000)
+	benchSerialVsParallel(b, conn,
+		"SELECT id FROM big WHERE id > 300000 AND score IS NOT NULL", -1)
+}
+
+// BenchmarkExec_SerialVsParallel_HashJoin: 200k-row probe side against a
+// 100-row build side (partitioned build + probe).
+func BenchmarkExec_SerialVsParallel_HashJoin(b *testing.B) {
+	conn := figure4Conn(200000, 100)
+	benchSerialVsParallel(b, conn,
+		"SELECT products.name FROM sales JOIN products USING (productId)", 200000)
+}
+
+// BenchmarkExec_SerialVsParallel_Aggregate: grouped aggregate over 400k rows
+// (thread-local pre-aggregation + hash exchange + final merge).
+func BenchmarkExec_SerialVsParallel_Aggregate(b *testing.B) {
+	conn := figure4Conn(400000, 50)
+	benchSerialVsParallel(b, conn,
+		"SELECT productId, COUNT(*), SUM(discount) FROM sales GROUP BY productId", 50)
 }
 
 // --- parse/plan micro benches (framework overhead) ---

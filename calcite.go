@@ -138,13 +138,14 @@ func (c *Connection) Builder() *builder.Builder {
 	return builder.New(c.Framework.Catalog)
 }
 
-// ExecutePlan optimizes and runs a hand-built relational expression.
+// ExecutePlan optimizes and runs a hand-built relational expression under
+// the connection's execution configuration (batch mode, parallelism).
 func (c *Connection) ExecutePlan(node rel.Node) (*Result, error) {
 	optimized, err := c.Framework.Optimize(node)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := core.RunPhysical(optimized)
+	rows, err := c.Framework.ExecutePhysical(optimized)
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +167,17 @@ func (c *Connection) ForceRowMode(on bool) { c.Framework.RowMode = on }
 // SetBatchSize overrides the vectorized path's rows-per-batch granularity
 // (<= 0 restores the default).
 func (c *Connection) SetBatchSize(n int) { c.Framework.BatchSize = n }
+
+// SetParallelism sets the worker count for morsel-driven parallel execution.
+// The default (0) uses runtime.GOMAXPROCS(0); 1 forces the serial execution
+// paths; n > 1 splits scans into morsels that n workers claim dynamically,
+// with exchange operators repartitioning and gathering batches between
+// pipeline stages. Results are deterministic: a parallel run produces the
+// same rows in the same order as the serial engine, with two value-level
+// caveats — floating-point aggregates may differ in the last bit (partial
+// sums reassociate), and COLLECT multiset element order follows partial-
+// merge order rather than input order.
+func (c *Connection) SetParallelism(n int) { c.Framework.Parallelism = n }
 
 // UseHeuristicPlanner switches physical planning to the exhaustive
 // rule-driven engine (§6's second planner engine).

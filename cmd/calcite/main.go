@@ -24,9 +24,11 @@ import (
 func main() {
 	csvDir := flag.String("csv", "", "directory of CSV files to load as schema 'csv'")
 	demo := flag.Bool("demo", false, "load demo tables (emps, depts)")
+	par := flag.Int("parallel", 0, "worker count for parallel execution (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	conn := calcite.Open()
+	conn.SetParallelism(*par)
 	if *csvDir != "" {
 		a, err := csvfile.Load("csv", *csvDir)
 		if err != nil {

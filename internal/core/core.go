@@ -8,11 +8,14 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"calcite/internal/exec"
 	"calcite/internal/meta"
 	"calcite/internal/mv"
+	"calcite/internal/parallel"
 	"calcite/internal/parser"
 	"calcite/internal/plan"
 	"calcite/internal/rel"
@@ -81,11 +84,19 @@ type Framework struct {
 	// MetadataCache toggles the metadata memo cache (experiment E8).
 	MetadataCache bool
 	// RowMode forces the row-at-a-time execution path, disabling the default
-	// vectorized batch convention (debugging and A/B measurement).
+	// vectorized batch convention (debugging and A/B measurement). It also
+	// disables morsel-driven parallelism.
 	RowMode bool
 	// BatchSize overrides the vectorized path's rows-per-batch; <= 0 uses
 	// schema.DefaultBatchSize.
 	BatchSize int
+	// Parallelism is the worker count for morsel-driven parallel execution:
+	// 0 uses runtime.GOMAXPROCS(0); 1 forces the serial execution paths.
+	Parallelism int
+
+	// poolMu guards the lazily created shared worker pool.
+	poolMu sync.Mutex
+	pool   *parallel.Pool
 
 	// Views holds materialized views registered via CREATE MATERIALIZED
 	// VIEW or adapter declarations.
@@ -210,11 +221,49 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 	}
 	ctx := f.newExecContext()
 	ctx.Evaluator.Params = params
-	rows, err := exec.Execute(ctx, physical)
+	rows, err := exec.Execute(ctx, f.prepareForExecution(physical))
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Columns: physical.RowType().FieldNames(), Rows: rows}, nil
+}
+
+// EffectiveParallelism resolves the configured worker count.
+func (f *Framework) EffectiveParallelism() int {
+	if f.Parallelism > 0 {
+		return f.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WorkerPool returns the framework's shared worker pool, creating it on
+// first use. All parallel queries of this framework schedule their pipeline
+// drivers on it.
+func (f *Framework) WorkerPool() *parallel.Pool {
+	f.poolMu.Lock()
+	defer f.poolMu.Unlock()
+	if f.pool == nil {
+		f.pool = parallel.NewPool(f.EffectiveParallelism())
+	}
+	return f.pool
+}
+
+// prepareForExecution applies the morsel-driven parallel rewrite when the
+// configuration calls for it (batch mode, parallelism > 1).
+func (f *Framework) prepareForExecution(physical rel.Node) rel.Node {
+	if f.RowMode {
+		return physical
+	}
+	if p := f.EffectiveParallelism(); p > 1 {
+		return parallel.Parallelize(physical, f.WorkerPool(), p)
+	}
+	return physical
+}
+
+// ExecutePhysical runs an already-optimized physical plan under the
+// framework's execution configuration (batch mode, batch size, parallelism).
+func (f *Framework) ExecutePhysical(physical rel.Node) ([][]any, error) {
+	return exec.Execute(f.newExecContext(), f.prepareForExecution(physical))
 }
 
 func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
@@ -284,7 +333,7 @@ func (f *Framework) createView(s *parser.CreateViewStmt, originalSQL string) (*R
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Execute(f.newExecContext(), physical)
+	rows, err := exec.Execute(f.newExecContext(), f.prepareForExecution(physical))
 	if err != nil {
 		return nil, err
 	}
@@ -312,10 +361,4 @@ func (f *Framework) newExecContext() *exec.Context {
 	ctx.BatchMode = !f.RowMode
 	ctx.BatchSize = f.BatchSize
 	return ctx
-}
-
-// RunPhysical executes an already-optimized physical plan and returns its
-// rows (a convenience for callers that built plans directly).
-func RunPhysical(physical rel.Node) ([][]any, error) {
-	return exec.Execute(exec.NewContext(), physical)
 }

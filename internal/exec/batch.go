@@ -12,7 +12,6 @@ package exec
 
 import (
 	"sort"
-	"strings"
 
 	"calcite/internal/rel"
 	"calcite/internal/rex"
@@ -67,7 +66,9 @@ func batchesFromRows(rows [][]any, width, batchSize int) schema.BatchCursor {
 		if end > len(rows) {
 			end = len(rows)
 		}
-		batches = append(batches, schema.BatchFromRows(rows[start:end], width))
+		b := schema.BatchFromRows(rows[start:end], width)
+		b.Seq = int64(len(batches)) // chunk order doubles as the batch order
+		batches = append(batches, b)
 	}
 	return schema.NewSliceBatchCursor(batches)
 }
@@ -181,7 +182,7 @@ func (c *filterBatchCursor) NextBatch() (*schema.Batch, error) {
 		if len(out) == 0 {
 			continue
 		}
-		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out}, nil
+		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out, Seq: b.Seq}, nil
 	}
 }
 
@@ -272,7 +273,7 @@ func (c *projectBatchCursor) NextBatch() (*schema.Batch, error) {
 		}
 		cols[j] = col
 	}
-	return &schema.Batch{Len: n, Cols: cols}, nil
+	return &schema.Batch{Len: n, Cols: cols, Seq: b.Seq}, nil
 }
 
 func (c *projectBatchCursor) projectInterpreted(b *schema.Batch) (*schema.Batch, error) {
@@ -297,7 +298,7 @@ func (c *projectBatchCursor) projectInterpreted(b *schema.Batch) (*schema.Batch,
 			cols[j][k] = v
 		}
 	}
-	return &schema.Batch{Len: n, Cols: cols}, nil
+	return &schema.Batch{Len: n, Cols: cols, Seq: b.Seq}, nil
 }
 
 func (c *projectBatchCursor) Close() error { return c.in.Close() }
@@ -342,7 +343,7 @@ func (c *limitBatchCursor) NextBatch() (*schema.Batch, error) {
 		}
 		c.returned += int64(len(sel))
 		out := append([]int32(nil), sel...)
-		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out}, nil
+		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out, Seq: b.Seq}, nil
 	}
 }
 
@@ -461,17 +462,6 @@ func (a *Aggregate) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 
 // --- HashJoin ---
 
-// hashColsKey mirrors types.HashRowKey over column-major data so probe keys
-// match build keys byte-for-byte.
-func hashColsKey(cols [][]any, r int, keys []int) string {
-	var b strings.Builder
-	for _, c := range keys {
-		b.WriteString(types.HashKey(cols[c][r]))
-		b.WriteByte('|')
-	}
-	return b.String()
-}
-
 func colsHaveNullAt(cols [][]any, r int, keys []int) bool {
 	for _, c := range keys {
 		if cols[c][r] == nil {
@@ -563,7 +553,7 @@ func (j *HashJoin) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 			l := int(li)
 			var candidates []int32
 			if !colsHaveNullAt(b.Cols, l, info.LeftKeys) {
-				candidates = table[hashColsKey(b.Cols, l, info.LeftKeys)]
+				candidates = table[types.HashColsKey(b.Cols, l, info.LeftKeys)]
 			}
 			matched := false
 			for _, ri := range candidates {

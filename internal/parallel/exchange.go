@@ -1,0 +1,430 @@
+package parallel
+
+// Exchange plumbing: the operators that move batches between the partitions
+// of a parallel plan over channels. Three movement patterns cover every plan
+// shape the rewriter produces:
+//
+//   - gather: p partition streams → one stream, merged back into morsel
+//     (Seq) order, so a parallel pipeline drains into exactly the row order
+//     the serial engine would have produced;
+//   - merge-gather: p sorted partition streams → one sorted stream (k-way
+//     merge by a row comparator), the back end of the parallel sort and of
+//     the parallel aggregate's deterministic group ordering;
+//   - scatter: input partitions → p output partitions, either hash-by-key
+//     (partitioned aggregation/join builds) or round-robin (parallelizing a
+//     serial source).
+//
+// Every exchange is context-driven: the first error (or a Close from the
+// consumer) cancels the exchange context, producers observe it on their next
+// channel operation and unwind, and the error surfaces at the consuming
+// cursor. A failing worker therefore tears the whole pipeline down cleanly.
+
+import (
+	"context"
+	"sync"
+
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// exchChanBuf is the per-partition channel depth: enough to decouple
+// producer and consumer scheduling hiccups without buffering the world.
+const exchChanBuf = 2
+
+// exchState is the shared control block of one exchange: the cancellation
+// context, the first error, and the count of still-open consumer handles.
+type exchState struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	err  error
+	open int
+}
+
+func newExchState(consumers int) *exchState {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &exchState{ctx: ctx, cancel: cancel, open: consumers}
+}
+
+func (s *exchState) fail(err error) {
+	if err == nil || err == schema.Done {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
+func (s *exchState) firstErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// closeOne releases one consumer handle; the last one cancels the exchange
+// so producers blocked on sends unwind.
+func (s *exchState) closeOne() {
+	s.mu.Lock()
+	s.open--
+	last := s.open <= 0
+	s.mu.Unlock()
+	if last {
+		s.cancel()
+	}
+}
+
+// send delivers b unless the exchange has been torn down.
+func send(st *exchState, ch chan<- *schema.Batch, b *schema.Batch) bool {
+	select {
+	case ch <- b:
+		return true
+	case <-st.ctx.Done():
+		return false
+	}
+}
+
+// pump is the producer loop shared by the gathering exchanges: it drains
+// one partition into its channel, detaching each batch (channel buffering
+// outlives the producer's ownership window), reporting the first error and
+// unwinding on teardown. It closes both the channel and the partition.
+func pump(st *exchState, ch chan *schema.Batch, part schema.BatchCursor) {
+	defer close(ch)
+	defer part.Close()
+	for {
+		b, err := part.NextBatch()
+		if err == schema.Done {
+			return
+		}
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		if !send(st, ch, b.Detach()) {
+			return
+		}
+	}
+}
+
+// --- gather ---
+
+// gatherCursor merges p partition streams back into Seq order. Each
+// partition emits batches with increasing Seq (a consequence of pulling
+// morsels from the shared dispenser in claim order), so a k-way merge on the
+// stream heads reproduces the global morsel order exactly.
+type gatherCursor struct {
+	st    *exchState
+	chans []chan *schema.Batch
+	heads []*schema.Batch
+	live  []bool
+	done  bool
+}
+
+// Gather drains the given partitions concurrently on the pool and returns a
+// single cursor over their batches, restored to Seq order.
+func Gather(pool *Pool, parts []schema.BatchCursor) schema.BatchCursor {
+	st := newExchState(1)
+	g := &gatherCursor{
+		st:    st,
+		chans: make([]chan *schema.Batch, len(parts)),
+		heads: make([]*schema.Batch, len(parts)),
+		live:  make([]bool, len(parts)),
+	}
+	for i := range parts {
+		ch := make(chan *schema.Batch, exchChanBuf)
+		g.chans[i] = ch
+		g.live[i] = true
+		part := parts[i]
+		pool.Go(func() { pump(st, ch, part) })
+	}
+	return g
+}
+
+func (g *gatherCursor) NextBatch() (*schema.Batch, error) {
+	if g.done {
+		return nil, schema.Done
+	}
+	// Fill every live head, then emit the smallest Seq (ties by partition
+	// index, which makes the merge deterministic even for unset Seqs).
+	best := -1
+	for i := range g.chans {
+		if !g.live[i] {
+			continue
+		}
+		if g.heads[i] == nil {
+			b, ok := <-g.chans[i]
+			if !ok {
+				g.live[i] = false
+				continue
+			}
+			g.heads[i] = b
+		}
+		if best < 0 || g.heads[i].Seq < g.heads[best].Seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		g.done = true
+		if err := g.st.firstErr(); err != nil {
+			return nil, err
+		}
+		return nil, schema.Done
+	}
+	b := g.heads[best]
+	g.heads[best] = nil
+	return b, nil
+}
+
+func (g *gatherCursor) Close() error {
+	if !g.done {
+		g.done = true
+	}
+	g.st.closeOne()
+	return nil
+}
+
+// --- merge-gather ---
+
+// mergeGatherCursor k-way-merges p sorted partition streams at row
+// granularity, optionally applying OFFSET/FETCH and stripping trailing
+// hidden ordering columns, and re-batches the merged rows.
+type mergeGatherCursor struct {
+	st    *exchState
+	chans []chan *schema.Batch
+	rows  [][][]any // buffered rows of the current batch per partition
+	pos   []int
+	live  []bool
+	cmp   func(a, b []any) int
+
+	offset, fetch int64 // fetch < 0 = unlimited
+	skipped       int64
+	emitted       int64
+	dropTail      int
+	width         int // output width (after dropTail)
+	batchSize     int
+	seq           int64
+	done          bool
+}
+
+// MergeGather drains p sorted partitions concurrently and merges them into
+// one sorted stream by cmp. dropTail trailing columns (hidden ordering
+// keys) are stripped from the output; offset/fetch apply after the merge.
+func MergeGather(pool *Pool, parts []schema.BatchCursor, cmp func(a, b []any) int,
+	offset, fetch int64, dropTail, width, batchSize int) schema.BatchCursor {
+	st := newExchState(1)
+	m := &mergeGatherCursor{
+		st:        st,
+		chans:     make([]chan *schema.Batch, len(parts)),
+		rows:      make([][][]any, len(parts)),
+		pos:       make([]int, len(parts)),
+		live:      make([]bool, len(parts)),
+		cmp:       cmp,
+		offset:    offset,
+		fetch:     fetch,
+		dropTail:  dropTail,
+		width:     width,
+		batchSize: batchSize,
+	}
+	if m.batchSize <= 0 {
+		m.batchSize = schema.DefaultBatchSize
+	}
+	for i := range parts {
+		ch := make(chan *schema.Batch, exchChanBuf)
+		m.chans[i] = ch
+		m.live[i] = true
+		part := parts[i]
+		pool.Go(func() { pump(st, ch, part) })
+	}
+	return m
+}
+
+// next returns the globally smallest pending row, or nil when exhausted.
+func (m *mergeGatherCursor) next() []any {
+	best := -1
+	for i := range m.chans {
+		if !m.live[i] {
+			continue
+		}
+		for m.pos[i] >= len(m.rows[i]) {
+			b, ok := <-m.chans[i]
+			if !ok {
+				m.live[i] = false
+				break
+			}
+			m.rows[i] = b.AppendRows(m.rows[i][:0])
+			m.pos[i] = 0
+		}
+		if !m.live[i] {
+			continue
+		}
+		if best < 0 || m.cmp(m.rows[i][m.pos[i]], m.rows[best][m.pos[best]]) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	row := m.rows[best][m.pos[best]]
+	m.pos[best]++
+	return row
+}
+
+func (m *mergeGatherCursor) NextBatch() (*schema.Batch, error) {
+	if m.done {
+		return nil, schema.Done
+	}
+	var out [][]any
+	for len(out) < m.batchSize {
+		if m.fetch >= 0 && m.emitted >= m.fetch {
+			break
+		}
+		row := m.next()
+		if row == nil {
+			break
+		}
+		if m.skipped < m.offset {
+			m.skipped++
+			continue
+		}
+		out = append(out, row[:len(row)-m.dropTail])
+		m.emitted++
+	}
+	if len(out) == 0 {
+		m.done = true
+		if err := m.st.firstErr(); err != nil {
+			return nil, err
+		}
+		return nil, schema.Done
+	}
+	b := schema.BatchFromRows(out, m.width)
+	b.Seq = m.seq
+	m.seq++
+	return b, nil
+}
+
+func (m *mergeGatherCursor) Close() error {
+	m.done = true
+	m.st.closeOne()
+	return nil
+}
+
+// --- scatter ---
+
+// chanCursor is one output partition of a scatter exchange.
+type chanCursor struct {
+	st   *exchState
+	ch   chan *schema.Batch
+	done bool
+}
+
+func (c *chanCursor) NextBatch() (*schema.Batch, error) {
+	if c.done {
+		return nil, schema.Done
+	}
+	b, ok := <-c.ch
+	if !ok {
+		c.done = true
+		if err := c.st.firstErr(); err != nil {
+			return nil, err
+		}
+		return nil, schema.Done
+	}
+	return b, nil
+}
+
+func (c *chanCursor) Close() error {
+	if !c.done {
+		c.done = true
+	}
+	c.st.closeOne()
+	return nil
+}
+
+// routeKey is the exchange routing key: the shared canonical encoding,
+// NULL-inclusive — unlike a join's match key, routing must place NULL keys
+// too, so all NULLs of a key land in one partition like any other group.
+func routeKey(cols [][]any, r int, keys []int) string {
+	return types.HashColsKey(cols, r, keys)
+}
+
+// Scatter repartitions the input partitions into p output partitions.
+// keys == nil scatters whole batches round-robin (parallelizing a serial
+// stream); otherwise rows are split by a hash of the key columns, zero-copy
+// via selection vectors. Producers run on dedicated goroutines — they only
+// move data, so the pool's workers stay available for the compute-heavy
+// consumers downstream.
+func Scatter(inParts []schema.BatchCursor, p int, keys []int) []schema.BatchCursor {
+	st := newExchState(p)
+	outs := make([]chan *schema.Batch, p)
+	for i := range outs {
+		outs[i] = make(chan *schema.Batch, exchChanBuf)
+	}
+	var wg sync.WaitGroup
+	var rr int64
+	var rrMu sync.Mutex
+	for _, part := range inParts {
+		part := part
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer part.Close()
+			for {
+				b, err := part.NextBatch()
+				if err == schema.Done {
+					return
+				}
+				if err != nil {
+					st.fail(err)
+					return
+				}
+				if keys == nil {
+					rrMu.Lock()
+					i := int(rr % int64(p))
+					rr++
+					rrMu.Unlock()
+					if !send(st, outs[i], b.Detach()) {
+						return
+					}
+					continue
+				}
+				// Hash split: one selection vector per target partition
+				// over the shared columns.
+				sels := make([][]int32, p)
+				if b.Sel != nil {
+					for _, r := range b.Sel {
+						k := shardOfKey(routeKey(b.Cols, int(r), keys), p)
+						sels[k] = append(sels[k], r)
+					}
+				} else {
+					for r := 0; r < b.Len; r++ {
+						k := shardOfKey(routeKey(b.Cols, r, keys), p)
+						sels[k] = append(sels[k], int32(r))
+					}
+				}
+				for i, sel := range sels {
+					if len(sel) == 0 {
+						continue
+					}
+					sub := &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: sel, Seq: b.Seq}
+					if !send(st, outs[i], sub) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		for _, ch := range outs {
+			close(ch)
+		}
+	}()
+	cursors := make([]schema.BatchCursor, p)
+	for i := range cursors {
+		cursors[i] = &chanCursor{st: st, ch: outs[i]}
+	}
+	return cursors
+}

@@ -1,0 +1,1133 @@
+package parallel
+
+// Physical operators of the parallel convention. Each node here is a
+// rel.Node that additionally binds as p independent partition cursors
+// (PartitionedNode), so a tree of them executes as p workers pulling morsels
+// from a shared dispenser through their own copy of the pipeline. Stateless
+// stages (filter, project) are not duplicated as new node types: the binder
+// replicates the existing enumerable operators once per partition, so the
+// serial and parallel engines share one implementation of every expression
+// kernel.
+//
+// Every node also keeps the plain serial BatchBound contract, binding
+// straight through to its serial equivalent — a parallel plan handed to the
+// serial executor degrades gracefully instead of failing.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"calcite/internal/exec"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// ctxT abbreviates the cancellation context threaded through worker
+// callbacks; a nil context means "no cancellation".
+type ctxT = context.Context
+
+// PartitionedNode is a physical operator that can produce its output as p
+// independent partition cursors, each safe to drive from its own worker.
+type PartitionedNode interface {
+	rel.Node
+	BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error)
+}
+
+// BindPartitions binds n as partition cursors: partition-aware nodes bind
+// natively, stateless per-batch stages (filter, project) are replicated over
+// their input's partitions, and everything else binds serially as a single
+// partition.
+func BindPartitions(ctx *exec.Context, n rel.Node) ([]schema.BatchCursor, error) {
+	if pn, ok := n.(PartitionedNode); ok {
+		return pn.BindPartitions(ctx)
+	}
+	switch n.(type) {
+	case *exec.Filter, *exec.Project:
+		return replicate(ctx, n)
+	}
+	bc, err := exec.BindBatch(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return []schema.BatchCursor{bc}, nil
+}
+
+// replicate binds a one-input per-batch operator once per input partition:
+// the operator node is cloned with a leaf source wrapping the partition
+// cursor, so each worker gets private operator state (selection buffers,
+// compiled kernels) over shared immutable inputs.
+func replicate(ctx *exec.Context, n rel.Node) ([]schema.BatchCursor, error) {
+	in := n.Inputs()[0]
+	parts, err := BindPartitions(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.BatchCursor, len(parts))
+	for i, part := range parts {
+		clone := n.WithNewInputs([]rel.Node{&leafSource{cur: part, rowType: in.RowType()}})
+		bc, err := exec.BindBatch(ctx, clone)
+		if err != nil {
+			closeAll(parts[i:])
+			closeAll(out[:i])
+			return nil, err
+		}
+		out[i] = bc
+	}
+	return out, nil
+}
+
+func closeAll(parts []schema.BatchCursor) {
+	for _, p := range parts {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// leafSource is a plan leaf over a pre-bound partition cursor, used to
+// replicate per-batch operators across partitions.
+type leafSource struct {
+	cur     schema.BatchCursor
+	rowType *types.Type
+}
+
+func (l *leafSource) Op() string                               { return "PartitionSource" }
+func (l *leafSource) Inputs() []rel.Node                       { return nil }
+func (l *leafSource) RowType() *types.Type                     { return l.rowType }
+func (l *leafSource) Traits() trait.Set                        { return trait.NewSet(trait.Enumerable) }
+func (l *leafSource) Attrs() string                            { return "" }
+func (l *leafSource) WithNewInputs(inputs []rel.Node) rel.Node { return l }
+
+func (l *leafSource) Bind(ctx *exec.Context) (schema.Cursor, error) {
+	return schema.RowCursorFromBatches(l.cur), nil
+}
+
+func (l *leafSource) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
+	return l.cur, nil
+}
+
+// --- morsel scan ---
+
+// MorselScan is the parallel table source: it splits the scan of a
+// batch-scannable table into morsels that p workers claim dynamically.
+type MorselScan struct {
+	// Inner is the enumerable scan being parallelized.
+	Inner rel.Node
+	pool  *Pool
+	p     int
+}
+
+// NewMorselScan wraps an enumerable scan as a morsel source for p workers.
+func NewMorselScan(inner rel.Node, pool *Pool, p int) *MorselScan {
+	return &MorselScan{Inner: inner, pool: pool, p: p}
+}
+
+func (s *MorselScan) Op() string           { return "MorselScan" }
+func (s *MorselScan) Inputs() []rel.Node   { return nil }
+func (s *MorselScan) RowType() *types.Type { return s.Inner.RowType() }
+func (s *MorselScan) Traits() trait.Set {
+	return s.Inner.Traits().WithDistribution(trait.RandomDist())
+}
+func (s *MorselScan) Attrs() string {
+	return fmt.Sprintf("%s, workers=%d", s.Inner.Attrs(), s.p)
+}
+func (s *MorselScan) WithNewInputs(inputs []rel.Node) rel.Node { return s }
+
+func (s *MorselScan) Bind(ctx *exec.Context) (schema.Cursor, error) {
+	return s.Inner.(exec.Bound).Bind(ctx)
+}
+
+// BindBatch is the serial fallback: a plain scan.
+func (s *MorselScan) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
+	return s.Inner.(exec.BatchBound).BindBatch(ctx)
+}
+
+func (s *MorselScan) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
+	bc, err := s.Inner.(exec.BatchBound).BindBatch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return Morsels(bc, s.p), nil
+}
+
+// --- exchange ---
+
+// ExchangeKind selects the data movement pattern of an Exchange node.
+type ExchangeKind int
+
+const (
+	// GatherKind merges p partitions into one stream in morsel order.
+	GatherKind ExchangeKind = iota
+	// MergeGatherKind merges p sorted partitions into one sorted stream.
+	MergeGatherKind
+	// HashKind repartitions rows by a hash of key columns.
+	HashKind
+	// RoundRobinKind scatters batches round-robin across p partitions.
+	RoundRobinKind
+)
+
+func (k ExchangeKind) String() string {
+	switch k {
+	case GatherKind:
+		return "GatherExchange"
+	case MergeGatherKind:
+		return "MergeGatherExchange"
+	case HashKind:
+		return "HashExchange"
+	}
+	return "RoundRobinExchange"
+}
+
+// Exchange is the explicit data-movement operator the parallel planner
+// inserts wherever a node's required distribution is not satisfied by its
+// input's distribution.
+type Exchange struct {
+	input rel.Node
+	Kind  ExchangeKind
+	// Keys are the hash partitioning columns (HashKind).
+	Keys []int
+	// Collation is the merge order (MergeGatherKind); it may reference
+	// hidden trailing columns that DropTail strips from the output.
+	Collation trait.Collation
+	// DropTail hidden ordering columns are removed after the merge.
+	DropTail int
+	// Offset/Fetch apply after a merge-gather (parallel sort's limit).
+	Offset, Fetch int64
+	dist          trait.Distribution
+	pool          *Pool
+	p             int
+}
+
+// NewGatherExchange merges the partitions of input into a single stream.
+func NewGatherExchange(input rel.Node, pool *Pool, p int) *Exchange {
+	return &Exchange{input: input, Kind: GatherKind, Fetch: -1,
+		dist: trait.Singleton(), pool: pool, p: p}
+}
+
+// NewMergeGatherExchange merges sorted partitions by collation, stripping
+// dropTail hidden columns and applying offset/fetch.
+func NewMergeGatherExchange(input rel.Node, collation trait.Collation, dropTail int,
+	offset, fetch int64, pool *Pool, p int) *Exchange {
+	return &Exchange{input: input, Kind: MergeGatherKind, Collation: collation,
+		DropTail: dropTail, Offset: offset, Fetch: fetch,
+		dist: trait.Singleton(), pool: pool, p: p}
+}
+
+// NewHashExchange repartitions input rows by a hash of the key columns.
+func NewHashExchange(input rel.Node, keys []int, pool *Pool, p int) *Exchange {
+	return &Exchange{input: input, Kind: HashKind, Keys: keys, Fetch: -1,
+		dist: trait.Hashed(keys...), pool: pool, p: p}
+}
+
+// NewRoundRobinExchange scatters a (typically serial) input across p
+// partitions so the operators above it can run in parallel.
+func NewRoundRobinExchange(input rel.Node, pool *Pool, p int) *Exchange {
+	return &Exchange{input: input, Kind: RoundRobinKind, Fetch: -1,
+		dist: trait.RandomDist(), pool: pool, p: p}
+}
+
+func (e *Exchange) Op() string         { return e.Kind.String() }
+func (e *Exchange) Inputs() []rel.Node { return []rel.Node{e.input} }
+
+func (e *Exchange) RowType() *types.Type {
+	t := e.input.RowType()
+	if e.DropTail > 0 {
+		return types.Row(t.Fields[:len(t.Fields)-e.DropTail]...)
+	}
+	return t
+}
+
+func (e *Exchange) Traits() trait.Set {
+	return trait.NewSet(trait.Enumerable).WithDistribution(e.dist)
+}
+
+func (e *Exchange) Attrs() string {
+	var parts []string
+	parts = append(parts, "dist="+e.dist.String())
+	if e.Kind == HashKind {
+		keys := make([]string, len(e.Keys))
+		for i, k := range e.Keys {
+			keys[i] = fmt.Sprintf("$%d", k)
+		}
+		parts = append(parts, "keys=["+strings.Join(keys, ", ")+"]")
+	}
+	if e.Kind == MergeGatherKind && len(e.Collation) > 0 {
+		parts = append(parts, "order="+e.Collation.String())
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (e *Exchange) WithNewInputs(inputs []rel.Node) rel.Node {
+	c := *e
+	c.input = inputs[0]
+	return &c
+}
+
+func (e *Exchange) Bind(ctx *exec.Context) (schema.Cursor, error) {
+	bc, err := e.BindBatch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return schema.RowCursorFromBatches(bc), nil
+}
+
+// BindBatch binds the gathering exchanges as single cursors; for the
+// scattering kinds it is the serial fallback (a pass-through).
+func (e *Exchange) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
+	switch e.Kind {
+	case GatherKind:
+		parts, err := BindPartitions(ctx, e.input)
+		if err != nil {
+			return nil, err
+		}
+		return Gather(e.pool, parts), nil
+	case MergeGatherKind:
+		parts, err := BindPartitions(ctx, e.input)
+		if err != nil {
+			return nil, err
+		}
+		coll := e.Collation
+		cmp := func(a, b []any) int { return exec.CompareRows(a, b, coll) }
+		width := len(e.RowType().Fields)
+		return MergeGather(e.pool, parts, cmp, e.Offset, e.Fetch, e.DropTail, width, batchSize(ctx)), nil
+	}
+	return exec.BindBatch(ctx, e.input)
+}
+
+// BindPartitions implements the scattering exchanges (hash, round-robin).
+// The gathering kinds present their single stream as one partition.
+func (e *Exchange) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
+	switch e.Kind {
+	case HashKind:
+		parts, err := BindPartitions(ctx, e.input)
+		if err != nil {
+			return nil, err
+		}
+		return Scatter(parts, e.p, e.Keys), nil
+	case RoundRobinKind:
+		parts, err := BindPartitions(ctx, e.input)
+		if err != nil {
+			return nil, err
+		}
+		return Scatter(parts, e.p, nil), nil
+	}
+	bc, err := e.BindBatch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return []schema.BatchCursor{bc}, nil
+}
+
+func batchSize(ctx *exec.Context) int {
+	if ctx.BatchSize > 0 {
+		return ctx.BatchSize
+	}
+	return schema.DefaultBatchSize
+}
+
+// --- partitioned hash join ---
+
+// HashJoinPar is the partitioned hash join: the build side is drained in
+// parallel into p hash-table shards (rows routed by key hash), then each
+// probe partition streams against the completed shards, which are read-only
+// during the probe phase. Probe-local emission preserves the probe side's
+// partitioning and batch order, so the join output stays deterministic.
+// Right/full joins need cross-partition unmatched tracking and stay serial.
+type HashJoinPar struct {
+	*exec.HashJoin
+	pool *Pool
+	p    int
+}
+
+// NewHashJoinPar wraps an enumerable hash join for partitioned execution.
+func NewHashJoinPar(j *exec.HashJoin, pool *Pool, p int) *HashJoinPar {
+	return &HashJoinPar{HashJoin: j, pool: pool, p: p}
+}
+
+func (j *HashJoinPar) Op() string { return "ParallelHashJoin" }
+
+func (j *HashJoinPar) Traits() trait.Set {
+	return j.HashJoin.Traits().WithDistribution(trait.RandomDist())
+}
+
+func (j *HashJoinPar) WithNewInputs(inputs []rel.Node) rel.Node {
+	inner := j.HashJoin.WithNewInputs(inputs).(*exec.HashJoin)
+	return NewHashJoinPar(inner, j.pool, j.p)
+}
+
+// buildRow is one build-side row plus its hash key and global input
+// position, which orders candidate lists the way the serial build
+// (sequential drain) would.
+type buildRow struct {
+	row []any
+	key string
+	seq int64
+	idx int
+}
+
+// keyOfCols is the join's match key: the shared canonical encoding, with
+// NULL keys rejected (SQL equi-join: NULL never matches).
+func keyOfCols(cols [][]any, r int, keys []int) (string, bool) {
+	for _, c := range keys {
+		if cols[c][r] == nil {
+			return "", false
+		}
+	}
+	return types.HashColsKey(cols, r, keys), true
+}
+
+func shardOfKey(key string, p int) int {
+	// FNV-1a inlined over the canonical key encoding.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(p))
+}
+
+func (j *HashJoinPar) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
+	info := j.Info
+	// Build phase 1: drain the build partitions in parallel, each worker
+	// routing its rows into per-worker shard buckets (no shared writes).
+	buildParts, err := BindPartitions(ctx, j.Right())
+	if err != nil {
+		return nil, err
+	}
+	nb := len(buildParts)
+	locals := make([][][]buildRow, nb)
+	err = j.pool.Run(nil, nb, func(rctx ctxT, w int) error {
+		part := buildParts[w]
+		defer part.Close()
+		shards := make([][]buildRow, j.p)
+		for {
+			if rctx.Err() != nil {
+				return rctx.Err()
+			}
+			b, err := part.NextBatch()
+			if err == schema.Done {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			n := b.NumRows()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				ok := true
+				for _, c := range info.RightKeys {
+					if row[c] == nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				key := types.HashRowKey(row, info.RightKeys)
+				s := shardOfKey(key, j.p)
+				shards[s] = append(shards[s], buildRow{row: row, key: key, seq: b.Seq, idx: i})
+			}
+		}
+		locals[w] = shards
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Build phase 2: one worker per shard merges the per-worker buckets
+	// into that shard's hash table, in global input order so candidate
+	// lists match the serial build exactly.
+	tables := make([]map[string][]buildRow, j.p)
+	err = j.pool.Run(nil, j.p, func(_ ctxT, s int) error {
+		var all []buildRow
+		for w := 0; w < nb; w++ {
+			all = append(all, locals[w][s]...)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].seq != all[b].seq {
+				return all[a].seq < all[b].seq
+			}
+			return all[a].idx < all[b].idx
+		})
+		m := make(map[string][]buildRow)
+		for _, br := range all {
+			m[br.key] = append(m[br.key], br)
+		}
+		tables[s] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Probe phase: each probe partition streams against the shards.
+	probeParts, err := BindPartitions(ctx, j.Left())
+	if err != nil {
+		return nil, err
+	}
+	leftWidth := rel.FieldCount(j.Left())
+	rightWidth := rel.FieldCount(j.Right())
+	out := make([]schema.BatchCursor, len(probeParts))
+	for i, part := range probeParts {
+		pc := &probeCursor{
+			in:         part,
+			tables:     tables,
+			p:          j.p,
+			kind:       j.Kind,
+			info:       info,
+			leftWidth:  leftWidth,
+			rightWidth: rightWidth,
+			emitRight:  j.Kind != rel.SemiJoin && j.Kind != rel.AntiJoin,
+		}
+		if info.Residual != nil {
+			if fn, err := rex.CompileBool(info.Residual); err == nil {
+				pc.residual = fn
+			} else {
+				ev := ctx.Evaluator
+				cond := info.Residual
+				pc.residual = func(row []any) (bool, error) { return ev.EvalBool(cond, row) }
+			}
+		}
+		out[i] = pc
+	}
+	return out, nil
+}
+
+// probeCursor probes one probe partition against the shared (read-only)
+// build shards, emitting one columnar output batch per probe batch with the
+// probe batch's sequence number — which is what keeps the gathered join
+// output in serial order.
+type probeCursor struct {
+	in         schema.BatchCursor
+	tables     []map[string][]buildRow
+	p          int
+	kind       rel.JoinKind
+	info       exec.JoinInfo
+	leftWidth  int
+	rightWidth int
+	emitRight  bool
+	residual   func(row []any) (bool, error)
+	combined   []any
+	dense      []int32
+}
+
+func (c *probeCursor) NextBatch() (*schema.Batch, error) {
+	for {
+		b, err := c.in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		outWidth := c.leftWidth
+		if c.emitRight {
+			outWidth += c.rightWidth
+		}
+		outCols := make([][]any, outWidth)
+		nRows := 0
+		emit := func(l int, rrow []any) {
+			for col := 0; col < c.leftWidth; col++ {
+				outCols[col] = append(outCols[col], b.Cols[col][l])
+			}
+			if c.emitRight {
+				for col := 0; col < c.rightWidth; col++ {
+					if rrow == nil {
+						outCols[c.leftWidth+col] = append(outCols[c.leftWidth+col], nil)
+					} else {
+						outCols[c.leftWidth+col] = append(outCols[c.leftWidth+col], rrow[col])
+					}
+				}
+			}
+			nRows++
+		}
+		if c.combined == nil {
+			c.combined = make([]any, c.leftWidth+c.rightWidth)
+		}
+		sel := b.Sel
+		if sel == nil {
+			if cap(c.dense) < b.Len {
+				c.dense = make([]int32, b.Len)
+			}
+			c.dense = c.dense[:b.Len]
+			for i := range c.dense {
+				c.dense[i] = int32(i)
+			}
+			sel = c.dense
+		}
+		for _, li := range sel {
+			l := int(li)
+			var candidates []buildRow
+			if key, ok := keyOfCols(b.Cols, l, c.info.LeftKeys); ok {
+				candidates = c.tables[shardOfKey(key, c.p)][key]
+			}
+			matched := false
+			for _, br := range candidates {
+				if c.residual != nil {
+					for col := 0; col < c.leftWidth; col++ {
+						c.combined[col] = b.Cols[col][l]
+					}
+					copy(c.combined[c.leftWidth:], br.row)
+					ok, err := c.residual(c.combined)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				matched = true
+				if c.kind == rel.SemiJoin || c.kind == rel.AntiJoin {
+					break
+				}
+				emit(l, br.row)
+			}
+			switch c.kind {
+			case rel.SemiJoin:
+				if matched {
+					emit(l, nil)
+				}
+			case rel.AntiJoin:
+				if !matched {
+					emit(l, nil)
+				}
+			case rel.LeftJoin:
+				if !matched {
+					emit(l, nil)
+				}
+			}
+		}
+		if nRows == 0 {
+			continue
+		}
+		return &schema.Batch{Len: nRows, Cols: outCols, Seq: b.Seq}, nil
+	}
+}
+
+func (c *probeCursor) Close() error { return c.in.Close() }
+
+// --- partitioned aggregate ---
+
+// aggHiddenFields are the trailing first-seen position columns the parallel
+// aggregate threads through its stages to reproduce the serial group order.
+func aggHiddenFields() []types.Field {
+	return []types.Field{
+		{Name: "$fs_seq", Type: types.BigInt},
+		{Name: "$fs_idx", Type: types.BigInt},
+	}
+}
+
+// PartialAgg is the thread-local pre-aggregation stage: each worker drains
+// its partition into private groups and emits one batch of partial rows
+// [group keys…, accumulator states…, first-seen position]. The accumulator
+// objects travel as ordinary column values to the final stage.
+type PartialAgg struct {
+	inner *exec.Aggregate
+	pool  *Pool
+	p     int
+}
+
+// NewPartialAgg wraps an enumerable aggregate as its partial stage.
+func NewPartialAgg(inner *exec.Aggregate, pool *Pool, p int) *PartialAgg {
+	return &PartialAgg{inner: inner, pool: pool, p: p}
+}
+
+func (a *PartialAgg) Op() string         { return "ParallelPartialAggregate" }
+func (a *PartialAgg) Inputs() []rel.Node { return a.inner.Inputs() }
+func (a *PartialAgg) Attrs() string      { return a.inner.Attrs() }
+
+func (a *PartialAgg) RowType() *types.Type {
+	innerT := a.inner.RowType()
+	fields := make([]types.Field, 0, len(innerT.Fields)+2)
+	fields = append(fields, innerT.Fields...)
+	fields = append(fields, aggHiddenFields()...)
+	return types.Row(fields...)
+}
+
+func (a *PartialAgg) Traits() trait.Set {
+	return trait.NewSet(trait.Enumerable).WithDistribution(trait.RandomDist())
+}
+
+func (a *PartialAgg) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewPartialAgg(a.inner.WithNewInputs(inputs).(*exec.Aggregate), a.pool, a.p)
+}
+
+func (a *PartialAgg) Bind(ctx *exec.Context) (schema.Cursor, error) {
+	bc, err := a.BindBatch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return schema.RowCursorFromBatches(bc), nil
+}
+
+// BindBatch is the serial fallback: partial rows from a single partition.
+func (a *PartialAgg) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
+	parts, err := a.BindPartitions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return Gather(a.pool, parts), nil
+}
+
+// BindPartitions runs the pre-aggregation eagerly across the pool (the
+// aggregate is a pipeline breaker) and returns the materialized partial
+// batches, one partition per worker.
+func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
+	parts, err := BindPartitions(ctx, a.inner.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	keys := a.inner.GroupKeys
+	calls := a.inner.Calls
+	width := len(keys) + len(calls) + 2
+	results := make([]*schema.Batch, len(parts))
+	err = a.pool.Run(nil, len(parts), func(rctx ctxT, w int) error {
+		part := parts[w]
+		defer part.Close()
+		type group struct {
+			key   []any
+			accs  []rex.Accumulator
+			fsSeq int64
+			fsIdx int64
+		}
+		groups := map[string]*group{}
+		var order []*group
+		scratch := []any(nil)
+		for {
+			if rctx.Err() != nil {
+				return rctx.Err()
+			}
+			b, err := part.NextBatch()
+			if err == schema.Done {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			n := b.NumRows()
+			if scratch == nil {
+				scratch = make([]any, b.Width())
+			}
+			for i := 0; i < n; i++ {
+				r := i
+				if b.Sel != nil {
+					r = int(b.Sel[i])
+				}
+				for c := range scratch {
+					scratch[c] = b.Cols[c][r]
+				}
+				k := types.HashRowKey(scratch, keys)
+				g, ok := groups[k]
+				if !ok {
+					key := make([]any, len(keys))
+					for ki, gk := range keys {
+						key[ki] = scratch[gk]
+					}
+					accs := make([]rex.Accumulator, len(calls))
+					for ci, call := range calls {
+						accs[ci] = rex.NewAccumulator(call)
+					}
+					g = &group{key: key, accs: accs, fsSeq: b.Seq, fsIdx: int64(i)}
+					groups[k] = g
+					order = append(order, g)
+				}
+				for _, acc := range g.accs {
+					if err := acc.Add(scratch); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// A global aggregate emits its single group even over empty input,
+		// mirroring the serial engine.
+		if len(keys) == 0 && len(order) == 0 {
+			accs := make([]rex.Accumulator, len(calls))
+			for ci, call := range calls {
+				accs[ci] = rex.NewAccumulator(call)
+			}
+			order = append(order, &group{accs: accs})
+		}
+		rows := make([][]any, len(order))
+		for gi, g := range order {
+			row := make([]any, 0, width)
+			row = append(row, g.key...)
+			for _, acc := range g.accs {
+				row = append(row, acc)
+			}
+			row = append(row, g.fsSeq, g.fsIdx)
+			rows[gi] = row
+		}
+		b := schema.BatchFromRows(rows, width)
+		b.Seq = int64(w)
+		results[w] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.BatchCursor, len(results))
+	for i, b := range results {
+		out[i] = schema.NewSliceBatchCursor([]*schema.Batch{b})
+	}
+	return out, nil
+}
+
+// FinalAgg merges partial rows into final groups. With group keys it is
+// partitioned — each worker merges the (hash-exchanged) partials of its key
+// range and emits value rows still carrying the first-seen position, which
+// the merge-gather above uses to restore the serial group order. Without
+// keys it is a singleton merge of the per-worker global states.
+type FinalAgg struct {
+	inner *exec.Aggregate
+	input rel.Node
+	pool  *Pool
+	p     int
+}
+
+// NewFinalAgg builds the final stage over the (exchanged) partial stream.
+func NewFinalAgg(inner *exec.Aggregate, input rel.Node, pool *Pool, p int) *FinalAgg {
+	return &FinalAgg{inner: inner, input: input, pool: pool, p: p}
+}
+
+func (a *FinalAgg) global() bool       { return len(a.inner.GroupKeys) == 0 }
+func (a *FinalAgg) Op() string         { return "ParallelFinalAggregate" }
+func (a *FinalAgg) Inputs() []rel.Node { return []rel.Node{a.input} }
+func (a *FinalAgg) Attrs() string      { return a.inner.Attrs() }
+
+func (a *FinalAgg) RowType() *types.Type {
+	if a.global() {
+		return a.inner.RowType()
+	}
+	innerT := a.inner.RowType()
+	fields := make([]types.Field, 0, len(innerT.Fields)+2)
+	fields = append(fields, innerT.Fields...)
+	fields = append(fields, aggHiddenFields()...)
+	return types.Row(fields...)
+}
+
+func (a *FinalAgg) Traits() trait.Set {
+	if a.global() {
+		return trait.NewSet(trait.Enumerable).WithDistribution(trait.Singleton())
+	}
+	// Output rows lead with the group key columns, so the hash keys are the
+	// first len(GroupKeys) output ordinals (not the input ordinals).
+	keys := make([]int, len(a.inner.GroupKeys))
+	for i := range keys {
+		keys[i] = i
+	}
+	return trait.NewSet(trait.Enumerable).WithDistribution(trait.Hashed(keys...))
+}
+
+func (a *FinalAgg) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewFinalAgg(a.inner, inputs[0], a.pool, a.p)
+}
+
+func (a *FinalAgg) Bind(ctx *exec.Context) (schema.Cursor, error) {
+	bc, err := a.BindBatch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return schema.RowCursorFromBatches(bc), nil
+}
+
+// mergeRows folds partial rows (keys…, accumulators…, first-seen) into
+// final groups, preserving the smallest first-seen position per group.
+type finalGroup struct {
+	key   []any
+	accs  []rex.Accumulator
+	fsSeq int64
+	fsIdx int64
+}
+
+func (a *FinalAgg) mergeRows(in schema.BatchCursor, rctx ctxT) ([]*finalGroup, error) {
+	nKeys := len(a.inner.GroupKeys)
+	nCalls := len(a.inner.Calls)
+	keyOrds := make([]int, nKeys)
+	for i := range keyOrds {
+		keyOrds[i] = i
+	}
+	groups := map[string]*finalGroup{}
+	var order []*finalGroup
+	for {
+		if rctx != nil && rctx.Err() != nil {
+			return nil, rctx.Err()
+		}
+		b, err := in.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			fsSeq, _ := row[nKeys+nCalls].(int64)
+			fsIdx, _ := row[nKeys+nCalls+1].(int64)
+			k := types.HashRowKey(row, keyOrds)
+			g, ok := groups[k]
+			if !ok {
+				g = &finalGroup{
+					key:   row[:nKeys],
+					accs:  make([]rex.Accumulator, nCalls),
+					fsSeq: fsSeq,
+					fsIdx: fsIdx,
+				}
+				for ci := range g.accs {
+					g.accs[ci] = row[nKeys+ci].(rex.Accumulator)
+				}
+				groups[k] = g
+				order = append(order, g)
+				continue
+			}
+			for ci := range g.accs {
+				src := row[nKeys+ci].(rex.Accumulator)
+				if err := rex.MergeAccumulators(g.accs[ci], src); err != nil {
+					return nil, err
+				}
+			}
+			if fsSeq < g.fsSeq || (fsSeq == g.fsSeq && fsIdx < g.fsIdx) {
+				g.fsSeq, g.fsIdx = fsSeq, fsIdx
+			}
+		}
+	}
+	return order, nil
+}
+
+// emitGroups sorts merged groups into first-seen (serial) order and
+// materializes the result rows, optionally keeping the hidden first-seen
+// columns for an upstream merge-gather.
+func (a *FinalAgg) emitGroups(order []*finalGroup, hidden bool) *schema.Batch {
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].fsSeq != order[j].fsSeq {
+			return order[i].fsSeq < order[j].fsSeq
+		}
+		return order[i].fsIdx < order[j].fsIdx
+	})
+	nKeys := len(a.inner.GroupKeys)
+	width := len(a.inner.RowType().Fields)
+	if hidden {
+		width += 2
+	}
+	rows := make([][]any, len(order))
+	for i, g := range order {
+		row := make([]any, 0, width)
+		row = append(row, g.key[:nKeys]...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		if hidden {
+			row = append(row, g.fsSeq, g.fsIdx)
+		}
+		rows[i] = row
+	}
+	return schema.BatchFromRows(rows, width)
+}
+
+// BindBatch is the singleton path: merge every partial row of the gathered
+// input into the final groups (the global-aggregate back end and the serial
+// fallback).
+func (a *FinalAgg) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
+	in, err := exec.BindBatch(ctx, a.input)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	order, err := a.mergeRows(in, nil)
+	if err != nil {
+		return nil, err
+	}
+	return schema.NewSliceBatchCursor([]*schema.Batch{a.emitGroups(order, !a.global())}), nil
+}
+
+// BindPartitions merges each hash-exchanged partition independently.
+func (a *FinalAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
+	if a.global() {
+		bc, err := a.BindBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []schema.BatchCursor{bc}, nil
+	}
+	parts, err := BindPartitions(ctx, a.input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.BatchCursor, len(parts))
+	for i, part := range parts {
+		out[i] = &finalAggCursor{agg: a, in: part}
+	}
+	return out, nil
+}
+
+// finalAggCursor lazily merges one partition's partials when first pulled,
+// so the merge work runs on whichever worker drives this partition.
+type finalAggCursor struct {
+	agg  *FinalAgg
+	in   schema.BatchCursor
+	out  *schema.Batch
+	done bool
+}
+
+func (c *finalAggCursor) NextBatch() (*schema.Batch, error) {
+	if c.done {
+		return nil, schema.Done
+	}
+	if c.out == nil {
+		order, err := c.agg.mergeRows(c.in, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.out = c.agg.emitGroups(order, true)
+	}
+	c.done = true
+	if c.out.Len == 0 {
+		return nil, schema.Done
+	}
+	return c.out, nil
+}
+
+func (c *finalAggCursor) Close() error { return c.in.Close() }
+
+// --- partitioned sort ---
+
+// sortHiddenFields are the trailing global-position columns the parallel
+// sort appends so the merge-gather can reproduce the serial stable order.
+func sortHiddenFields() []types.Field {
+	return []types.Field{
+		{Name: "$pos_seq", Type: types.BigInt},
+		{Name: "$pos_idx", Type: types.BigInt},
+	}
+}
+
+// SortPar sorts each partition locally (worker-private sort of its morsels,
+// truncated to OFFSET+FETCH when a limit applies) and emits sorted runs
+// tagged with each row's global input position; the merge-gather above
+// k-way-merges the runs into the exact order of the serial stable sort.
+type SortPar struct {
+	inner *exec.Sort
+	pool  *Pool
+	p     int
+}
+
+// NewSortPar wraps an enumerable sort as its partition-local stage.
+func NewSortPar(inner *exec.Sort, pool *Pool, p int) *SortPar {
+	return &SortPar{inner: inner, pool: pool, p: p}
+}
+
+func (s *SortPar) Op() string         { return "ParallelSort" }
+func (s *SortPar) Inputs() []rel.Node { return s.inner.Inputs() }
+func (s *SortPar) Attrs() string      { return s.inner.Attrs() }
+
+func (s *SortPar) RowType() *types.Type {
+	innerT := s.inner.RowType()
+	fields := make([]types.Field, 0, len(innerT.Fields)+2)
+	fields = append(fields, innerT.Fields...)
+	fields = append(fields, sortHiddenFields()...)
+	return types.Row(fields...)
+}
+
+func (s *SortPar) Traits() trait.Set {
+	return trait.NewSet(trait.Enumerable).WithDistribution(trait.RandomDist())
+}
+
+func (s *SortPar) WithNewInputs(inputs []rel.Node) rel.Node {
+	return NewSortPar(s.inner.WithNewInputs(inputs).(*exec.Sort), s.pool, s.p)
+}
+
+// MergeCollation returns the collation the gathering merge must use: the
+// sort's collation extended by the hidden position columns.
+func (s *SortPar) MergeCollation() trait.Collation {
+	w := len(s.inner.RowType().Fields)
+	coll := append(trait.Collation(nil), s.inner.Collation...)
+	coll = append(coll,
+		trait.FieldCollation{Field: w, Direction: trait.Ascending},
+		trait.FieldCollation{Field: w + 1, Direction: trait.Ascending})
+	return coll
+}
+
+func (s *SortPar) Bind(ctx *exec.Context) (schema.Cursor, error) {
+	bc, err := s.BindBatch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return schema.RowCursorFromBatches(bc), nil
+}
+
+// BindBatch is the serial fallback: one gathered sorted run.
+func (s *SortPar) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
+	parts, err := s.BindPartitions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	coll := s.MergeCollation()
+	cmp := func(a, b []any) int { return exec.CompareRows(a, b, coll) }
+	return MergeGather(s.pool, parts, cmp, 0, -1, 0, len(s.RowType().Fields), batchSize(ctx)), nil
+}
+
+// BindPartitions sorts every partition eagerly across the pool (sort is a
+// pipeline breaker) and returns the materialized runs.
+func (s *SortPar) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
+	parts, err := BindPartitions(ctx, s.inner.Inputs()[0])
+	if err != nil {
+		return nil, err
+	}
+	coll := s.inner.Collation
+	width := len(s.RowType().Fields)
+	keep := int64(-1)
+	if s.inner.Fetch >= 0 {
+		keep = s.inner.Offset + s.inner.Fetch
+	}
+	results := make([]*schema.Batch, len(parts))
+	err = s.pool.Run(nil, len(parts), func(rctx ctxT, w int) error {
+		part := parts[w]
+		defer part.Close()
+		var rows [][]any
+		for {
+			if rctx.Err() != nil {
+				return rctx.Err()
+			}
+			b, err := part.NextBatch()
+			if err == schema.Done {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			n := b.NumRows()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				row = append(row, b.Seq, int64(i))
+				rows = append(rows, row)
+			}
+		}
+		sort.Slice(rows, func(a, b int) bool {
+			if c := exec.CompareRows(rows[a], rows[b], coll); c != 0 {
+				return c < 0
+			}
+			if rows[a][width-2].(int64) != rows[b][width-2].(int64) {
+				return rows[a][width-2].(int64) < rows[b][width-2].(int64)
+			}
+			return rows[a][width-1].(int64) < rows[b][width-1].(int64)
+		})
+		// Rows beyond OFFSET+FETCH can never be emitted by the merge.
+		if keep >= 0 && int64(len(rows)) > keep {
+			rows = rows[:keep]
+		}
+		b := schema.BatchFromRows(rows, width)
+		b.Seq = int64(w)
+		results[w] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.BatchCursor, len(results))
+	for i, b := range results {
+		out[i] = schema.NewSliceBatchCursor([]*schema.Batch{b})
+	}
+	return out, nil
+}

@@ -1,0 +1,542 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"calcite/internal/exec"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// --- pool ---
+
+func TestPoolRunPropagatesFirstError(t *testing.T) {
+	p := NewPool(4)
+	boom := errors.New("boom")
+	var cancelled atomic.Int32
+	err := p.Run(nil, 4, func(ctx context.Context, i int) error {
+		if i == 2 {
+			return boom
+		}
+		<-ctx.Done() // siblings wait for the cancellation fan-out
+		cancelled.Add(1)
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if cancelled.Load() != 3 {
+		t.Errorf("cancelled %d sibling tasks, want 3", cancelled.Load())
+	}
+}
+
+func TestPoolReusesResidentWorkers(t *testing.T) {
+	p := NewPool(2)
+	// Sequential bursts: after the first task finishes, its worker lingers
+	// and should pick up later tasks by hand-off.
+	for round := 0; round < 5; round++ {
+		done := make(chan struct{})
+		p.Go(func() { close(done) })
+		<-done
+	}
+	spawned, handoffs := p.Stats()
+	if spawned+handoffs != 5 {
+		t.Fatalf("spawned=%d handoffs=%d, want total 5", spawned, handoffs)
+	}
+	if handoffs == 0 {
+		t.Errorf("no resident-worker hand-offs (spawned=%d); pool never reuses workers", spawned)
+	}
+}
+
+// --- morsels ---
+
+func seqBatches(n int) []*schema.Batch {
+	out := make([]*schema.Batch, n)
+	for i := range out {
+		out[i] = &schema.Batch{Len: 1, Cols: [][]any{{int64(i)}}}
+	}
+	return out
+}
+
+func TestMorselsCoverInputExactlyOnce(t *testing.T) {
+	const n, p = 20, 4
+	parts := Morsels(schema.NewSliceBatchCursor(seqBatches(n)), p)
+	var mu sync.Mutex
+	got := map[int64]bool{}
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		part := part
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer part.Close()
+			for {
+				b, err := part.NextBatch()
+				if err == schema.Done {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if got[b.Seq] {
+					t.Errorf("morsel seq %d dispensed twice", b.Seq)
+				}
+				got[b.Seq] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("dispensed %d morsels, want %d", len(got), n)
+	}
+}
+
+// --- exchanges ---
+
+func TestGatherRestoresSeqOrder(t *testing.T) {
+	pool := NewPool(4)
+	// Three partitions holding interleaved slices of the seq space, each
+	// internally ascending (the dispenser invariant).
+	mk := func(seqs ...int64) schema.BatchCursor {
+		var bs []*schema.Batch
+		for _, s := range seqs {
+			b := &schema.Batch{Len: 1, Cols: [][]any{{s}}}
+			bs = append(bs, b)
+		}
+		cur := schema.NewSliceBatchCursor(bs)
+		// Pre-set the seqs after construction (SliceBatchCursor assigns
+		// positional seqs on NextBatch, so wrap it).
+		return &seqOverrideCursor{cur: cur, seqs: seqs}
+	}
+	g := Gather(pool, []schema.BatchCursor{
+		mk(0, 3, 6), mk(1, 4, 7), mk(2, 5, 8),
+	})
+	defer g.Close()
+	var got []int64
+	for {
+		b, err := g.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b.Seq)
+	}
+	for i, s := range got {
+		if s != int64(i) {
+			t.Fatalf("gather order %v not ascending", got)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("gathered %d batches, want 9", len(got))
+	}
+}
+
+type seqOverrideCursor struct {
+	cur  *schema.SliceBatchCursor
+	seqs []int64
+	pos  int
+}
+
+func (c *seqOverrideCursor) NextBatch() (*schema.Batch, error) {
+	b, err := c.cur.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	b.Seq = c.seqs[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *seqOverrideCursor) Close() error { return c.cur.Close() }
+
+type errCursor struct{ err error }
+
+func (c *errCursor) NextBatch() (*schema.Batch, error) { return nil, c.err }
+func (c *errCursor) Close() error                      { return nil }
+
+func TestGatherPropagatesWorkerError(t *testing.T) {
+	pool := NewPool(2)
+	boom := errors.New("worker exploded")
+	g := Gather(pool, []schema.BatchCursor{
+		schema.NewSliceBatchCursor(seqBatches(3)),
+		&errCursor{err: boom},
+	})
+	defer g.Close()
+	var err error
+	for err == nil {
+		_, err = g.NextBatch()
+	}
+	if err != boom {
+		t.Fatalf("gather error = %v, want %v", err, boom)
+	}
+}
+
+func TestScatterHashColocatesKeys(t *testing.T) {
+	const p = 3
+	rows := make([][]any, 30)
+	for i := range rows {
+		rows[i] = []any{int64(i % 7), int64(i)}
+	}
+	in := schema.NewSliceBatchCursor([]*schema.Batch{schema.BatchFromRows(rows, 2)})
+	outs := Scatter([]schema.BatchCursor{in}, p, []int{0})
+	keyHome := map[string]int{}
+	seen := 0
+	for pi, out := range outs {
+		for {
+			b, err := out.NextBatch()
+			if err == schema.Done {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < b.NumRows(); i++ {
+				row := b.Row(i)
+				k := types.HashRowKey(row, []int{0})
+				if home, ok := keyHome[k]; ok && home != pi {
+					t.Fatalf("key %q split across partitions %d and %d", k, home, pi)
+				}
+				keyHome[k] = pi
+				seen++
+			}
+		}
+		out.Close()
+	}
+	if seen != len(rows) {
+		t.Fatalf("scattered %d rows, want %d", seen, len(rows))
+	}
+	if len(keyHome) != 7 {
+		t.Fatalf("saw %d keys, want 7", len(keyHome))
+	}
+}
+
+func TestScatterRoundRobinDeliversAll(t *testing.T) {
+	const p = 4
+	in := schema.NewSliceBatchCursor(seqBatches(10))
+	outs := Scatter([]schema.BatchCursor{in}, p, nil)
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for _, out := range outs {
+		out := out
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer out.Close()
+			for {
+				b, err := out.NextBatch()
+				if err == schema.Done {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				count += b.NumRows()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 10 {
+		t.Fatalf("round-robin delivered %d rows, want 10", count)
+	}
+}
+
+func TestMergeGatherOrdersAndLimits(t *testing.T) {
+	pool := NewPool(2)
+	// Two sorted runs of (value, hiddenPos); merge ascending by value,
+	// strip the hidden column, skip 2, fetch 3.
+	run := func(vals ...int64) schema.BatchCursor {
+		rows := make([][]any, len(vals))
+		for i, v := range vals {
+			rows[i] = []any{v, int64(i)}
+		}
+		return schema.NewSliceBatchCursor([]*schema.Batch{schema.BatchFromRows(rows, 2)})
+	}
+	coll := trait.Collation{{Field: 0, Direction: trait.Ascending}, {Field: 1, Direction: trait.Ascending}}
+	cmp := func(a, b []any) int { return exec.CompareRows(a, b, coll) }
+	m := MergeGather(pool, []schema.BatchCursor{run(1, 3, 5, 7), run(2, 4, 6)},
+		cmp, 2, 3, 1, 1, 0)
+	defer m.Close()
+	var got []int64
+	for {
+		b, err := m.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Width() != 1 {
+			t.Fatalf("hidden column not stripped: width %d", b.Width())
+		}
+		for i := 0; i < b.NumRows(); i++ {
+			got = append(got, b.Row(i)[0].(int64))
+		}
+	}
+	want := []int64{3, 4, 5} // 1..7 merged, offset 2, fetch 3
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// --- rewrite shape ---
+
+func memScan(t *testing.T, name string, nRows int) *exec.Scan {
+	t.Helper()
+	rows := make([][]any, nRows)
+	for i := range rows {
+		rows[i] = []any{int64(i), int64(i % 5)}
+	}
+	tbl := schema.NewMemTable(name, types.Row(
+		types.Field{Name: "id", Type: types.BigInt},
+		types.Field{Name: "grp", Type: types.BigInt},
+	), rows)
+	return exec.NewScan(tbl, []string{name})
+}
+
+func TestParallelizeInsertsExchanges(t *testing.T) {
+	pool := NewPool(4)
+	scan := memScan(t, "t", 100)
+	filter := exec.NewFilter(scan, rex.NewCall(rex.OpGreater,
+		rex.NewInputRef(0, types.BigInt), rex.NewLiteral(int64(10), types.BigInt)))
+	agg := exec.NewAggregate(filter, []int{1}, []rex.AggCall{rex.NewAggCall(rex.AggCount, nil, false, "c")})
+	plan := Parallelize(agg, pool, 4)
+	text := rel.Explain(plan)
+	for _, want := range []string{"MorselScan", "ParallelPartialAggregate", "HashExchange", "ParallelFinalAggregate", "MergeGatherExchange"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("parallel plan missing %s:\n%s", want, text)
+		}
+	}
+	if dist := plan.Traits().Distribution; dist.Kind != trait.DistSingleton {
+		t.Errorf("root distribution = %s, want singleton", dist)
+	}
+}
+
+func TestParallelizeKeepsRightJoinSerial(t *testing.T) {
+	pool := NewPool(4)
+	l := memScan(t, "l", 50)
+	rscan := memScan(t, "r", 50)
+	cond := rex.Eq(rex.NewInputRef(0, types.BigInt), rex.NewInputRef(2, types.BigInt))
+	join := exec.NewHashJoin(rel.RightJoin, l, rscan, cond)
+	plan := Parallelize(join, pool, 4)
+	text := rel.Explain(plan)
+	if strings.Contains(text, "ParallelHashJoin") {
+		t.Errorf("right join must stay serial:\n%s", text)
+	}
+	if !strings.Contains(text, "GatherExchange") {
+		t.Errorf("right join inputs should gather:\n%s", text)
+	}
+}
+
+func TestParallelizeSerialWhenPIsOne(t *testing.T) {
+	scan := memScan(t, "t", 10)
+	if got := Parallelize(scan, NewPool(1), 1); got != scan {
+		t.Error("p=1 must return the plan unchanged")
+	}
+}
+
+// --- end-to-end operator checks against the serial engine ---
+
+func runPlan(t *testing.T, n rel.Node) [][]any {
+	t.Helper()
+	rows, err := exec.Execute(exec.NewContext(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func renderRows(rows [][]any) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%#v", r)
+	}
+	return out
+}
+
+// checkAgainstSerial executes plan serially and in parallel at several
+// worker counts and requires identical rows in identical order (the
+// deterministic-gather guarantee).
+func checkAgainstSerial(t *testing.T, plan rel.Node) {
+	t.Helper()
+	want := renderRows(runPlan(t, plan))
+	for _, p := range []int{2, 4, 7} {
+		pool := NewPool(p)
+		got := renderRows(runPlan(t, Parallelize(plan, pool, p)))
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d rows, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d row %d: got %s, want %s", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelFilterProjectMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 5000)
+	filter := exec.NewFilter(scan, rex.NewCall(rex.OpGreater,
+		rex.NewInputRef(0, types.BigInt), rex.NewLiteral(int64(100), types.BigInt)))
+	proj := exec.NewProject(filter,
+		[]rex.Node{rex.NewInputRef(0, types.BigInt), rex.NewInputRef(1, types.BigInt)},
+		[]string{"id", "grp"})
+	checkAgainstSerial(t, proj)
+}
+
+// TestParallelBareFilterMatchesSerial pins the exchange-boundary ownership
+// rule: the filter recycles its selection buffer batch-over-batch, so the
+// gather must detach batches before buffering them in channels. (A project
+// on top would mask the bug by materializing fresh columns.)
+func TestParallelBareFilterMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 5000)
+	filter := exec.NewFilter(scan, rex.NewCall(rex.OpGreater,
+		rex.NewInputRef(0, types.BigInt), rex.NewLiteral(int64(17), types.BigInt)))
+	checkAgainstSerial(t, filter)
+}
+
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	for _, kind := range []rel.JoinKind{rel.InnerJoin, rel.LeftJoin, rel.SemiJoin, rel.AntiJoin} {
+		l := memScan(t, "l", 2000)
+		r := memScan(t, "r", 300)
+		cond := rex.Eq(rex.NewInputRef(1, types.BigInt), rex.NewInputRef(2, types.BigInt))
+		join := exec.NewHashJoin(kind, l, r, cond)
+		checkAgainstSerial(t, join)
+	}
+}
+
+func TestParallelAggregateMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 4000)
+	agg := exec.NewAggregate(scan, []int{1}, []rex.AggCall{
+		rex.NewAggCall(rex.AggCount, nil, false, "c"),
+		rex.NewAggCall(rex.AggSum, []int{0}, false, "s"),
+		rex.NewAggCall(rex.AggMin, []int{0}, false, "mn"),
+		rex.NewAggCall(rex.AggMax, []int{0}, false, "mx"),
+	})
+	checkAgainstSerial(t, agg)
+}
+
+func TestParallelGlobalAggregateMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 4000)
+	agg := exec.NewAggregate(scan, nil, []rex.AggCall{
+		rex.NewAggCall(rex.AggCount, nil, false, "c"),
+		rex.NewAggCall(rex.AggAvg, []int{0}, false, "a"),
+	})
+	checkAgainstSerial(t, agg)
+}
+
+func TestParallelDistinctAggregateMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 4000)
+	agg := exec.NewAggregate(scan, nil, []rex.AggCall{
+		rex.NewAggCall(rex.AggCount, []int{1}, true, "cd"),
+		rex.NewAggCall(rex.AggSum, []int{1}, true, "sd"),
+	})
+	checkAgainstSerial(t, agg)
+}
+
+func TestParallelSortMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 3000)
+	sortNode := exec.NewSort(scan, trait.Collation{
+		{Field: 1, Direction: trait.Descending},
+		{Field: 0, Direction: trait.Ascending},
+	}, 0, -1)
+	checkAgainstSerial(t, sortNode)
+}
+
+func TestParallelSortWithLimitMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 3000)
+	sortNode := exec.NewSort(scan, trait.Collation{
+		{Field: 1, Direction: trait.Descending},
+	}, 7, 23)
+	checkAgainstSerial(t, sortNode)
+}
+
+func TestParallelLimitMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 3000)
+	limit := exec.NewLimit(scan, 5, 50)
+	checkAgainstSerial(t, limit)
+}
+
+// TestParallelStableSortTies pins the stable-order guarantee: rows equal
+// under the collation must come out in input order, like the serial
+// sort.SliceStable.
+func TestParallelStableSortTies(t *testing.T) {
+	scan := memScan(t, "t", 2000) // grp has only 5 distinct values: many ties
+	sortNode := exec.NewSort(scan, trait.Collation{{Field: 1, Direction: trait.Ascending}}, 0, -1)
+	want := runPlan(t, sortNode)
+	pool := NewPool(4)
+	got := runPlan(t, Parallelize(sortNode, pool, 4))
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] {
+			t.Fatalf("tie order diverges at row %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAccumulatorMerge exercises the partial/final split directly.
+func TestAccumulatorMerge(t *testing.T) {
+	call := rex.NewAggCall(rex.AggSum, []int{0}, false, "s")
+	a, b := rex.NewAccumulator(call), rex.NewAccumulator(call)
+	for i := 0; i < 10; i++ {
+		if err := a.Add([]any{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if err := b.Add([]any{int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rex.MergeAccumulators(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Result(); got != int64(190) {
+		t.Fatalf("merged SUM = %v, want 190", got)
+	}
+}
+
+func TestDistinctAccumulatorMergeDeduplicates(t *testing.T) {
+	call := rex.NewAggCall(rex.AggCount, []int{0}, true, "c")
+	a, b := rex.NewAccumulator(call), rex.NewAccumulator(call)
+	for _, v := range []int64{1, 2, 3} {
+		if err := a.Add([]any{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []int64{2, 3, 4} {
+		if err := b.Add([]any{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rex.MergeAccumulators(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Result(); got != int64(4) {
+		t.Fatalf("merged COUNT(DISTINCT) = %v, want 4", got)
+	}
+}

@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// poolIdleTimeout is how long a resident worker lingers waiting for the next
+// task before exiting. Long enough to amortize goroutine startup across the
+// queries of a busy connection, short enough that idle frameworks shed their
+// workers.
+const poolIdleTimeout = 250 * time.Millisecond
+
+// Pool is the shared worker pool of a Framework: every parallel query of the
+// connection schedules its pipeline-driver tasks here, so concurrent queries
+// share one set of resident workers instead of each spawning its own.
+//
+// Submission never blocks: a task is handed to an idle resident worker when
+// one is available and started on a fresh goroutine otherwise (the worker
+// then lingers briefly as a resident). Bounding residency instead of
+// concurrency keeps the pool deadlock-free by construction — a task blocked
+// on an exchange channel can never prevent the task that would unblock it
+// from starting.
+type Pool struct {
+	parallelism int
+	tasks       chan func() // unbuffered hand-off to idle resident workers
+
+	// spawned and handoffs count goroutine starts and resident reuses, for
+	// tests and introspection.
+	spawned  atomic.Int64
+	handoffs atomic.Int64
+}
+
+// NewPool returns a pool whose default degree of parallelism is n (floored
+// at 1). The degree is advisory — it sizes partition counts, not a hard cap
+// on concurrent goroutines.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{parallelism: n, tasks: make(chan func())}
+}
+
+// Parallelism returns the pool's default degree of parallelism.
+func (p *Pool) Parallelism() int { return p.parallelism }
+
+// Stats reports how many worker goroutines were spawned and how many tasks
+// were handed to an already-resident worker.
+func (p *Pool) Stats() (spawned, handoffs int64) {
+	return p.spawned.Load(), p.handoffs.Load()
+}
+
+// Go schedules fn without blocking the caller.
+func (p *Pool) Go(fn func()) {
+	select {
+	case p.tasks <- fn:
+		p.handoffs.Add(1)
+		return
+	default:
+	}
+	p.spawned.Add(1)
+	go p.worker(fn)
+}
+
+// worker runs fn, then lingers as a resident worker for a short idle window.
+func (p *Pool) worker(fn func()) {
+	for {
+		fn()
+		timer := time.NewTimer(poolIdleTimeout)
+		select {
+		case fn = <-p.tasks:
+			timer.Stop()
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// Run executes fn(0..n-1) concurrently on the pool and waits for all of
+// them. The first non-nil error is returned and cancels ctx-aware siblings
+// via the returned group context pattern: fn implementations should poll ctx
+// between morsels. A nil ctx runs without cancellation.
+func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		p.Go(func() {
+			defer wg.Done()
+			if err := fn(runCtx, i); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+				cancel() // tear the sibling workers down
+			}
+		})
+	}
+	wg.Wait()
+	if first == nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return first
+}

@@ -30,6 +30,12 @@ type Batch struct {
 	Cols [][]any
 	// Sel selects the live subset of rows, in order; nil selects all.
 	Sel []int32
+	// Seq orders batches globally within one source: sources assign
+	// increasing sequence numbers, per-batch operators preserve them, and
+	// the parallel engine's gather exchange merges partition streams back
+	// into Seq order so parallel execution reproduces the serial row order
+	// deterministically. Consumers that do not care about order ignore it.
+	Seq int64
 }
 
 // NumRows returns the number of live (selected) rows.
@@ -84,6 +90,20 @@ func (b *Batch) AppendRows(dst [][]any) [][]any {
 		dst = append(dst, row)
 	}
 	return dst
+}
+
+// Detach returns a batch that stays valid beyond the producer's next
+// NextBatch call. The Cursor contract lets a producer recycle per-batch
+// buffers once the next batch is requested — the filter reuses its selection
+// vector this way — which is fine for same-goroutine pipelines but not for
+// exchanges that buffer batches in channels. Detach copies the selection
+// vector (the only buffer operators recycle); column storage is immutable
+// once emitted and stays shared.
+func (b *Batch) Detach() *Batch {
+	if b.Sel == nil {
+		return b
+	}
+	return &Batch{Len: b.Len, Cols: b.Cols, Sel: append([]int32(nil), b.Sel...), Seq: b.Seq}
 }
 
 // Compact returns a batch with no selection vector: if b already is dense it
@@ -161,6 +181,7 @@ type rowBatchCursor struct {
 	cur       Cursor
 	width     int
 	batchSize int
+	seq       int64
 	done      bool
 }
 
@@ -200,7 +221,9 @@ func (c *rowBatchCursor) NextBatch() (*Batch, error) {
 	if n == 0 {
 		return nil, Done
 	}
-	return &Batch{Len: n, Cols: cols}, nil
+	seq := c.seq
+	c.seq++
+	return &Batch{Len: n, Cols: cols, Seq: seq}, nil
 }
 
 func (c *rowBatchCursor) Close() error { return c.cur.Close() }
@@ -241,6 +264,7 @@ type memBatchCursor struct {
 	n         int
 	batchSize int
 	pos       int
+	seq       int64
 }
 
 func (c *memBatchCursor) NextBatch() (*Batch, error) {
@@ -255,8 +279,9 @@ func (c *memBatchCursor) NextBatch() (*Batch, error) {
 	for i, col := range c.cols {
 		cols[i] = col[c.pos:end]
 	}
-	b := &Batch{Len: end - c.pos, Cols: cols}
+	b := &Batch{Len: end - c.pos, Cols: cols, Seq: c.seq}
 	c.pos = end
+	c.seq++
 	return b, nil
 }
 

@@ -119,10 +119,124 @@ func (c Collation) Satisfies(required Collation) bool {
 	return true
 }
 
+// DistributionKind classifies how the rows of an expression are spread
+// across parallel workers.
+type DistributionKind int
+
+const (
+	// DistAny is the zero value: the distribution is unknown or
+	// unconstrained (every distribution satisfies it).
+	DistAny DistributionKind = iota
+	// DistSingleton means all rows flow through a single stream.
+	DistSingleton
+	// DistHashed means rows are partitioned by a hash of key columns: rows
+	// equal on the keys are in the same partition.
+	DistHashed
+	// DistRandom means rows are partitioned with no placement guarantee
+	// (morsel-driven scans, round-robin exchanges).
+	DistRandom
+)
+
+// Distribution is the physical trait describing data placement across the
+// partitions of a parallel plan. It plays the same role for exchange
+// placement that Collation plays for sort elimination: an operator states
+// the distribution it requires and the planner inserts an exchange whenever
+// the input's distribution does not satisfy it.
+type Distribution struct {
+	Kind DistributionKind
+	// Keys are the partitioning column ordinals (DistHashed only).
+	Keys []int
+}
+
+// AnyDist is the unconstrained distribution (the zero value).
+var AnyDist = Distribution{}
+
+// Singleton returns the single-stream distribution.
+func Singleton() Distribution { return Distribution{Kind: DistSingleton} }
+
+// Hashed returns a hash distribution over the given key ordinals.
+func Hashed(keys ...int) Distribution { return Distribution{Kind: DistHashed, Keys: keys} }
+
+// RandomDist returns the arbitrary (round-robin / morsel) distribution.
+func RandomDist() Distribution { return Distribution{Kind: DistRandom} }
+
+// Partitioned reports whether rows are spread over more than one stream.
+func (d Distribution) Partitioned() bool {
+	return d.Kind == DistHashed || d.Kind == DistRandom
+}
+
+// Satisfies reports whether data distributed as d can be consumed by an
+// operator requiring req without an exchange in between:
+//
+//   - anything satisfies DistAny;
+//   - DistSingleton satisfies everything (all rows are colocated);
+//   - DistHashed(K) satisfies DistHashed(R) when K ⊆ R — rows equal on a
+//     superset of the hash keys are necessarily equal on the keys, hence
+//     already colocated;
+//   - DistRandom satisfies only DistRandom (and DistAny).
+func (d Distribution) Satisfies(req Distribution) bool {
+	if req.Kind == DistAny {
+		return true
+	}
+	if d.Kind == DistSingleton {
+		return true
+	}
+	if d.Kind != req.Kind {
+		return false
+	}
+	if d.Kind == DistHashed {
+		// Every one of d's keys must appear in req's keys.
+		for _, k := range d.Keys {
+			found := false
+			for _, r := range req.Keys {
+				if k == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return len(d.Keys) > 0
+	}
+	return true
+}
+
+// Equal reports whether two distributions are identical.
+func (d Distribution) Equal(o Distribution) bool {
+	if d.Kind != o.Kind || len(d.Keys) != len(o.Keys) {
+		return false
+	}
+	for i := range d.Keys {
+		if d.Keys[i] != o.Keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (d Distribution) String() string {
+	switch d.Kind {
+	case DistSingleton:
+		return "singleton"
+	case DistHashed:
+		parts := make([]string, len(d.Keys))
+		for i, k := range d.Keys {
+			parts[i] = fmt.Sprintf("$%d", k)
+		}
+		return "hashed[" + strings.Join(parts, ", ") + "]"
+	case DistRandom:
+		return "random"
+	}
+	return "any"
+}
+
 // Set is the trait set attached to every relational expression.
 type Set struct {
-	Convention Convention
-	Collation  Collation
+	Convention   Convention
+	Collation    Collation
+	Distribution Distribution
 }
 
 // NewSet returns a trait set with the given convention and no collation.
@@ -140,13 +254,22 @@ func (s Set) WithConvention(c Convention) Set {
 	return s
 }
 
+// WithDistribution returns a copy of s with the distribution replaced.
+func (s Set) WithDistribution(d Distribution) Set {
+	s.Distribution = d
+	return s
+}
+
 func (s Set) String() string {
 	name := "none"
 	if s.Convention != nil {
 		name = s.Convention.ConventionName()
 	}
-	if len(s.Collation) == 0 {
-		return name
+	if len(s.Collation) > 0 {
+		name += "." + s.Collation.String()
 	}
-	return name + "." + s.Collation.String()
+	if s.Distribution.Kind != DistAny {
+		name += "." + s.Distribution.String()
+	}
+	return name
 }

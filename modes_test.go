@@ -155,6 +155,78 @@ func TestBatchModeSmallBatches(t *testing.T) {
 	}
 }
 
+// TestParallelModesAgree runs the SQL suite at parallelism 1, 4 and 8 and
+// requires rows identical to the serial engine IN THE SAME ORDER — the
+// parallel engine's determinism contract (Seq-ordered gathers, first-seen
+// group ordering, position-tagged merge sorts). The suite contains no
+// COLLECT calls and only binary-exact float aggregations, so the documented
+// value-level caveats do not apply here.
+func TestParallelModesAgree(t *testing.T) {
+	serial := diffConn()
+	serial.SetParallelism(1)
+	// Serial baselines computed once; each parallelism level compares
+	// against the cached rows.
+	type baseline struct {
+		rows []string
+		err  error
+	}
+	baselines := make([]baseline, len(diffQueries))
+	for i, q := range diffQueries {
+		sr, serr := serial.Query(q.sql, q.params...)
+		if serr != nil {
+			baselines[i] = baseline{err: serr}
+			continue
+		}
+		baselines[i] = baseline{rows: renderRows(sr.Rows)}
+	}
+	for _, p := range []int{1, 4, 8} {
+		par := diffConn()
+		par.SetParallelism(p)
+		for i, q := range diffQueries {
+			pr, perr := par.Query(q.sql, q.params...)
+			if (perr == nil) != (baselines[i].err == nil) {
+				t.Errorf("p=%d %s\n  parallel err=%v serial err=%v", p, q.sql, perr, baselines[i].err)
+				continue
+			}
+			if perr != nil {
+				continue
+			}
+			a := renderRows(pr.Rows)
+			if !reflect.DeepEqual(a, baselines[i].rows) {
+				t.Errorf("p=%d %s\n  parallel: %v\n  serial:   %v", p, q.sql, a, baselines[i].rows)
+			}
+		}
+	}
+}
+
+// TestParallelSmallBatches crosses parallelism 4 with the batchSize=3
+// boundary case: every operator sees many tiny morsels, shaking out
+// batch-boundary and morsel-ordering bugs at once. Rows must match the
+// serial engine at the same batch size exactly, order included.
+func TestParallelSmallBatches(t *testing.T) {
+	par := diffConn()
+	par.SetParallelism(4)
+	par.SetBatchSize(3)
+	ref := diffConn()
+	ref.SetParallelism(1)
+	ref.SetBatchSize(3)
+	for _, q := range diffQueries {
+		pr, perr := par.Query(q.sql, q.params...)
+		rr, rerr := ref.Query(q.sql, q.params...)
+		if (perr == nil) != (rerr == nil) {
+			t.Errorf("%s\n  parallel err=%v serial err=%v", q.sql, perr, rerr)
+			continue
+		}
+		if perr != nil {
+			continue
+		}
+		a, b := renderRows(pr.Rows), renderRows(rr.Rows)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s (parallel=4, batchSize=3)\n  parallel: %v\n  serial:   %v", q.sql, a, b)
+		}
+	}
+}
+
 func renderRows(rows [][]any) []string {
 	out := make([]string, len(rows))
 	for i, r := range rows {

@@ -1,0 +1,62 @@
+package calcite_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"calcite"
+)
+
+// TestParallelScanWithConcurrentInserts races morsel workers scanning a
+// MemTable against a writer appending rows. It exists for `go test -race`:
+// the table's columnar-snapshot cache must serve concurrent readers while
+// inserts invalidate it, without data races. Result contents are inherently
+// racy (a query sees some prefix of the inserts); the invariants checked are
+// "no error" and "at least the initial rows, in multiples of full inserts".
+func TestParallelScanWithConcurrentInserts(t *testing.T) {
+	conn := calcite.Open()
+	conn.SetParallelism(4)
+	const initial = 5000
+	rows := make([][]any, initial)
+	for i := range rows {
+		rows[i] = []any{int64(i), fmt.Sprintf("r%d", i)}
+	}
+	tbl := conn.AddTable("hot", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "name", Type: calcite.VarcharType},
+	}, rows)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := initial
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tbl.Insert([][]any{{int64(n), fmt.Sprintf("r%d", n)}}); err != nil {
+				t.Error(err)
+				return
+			}
+			n++
+		}
+	}()
+
+	for i := 0; i < 25; i++ {
+		res, err := conn.Query("SELECT COUNT(*), MAX(id) FROM hot WHERE id >= 0")
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		count := res.Rows[0][0].(int64)
+		if count < initial {
+			t.Fatalf("query %d: saw %d rows, want >= %d", i, count, initial)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
