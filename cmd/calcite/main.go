@@ -7,6 +7,11 @@
 //	calcite -csv path/to/dir          # load *.csv as tables in schema "csv"
 //	calcite -demo                     # load the built-in demo tables
 //	echo "SELECT 1+1" | calcite -demo
+//
+// Statistics and plans are first-class in the shell: ANALYZE TABLE t
+// collects histograms/NDV sketches for the cost-based optimizer, and
+// EXPLAIN <query> prints the optimized plan with per-operator rows=/cost=
+// estimates (EXPLAIN LOGICAL for the pre-optimization plan).
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 	interactive := isTerminal()
 	if interactive {
 		fmt.Println("calcite shell — end statements with ';', \\q to quit")
+		fmt.Println("  ANALYZE TABLE <t> collects optimizer statistics; EXPLAIN <query> shows the plan with estimates")
 	}
 	var buf strings.Builder
 	prompt := func() {

@@ -81,6 +81,10 @@ type Framework struct {
 	Delta float64
 	// DisableLogicalPhase skips logical rewrites (for ablations).
 	DisableLogicalPhase bool
+	// DisableJoinReorder skips the cost-based join-order enumeration phase
+	// (MultiJoin collapse + LoptOptimizeJoinRule) that follows the logical
+	// rewrites.
+	DisableJoinReorder bool
 	// MetadataCache toggles the metadata memo cache (experiment E8).
 	MetadataCache bool
 	// RowMode forces the row-at-a-time execution path, disabling the default
@@ -157,10 +161,11 @@ func (f *Framework) Optimize(logical rel.Node) (rel.Node, error) {
 	if !f.DisableLogicalPhase {
 		node = f.logicalOptimize(node, mq)
 		mq.InvalidateCache()
+		node = f.reorderJoins(node, mq)
 	}
 
 	physRules := append([]plan.Rule(nil), f.PhysicalRules...)
-	physRules = append(physRules, f.Views.SubstitutionRules()...)
+	physRules = append(physRules, f.substitutionRules(mq)...)
 
 	if f.Planner == HeuristicHep {
 		hep := plan.NewHepPlanner(physRules...)
@@ -189,6 +194,54 @@ func (f *Framework) logicalOptimize(node rel.Node, mq *meta.Query) rel.Node {
 	return hep.Optimize(node)
 }
 
+// substitutionRules builds the materialized-view rules for one planning
+// session. Registered definition plans are stored in their logically
+// optimized (statistics-independent) form and re-normalized through the
+// join-order enumeration here, with the session's metadata: statistics can
+// change between sessions (ANALYZE, inserts) and unification is digest-
+// exact, so the view side must be canonicalized with the same estimates as
+// the incoming query or join-containing views would silently stop matching.
+func (f *Framework) substitutionRules(mq *meta.Query) []plan.Rule {
+	views := f.Views.Views()
+	lattices := f.Views.Lattices()
+	if len(views) == 0 && len(lattices) == 0 {
+		return nil
+	}
+	session := mv.NewRegistry()
+	for _, v := range views {
+		session.Register(&mv.MaterializedView{
+			Name:  v.Name,
+			Plan:  f.reorderJoins(v.Plan, mq),
+			Table: v.Table,
+		})
+	}
+	for _, l := range lattices {
+		session.RegisterLattice(l)
+	}
+	return session.SubstitutionRules()
+}
+
+// reorderJoins runs the two-phase cost-based join-order enumeration: inner
+// join trees collapse into flat MultiJoins, which LoptOptimizeJoinRule then
+// expands into binary join trees ordered by the cardinality estimates of the
+// metadata providers (histogram/NDV-driven once tables are ANALYZEd). The
+// phases are separate Hep passes because the expansion's output joins must
+// not re-trigger the collapse.
+func (f *Framework) reorderJoins(node rel.Node, mq *meta.Query) rel.Node {
+	if f.DisableJoinReorder {
+		return node
+	}
+	collapse, order := rules.JoinOrderRules()
+	hepCollapse := plan.NewHepPlanner(collapse...)
+	hepCollapse.Meta = mq
+	node = hepCollapse.Optimize(node)
+	hepOrder := plan.NewHepPlanner(order...)
+	hepOrder.Meta = mq
+	node = hepOrder.Optimize(node)
+	mq.InvalidateCache()
+	return node
+}
+
 // Result is the outcome of executing a statement.
 type Result struct {
 	Columns []string
@@ -210,6 +263,8 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 		return f.createTable(s)
 	case *parser.CreateViewStmt:
 		return f.createView(s, sql)
+	case *parser.AnalyzeStmt:
+		return f.analyzeTable(s)
 	}
 	logical, err := sql2rel.New(f.Catalog).Convert(stmt)
 	if err != nil {
@@ -271,14 +326,20 @@ func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	text := rel.Explain(logical)
+	node := logical
 	if !s.Logical {
 		physical, err := f.Optimize(logical)
 		if err != nil {
 			return nil, err
 		}
-		text = rel.Explain(physical)
+		node = physical
 	}
+	// Annotate each operator with the metadata providers' estimates so
+	// EXPLAIN shows what the cost-based decisions were based on.
+	mq := f.NewMetaQuery()
+	text := rel.ExplainAnnotated(node, func(n rel.Node) string {
+		return fmt.Sprintf("rows=%.4g, cost=%.4g", mq.RowCount(n), mq.CumulativeCost(n).Scalar())
+	})
 	var rows [][]any
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		rows = append(rows, []any{line})
@@ -339,9 +400,11 @@ func (f *Framework) createView(s *parser.CreateViewStmt, originalSQL string) (*R
 	}
 	table := schema.NewMemTable(name, logical.RowType(), rows)
 	f.Catalog.AddTable(table)
-	// Register the definition plan in its canonical (logically optimized)
-	// form so the substitution rule can unify it with incoming queries,
-	// which are normalized the same way before physical planning.
+	// Register the definition plan in its logically optimized form — the
+	// statistics-independent canonicalization. The join-order enumeration,
+	// whose outcome depends on current statistics, is applied per planning
+	// session (substitutionRules) so the view side always matches queries
+	// normalized with the same estimates.
 	f.Views.Register(&mv.MaterializedView{
 		Name:  name,
 		Plan:  f.logicalOptimize(logical, f.NewMetaQuery()),

@@ -103,8 +103,11 @@ func defaultRowCount(q *Query, n rel.Node) (float64, bool) {
 	return 0, false
 }
 
-// defaultSelectivity estimates predicate selectivity with the classic
-// System-R style heuristics: 0.15 per equality, 0.5 per inequality/range,
+// defaultSelectivity estimates predicate selectivity. Each conjunct is
+// first tried against collected column statistics (histogram ranges, NDV
+// equality, null fractions, and the 1/max(ndv) equi-join rule — see
+// stats.go); conjuncts whose columns have no statistics fall back to the
+// classic System-R constants: 0.15 per equality, 0.5 per inequality/range,
 // combined multiplicatively over conjunctions.
 func defaultSelectivity(q *Query, n rel.Node, predicate rex.Node) (float64, bool) {
 	if predicate == nil || rex.IsAlwaysTrue(predicate) {
@@ -115,7 +118,11 @@ func defaultSelectivity(q *Query, n rel.Node, predicate rex.Node) (float64, bool
 	}
 	sel := 1.0
 	for _, term := range rex.Conjuncts(predicate) {
-		sel *= termSelectivity(term)
+		if s, ok := statsTermSelectivity(q, n, term); ok {
+			sel *= s
+		} else {
+			sel *= termSelectivity(term)
+		}
 	}
 	return sel, true
 }
@@ -159,6 +166,10 @@ func defaultDistinct(q *Query, n rel.Node, cols []int) (float64, bool) {
 		if x.Table.Stats().IsKey(cols) {
 			return rc, true
 		}
+		// Collected NDVs (ANALYZE) beat the heuristic.
+		if d, ok := statsDistinct(x.Table.Stats(), cols); ok {
+			return d, true
+		}
 		// Heuristic: each column contributes sqrt of table cardinality.
 		d := 1.0
 		for range cols {
@@ -168,6 +179,28 @@ func defaultDistinct(q *Query, n rel.Node, cols []int) (float64, bool) {
 	case *rel.Filter:
 		d := q.DistinctRowCount(x.Inputs()[0], cols)
 		return math.Min(d, q.RowCount(x)), true
+	case *rel.Join:
+		// Columns drawn from a single input keep that input's distinct
+		// count (capped by the join output size).
+		nLeft := rel.FieldCount(x.Left())
+		allLeft, allRight := true, true
+		for _, c := range cols {
+			if c >= nLeft {
+				allLeft = false
+			} else {
+				allRight = false
+			}
+		}
+		if allLeft && len(cols) > 0 {
+			return math.Min(q.DistinctRowCount(x.Left(), cols), q.RowCount(x)), true
+		}
+		if allRight && len(cols) > 0 && x.Kind.ProjectsRight() {
+			shifted := make([]int, len(cols))
+			for i, c := range cols {
+				shifted[i] = c - nLeft
+			}
+			return math.Min(q.DistinctRowCount(x.Right(), shifted), q.RowCount(x)), true
+		}
 	case *rel.Project:
 		// Map output cols to input refs where possible.
 		var inCols []int

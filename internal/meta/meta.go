@@ -5,6 +5,14 @@
 // selectivity, distinct counts, column uniqueness and collations; systems
 // plug in providers that override these functions or add their own.
 //
+// Providers form an ordered chain with a well-defined fallback order: a
+// Query consults custom providers first (in the order given to NewQuery,
+// with Prepend able to push a provider to the front), and any provider
+// whose function is nil — or returns ok=false — falls through to the next;
+// the built-in DefaultProvider terminates every chain, deriving estimates
+// from table statistics where collected (ANALYZE histograms, NDV sketches,
+// null counts) and from textbook heuristics otherwise.
+//
 // The paper notes that provider implementations include "a cache for
 // metadata results, which yields significant performance improvements";
 // Query memoizes every metadata call by (metric, plan digest, args) and the

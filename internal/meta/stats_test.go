@@ -1,0 +1,186 @@
+package meta
+
+import (
+	"math"
+	"testing"
+
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/stats"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// analyzedScan builds a MemTable from rows, runs the statistics collector
+// over it (the same path ANALYZE takes), and returns its scan node.
+func analyzedScan(name string, fields []types.Field, rows [][]any) (*schema.MemTable, rel.Node) {
+	t := schema.NewMemTable(name, types.Row(fields...), rows)
+	c := stats.NewCollector(len(fields))
+	for _, r := range rows {
+		c.AddRow(r)
+	}
+	cols, n := c.Finish()
+	t.SetStats(schema.Statistics{RowCount: n, Columns: cols, Analyzed: true})
+	return t, rel.NewTableScan(trait.Logical, t, []string{name})
+}
+
+// statsFixture: 1000 rows, v uniform over [0,1000), flag has 20% nulls,
+// grp has 10 distinct values.
+func statsFixture() (*schema.MemTable, rel.Node) {
+	fields := []types.Field{
+		{Name: "id", Type: types.BigInt},
+		{Name: "v", Type: types.BigInt},
+		{Name: "flag", Type: types.BigInt.WithNullable(true)},
+		{Name: "grp", Type: types.BigInt},
+	}
+	var rows [][]any
+	for i := 0; i < 1000; i++ {
+		var flag any
+		if i%5 != 0 {
+			flag = int64(i % 3)
+		}
+		rows = append(rows, []any{int64(i), int64(i), flag, int64(i % 10)})
+	}
+	return analyzedScan("t", fields, rows)
+}
+
+func ref(i int) rex.Node { return rex.NewInputRef(i, types.BigInt) }
+
+// TestHistogramSelectivityRange: range predicates must come from the
+// histogram, not the 0.5 constant.
+func TestHistogramSelectivityRange(t *testing.T) {
+	_, scan := statsFixture()
+	q := NewQuery()
+	cases := []struct {
+		pred rex.Node
+		want float64
+	}{
+		{rex.NewCall(rex.OpLess, ref(1), rex.Int(100)), 0.10},
+		{rex.NewCall(rex.OpGreaterEqual, ref(1), rex.Int(900)), 0.10},
+		{rex.NewCall(rex.OpLess, ref(1), rex.Int(2000)), 1.0},
+		{rex.NewCall(rex.OpGreater, ref(1), rex.Int(2000)), 0.0001},
+		// literal-on-the-left orientation
+		{rex.NewCall(rex.OpGreater, rex.Int(100), ref(1)), 0.10},
+	}
+	for _, c := range cases {
+		got := q.Selectivity(scan, c.pred)
+		if math.Abs(got-c.want) > 0.03 {
+			t.Errorf("sel(%s) = %.4f, want ~%.3f", c.pred.String(), got, c.want)
+		}
+	}
+}
+
+// TestHistogramSelectivityEquality: equality uses the histogram/NDV, and
+// conjunctions multiply.
+func TestHistogramSelectivityEquality(t *testing.T) {
+	_, scan := statsFixture()
+	q := NewQuery()
+	if got := q.Selectivity(scan, rex.Eq(ref(1), rex.Int(42))); math.Abs(got-0.001) > 0.002 {
+		t.Errorf("eq on unique-ish column: %.5f, want ~0.001", got)
+	}
+	if got := q.Selectivity(scan, rex.Eq(ref(3), rex.Int(4))); math.Abs(got-0.1) > 0.03 {
+		t.Errorf("eq on 10-distinct column: %.4f, want ~0.1", got)
+	}
+	and := rex.And(
+		rex.NewCall(rex.OpLess, ref(1), rex.Int(500)),
+		rex.Eq(ref(3), rex.Int(4)),
+	)
+	if got := q.Selectivity(scan, and); math.Abs(got-0.05) > 0.02 {
+		t.Errorf("conjunction: %.4f, want ~0.05", got)
+	}
+}
+
+// TestNullSelectivity: IS NULL / IS NOT NULL must use the collected null
+// fraction (20%), not the 0.1/0.9 constants.
+func TestNullSelectivity(t *testing.T) {
+	_, scan := statsFixture()
+	q := NewQuery()
+	isNull := rex.NewCall(rex.OpIsNull, rex.NewInputRef(2, types.BigInt.WithNullable(true)))
+	if got := q.Selectivity(scan, isNull); math.Abs(got-0.2) > 0.01 {
+		t.Errorf("IS NULL = %.4f, want 0.2", got)
+	}
+	isNotNull := rex.NewCall(rex.OpIsNotNull, rex.NewInputRef(2, types.BigInt.WithNullable(true)))
+	if got := q.Selectivity(scan, isNotNull); math.Abs(got-0.8) > 0.01 {
+		t.Errorf("IS NOT NULL = %.4f, want 0.8", got)
+	}
+}
+
+// TestJoinCardinalityFormula: an analyzed equi-join estimates
+// |L|·|R|/max(ndv(l), ndv(r)).
+func TestJoinCardinalityFormula(t *testing.T) {
+	dimFields := []types.Field{
+		{Name: "pk", Type: types.BigInt},
+		{Name: "attr", Type: types.BigInt},
+	}
+	var dimRows [][]any
+	for i := 0; i < 100; i++ {
+		dimRows = append(dimRows, []any{int64(i), int64(i % 4)})
+	}
+	_, dim := analyzedScan("dim", dimFields, dimRows)
+
+	factFields := []types.Field{
+		{Name: "fk", Type: types.BigInt},
+		{Name: "m", Type: types.Double},
+	}
+	var factRows [][]any
+	for i := 0; i < 5000; i++ {
+		factRows = append(factRows, []any{int64(i % 100), float64(i)})
+	}
+	_, fact := analyzedScan("fact", factFields, factRows)
+
+	join := rel.NewJoin(rel.InnerJoin, fact, dim,
+		rex.Eq(rex.NewInputRef(0, types.BigInt), rex.NewInputRef(2, types.BigInt)))
+	q := NewQuery()
+	got := q.RowCount(join)
+	// |L|·|R|/max(ndv) = 5000*100/max(100,100) = 5000.
+	if math.Abs(got-5000) > 250 {
+		t.Errorf("join cardinality = %.0f, want ~5000", got)
+	}
+
+	// Distinct counts: fk has 100 collected NDV; the pair (fk, m) caps at
+	// the row count.
+	if d := q.DistinctRowCount(fact, []int{0}); math.Abs(d-100) > 10 {
+		t.Errorf("ndv(fk) = %.0f, want ~100", d)
+	}
+	if d := q.DistinctRowCount(fact, []int{0, 1}); d > 5000.5 {
+		t.Errorf("ndv(fk,m) = %.0f, want <= 5000", d)
+	}
+}
+
+// TestColumnOriginThroughOperators: statistics must be found through
+// filters, projects and join sides.
+func TestColumnOriginThroughOperators(t *testing.T) {
+	_, scan := statsFixture()
+	q := NewQuery()
+	pred := rex.NewCall(rex.OpLess, ref(1), rex.Int(100))
+
+	// Through a filter.
+	filter := rel.NewFilter(scan, rex.NewCall(rex.OpGreater, ref(0), rex.Int(10)))
+	if got := q.Selectivity(filter, pred); math.Abs(got-0.10) > 0.03 {
+		t.Errorf("through filter: %.4f, want ~0.1", got)
+	}
+
+	// Through a projection that reorders columns: output 0 = input 1.
+	proj := rel.NewProject(scan, []rex.Node{ref(1), ref(0)}, []string{"v", "id"})
+	predOnProj := rex.NewCall(rex.OpLess, ref(0), rex.Int(100))
+	if got := q.Selectivity(proj, predOnProj); math.Abs(got-0.10) > 0.03 {
+		t.Errorf("through project: %.4f, want ~0.1", got)
+	}
+}
+
+// TestUnanalyzedFallback: without collected statistics the textbook
+// constants must still apply (0.5 for ranges, 0.15 for equality).
+func TestUnanalyzedFallback(t *testing.T) {
+	tab := schema.NewMemTable("plain", types.Row(
+		types.Field{Name: "a", Type: types.BigInt},
+	), [][]any{{int64(1)}, {int64(2)}})
+	scan := rel.NewTableScan(trait.Logical, tab, []string{"plain"})
+	q := NewQuery()
+	if got := q.Selectivity(scan, rex.NewCall(rex.OpLess, ref(0), rex.Int(5))); got != 0.5 {
+		t.Errorf("range fallback = %v, want 0.5", got)
+	}
+	if got := q.Selectivity(scan, rex.Eq(ref(0), rex.Int(5))); got != 0.15 {
+		t.Errorf("equality fallback = %v, want 0.15", got)
+	}
+}

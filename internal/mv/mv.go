@@ -60,6 +60,13 @@ func (r *Registry) Views() []*MaterializedView {
 	return append([]*MaterializedView(nil), r.views...)
 }
 
+// Lattices returns the registered lattices.
+func (r *Registry) Lattices() []*Lattice {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Lattice(nil), r.lattices...)
+}
+
 // SubstitutionRules returns the planner rules for all registered views and
 // lattices. Per §6, "the scan operator over the materialized view and the
 // materialized view definition plan are registered with the planner, and

@@ -1,0 +1,49 @@
+// Package parallel implements morsel-driven parallel execution for the
+// vectorized batch convention: scans split into morsels that a pool of
+// resident workers claim dynamically, and exchange operators move batches
+// between the partitions of a pipeline over channels.
+//
+// # Architecture
+//
+// Parallelize rewrites an optimized enumerable plan bottom-up, propagating
+// the trait.Distribution of each operator and inserting exchanges exactly
+// where a node's required input distribution is not satisfied (the same
+// reasoning the trait framework applies to collations):
+//
+//   - batch-scannable scans become MorselScan (random distribution);
+//   - filters and projections run partition-local, preserving distribution;
+//   - hash joins build partitioned hash tables (right/full joins gather to
+//     a single stream and run serially);
+//   - aggregates split into thread-local partial aggregation, a hash
+//     exchange on the group keys, and a partitioned merge of accumulator
+//     states (rex.MergeAccumulators);
+//   - sorts run per-partition and merge-gather into one ordered stream.
+//
+// # Batch ownership at exchange boundaries
+//
+// The BatchCursor contract lets a producer recycle per-batch buffers once
+// the consumer asks for the next batch; that is safe for same-goroutine
+// pipelines but not for exchanges, which buffer batches in channels and
+// hand them to other goroutines. Every batch that crosses an exchange
+// boundary is therefore Detach()ed first: the selection vector (the one
+// buffer operators recycle) is copied, while column storage — immutable
+// once emitted — stays shared. Downstream of an exchange, a batch is owned
+// by the receiving partition until it is itself emitted or dropped.
+//
+// # Determinism
+//
+// Sources stamp batches with increasing sequence numbers (Batch.Seq);
+// per-batch operators preserve them, and gather exchanges merge partition
+// streams back into Seq order. A parallel run therefore reproduces the
+// serial engine's row order exactly, with two value-level caveats
+// documented on Connection.SetParallelism: floating-point aggregates may
+// differ in the last bit (partial sums reassociate), and COLLECT multiset
+// element order follows merge order.
+//
+// # Cancellation
+//
+// Pipelines run under a context; the first error cancels it, tearing down
+// every exchange (producers unblock on channel sends via ctx.Done) so no
+// goroutine leaks. Workers are shared per Framework through Pool, which
+// keeps them resident across queries and sheds them after an idle timeout.
+package parallel

@@ -104,6 +104,15 @@ type CreateViewStmt struct {
 
 func (*CreateViewStmt) stmt() {}
 
+// AnalyzeStmt is ANALYZE [TABLE] t: scan t and collect statistics (row
+// count, per-column null counts, min/max, NDV sketches, histograms) for the
+// cost-based optimizer.
+type AnalyzeStmt struct {
+	Table []string
+}
+
+func (*AnalyzeStmt) stmt() {}
+
 // ExplainStmt is EXPLAIN [PLAN FOR] query.
 type ExplainStmt struct {
 	Target Statement

@@ -97,7 +97,7 @@ var reserved = map[string]bool{
 	"INTERVAL": true, "TRUE": true, "FALSE": true, "FETCH": true, "ASC": true,
 	"DESC": true, "ALL": true, "NATURAL": true, "PRECEDING": true, "FOLLOWING": true,
 	"UNBOUNDED": true, "CURRENT": true, "EXISTS": true, "TABLE": true, "VIEW": true,
-	"MATERIALIZED": true,
+	"MATERIALIZED": true, "ANALYZE": true,
 }
 
 // parseIdentifier consumes one (unreserved or quoted) identifier.
@@ -153,6 +153,17 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case p.isKeyword("CREATE"):
 		return p.parseCreate()
+	case p.isKeyword("ANALYZE"):
+		p.pos++
+		p.acceptKeyword("TABLE")
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		// Accept (and ignore) the ANSI-ish tail some dialects use.
+		p.acceptKeyword("COMPUTE")
+		p.acceptKeyword("STATISTICS")
+		return &AnalyzeStmt{Table: name}, nil
 	default:
 		return p.parseQueryExpr()
 	}

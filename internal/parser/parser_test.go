@@ -198,3 +198,23 @@ func TestParamNumbering(t *testing.T) {
 		t.Error("third param index")
 	}
 }
+
+func TestParseAnalyze(t *testing.T) {
+	stmt := mustParse(t, "ANALYZE TABLE sales")
+	a, ok := stmt.(*AnalyzeStmt)
+	if !ok || len(a.Table) != 1 || a.Table[0] != "sales" {
+		t.Fatalf("got %#v", stmt)
+	}
+	// TABLE keyword optional, qualified names and dialect tails accepted.
+	a = mustParse(t, "ANALYZE csv.orders COMPUTE STATISTICS").(*AnalyzeStmt)
+	if len(a.Table) != 2 || a.Table[0] != "csv" || a.Table[1] != "orders" {
+		t.Fatalf("got %#v", a)
+	}
+	if _, err := Parse("ANALYZE"); err == nil {
+		t.Error("ANALYZE without a table must fail")
+	}
+	// ANALYZE is reserved: it cannot serve as a bare alias.
+	if _, err := Parse("SELECT a FROM t analyze"); err == nil {
+		t.Error("ANALYZE as alias must fail")
+	}
+}

@@ -1,0 +1,49 @@
+package rel
+
+import (
+	"strings"
+
+	"calcite/internal/rex"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// MultiJoin is a flattened n-way inner join: the intermediate form the
+// join-order enumeration works on (Calcite's MultiJoin / LoptMultiJoin
+// pair). JoinToMultiJoinRule collapses trees of binary inner joins into one
+// MultiJoin; LoptOptimizeJoinRule expands it back into a binary join tree
+// ordered by estimated cardinalities. The output row is the concatenation of
+// the factor rows in input order, and Conjuncts — the accumulated join
+// conditions — reference columns in that concatenated coordinate space.
+//
+// MultiJoin is a planning-only operator: it never survives into a physical
+// plan, because the ordering rule rewrites every occurrence.
+type MultiJoin struct {
+	base
+	Conjuncts []rex.Node
+}
+
+// NewMultiJoin creates a MultiJoin over the given factors.
+func NewMultiJoin(factors []Node, conjuncts []rex.Node) *MultiJoin {
+	var fields []types.Field
+	for _, f := range factors {
+		fields = append(fields, f.RowType().Fields...)
+	}
+	return &MultiJoin{
+		base:      newBase("MultiJoin", trait.NewSet(trait.Logical), types.Row(fields...), factors...),
+		Conjuncts: conjuncts,
+	}
+}
+
+func (m *MultiJoin) Attrs() string {
+	parts := make([]string, len(m.Conjuncts))
+	for i, c := range m.Conjuncts {
+		parts[i] = c.String()
+	}
+	return "conjuncts=[" + strings.Join(parts, " AND ") + "]"
+}
+
+func (m *MultiJoin) WithNewInputs(inputs []Node) Node {
+	checkInputs(m.op, len(inputs), len(m.inputs))
+	return NewMultiJoin(inputs, m.Conjuncts)
+}

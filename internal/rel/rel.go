@@ -79,12 +79,20 @@ func writeDigest(n Node, b *strings.Builder) {
 // Explain renders the subtree as an indented multi-line plan, the format
 // used by EXPLAIN and by the paper-figure reproductions.
 func Explain(n Node) string {
+	return ExplainAnnotated(n, nil)
+}
+
+// ExplainAnnotated renders the subtree like Explain, appending the result of
+// annotate (when non-nil and non-empty) to each node's line. The connection
+// layer uses it to surface the optimizer's estimated row counts and costs in
+// EXPLAIN output.
+func ExplainAnnotated(n Node, annotate func(Node) string) string {
 	var b strings.Builder
-	explain(n, 0, &b)
+	explain(n, 0, &b, annotate)
 	return b.String()
 }
 
-func explain(n Node, depth int, b *strings.Builder) {
+func explain(n Node, depth int, b *strings.Builder, annotate func(Node) string) {
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(n.Op())
 	var parts []string
@@ -98,9 +106,15 @@ func explain(n Node, depth int, b *strings.Builder) {
 	if len(parts) > 0 {
 		b.WriteString("(" + strings.Join(parts, ", ") + ")")
 	}
+	if annotate != nil {
+		if extra := annotate(n); extra != "" {
+			b.WriteString(": ")
+			b.WriteString(extra)
+		}
+	}
 	b.WriteByte('\n')
 	for _, in := range n.Inputs() {
-		explain(in, depth+1, b)
+		explain(in, depth+1, b, annotate)
 	}
 }
 

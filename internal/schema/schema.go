@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"calcite/internal/stats"
 	"calcite/internal/types"
 )
 
@@ -52,11 +53,29 @@ func (c *SliceCursor) Close() error { return nil }
 
 // Statistics describes a table for the metadata providers (§6: "for many
 // systems it is sufficient to provide statistics about their input data").
+// Beyond the declared row count and key hints, a table that has been
+// ANALYZEd carries collected per-column statistics (null counts, min/max,
+// NDV sketches, equi-depth histograms) which the default metadata provider
+// consults for selectivity and join-cardinality estimation.
 type Statistics struct {
 	// RowCount is the estimated number of rows; <= 0 means unknown.
 	RowCount float64
 	// UniqueColumns lists sets of column ordinals that are unique keys.
 	UniqueColumns [][]int
+	// Columns holds collected per-column statistics by ordinal; nil (or a
+	// nil entry) means the column has not been analyzed.
+	Columns []*stats.ColumnStats
+	// Analyzed reports whether RowCount/Columns come from an ANALYZE scan
+	// rather than a declaration.
+	Analyzed bool
+}
+
+// ColStats returns the collected statistics of column col, or nil.
+func (s Statistics) ColStats(col int) *stats.ColumnStats {
+	if col < 0 || col >= len(s.Columns) {
+		return nil
+	}
+	return s.Columns[col]
 }
 
 // IsKey reports whether cols is a superset of some known unique key.
@@ -101,6 +120,13 @@ type ScannableTable interface {
 type ModifiableTable interface {
 	Table
 	Insert(rows [][]any) error
+}
+
+// StatsSettable is a table whose statistics can be replaced — the hook
+// ANALYZE TABLE uses to install collected statistics.
+type StatsSettable interface {
+	Table
+	SetStats(Statistics)
 }
 
 // Schema is a namespace of tables and child schemas.
@@ -277,12 +303,21 @@ func (t *MemTable) Scan() (Cursor, error) {
 	return NewSliceCursor(t.Rows()), nil
 }
 
-// Insert appends rows.
+// Insert appends rows. Statistics stay live under inserts: a declared or
+// collected row count is advanced by the inserted count, while collected
+// per-column statistics (histograms, NDV sketches) are invalidated — they
+// describe the analyzed snapshot, and a stale histogram is worse than the
+// estimator's fallback. Re-run ANALYZE to refresh them.
 func (t *MemTable) Insert(rows [][]any) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rows = append(t.rows, rows...)
 	t.cols = nil // invalidate the columnar snapshot
+	if t.stats.RowCount > 0 {
+		t.stats.RowCount += float64(len(rows))
+	}
+	t.stats.Columns = nil
+	t.stats.Analyzed = false
 	return nil
 }
 

@@ -1,11 +1,19 @@
 // Package trait implements the physical-property ("trait") framework of §4
 // of the paper. A trait describes a physical property of the data produced by
-// a relational expression without changing its logical semantics. The two
-// traits implemented — as in Calcite — are the calling convention (which
-// engine executes the expression) and collation (sort order). The planner
-// reasons about traits to remove redundant work (e.g. a Sort whose input is
-// already ordered) and to place operators on the backend best able to run
-// them (Figure 2 of the paper).
+// a relational expression without changing its logical semantics. Three
+// traits are implemented: the calling convention (which engine executes the
+// expression), collation (sort order) — both as in Calcite — and
+// distribution (how rows spread across the partitions of a parallel plan:
+// singleton, hash-partitioned on a key set, or random).
+//
+// The planner reasons about traits to remove redundant work and to place
+// operators correctly: a Sort whose input already satisfies its collation is
+// removed, an adapter absorbs operators by converting conventions (Figure 2
+// of the paper), and the parallel rewriter inserts exchange operators
+// exactly where a node's required input distribution is not Satisfied by its
+// child's. Satisfies is deliberately directional: a singleton stream
+// satisfies any required distribution's ordering needs differently than a
+// hashed one, and conversions between them are what exchanges implement.
 package trait
 
 import (
