@@ -659,3 +659,82 @@ func BenchmarkOptimize_JoinOrder(b *testing.B) {
 		})
 	}
 }
+
+// --- memory governance: spill vs in-memory throughput ---
+
+// benchSpillVsInMemory plans sql once and measures execution at three
+// budgets: unlimited (nothing tracked), tracked-unlimited (the governance
+// accounting overhead in isolation), and a budget of roughly a quarter of
+// the query's working set (the spill path: external sort runs, Grace join
+// partitions, flushed aggregation states hit the disk every iteration).
+func benchSpillVsInMemory(b *testing.B, mk func() *calcite.Connection, sql string, quarterBudget int64, wantRows int) {
+	cases := []struct {
+		name   string
+		budget int64
+	}{
+		{"Unlimited", 0},
+		{"QuarterBudget", quarterBudget},
+	}
+	for _, c := range cases {
+		conn := mk()
+		conn.SetParallelism(1)
+		if c.budget > 0 {
+			conn.SetMemoryLimit(c.budget)
+		}
+		_, optimized, err := conn.Plan(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := conn.Framework.ExecutePhysical(optimized)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantRows >= 0 && len(rows) != wantRows {
+					b.Fatalf("got %d rows, want %d", len(rows), wantRows)
+				}
+			}
+		})
+	}
+}
+
+// spillBenchConn is a 100k-row single-table fixture (~8MB working set as
+// materialized rows).
+func spillBenchConn() *calcite.Connection {
+	conn := calcite.Open()
+	rows := make([][]any, 100000)
+	for i := range rows {
+		rows[i] = []any{int64(i), int64((i * 7919) % 100000), float64(i%1000) / 4, int64(i % 500)}
+	}
+	conn.AddTable("big", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "shuffled", Type: calcite.BigIntType},
+		{Name: "score", Type: calcite.DoubleType},
+		{Name: "grp", Type: calcite.BigIntType},
+	}, rows)
+	return conn
+}
+
+// BenchmarkExec_SpillVsInMemory_Sort: full 100k-row sort; the quarter
+// budget forces several external runs plus the k-way merge from disk.
+func BenchmarkExec_SpillVsInMemory_Sort(b *testing.B) {
+	benchSpillVsInMemory(b, spillBenchConn,
+		"SELECT shuffled, id FROM big ORDER BY shuffled", 2<<20, 100000)
+}
+
+// BenchmarkExec_SpillVsInMemory_HashJoin: self-join with a 100k-row build
+// side; the quarter budget forces Grace partitioning of both sides.
+func BenchmarkExec_SpillVsInMemory_HashJoin(b *testing.B) {
+	benchSpillVsInMemory(b, spillBenchConn,
+		"SELECT a.id FROM big a JOIN big b ON a.id = b.shuffled", 4<<20, 100000)
+}
+
+// BenchmarkExec_SpillVsInMemory_Aggregate: 100k rows into 500 groups with
+// value-retaining aggregates; the quarter budget flushes accumulator states
+// to partitions and re-merges them.
+func BenchmarkExec_SpillVsInMemory_Aggregate(b *testing.B) {
+	benchSpillVsInMemory(b, spillBenchConn,
+		"SELECT grp, COUNT(*), SUM(score), MIN(shuffled), MAX(shuffled) FROM big GROUP BY grp", 64<<10, 500)
+}

@@ -168,6 +168,26 @@ func (c *Connection) ForceRowMode(on bool) { c.Framework.RowMode = on }
 // (<= 0 restores the default).
 func (c *Connection) SetBatchSize(n int) { c.Framework.BatchSize = n }
 
+// SetMemoryLimit sets the connection-wide execution-memory budget in bytes,
+// shared by all concurrent queries of this connection (0 = unlimited).
+// Memory-hungry operators (sort, hash join, aggregate) charge their retained
+// state against the budget and spill to temp files when it runs out: sorts
+// become external merge sorts, hash joins Grace/hybrid partitioned joins,
+// and aggregates flush partial accumulator states per partition and
+// re-merge them on re-read. Results are identical to the unlimited run
+// (sorting is stability-preserving across spills; hash-aggregate group
+// order without ORDER BY may differ, as it may between any two plans).
+func (c *Connection) SetMemoryLimit(n int64) { c.Framework.SetMemoryLimit(n) }
+
+// SetQueryMemoryLimit caps each individual query's memory grant in bytes
+// (0 = bounded by the connection-wide limit only).
+func (c *Connection) SetQueryMemoryLimit(n int64) { c.Framework.QueryMemoryLimit = n }
+
+// EnableSpill toggles overflow-to-disk (default on). With spilling disabled
+// a query that exceeds its budget fails with a "memory budget exceeded"
+// error instead — the admission-control mode.
+func (c *Connection) EnableSpill(on bool) { c.Framework.DisableSpill = !on }
+
 // SetParallelism sets the worker count for morsel-driven parallel execution.
 // The default (0) uses runtime.GOMAXPROCS(0); 1 forces the serial execution
 // paths; n > 1 splits scans into morsels that n workers claim dynamically,

@@ -23,6 +23,7 @@ import (
 
 	"calcite"
 	"calcite/internal/adapter/csvfile"
+	"calcite/internal/memory"
 	"calcite/internal/types"
 )
 
@@ -30,10 +31,30 @@ func main() {
 	csvDir := flag.String("csv", "", "directory of CSV files to load as schema 'csv'")
 	demo := flag.Bool("demo", false, "load demo tables (emps, depts)")
 	par := flag.Int("parallel", 0, "worker count for parallel execution (0 = GOMAXPROCS, 1 = serial)")
+	mem := flag.String("mem", "", "execution-memory budget, e.g. 64MB or 1GiB (empty = unlimited); operators spill to disk beyond it")
+	queryMem := flag.String("querymem", "", "per-query memory cap, e.g. 16MB (empty = bounded by -mem only)")
+	noSpill := flag.Bool("nospill", false, "fail queries that exceed the memory budget instead of spilling")
 	flag.Parse()
 
 	conn := calcite.Open()
 	conn.SetParallelism(*par)
+	if *mem != "" {
+		n, err := memory.ParseBytes(*mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conn.SetMemoryLimit(n)
+	}
+	if *queryMem != "" {
+		n, err := memory.ParseBytes(*queryMem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conn.SetQueryMemoryLimit(n)
+	}
+	conn.EnableSpill(!*noSpill)
 	if *csvDir != "" {
 		a, err := csvfile.Load("csv", *csvDir)
 		if err != nil {
@@ -52,6 +73,7 @@ func main() {
 	if interactive {
 		fmt.Println("calcite shell — end statements with ';', \\q to quit")
 		fmt.Println("  ANALYZE TABLE <t> collects optimizer statistics; EXPLAIN <query> shows the plan with estimates")
+		fmt.Println("  EXPLAIN ANALYZE <query> runs it and reports per-operator peak memory and spill counters")
 	}
 	var buf strings.Builder
 	prompt := func() {

@@ -58,20 +58,93 @@ type CloseRequest struct {
 
 // --- server ---
 
+// Statement-table bounds: long-running servers must not leak prepared
+// statements whose clients never close them, so the table is bounded two
+// ways — idle statements expire after a TTL, and the table has a hard size
+// cap with least-recently-used eviction. A well-behaved client that
+// prepares, executes and closes never notices either bound.
+const (
+	// DefaultStatementTTL is how long an unused prepared statement survives.
+	DefaultStatementTTL = 15 * time.Minute
+	// DefaultMaxStatements caps the statement table size.
+	DefaultMaxStatements = 1024
+)
+
+// stmtEntry is one prepared statement with its last-use time.
+type stmtEntry struct {
+	sql      string
+	lastUsed time.Time
+}
+
 // Server serves a Framework over HTTP.
 type Server struct {
 	fw *core.Framework
 
+	// StatementTTL evicts statements idle longer than this (<= 0 uses
+	// DefaultStatementTTL). Set before Start.
+	StatementTTL time.Duration
+	// MaxStatements caps the statement table (<= 0 uses
+	// DefaultMaxStatements).
+	MaxStatements int
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
 	mu      sync.Mutex
 	nextID  int64
-	stmts   map[int64]string
+	stmts   map[int64]*stmtEntry
 	httpSrv *http.Server
 	addr    string
 }
 
 // NewServer wraps a framework.
 func NewServer(fw *core.Framework) *Server {
-	return &Server{fw: fw, stmts: map[int64]string{}}
+	return &Server{fw: fw, stmts: map[int64]*stmtEntry{}, now: time.Now}
+}
+
+func (s *Server) statementTTL() time.Duration {
+	if s.StatementTTL > 0 {
+		return s.StatementTTL
+	}
+	return DefaultStatementTTL
+}
+
+func (s *Server) maxStatements() int {
+	if s.MaxStatements > 0 {
+		return s.MaxStatements
+	}
+	return DefaultMaxStatements
+}
+
+// evictLocked enforces the statement-table bounds (caller holds s.mu):
+// expired entries go first; if the table is still at capacity, the least
+// recently used entry is evicted to make room for one more.
+func (s *Server) evictLocked() {
+	deadline := s.now().Add(-s.statementTTL())
+	for id, e := range s.stmts {
+		if e.lastUsed.Before(deadline) {
+			delete(s.stmts, id)
+		}
+	}
+	for len(s.stmts) >= s.maxStatements() {
+		var oldest int64
+		var oldestAt time.Time
+		first := true
+		for id, e := range s.stmts {
+			if first || e.lastUsed.Before(oldestAt) {
+				oldest, oldestAt, first = id, e.lastUsed, false
+			}
+		}
+		delete(s.stmts, oldest)
+	}
+}
+
+// StatementCount reports the current statement-table size (tests,
+// monitoring).
+func (s *Server) StatementCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stmts)
 }
 
 // Handler returns the HTTP handler (also usable without a listener).
@@ -116,9 +189,10 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	s.evictLocked()
 	s.nextID++
 	id := s.nextID
-	s.stmts[id] = req.SQL
+	s.stmts[id] = &stmtEntry{sql: req.SQL, lastUsed: s.now()}
 	s.mu.Unlock()
 	writeJSON(w, PrepareResponse{StatementID: id})
 }
@@ -133,12 +207,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if req.StatementID != 0 {
 		s.mu.Lock()
 		stored, ok := s.stmts[req.StatementID]
+		if ok {
+			stored.lastUsed = s.now() // touch: execution keeps a statement live
+			sql = stored.sql
+		}
 		s.mu.Unlock()
 		if !ok {
-			writeJSON(w, ExecuteResponse{Error: fmt.Sprintf("avatica: unknown statement %d", req.StatementID)})
+			writeJSON(w, ExecuteResponse{Error: fmt.Sprintf("avatica: unknown statement %d (closed or evicted)", req.StatementID)})
 			return
 		}
-		sql = stored
 	}
 	params := make([]any, len(req.Params))
 	for i, p := range req.Params {

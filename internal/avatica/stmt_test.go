@@ -1,0 +1,106 @@
+package avatica
+
+// Statement-table bound tests (internal: they drive the server's clock).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"calcite/internal/core"
+)
+
+func prepareReq(t *testing.T, srv *Server, sql string) int64 {
+	t.Helper()
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/prepare", strings.NewReader(fmt.Sprintf(`{"sql":%q}`, sql)))
+	srv.handlePrepare(w, r)
+	var resp PrepareResponse
+	decode(t, w.Body.Bytes(), &resp)
+	if resp.Error != "" {
+		t.Fatalf("prepare: %s", resp.Error)
+	}
+	return resp.StatementID
+}
+
+func executeReq(t *testing.T, srv *Server, id int64) *ExecuteResponse {
+	t.Helper()
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/execute", strings.NewReader(fmt.Sprintf(`{"statementId":%d}`, id)))
+	srv.handleExecute(w, r)
+	var resp ExecuteResponse
+	decode(t, w.Body.Bytes(), &resp)
+	return &resp
+}
+
+func decode(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := jsonUnmarshal(b, v); err != nil {
+		t.Fatalf("decode %s: %v", b, err)
+	}
+}
+
+func TestStatementTTLEviction(t *testing.T) {
+	fw := core.New()
+	srv := NewServer(fw)
+	srv.StatementTTL = 10 * time.Minute
+	clock := time.Date(2026, 7, 26, 9, 0, 0, 0, time.UTC)
+	srv.now = func() time.Time { return clock }
+
+	stale := prepareReq(t, srv, "SELECT 1")
+	clock = clock.Add(5 * time.Minute)
+	fresh := prepareReq(t, srv, "SELECT 2")
+	// Executing refreshes the fresh statement's last-use.
+	clock = clock.Add(4 * time.Minute)
+	if resp := executeReq(t, srv, fresh); resp.Error != "" {
+		t.Fatalf("fresh execute: %s", resp.Error)
+	}
+	// 12 minutes after the stale prepare, 3 after the fresh touch: the next
+	// prepare evicts only the stale one.
+	clock = clock.Add(3 * time.Minute)
+	prepareReq(t, srv, "SELECT 3")
+	if got := srv.StatementCount(); got != 2 {
+		t.Fatalf("statement count = %d, want 2 (stale evicted)", got)
+	}
+	if resp := executeReq(t, srv, stale); resp.Error == "" ||
+		!strings.Contains(resp.Error, "unknown statement") {
+		t.Fatalf("stale statement should be gone, got error=%q", resp.Error)
+	}
+	if resp := executeReq(t, srv, fresh); resp.Error != "" {
+		t.Fatalf("fresh statement should survive: %s", resp.Error)
+	}
+}
+
+func TestStatementTableSizeCap(t *testing.T) {
+	fw := core.New()
+	srv := NewServer(fw)
+	srv.MaxStatements = 8
+	clock := time.Date(2026, 7, 26, 9, 0, 0, 0, time.UTC)
+	srv.now = func() time.Time { return clock }
+
+	var first int64
+	for i := 0; i < 50; i++ {
+		clock = clock.Add(time.Second) // distinct last-use times → LRU order
+		id := prepareReq(t, srv, fmt.Sprintf("SELECT %d", i))
+		if i == 0 {
+			first = id
+		}
+	}
+	if got := srv.StatementCount(); got > 8 {
+		t.Fatalf("statement table grew to %d, cap is 8", got)
+	}
+	if resp := executeReq(t, srv, first); resp.Error == "" {
+		t.Fatal("oldest statement should have been evicted")
+	}
+	// The newest statement still works.
+	newest := prepareReq(t, srv, "SELECT 99")
+	if resp := executeReq(t, srv, newest); resp.Error != "" {
+		t.Fatalf("newest statement: %s", resp.Error)
+	}
+}
+
+// jsonUnmarshal isolates the std decoding used by the test helpers.
+func jsonUnmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }

@@ -8,11 +8,14 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"calcite/internal/exec"
+	"calcite/internal/memory"
 	"calcite/internal/meta"
 	"calcite/internal/mv"
 	"calcite/internal/parallel"
@@ -97,10 +100,24 @@ type Framework struct {
 	// Parallelism is the worker count for morsel-driven parallel execution:
 	// 0 uses runtime.GOMAXPROCS(0); 1 forces the serial execution paths.
 	Parallelism int
+	// MemoryLimit is the framework-wide execution-memory budget in bytes,
+	// shared by all concurrent queries (0 = unlimited). Prefer
+	// SetMemoryLimit, which also updates the live pool.
+	MemoryLimit int64
+	// QueryMemoryLimit caps each query's share of the budget in bytes
+	// (0 = bounded by MemoryLimit only).
+	QueryMemoryLimit int64
+	// DisableSpill turns off overflow-to-disk: a query exceeding its budget
+	// fails with a "memory budget exceeded" error instead of spilling.
+	DisableSpill bool
 
 	// poolMu guards the lazily created shared worker pool.
 	poolMu sync.Mutex
 	pool   *parallel.Pool
+
+	// memPoolMu guards the lazily created shared memory pool.
+	memPoolMu sync.Mutex
+	memPool   *memory.Pool
 
 	// Views holds materialized views registered via CREATE MATERIALIZED
 	// VIEW or adapter declarations.
@@ -112,9 +129,12 @@ type Framework struct {
 }
 
 // New returns a framework with the default rule sets, the enumerable
-// execution convention, and an empty catalog.
+// execution convention, and an empty catalog. The CALCITE_MEM_LIMIT
+// environment variable ("64MB", "1GiB", plain bytes), when set, becomes the
+// default framework memory limit — the hook CI uses to run the whole test
+// corpus under memory governance.
 func New() *Framework {
-	return &Framework{
+	f := &Framework{
 		Catalog:       schema.NewBaseSchema("root"),
 		LogicalRules:  rules.DefaultLogicalRules(),
 		PhysicalRules: exec.Rules(),
@@ -122,6 +142,53 @@ func New() *Framework {
 		MetadataCache: true,
 		Views:         mv.NewRegistry(),
 	}
+	if s := os.Getenv("CALCITE_MEM_LIMIT"); s != "" {
+		n, err := memory.ParseBytes(s)
+		if err != nil {
+			// Refusing to start beats running ungoverned: a typo'd limit in
+			// the CI governance job would otherwise silently test nothing.
+			panic(fmt.Sprintf("calcite: invalid CALCITE_MEM_LIMIT %q: %v", s, err))
+		}
+		f.MemoryLimit = n
+	}
+	return f
+}
+
+// SetMemoryLimit sets the framework-wide execution-memory budget in bytes
+// (0 = unlimited), updating the live pool if one exists.
+func (f *Framework) SetMemoryLimit(n int64) {
+	f.MemoryLimit = n
+	f.memPoolMu.Lock()
+	if f.memPool != nil {
+		f.memPool.SetLimit(n)
+	}
+	f.memPoolMu.Unlock()
+}
+
+// MemoryPool returns the framework's shared memory pool, creating it on
+// first use (nil when no framework-wide limit is configured).
+func (f *Framework) MemoryPool() *memory.Pool {
+	f.memPoolMu.Lock()
+	defer f.memPoolMu.Unlock()
+	if f.memPool == nil && f.MemoryLimit > 0 {
+		f.memPool = memory.NewPool(f.MemoryLimit)
+	}
+	return f.memPool
+}
+
+// memoryGoverned reports whether queries run under a memory budget.
+func (f *Framework) memoryGoverned() bool {
+	return f.MemoryLimit > 0 || f.QueryMemoryLimit > 0
+}
+
+// newAllocator opens a per-query memory account, or nil when ungoverned.
+// forceTracking creates an unlimited tracking allocator even without limits
+// (EXPLAIN ANALYZE wants peak counters either way).
+func (f *Framework) newAllocator(forceTracking bool) *memory.Allocator {
+	if !f.memoryGoverned() && !forceTracking {
+		return nil
+	}
+	return memory.NewAllocator(f.MemoryPool(), f.QueryMemoryLimit, !f.DisableSpill)
 }
 
 // RegisterAdapter plugs an adapter into the framework.
@@ -275,6 +342,11 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 		return nil, err
 	}
 	ctx := f.newExecContext()
+	// The allocator cleanup is the spill-file guarantee: whatever path
+	// execution takes out of this function — rows, error, worker teardown —
+	// the query's grants return to the pool and its spill directory is
+	// removed.
+	defer ctx.Alloc.Close()
 	ctx.Evaluator.Params = params
 	rows, err := exec.Execute(ctx, f.prepareForExecution(physical))
 	if err != nil {
@@ -304,21 +376,29 @@ func (f *Framework) WorkerPool() *parallel.Pool {
 }
 
 // prepareForExecution applies the morsel-driven parallel rewrite when the
-// configuration calls for it (batch mode, parallelism > 1).
+// configuration calls for it (batch mode, parallelism > 1). Under memory
+// governance joins stay on the serial spill-capable (Grace) hash join —
+// one partition in memory at a time — while the scans, sorts and partial
+// aggregations below them still fan out across workers, each charging the
+// shared query budget.
 func (f *Framework) prepareForExecution(physical rel.Node) rel.Node {
 	if f.RowMode {
 		return physical
 	}
 	if p := f.EffectiveParallelism(); p > 1 {
-		return parallel.Parallelize(physical, f.WorkerPool(), p)
+		return parallel.ParallelizeWith(physical, f.WorkerPool(), p,
+			parallel.Options{SerialJoins: f.memoryGoverned()})
 	}
 	return physical
 }
 
 // ExecutePhysical runs an already-optimized physical plan under the
-// framework's execution configuration (batch mode, batch size, parallelism).
+// framework's execution configuration (batch mode, batch size, parallelism,
+// memory budget).
 func (f *Framework) ExecutePhysical(physical rel.Node) ([][]any, error) {
-	return exec.Execute(f.newExecContext(), f.prepareForExecution(physical))
+	ctx := f.newExecContext()
+	defer ctx.Alloc.Close()
+	return exec.Execute(ctx, f.prepareForExecution(physical))
 }
 
 func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
@@ -340,11 +420,57 @@ func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
 	text := rel.ExplainAnnotated(node, func(n rel.Node) string {
 		return fmt.Sprintf("rows=%.4g, cost=%.4g", mq.RowCount(n), mq.CumulativeCost(n).Scalar())
 	})
+	if s.Analyze {
+		statsText, err := f.explainAnalyze(node)
+		if err != nil {
+			return nil, err
+		}
+		text += statsText
+	}
 	var rows [][]any
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		rows = append(rows, []any{line})
 	}
 	return &Result{Columns: []string{"PLAN"}, Rows: rows, Plan: text}, nil
+}
+
+// explainAnalyze executes the explained plan under a tracking allocator and
+// renders the run statistics: rows, elapsed time, and the per-operator
+// peak-memory / spill counters of the memory governor.
+func (f *Framework) explainAnalyze(physical rel.Node) (string, error) {
+	ctx := f.newExecContext()
+	if ctx.Alloc == nil {
+		// No budget configured: track anyway so peaks are still reported.
+		ctx.Alloc = f.newAllocator(true)
+	}
+	defer ctx.Alloc.Close()
+	start := time.Now()
+	rows, err := exec.Execute(ctx, f.prepareForExecution(physical))
+	if err != nil {
+		return "", err
+	}
+	elapsed := time.Since(start)
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- run stats ---\n")
+	fmt.Fprintf(&b, "rows: %d, elapsed: %s\n", len(rows), elapsed.Round(time.Microsecond))
+	budget := "unlimited"
+	if lim := f.MemoryLimit; lim > 0 {
+		budget = memory.FormatBytes(lim)
+	}
+	if ql := f.QueryMemoryLimit; ql > 0 {
+		budget += ", per-query " + memory.FormatBytes(ql)
+	}
+	fmt.Fprintf(&b, "memory: budget=%s, peak=%s, spilled=%s\n",
+		budget, memory.FormatBytes(ctx.Alloc.Peak()), memory.FormatBytes(ctx.Alloc.Spilled()))
+	for _, op := range ctx.Alloc.Snapshot() {
+		fmt.Fprintf(&b, "  %s: peak=%s", op.Name, memory.FormatBytes(op.PeakBytes))
+		if op.SpilledBytes > 0 || op.SpillEvents > 0 {
+			fmt.Fprintf(&b, ", spilled=%s, files=%d, spill-events=%d",
+				memory.FormatBytes(op.SpilledBytes), op.SpillFiles, op.SpillEvents)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
 }
 
 func (f *Framework) createTable(s *parser.CreateTableStmt) (*Result, error) {
@@ -394,7 +520,9 @@ func (f *Framework) createView(s *parser.CreateViewStmt, originalSQL string) (*R
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Execute(f.newExecContext(), f.prepareForExecution(physical))
+	mvCtx := f.newExecContext()
+	defer mvCtx.Alloc.Close()
+	rows, err := exec.Execute(mvCtx, f.prepareForExecution(physical))
 	if err != nil {
 		return nil, err
 	}
@@ -418,10 +546,13 @@ func validateType(ts parser.TypeSpec) (*types.Type, error) {
 }
 
 // newExecContext builds an execution context honoring the framework's
-// execution-mode configuration.
+// execution-mode configuration. Callers own the allocator: defer
+// ctx.Alloc.Close() (nil-safe) so grants and spill files are reclaimed on
+// every exit path.
 func (f *Framework) newExecContext() *exec.Context {
 	ctx := exec.NewContext()
 	ctx.BatchMode = !f.RowMode
 	ctx.BatchSize = f.BatchSize
+	ctx.Alloc = f.newAllocator(false)
 	return ctx
 }

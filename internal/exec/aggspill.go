@@ -1,0 +1,554 @@
+package exec
+
+// Spillable hash aggregation: the memory-governed aggregate path. Groups
+// accumulate in a hash table charged against the query grant; when a grant
+// fails, every group's accumulators are dehydrated (rex.DehydrateAccumulator)
+// into plain value rows [key…, state…] and flushed to hash-partitioned spill
+// runs, and the table restarts empty. After the input is drained, a query
+// that never flushed emits straight from memory (bit-identical to the
+// ungoverned path, same first-seen group order); a query that flushed also
+// flushes its tail and then re-reads one partition at a time, folding
+// duplicate groups with rex.MergeAccumulators. Partitions that still exceed
+// the grant recurse under a new hash seed, mirroring the Grace join.
+
+import (
+	"calcite/internal/memory"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+const (
+	// aggPartitions is the spill fan-out of one flush pass.
+	aggPartitions = 8
+	// aggMaxDepth bounds recursive re-partitioning of oversized partitions.
+	aggMaxDepth = 3
+	// aggGroupOverhead approximates the fixed footprint of one group: map
+	// entry, key string, accumulator headers.
+	aggGroupOverhead = 96
+)
+
+type aggGroup struct {
+	key  []any
+	accs []rex.Accumulator
+}
+
+// AggRetainedBytes estimates the bytes a row permanently adds to its
+// group's accumulators: value-retaining aggregates (COLLECT, SINGLE_VALUE,
+// DISTINCT) hold their argument, everything else only mutates fixed state.
+// Shared with the parallel partial-aggregation stage.
+func AggRetainedBytes(calls []rex.AggCall, row []any) int64 {
+	var n int64
+	for _, c := range calls {
+		if len(c.Args) == 0 {
+			continue
+		}
+		if c.Distinct || c.Func == rex.AggCollect || c.Func == rex.AggSingleValue {
+			n += types.SizeOfValue(row[c.Args[0]]) + 16
+		}
+	}
+	return n
+}
+
+// AggGroupCharge estimates the fixed footprint of creating one group for
+// the given row: map entry, canonical key string (keyLen), key values and
+// accumulator headers. Shared with the parallel partial-aggregation stage
+// so the serial and parallel charge models cannot drift apart.
+func AggGroupCharge(keys []int, calls []rex.AggCall, row []any, keyLen int) int64 {
+	charge := aggGroupOverhead + int64(keyLen) + int64(96*len(calls))
+	for _, gk := range keys {
+		charge += types.SizeOfValue(row[gk])
+	}
+	return charge
+}
+
+// spillAgg is the running state of one spillable aggregation pass.
+type spillAgg struct {
+	ctx    *Context
+	calls  []rex.AggCall
+	keys   []int
+	res    *memory.Reservation
+	groups map[string]*aggGroup
+	order  []string
+	flushW *partitionedAggWriter // nil until the first flush
+}
+
+// partitionedAggWriter holds the open spill writers of one flush target.
+type partitionedAggWriter struct {
+	writers []*memory.RunWriter
+	seed    int
+	width   int
+}
+
+func newPartitionedAggWriter(alloc *memory.Allocator, seed, width int) (*partitionedAggWriter, error) {
+	w := &partitionedAggWriter{writers: make([]*memory.RunWriter, aggPartitions), seed: seed, width: width}
+	for i := range w.writers {
+		rw, err := alloc.NewRun("Aggregate")
+		if err != nil {
+			w.abandon()
+			return nil, err
+		}
+		w.writers[i] = rw
+	}
+	return w, nil
+}
+
+func (w *partitionedAggWriter) abandon() {
+	for _, rw := range w.writers {
+		if rw != nil {
+			rw.Abandon()
+		}
+	}
+}
+
+func (w *partitionedAggWriter) finish() ([]*memory.Run, error) {
+	runs := make([]*memory.Run, aggPartitions)
+	for i, rw := range w.writers {
+		run, err := rw.Finish()
+		w.writers[i] = nil
+		if err != nil {
+			w.abandon()
+			return nil, err
+		}
+		runs[i] = run
+	}
+	return runs, nil
+}
+
+// dehydratedRow flattens one group into a spillable row [key…, state…].
+func dehydratedRow(g *aggGroup) ([]any, error) {
+	row := make([]any, 0, len(g.key)+len(g.accs))
+	row = append(row, g.key...)
+	for _, acc := range g.accs {
+		st, err := rex.DehydrateAccumulator(acc)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, st)
+	}
+	return row, nil
+}
+
+// flush dehydrates every in-memory group into the spill partitions and
+// resets the table.
+func (s *spillAgg) flush() error {
+	if s.flushW == nil {
+		w, err := newPartitionedAggWriter(s.ctx.Alloc, 0, len(s.keys)+len(s.calls))
+		if err != nil {
+			return err
+		}
+		s.flushW = w
+		s.res.NoteSpillEvent()
+	}
+	bufs := make([][][]any, aggPartitions)
+	for _, k := range s.order {
+		g := s.groups[k]
+		row, err := dehydratedRow(g)
+		if err != nil {
+			return err
+		}
+		p := memory.Partition(k, aggPartitions, 0)
+		bufs[p] = append(bufs[p], row)
+		if len(bufs[p]) >= spillWriteChunk {
+			if err := s.flushW.writers[p].WriteRows(bufs[p], s.flushW.width); err != nil {
+				return err
+			}
+			bufs[p] = bufs[p][:0]
+		}
+	}
+	for p, rows := range bufs {
+		if len(rows) > 0 {
+			if err := s.flushW.writers[p].WriteRows(rows, s.flushW.width); err != nil {
+				return err
+			}
+		}
+	}
+	s.groups = map[string]*aggGroup{}
+	s.order = s.order[:0]
+	s.res.Shrink(s.res.Held())
+	return nil
+}
+
+// newGroup creates and registers the group for key k (callers handle the
+// memory charge).
+func (s *spillAgg) newGroup(k string, row []any) *aggGroup {
+	key := make([]any, len(s.keys))
+	for i, gk := range s.keys {
+		key[i] = row[gk]
+	}
+	accs := make([]rex.Accumulator, len(s.calls))
+	for i, c := range s.calls {
+		accs[i] = rex.NewAccumulator(c)
+	}
+	g := &aggGroup{key: key, accs: accs}
+	s.groups[k] = g
+	s.order = append(s.order, k)
+	return g
+}
+
+// add folds one input row into its group, flushing first when a grant
+// fails. Flushing always makes progress — accumulator states move to disk
+// and restart empty — so the flow is strictly flush-then-proceed: after a
+// flush the charges are best-effort (concurrent workers may hold the rest
+// of the budget; starving a worker forever deadlocks progress, it does not
+// save memory), and nothing recurses.
+func (s *spillAgg) add(row []any) error {
+	k := types.HashRowKey(row, s.keys)
+	g, ok := s.groups[k]
+	if !ok {
+		charge := AggGroupCharge(s.keys, s.calls, row, len(k))
+		if err := s.res.Grow(charge); err != nil {
+			if !s.res.SpillAllowed() {
+				return err
+			}
+			if len(s.order) > 0 {
+				if err := s.flush(); err != nil {
+					return err
+				}
+			}
+			_ = s.res.Grow(charge) // post-flush best effort
+		}
+		g = s.newGroup(k, row)
+	}
+	if retained := AggRetainedBytes(s.calls, row); retained > 0 {
+		if err := s.res.Grow(retained); err != nil {
+			if !s.res.SpillAllowed() {
+				return err
+			}
+			// Flush: every group's retained values (including this row's
+			// group) move to disk and its accumulators restart empty, so
+			// memory genuinely drops. Recreate the group and proceed with
+			// best-effort charges — no recursion (a retained charge larger
+			// than the whole budget would otherwise flush/re-add forever).
+			if err := s.flush(); err != nil {
+				return err
+			}
+			g = s.newGroup(k, row)
+			_ = s.res.Grow(retained) // post-flush best effort
+		}
+	}
+	for _, acc := range g.accs {
+		if err := acc.Add(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindSpillableAggregate is the governed Aggregate.BindBatch body.
+func bindSpillableAggregate(ctx *Context, a *Aggregate, in schema.BatchCursor) (schema.BatchCursor, error) {
+	defer in.Close()
+	s := &spillAgg{
+		ctx:    ctx,
+		calls:  a.Calls,
+		keys:   a.GroupKeys,
+		res:    memory.Reserve(ctx.Alloc, "Aggregate"),
+		groups: map[string]*aggGroup{},
+	}
+	width := rel.FieldCount(a.Inputs()[0])
+	scratch := make([]any, width)
+	var dense []int32
+	fail := func(err error) (schema.BatchCursor, error) {
+		if s.flushW != nil {
+			s.flushW.abandon()
+		}
+		s.res.Free()
+		return nil, err
+	}
+	for {
+		b, err := in.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		var sel []int32
+		sel, dense = liveSel(b, dense)
+		for _, ri := range sel {
+			r := int(ri)
+			for c := range scratch {
+				scratch[c] = b.Cols[c][r]
+			}
+			if err := s.add(scratch); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	outWidth := rel.FieldCount(a)
+	if s.flushW == nil {
+		// Never spilled: emit from memory in first-seen order, exactly like
+		// the ungoverned path.
+		if len(s.keys) == 0 && len(s.order) == 0 {
+			accs := make([]rex.Accumulator, len(s.calls))
+			for i, c := range s.calls {
+				accs[i] = rex.NewAccumulator(c)
+			}
+			s.groups[""] = &aggGroup{accs: accs}
+			s.order = append(s.order, "")
+		}
+		out := make([][]any, 0, len(s.order))
+		for _, k := range s.order {
+			g := s.groups[k]
+			row := make([]any, 0, outWidth)
+			row = append(row, g.key...)
+			for _, acc := range g.accs {
+				row = append(row, acc.Result())
+			}
+			out = append(out, row)
+		}
+		s.res.Free()
+		return batchesFromRows(out, outWidth, ctx.batchSize()), nil
+	}
+	// Spilled: flush the tail, then merge and emit partition by partition.
+	if err := s.flush(); err != nil {
+		return fail(err)
+	}
+	runs, err := s.flushW.finish()
+	if err != nil {
+		s.res.Free()
+		return nil, err
+	}
+	parts := make([]aggPartition, 0, len(runs))
+	for _, r := range runs {
+		parts = append(parts, aggPartition{run: r, depth: 1})
+	}
+	return &spillAggCursor{
+		ctx:      ctx,
+		calls:    a.Calls,
+		nKeys:    len(a.GroupKeys),
+		outWidth: outWidth,
+		res:      s.res,
+		parts:    parts,
+		batch:    ctx.batchSize(),
+	}, nil
+}
+
+// aggPartition is one pending spilled partition.
+type aggPartition struct {
+	run   *memory.Run
+	depth int
+}
+
+// spillAggCursor re-reads spilled partial states one partition at a time,
+// merging duplicate groups and emitting finished rows.
+type spillAggCursor struct {
+	ctx      *Context
+	calls    []rex.AggCall
+	nKeys    int
+	outWidth int
+	res      *memory.Reservation
+	parts    []aggPartition
+	pending  [][]any // finished rows of the current partition
+	pos      int
+	batch    int
+	seq      int64
+	done     bool
+}
+
+func (c *spillAggCursor) NextBatch() (*schema.Batch, error) {
+	for {
+		if c.done {
+			return nil, schema.Done
+		}
+		if c.pos < len(c.pending) {
+			end := c.pos + c.batch
+			if end > len(c.pending) {
+				end = len(c.pending)
+			}
+			b := schema.BatchFromRows(c.pending[c.pos:end], c.outWidth)
+			b.Seq = c.seq
+			c.seq++
+			c.pos = end
+			return b, nil
+		}
+		if c.pending != nil {
+			c.pending, c.pos = nil, 0
+			c.res.Shrink(c.res.Held())
+		}
+		if len(c.parts) == 0 {
+			c.Close()
+			return nil, schema.Done
+		}
+		part := c.parts[0]
+		c.parts = c.parts[1:]
+		if err := c.mergePartition(part); err != nil {
+			c.fail()
+			return nil, err
+		}
+	}
+}
+
+// mergePartition loads one partition's partial rows, folds duplicates, and
+// stages the finished rows; oversized partitions re-partition under the
+// next seed.
+func (c *spillAggCursor) mergePartition(part aggPartition) error {
+	if part.run.Rows() == 0 {
+		part.run.Remove()
+		return nil
+	}
+	rr, err := part.run.Open()
+	if err != nil {
+		return err
+	}
+	keyOrds := make([]int, c.nKeys)
+	for i := range keyOrds {
+		keyOrds[i] = i
+	}
+	groups := map[string]*aggGroup{}
+	var order []string
+	overflowed := false
+	for {
+		b, err := rr.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			rr.Close()
+			return err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			k := types.HashRowKey(row, keyOrds)
+			g, ok := groups[k]
+			if !ok {
+				if !overflowed {
+					charge := aggGroupOverhead + int64(len(k)) + types.SizeOfRow(row)
+					if gerr := c.res.Grow(charge); gerr != nil {
+						if part.depth < aggMaxDepth {
+							// Re-read the run from disk and subdivide it
+							// under the next hash seed.
+							rr.Close()
+							return c.repartition(part)
+						}
+						// Max depth (one giant group set that will not
+						// subdivide): proceed in memory, best-effort.
+						overflowed = true
+					}
+				}
+				g = &aggGroup{key: row[:c.nKeys], accs: make([]rex.Accumulator, len(c.calls))}
+				for ci, call := range c.calls {
+					acc, err := rex.HydrateAccumulator(call, row[c.nKeys+ci])
+					if err != nil {
+						rr.Close()
+						return err
+					}
+					g.accs[ci] = acc
+				}
+				groups[k] = g
+				order = append(order, k)
+				continue
+			}
+			for ci, call := range c.calls {
+				src, err := rex.HydrateAccumulator(call, row[c.nKeys+ci])
+				if err != nil {
+					rr.Close()
+					return err
+				}
+				if err := rex.MergeAccumulators(g.accs[ci], src); err != nil {
+					rr.Close()
+					return err
+				}
+			}
+		}
+	}
+	rr.Close()
+	part.run.Remove()
+	rows := make([][]any, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		row := make([]any, 0, c.outWidth)
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		rows = append(rows, row)
+	}
+	c.pending, c.pos = rows, 0
+	return nil
+}
+
+// repartition splits an oversized partition under the next hash seed by
+// replaying its run from disk.
+func (c *spillAggCursor) repartition(part aggPartition) error {
+	c.res.Shrink(c.res.Held())
+	c.res.NoteSpillEvent()
+	w, err := newPartitionedAggWriter(c.ctx.Alloc, part.depth, c.nKeys+len(c.calls))
+	if err != nil {
+		return err
+	}
+	keyOrds := make([]int, c.nKeys)
+	for i := range keyOrds {
+		keyOrds[i] = i
+	}
+	rr, err := part.run.Open()
+	if err != nil {
+		w.abandon()
+		return err
+	}
+	bufs := make([][][]any, aggPartitions)
+	for {
+		b, err := rr.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			rr.Close()
+			w.abandon()
+			return err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			p := memory.Partition(types.HashRowKey(row, keyOrds), aggPartitions, part.depth)
+			bufs[p] = append(bufs[p], row)
+			if len(bufs[p]) >= spillWriteChunk {
+				if err := w.writers[p].WriteRows(bufs[p], c.nKeys+len(c.calls)); err != nil {
+					rr.Close()
+					w.abandon()
+					return err
+				}
+				bufs[p] = bufs[p][:0]
+			}
+		}
+	}
+	rr.Close()
+	for p, rows := range bufs {
+		if len(rows) > 0 {
+			if err := w.writers[p].WriteRows(rows, c.nKeys+len(c.calls)); err != nil {
+				w.abandon()
+				return err
+			}
+		}
+	}
+	part.run.Remove()
+	runs, err := w.finish()
+	if err != nil {
+		return err
+	}
+	sub := make([]aggPartition, 0, len(runs))
+	for _, r := range runs {
+		sub = append(sub, aggPartition{run: r, depth: part.depth + 1})
+	}
+	c.parts = append(sub, c.parts...)
+	return nil
+}
+
+func (c *spillAggCursor) fail() {
+	c.done = true
+	for _, p := range c.parts {
+		p.run.Remove()
+	}
+	c.parts = nil
+	c.pending = nil
+	c.res.Free()
+}
+
+func (c *spillAggCursor) Close() error {
+	if !c.done {
+		c.fail()
+	}
+	return nil
+}

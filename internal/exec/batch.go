@@ -350,7 +350,10 @@ func (c *limitBatchCursor) NextBatch() (*schema.Batch, error) {
 func (c *limitBatchCursor) Close() error { return c.in.Close() }
 
 // BindBatch sorts by materializing the batched input; a pure limit streams
-// batches, trimming selection vectors.
+// batches, trimming selection vectors. Under a memory allocator the
+// materialization runs as an external merge sort: the input accumulates
+// within the query's grant and overflows to sorted on-disk runs that are
+// k-way-merged back, reproducing the stable in-memory order exactly.
 func (s *Sort) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 	in, err := BindBatch(ctx, s.Inputs()[0])
 	if err != nil {
@@ -358,6 +361,29 @@ func (s *Sort) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 	}
 	if len(s.Collation) == 0 {
 		return &limitBatchCursor{in: in, offset: s.Offset, fetch: s.Fetch}, nil
+	}
+	if ctx.Alloc != nil {
+		sorter := NewExternalSorter(ctx, "Sort",
+			func(a, b []any) int { return CompareRows(a, b, s.Collation) },
+			rel.FieldCount(s))
+		defer in.Close()
+		for {
+			b, err := in.NextBatch()
+			if err == schema.Done {
+				break
+			}
+			if err != nil {
+				sorter.Abandon()
+				return nil, err
+			}
+			n := b.NumRows()
+			for i := 0; i < n; i++ {
+				if err := sorter.Add(b.Row(i)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return sorter.Finish(s.Offset, s.Fetch, ctx.batchSize())
 	}
 	rows, err := drainBatches(in)
 	if err != nil {
@@ -384,11 +410,16 @@ func (s *Sort) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 // BindBatch aggregates the batched input. Grouping and accumulation reuse
 // the row-based accumulators over a scratch row per live row — the win is
 // upstream: the scan/filter/project subtree feeding the aggregate runs
-// vectorized.
+// vectorized. Under a memory allocator the aggregation is spillable (see
+// aggspill.go): partial accumulator states flush to hash partitions on disk
+// and re-merge through rex.MergeAccumulators.
 func (a *Aggregate) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 	in, err := BindBatch(ctx, a.Inputs()[0])
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Alloc != nil {
+		return bindSpillableAggregate(ctx, a, in)
 	}
 	defer in.Close()
 	width := rel.FieldCount(a.Inputs()[0])
@@ -471,152 +502,5 @@ func colsHaveNullAt(cols [][]any, r int, keys []int) bool {
 	return false
 }
 
-// BindBatch executes the hash join vectorized: the build (right) side is
-// drained through batches into a hash table, then the probe (left) side
-// streams batch by batch, emitting matches directly into columnar output.
-func (j *HashJoin) BindBatch(ctx *Context) (schema.BatchCursor, error) {
-	rightBC, err := BindBatch(ctx, j.Right())
-	if err != nil {
-		return nil, err
-	}
-	rightRows, err := drainBatches(rightBC)
-	if err != nil {
-		return nil, err
-	}
-	leftBC, err := BindBatch(ctx, j.Left())
-	if err != nil {
-		return nil, err
-	}
-	defer leftBC.Close()
-
-	info := j.Info
-	leftWidth := rel.FieldCount(j.Left())
-	rightWidth := rel.FieldCount(j.Right())
-	emitRight := j.Kind != rel.SemiJoin && j.Kind != rel.AntiJoin
-	outWidth := leftWidth
-	if emitRight {
-		outWidth += rightWidth
-	}
-
-	table := make(map[string][]int32, len(rightRows))
-	for i, row := range rightRows {
-		if hasNullAt(row, info.RightKeys) {
-			continue // SQL equi-join: NULL keys never match
-		}
-		k := types.HashRowKey(row, info.RightKeys)
-		table[k] = append(table[k], int32(i))
-	}
-
-	// Residual (non-equi) condition over the concatenated row.
-	var residual func(row []any) (bool, error)
-	if info.Residual != nil {
-		if fn, err := rex.CompileBool(info.Residual); err == nil {
-			residual = fn
-		} else {
-			ev := ctx.Evaluator
-			cond := info.Residual
-			residual = func(row []any) (bool, error) { return ev.EvalBool(cond, row) }
-		}
-	}
-
-	outCols := make([][]any, outWidth)
-	emit := func(b *schema.Batch, l int, rrow []any) {
-		for c := 0; c < leftWidth; c++ {
-			outCols[c] = append(outCols[c], b.Cols[c][l])
-		}
-		if emitRight {
-			for c := 0; c < rightWidth; c++ {
-				if rrow == nil {
-					outCols[leftWidth+c] = append(outCols[leftWidth+c], nil)
-				} else {
-					outCols[leftWidth+c] = append(outCols[leftWidth+c], rrow[c])
-				}
-			}
-		}
-	}
-
-	combined := make([]any, leftWidth+rightWidth)
-	rightMatched := make([]bool, len(rightRows))
-	var dense []int32
-	nRows := 0
-	for {
-		b, err := leftBC.NextBatch()
-		if err == schema.Done {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		var sel []int32
-		sel, dense = liveSel(b, dense)
-		for _, li := range sel {
-			l := int(li)
-			var candidates []int32
-			if !colsHaveNullAt(b.Cols, l, info.LeftKeys) {
-				candidates = table[types.HashColsKey(b.Cols, l, info.LeftKeys)]
-			}
-			matched := false
-			for _, ri := range candidates {
-				rrow := rightRows[ri]
-				if residual != nil {
-					for c := 0; c < leftWidth; c++ {
-						combined[c] = b.Cols[c][l]
-					}
-					copy(combined[leftWidth:], rrow)
-					ok, err := residual(combined)
-					if err != nil {
-						return nil, err
-					}
-					if !ok {
-						continue
-					}
-				}
-				matched = true
-				rightMatched[ri] = true
-				switch j.Kind {
-				case rel.SemiJoin, rel.AntiJoin:
-					// Emission decided after probing.
-				default:
-					emit(b, l, rrow)
-					nRows++
-				}
-				if j.Kind == rel.SemiJoin || j.Kind == rel.AntiJoin {
-					break
-				}
-			}
-			switch j.Kind {
-			case rel.SemiJoin:
-				if matched {
-					emit(b, l, nil)
-					nRows++
-				}
-			case rel.AntiJoin:
-				if !matched {
-					emit(b, l, nil)
-					nRows++
-				}
-			case rel.LeftJoin, rel.FullJoin:
-				if !matched {
-					emit(b, l, nil)
-					nRows++
-				}
-			}
-		}
-	}
-	if j.Kind == rel.RightJoin || j.Kind == rel.FullJoin {
-		nullLeft := make([]any, leftWidth)
-		for ri, rrow := range rightRows {
-			if !rightMatched[ri] {
-				for c := 0; c < leftWidth; c++ {
-					outCols[c] = append(outCols[c], nullLeft[c])
-				}
-				for c := 0; c < rightWidth; c++ {
-					outCols[leftWidth+c] = append(outCols[leftWidth+c], rrow[c])
-				}
-				nRows++
-			}
-		}
-	}
-	out := &schema.Batch{Len: nRows, Cols: outCols}
-	return schema.NewSliceBatchCursor([]*schema.Batch{out}), nil
-}
+// HashJoin.BindBatch lives in joinspill.go: the streaming probe plus the
+// Grace/hybrid spill path of the memory governor.

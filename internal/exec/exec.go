@@ -12,6 +12,7 @@ package exec
 import (
 	"fmt"
 
+	"calcite/internal/memory"
 	"calcite/internal/rel"
 	"calcite/internal/rex"
 	"calcite/internal/schema"
@@ -31,6 +32,12 @@ type Context struct {
 	// BatchSize overrides the rows-per-batch granularity; <= 0 uses
 	// schema.DefaultBatchSize.
 	BatchSize int
+	// Alloc is the query's memory account. Memory-hungry operators (sort,
+	// hash join, aggregate) charge their retained state against it and spill
+	// to disk when a grant fails; every worker partition of a parallel plan
+	// charges the same allocator. A nil Alloc means the query is ungoverned:
+	// grants always succeed, nothing is tracked, nothing spills.
+	Alloc *memory.Allocator
 }
 
 // NewContext returns an execution context with no parameters. Batch mode is

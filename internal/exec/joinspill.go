@@ -1,0 +1,687 @@
+package exec
+
+// Grace/hybrid hash join: the memory-governed join path. The build side is
+// drained under a reservation; while it fits, the join degenerates to the
+// classic in-memory hash join with a streaming probe. When the build grant
+// is exhausted mid-drain, the join switches to Grace mode: both sides are
+// hash-partitioned to disk (the rows already in memory are flushed first),
+// and each partition is then joined independently — recursively
+// re-partitioned with a different hash seed if it still does not fit.
+// Every join kind is supported: unmatched-build tracking (right/full) is
+// per partition, which is sound because partitioning covers every build row
+// exactly once.
+
+import (
+	"calcite/internal/memory"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+const (
+	// gracePartitions is the fan-out of one partitioning pass.
+	gracePartitions = 8
+	// graceMaxDepth bounds recursive re-partitioning. A partition that still
+	// exceeds the grant at max depth (pathological key skew: one giant key
+	// group) is processed in memory anyway — the budget is a governance
+	// target, and proceeding degraded beats failing a query that spilling
+	// was meant to save.
+	graceMaxDepth = 3
+	// joinRowOverhead approximates the hash-table cost of one build row
+	// beyond the row itself (map entry, candidate-list slot, key string).
+	joinRowOverhead = 64
+)
+
+// joinSpec carries the static shape of a hash join shared by the in-memory
+// and Grace paths.
+type joinSpec struct {
+	kind       rel.JoinKind
+	info       JoinInfo
+	leftWidth  int
+	rightWidth int
+	emitRight  bool
+	residual   func(row []any) (bool, error)
+}
+
+func newJoinSpec(ctx *Context, j *HashJoin) *joinSpec {
+	spec := &joinSpec{
+		kind:       j.Kind,
+		info:       j.Info,
+		leftWidth:  rel.FieldCount(j.Left()),
+		rightWidth: rel.FieldCount(j.Right()),
+		emitRight:  j.Kind != rel.SemiJoin && j.Kind != rel.AntiJoin,
+	}
+	if j.Info.Residual != nil {
+		if fn, err := rex.CompileBool(j.Info.Residual); err == nil {
+			spec.residual = fn
+		} else {
+			ev := ctx.Evaluator
+			cond := j.Info.Residual
+			spec.residual = func(row []any) (bool, error) { return ev.EvalBool(cond, row) }
+		}
+	}
+	return spec
+}
+
+func (s *joinSpec) outWidth() int {
+	if s.emitRight {
+		return s.leftWidth + s.rightWidth
+	}
+	return s.leftWidth
+}
+
+// BindBatch executes the hash join with a streaming probe: the build
+// (right) side is drained into a hash table — spilling to Grace partitions
+// when the memory grant runs out — then probe batches stream through,
+// emitting one output batch per probe batch. Unmatched build rows
+// (right/full joins) follow after the probe is exhausted.
+func (j *HashJoin) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	spec := newJoinSpec(ctx, j)
+	res := memory.Reserve(ctx.Alloc, "HashJoin")
+
+	buildBC, err := BindBatch(ctx, j.Right())
+	if err != nil {
+		return nil, err
+	}
+	var buildRows [][]any
+	overflow := false
+drain:
+	for {
+		b, err := buildBC.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			buildBC.Close()
+			res.Free()
+			return nil, err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if err := res.Grow(types.SizeOfRow(row) + joinRowOverhead); err != nil {
+				if !res.SpillAllowed() {
+					buildBC.Close()
+					res.Free()
+					return nil, err
+				}
+				// Keep the whole current batch: the Grace path takes over
+				// from the *next* batch of the build cursor.
+				for ; i < n; i++ {
+					buildRows = append(buildRows, b.Row(i))
+				}
+				overflow = true
+				break drain
+			}
+			buildRows = append(buildRows, row)
+		}
+	}
+	if !overflow {
+		buildBC.Close()
+		probeBC, err := BindBatch(ctx, j.Left())
+		if err != nil {
+			res.Free()
+			return nil, err
+		}
+		return newHashProbeCursor(spec, buildRows, probeBC, res.Free), nil
+	}
+	return bindGraceJoin(ctx, j, spec, res, buildRows, buildBC)
+}
+
+// --- in-memory probe ---
+
+// hashProbeCursor probes a completed build table with streaming input
+// batches. done (optional) runs exactly once when the cursor finishes or
+// closes.
+type hashProbeCursor struct {
+	spec     *joinSpec
+	rows     [][]any
+	table    map[string][]int32
+	matched  []bool // build rows matched so far (right/full)
+	probe    schema.BatchCursor
+	dense    []int32
+	combined []any
+	seq      int64
+	tailSent bool
+	closed   bool
+	done     func()
+}
+
+func newHashProbeCursor(spec *joinSpec, buildRows [][]any, probe schema.BatchCursor, done func()) *hashProbeCursor {
+	table := make(map[string][]int32, len(buildRows))
+	for i, row := range buildRows {
+		if hasNullAt(row, spec.info.RightKeys) {
+			continue // SQL equi-join: NULL keys never match
+		}
+		k := types.HashRowKey(row, spec.info.RightKeys)
+		table[k] = append(table[k], int32(i))
+	}
+	c := &hashProbeCursor{spec: spec, rows: buildRows, table: table, probe: probe, done: done}
+	if spec.kind == rel.RightJoin || spec.kind == rel.FullJoin {
+		c.matched = make([]bool, len(buildRows))
+	}
+	return c
+}
+
+func (c *hashProbeCursor) finish() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.probe.Close()
+	if c.done != nil {
+		c.done()
+		c.done = nil
+	}
+}
+
+func (c *hashProbeCursor) NextBatch() (*schema.Batch, error) {
+	if c.closed {
+		return nil, schema.Done
+	}
+	spec := c.spec
+	for {
+		b, err := c.probe.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			c.finish()
+			return nil, err
+		}
+		out, err := c.probeBatch(b)
+		if err != nil {
+			c.finish()
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+	}
+	// Probe exhausted: emit unmatched build rows for right/full joins.
+	if c.matched != nil && !c.tailSent {
+		c.tailSent = true
+		outCols := make([][]any, spec.outWidth())
+		nRows := 0
+		nullLeft := make([]any, spec.leftWidth)
+		for ri, row := range c.rows {
+			if c.matched[ri] {
+				continue
+			}
+			for col := 0; col < spec.leftWidth; col++ {
+				outCols[col] = append(outCols[col], nullLeft[col])
+			}
+			for col := 0; col < spec.rightWidth; col++ {
+				outCols[spec.leftWidth+col] = append(outCols[spec.leftWidth+col], row[col])
+			}
+			nRows++
+		}
+		if nRows > 0 {
+			b := &schema.Batch{Len: nRows, Cols: outCols, Seq: c.seq}
+			c.seq++
+			return b, nil
+		}
+	}
+	c.finish()
+	return nil, schema.Done
+}
+
+// probeBatch joins one probe batch against the table; a nil batch means no
+// output rows (caller keeps pulling).
+func (c *hashProbeCursor) probeBatch(b *schema.Batch) (*schema.Batch, error) {
+	spec := c.spec
+	outCols := make([][]any, spec.outWidth())
+	nRows := 0
+	emit := func(l int, rrow []any) {
+		for col := 0; col < spec.leftWidth; col++ {
+			outCols[col] = append(outCols[col], b.Cols[col][l])
+		}
+		if spec.emitRight {
+			for col := 0; col < spec.rightWidth; col++ {
+				if rrow == nil {
+					outCols[spec.leftWidth+col] = append(outCols[spec.leftWidth+col], nil)
+				} else {
+					outCols[spec.leftWidth+col] = append(outCols[spec.leftWidth+col], rrow[col])
+				}
+			}
+		}
+		nRows++
+	}
+	if c.combined == nil {
+		c.combined = make([]any, spec.leftWidth+spec.rightWidth)
+	}
+	var sel []int32
+	sel, c.dense = liveSel(b, c.dense)
+	for _, li := range sel {
+		l := int(li)
+		var candidates []int32
+		if !colsHaveNullAt(b.Cols, l, spec.info.LeftKeys) {
+			candidates = c.table[types.HashColsKey(b.Cols, l, spec.info.LeftKeys)]
+		}
+		matched := false
+		for _, ri := range candidates {
+			rrow := c.rows[ri]
+			if spec.residual != nil {
+				for col := 0; col < spec.leftWidth; col++ {
+					c.combined[col] = b.Cols[col][l]
+				}
+				copy(c.combined[spec.leftWidth:], rrow)
+				ok, err := spec.residual(c.combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			if c.matched != nil {
+				c.matched[ri] = true
+			}
+			if spec.kind == rel.SemiJoin || spec.kind == rel.AntiJoin {
+				break
+			}
+			emit(l, rrow)
+		}
+		switch spec.kind {
+		case rel.SemiJoin:
+			if matched {
+				emit(l, nil)
+			}
+		case rel.AntiJoin:
+			if !matched {
+				emit(l, nil)
+			}
+		case rel.LeftJoin, rel.FullJoin:
+			if !matched {
+				emit(l, nil)
+			}
+		}
+	}
+	if nRows == 0 {
+		return nil, nil
+	}
+	out := &schema.Batch{Len: nRows, Cols: outCols, Seq: c.seq}
+	c.seq++
+	return out, nil
+}
+
+func (c *hashProbeCursor) Close() error {
+	c.finish()
+	return nil
+}
+
+// --- Grace partitioning ---
+
+// partitionWriter spreads rows across the spill partitions of one pass,
+// buffering a small chunk per partition between codec writes.
+type partitionWriter struct {
+	writers []*memory.RunWriter
+	bufs    [][][]any
+	keys    []int
+	seed    int
+	width   int
+}
+
+func newPartitionWriter(alloc *memory.Allocator, op string, keys []int, seed, width int) (*partitionWriter, error) {
+	pw := &partitionWriter{
+		writers: make([]*memory.RunWriter, gracePartitions),
+		bufs:    make([][][]any, gracePartitions),
+		keys:    keys,
+		seed:    seed,
+		width:   width,
+	}
+	for i := range pw.writers {
+		w, err := alloc.NewRun(op)
+		if err != nil {
+			pw.abandon()
+			return nil, err
+		}
+		pw.writers[i] = w
+	}
+	return pw, nil
+}
+
+func (pw *partitionWriter) add(row []any) error {
+	// NULL-inclusive routing: unlike a join's match key, partitioning must
+	// place NULL-key rows too (they are emitted by outer joins).
+	p := memory.Partition(types.HashRowKey(row, pw.keys), gracePartitions, pw.seed)
+	pw.bufs[p] = append(pw.bufs[p], row)
+	if len(pw.bufs[p]) >= spillWriteChunk {
+		return pw.flush(p)
+	}
+	return nil
+}
+
+func (pw *partitionWriter) flush(p int) error {
+	if len(pw.bufs[p]) == 0 {
+		return nil
+	}
+	err := pw.writers[p].WriteRows(pw.bufs[p], pw.width)
+	pw.bufs[p] = pw.bufs[p][:0]
+	return err
+}
+
+// finish flushes all buffers and returns the finished runs.
+func (pw *partitionWriter) finish() ([]*memory.Run, error) {
+	runs := make([]*memory.Run, gracePartitions)
+	for p := range pw.writers {
+		if err := pw.flush(p); err != nil {
+			pw.abandon()
+			return nil, err
+		}
+		run, err := pw.writers[p].Finish()
+		pw.writers[p] = nil
+		if err != nil {
+			pw.abandon()
+			return nil, err
+		}
+		runs[p] = run
+	}
+	return runs, nil
+}
+
+func (pw *partitionWriter) abandon() {
+	for _, w := range pw.writers {
+		if w != nil {
+			w.Abandon()
+		}
+	}
+}
+
+// drainToPartitions routes every remaining row of a batch cursor into pw.
+func drainToPartitions(pw *partitionWriter, bc schema.BatchCursor) error {
+	defer bc.Close()
+	for {
+		b, err := bc.NextBatch()
+		if err == schema.Done {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			if err := pw.add(b.Row(i)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// joinPartition is one pending unit of Grace work: matching build/probe
+// runs at a recursion depth.
+type joinPartition struct {
+	build, probe *memory.Run
+	depth        int
+}
+
+// bindGraceJoin partitions both sides to disk and returns a cursor that
+// joins the partitions one at a time.
+func bindGraceJoin(ctx *Context, j *HashJoin, spec *joinSpec, res *memory.Reservation,
+	buffered [][]any, buildBC schema.BatchCursor) (schema.BatchCursor, error) {
+	fail := func(err error) (schema.BatchCursor, error) {
+		buildBC.Close()
+		res.Free()
+		return nil, err
+	}
+	res.NoteSpillEvent()
+	// Build side: flush the rows drained so far, then the rest of the
+	// stream.
+	buildPW, err := newPartitionWriter(ctx.Alloc, "HashJoin", spec.info.RightKeys, 0, spec.rightWidth)
+	if err != nil {
+		return fail(err)
+	}
+	for _, row := range buffered {
+		if err := buildPW.add(row); err != nil {
+			buildPW.abandon()
+			return fail(err)
+		}
+	}
+	res.Shrink(res.Held())
+	if err := drainToPartitions(buildPW, buildBC); err != nil {
+		buildPW.abandon()
+		res.Free()
+		return nil, err
+	}
+	buildRuns, err := buildPW.finish()
+	if err != nil {
+		res.Free()
+		return nil, err
+	}
+	// Probe side: fully partitioned to disk before any partition is joined.
+	probeBC, err := BindBatch(ctx, j.Left())
+	if err != nil {
+		res.Free()
+		return nil, err
+	}
+	probePW, err := newPartitionWriter(ctx.Alloc, "HashJoin", spec.info.LeftKeys, 0, spec.leftWidth)
+	if err != nil {
+		probeBC.Close()
+		res.Free()
+		return nil, err
+	}
+	if err := drainToPartitions(probePW, probeBC); err != nil {
+		probePW.abandon()
+		res.Free()
+		return nil, err
+	}
+	probeRuns, err := probePW.finish()
+	if err != nil {
+		res.Free()
+		return nil, err
+	}
+	parts := make([]joinPartition, 0, gracePartitions)
+	for p := 0; p < gracePartitions; p++ {
+		parts = append(parts, joinPartition{build: buildRuns[p], probe: probeRuns[p], depth: 1})
+	}
+	return &graceJoinCursor{ctx: ctx, spec: spec, res: res, parts: parts}, nil
+}
+
+// graceJoinCursor joins spilled partitions one at a time, re-partitioning
+// any whose build side still exceeds the grant.
+type graceJoinCursor struct {
+	ctx   *Context
+	spec  *joinSpec
+	res   *memory.Reservation
+	parts []joinPartition
+	cur   *hashProbeCursor
+	seq   int64
+	done  bool
+}
+
+func (g *graceJoinCursor) NextBatch() (*schema.Batch, error) {
+	for {
+		if g.done {
+			return nil, schema.Done
+		}
+		if g.cur != nil {
+			b, err := g.cur.NextBatch()
+			if err == nil {
+				b.Seq = g.seq
+				g.seq++
+				return b, nil
+			}
+			g.cur = nil
+			if err != schema.Done {
+				g.fail()
+				return nil, err
+			}
+		}
+		if len(g.parts) == 0 {
+			g.Close()
+			return nil, schema.Done
+		}
+		part := g.parts[0]
+		g.parts = g.parts[1:]
+		if err := g.startPartition(part); err != nil {
+			g.fail()
+			return nil, err
+		}
+	}
+}
+
+// startPartition loads one partition's build rows (re-partitioning on
+// overflow below max depth) and opens its probe stream.
+func (g *graceJoinCursor) startPartition(part joinPartition) error {
+	if part.build.Rows() == 0 && part.probe.Rows() == 0 {
+		g.removePart(part)
+		return nil
+	}
+	rr, err := part.build.Open()
+	if err != nil {
+		return err
+	}
+	var rows [][]any
+	overflowed := false
+	for {
+		b, err := rr.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			rr.Close()
+			return err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if !overflowed {
+				if gerr := g.res.Grow(types.SizeOfRow(row) + joinRowOverhead); gerr != nil {
+					if part.depth < graceMaxDepth {
+						rr.Close()
+						return g.repartition(part, rows)
+					}
+					// Max depth: this key range will not subdivide (skewed
+					// keys). Proceed in memory; the planner's budget becomes
+					// best-effort for this partition.
+					overflowed = true
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	rr.Close()
+	probeReader, err := part.probe.Open()
+	if err != nil {
+		return err
+	}
+	held := g.res.Held()
+	res := g.res
+	g.cur = newHashProbeCursor(g.spec, rows, probeReader, func() {
+		res.Shrink(held)
+		part.build.Remove()
+		part.probe.Remove()
+	})
+	return nil
+}
+
+// repartition splits an oversized partition into sub-partitions under the
+// next hash seed and queues them ahead of the remaining work.
+func (g *graceJoinCursor) repartition(part joinPartition, loaded [][]any) error {
+	g.res.Shrink(g.res.Held())
+	g.res.NoteSpillEvent()
+	seed := part.depth
+	buildPW, err := newPartitionWriter(g.ctx.Alloc, "HashJoin", g.spec.info.RightKeys, seed, g.spec.rightWidth)
+	if err != nil {
+		return err
+	}
+	for _, row := range loaded {
+		if err := buildPW.add(row); err != nil {
+			buildPW.abandon()
+			return err
+		}
+	}
+	rr, err := part.build.Open()
+	if err != nil {
+		buildPW.abandon()
+		return err
+	}
+	// Skip the rows already loaded (they were re-added above); the reader
+	// replays the run from the start, so skip loaded-count rows.
+	if err := skipThenPartition(rr, int64(len(loaded)), buildPW); err != nil {
+		buildPW.abandon()
+		return err
+	}
+	buildRuns, err := buildPW.finish()
+	if err != nil {
+		return err
+	}
+	probePW, err := newPartitionWriter(g.ctx.Alloc, "HashJoin", g.spec.info.LeftKeys, seed, g.spec.leftWidth)
+	if err != nil {
+		return err
+	}
+	pr, err := part.probe.Open()
+	if err != nil {
+		probePW.abandon()
+		return err
+	}
+	if err := skipThenPartition(pr, 0, probePW); err != nil {
+		probePW.abandon()
+		return err
+	}
+	probeRuns, err := probePW.finish()
+	if err != nil {
+		return err
+	}
+	part.build.Remove()
+	part.probe.Remove()
+	sub := make([]joinPartition, 0, gracePartitions)
+	for p := 0; p < gracePartitions; p++ {
+		sub = append(sub, joinPartition{build: buildRuns[p], probe: probeRuns[p], depth: part.depth + 1})
+	}
+	g.parts = append(sub, g.parts...)
+	return nil
+}
+
+// skipThenPartition replays a run reader into a partition writer, skipping
+// the first skip rows.
+func skipThenPartition(rr *memory.RunReader, skip int64, pw *partitionWriter) error {
+	defer rr.Close()
+	var seen int64
+	for {
+		b, err := rr.NextBatch()
+		if err == schema.Done {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			if seen < skip {
+				seen++
+				continue
+			}
+			if err := pw.add(b.Row(i)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (g *graceJoinCursor) removePart(part joinPartition) {
+	part.build.Remove()
+	part.probe.Remove()
+}
+
+func (g *graceJoinCursor) fail() {
+	g.done = true
+	if g.cur != nil {
+		g.cur.Close()
+		g.cur = nil
+	}
+	for _, p := range g.parts {
+		g.removePart(p)
+	}
+	g.parts = nil
+	g.res.Free()
+}
+
+func (g *graceJoinCursor) Close() error {
+	if !g.done {
+		g.fail()
+	}
+	return nil
+}

@@ -1,0 +1,393 @@
+package exec
+
+// External merge sort: the memory-governed sort path. Rows accumulate under
+// a reservation; when a grant fails the buffered rows are stable-sorted and
+// written out as one sorted run, and at the end the in-memory tail is
+// k-way-merged with the on-disk runs. The merge breaks comparator ties by
+// run index (runs are cut in arrival order, the in-memory tail is last), so
+// the merged output is exactly the stable sort of the full input — spilling
+// never changes row order.
+
+import (
+	"sort"
+
+	"calcite/internal/memory"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// spillWriteChunk is how many rows a spill writer encodes per batch.
+const spillWriteChunk = 512
+
+// mergeFanIn bounds how many runs one merge pass reads at once: a tiny
+// budget can cut thousands of small runs, and opening a reader per run in
+// a single k-way merge would exhaust file descriptors. Above the bound,
+// runs cascade: groups of mergeFanIn merge into longer runs until one
+// final merge fits.
+const mergeFanIn = 64
+
+// ExternalSorter accumulates rows within a memory reservation, overflowing
+// to sorted runs on disk.
+type ExternalSorter struct {
+	ctx   *Context
+	op    string
+	res   *memory.Reservation
+	cmp   func(a, b []any) int
+	width int
+	rows  [][]any
+	runs  []*memory.Run
+}
+
+// NewExternalSorter opens a sorter charging the context's allocator under
+// the given operator tag. cmp must be a total order for the merge to be
+// deterministic across spills (callers append position tiebreak columns
+// when the collation alone is not total).
+func NewExternalSorter(ctx *Context, op string, cmp func(a, b []any) int, width int) *ExternalSorter {
+	return &ExternalSorter{
+		ctx: ctx, op: op, res: memory.Reserve(ctx.Alloc, op), cmp: cmp, width: width,
+	}
+}
+
+// Add buffers one row, spilling the buffer as a sorted run if the row's
+// grant fails. If the grant fails again right after a spill (concurrent
+// workers hold the rest of the budget), the row is accepted untracked: the
+// debt is bounded — the next failing grant spills it — and starving one
+// worker forever would deadlock progress, not save memory.
+func (s *ExternalSorter) Add(row []any) error {
+	sz := types.SizeOfRow(row)
+	if err := s.res.Grow(sz); err != nil {
+		if !s.res.SpillAllowed() {
+			s.Abandon()
+			return err
+		}
+		if len(s.rows) > 0 {
+			if err := s.spill(); err != nil {
+				s.Abandon()
+				return err
+			}
+		}
+		_ = s.res.Grow(sz) // best effort post-spill; proceed either way
+	}
+	s.rows = append(s.rows, row)
+	return nil
+}
+
+// spill sorts the buffered rows and writes them out as one run.
+func (s *ExternalSorter) spill() error {
+	sort.SliceStable(s.rows, func(i, j int) bool { return s.cmp(s.rows[i], s.rows[j]) < 0 })
+	w, err := s.ctx.Alloc.NewRun(s.op)
+	if err != nil {
+		return err
+	}
+	for start := 0; start < len(s.rows); start += spillWriteChunk {
+		end := start + spillWriteChunk
+		if end > len(s.rows) {
+			end = len(s.rows)
+		}
+		if err := w.WriteRows(s.rows[start:end], s.width); err != nil {
+			w.Abandon()
+			return err
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, run)
+	s.res.NoteSpillEvent()
+	s.rows = s.rows[:0]
+	s.res.Shrink(s.res.Held())
+	return nil
+}
+
+// Abandon releases the reservation and removes any runs (error paths; the
+// allocator would also remove the files at query end).
+func (s *ExternalSorter) Abandon() {
+	for _, r := range s.runs {
+		r.Remove()
+	}
+	s.runs = nil
+	s.rows = nil
+	s.res.Free()
+}
+
+// mergeRunsToRun merges a bounded group of sorted runs into one longer
+// sorted run on disk (one cascade step). Ties break to the lowest run
+// index, preserving global stability. The source runs are removed.
+func (s *ExternalSorter) mergeRunsToRun(runs []*memory.Run) (*memory.Run, error) {
+	readers := make([]*memory.RunReader, 0, len(runs))
+	closeReaders := func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}
+	sources := make([]rowSource, 0, len(runs))
+	for _, run := range runs {
+		rr, err := run.Open()
+		if err != nil {
+			closeReaders()
+			return nil, err
+		}
+		readers = append(readers, rr)
+		sources = append(sources, &cursorRowSource{cur: schema.RowCursorFromBatches(rr)})
+	}
+	m := &mergeRunsCursor{
+		sources:   sources,
+		cmp:       s.cmp,
+		fetch:     -1,
+		width:     s.width,
+		batchSize: spillWriteChunk,
+	}
+	w, err := s.ctx.Alloc.NewRun(s.op)
+	if err != nil {
+		closeReaders()
+		return nil, err
+	}
+	for {
+		b, err := m.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			closeReaders()
+			w.Abandon()
+			return nil, err
+		}
+		if werr := w.WriteBatch(b); werr != nil {
+			closeReaders()
+			w.Abandon()
+			return nil, werr
+		}
+	}
+	closeReaders()
+	merged, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+	for _, run := range runs {
+		run.Remove()
+	}
+	return merged, nil
+}
+
+// Finish sorts whatever remains in memory and returns the merged, sorted
+// output with offset/fetch applied (fetch < 0 = unlimited).
+func (s *ExternalSorter) Finish(offset, fetch int64, batchSize int) (schema.BatchCursor, error) {
+	sort.SliceStable(s.rows, func(i, j int) bool { return s.cmp(s.rows[i], s.rows[j]) < 0 })
+	// Cascade oversized run sets down to one bounded final merge. Merging
+	// left-to-right in groups keeps run order (and therefore stability).
+	for len(s.runs) > mergeFanIn {
+		next := make([]*memory.Run, 0, (len(s.runs)+mergeFanIn-1)/mergeFanIn)
+		for start := 0; start < len(s.runs); start += mergeFanIn {
+			end := start + mergeFanIn
+			if end > len(s.runs) {
+				end = len(s.runs)
+			}
+			if end-start == 1 {
+				next = append(next, s.runs[start])
+				continue
+			}
+			merged, err := s.mergeRunsToRun(s.runs[start:end])
+			if err != nil {
+				s.runs = append(next, s.runs[start:]...)
+				s.Abandon()
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		s.runs = next
+	}
+	if len(s.runs) == 0 {
+		rows := s.rows
+		if offset > 0 {
+			if offset >= int64(len(rows)) {
+				rows = nil
+			} else {
+				rows = rows[offset:]
+			}
+		}
+		if fetch >= 0 && fetch < int64(len(rows)) {
+			rows = rows[:fetch]
+		}
+		return &closingBatchCursor{
+			BatchCursor: batchesFromRows(rows, s.width, batchSize),
+			close:       s.res.Free,
+		}, nil
+	}
+	// Open every run plus the in-memory tail as sorted sources.
+	sources := make([]rowSource, 0, len(s.runs)+1)
+	readers := make([]*memory.RunReader, 0, len(s.runs))
+	for _, run := range s.runs {
+		rr, err := run.Open()
+		if err != nil {
+			for _, r := range readers {
+				r.Close()
+			}
+			s.Abandon()
+			return nil, err
+		}
+		readers = append(readers, rr)
+		sources = append(sources, &cursorRowSource{cur: schema.RowCursorFromBatches(rr)})
+	}
+	sources = append(sources, &sliceRowSource{rows: s.rows})
+	runs, res := s.runs, s.res
+	return &mergeRunsCursor{
+		sources:   sources,
+		cmp:       s.cmp,
+		offset:    offset,
+		fetch:     fetch,
+		width:     s.width,
+		batchSize: batchSize,
+		close: func() {
+			for _, r := range readers {
+				r.Close()
+			}
+			for _, r := range runs {
+				r.Remove()
+			}
+			res.Free()
+		},
+	}, nil
+}
+
+// rowSource is one sorted input of the merge.
+type rowSource interface {
+	next() ([]any, error) // nil row at end
+}
+
+type sliceRowSource struct {
+	rows [][]any
+	pos  int
+}
+
+func (s *sliceRowSource) next() ([]any, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+type cursorRowSource struct{ cur schema.Cursor }
+
+func (s *cursorRowSource) next() ([]any, error) {
+	row, err := s.cur.Next()
+	if err == schema.Done {
+		return nil, nil
+	}
+	return row, err
+}
+
+// mergeRunsCursor k-way-merges sorted sources (ties to the lowest source
+// index, which preserves global stability) into batches, applying
+// offset/fetch.
+type mergeRunsCursor struct {
+	sources []rowSource
+	heads   [][]any
+	primed  bool
+	cmp     func(a, b []any) int
+
+	offset, fetch int64
+	skipped       int64
+	emitted       int64
+	width         int
+	batchSize     int
+	seq           int64
+	done          bool
+	close         func()
+}
+
+func (m *mergeRunsCursor) next() ([]any, error) {
+	if !m.primed {
+		m.heads = make([][]any, len(m.sources))
+		for i, src := range m.sources {
+			row, err := src.next()
+			if err != nil {
+				return nil, err
+			}
+			m.heads[i] = row
+		}
+		m.primed = true
+	}
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || m.cmp(h, m.heads[best]) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	row := m.heads[best]
+	nxt, err := m.sources[best].next()
+	if err != nil {
+		return nil, err
+	}
+	m.heads[best] = nxt
+	return row, nil
+}
+
+func (m *mergeRunsCursor) NextBatch() (*schema.Batch, error) {
+	if m.done {
+		return nil, schema.Done
+	}
+	var out [][]any
+	for len(out) < m.batchSize {
+		if m.fetch >= 0 && m.emitted >= m.fetch {
+			break
+		}
+		row, err := m.next()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		if m.skipped < m.offset {
+			m.skipped++
+			continue
+		}
+		out = append(out, row)
+		m.emitted++
+	}
+	if len(out) == 0 {
+		m.Close()
+		return nil, schema.Done
+	}
+	b := schema.BatchFromRows(out, m.width)
+	b.Seq = m.seq
+	m.seq++
+	return b, nil
+}
+
+func (m *mergeRunsCursor) Close() error {
+	if m.done {
+		return nil
+	}
+	m.done = true
+	if m.close != nil {
+		m.close()
+	}
+	return nil
+}
+
+// closingBatchCursor runs a hook when the cursor closes (reservation
+// release, run removal).
+type closingBatchCursor struct {
+	schema.BatchCursor
+	close func()
+}
+
+func (c *closingBatchCursor) Close() error {
+	err := c.BatchCursor.Close()
+	if c.close != nil {
+		c.close()
+		c.close = nil
+	}
+	return err
+}

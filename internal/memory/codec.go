@@ -1,0 +1,296 @@
+package memory
+
+// The batch spill codec: a compact, self-delimiting binary encoding of
+// schema.Batch streams for spill files. Batches are written compacted
+// (selection vectors applied) and column-major, each value tagged with its
+// runtime kind; the closed set of runtime value types (internal/types)
+// keeps the codec total without reflection. The format is private to one
+// process run — spill files never outlive the query that wrote them — so
+// there is no versioning beyond a magic byte per batch.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"calcite/internal/schema"
+)
+
+const batchMagic = 0xB7
+
+// Value tags of the spill encoding.
+const (
+	tagNull byte = iota
+	tagFalse
+	tagTrue
+	tagInt64
+	tagFloat64
+	tagString
+	tagArray
+	tagMap
+	tagInt
+	tagTime
+)
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeVarint(w *bufio.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func encodeValue(w *bufio.Writer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		return w.WriteByte(tagNull)
+	case bool:
+		if x {
+			return w.WriteByte(tagTrue)
+		}
+		return w.WriteByte(tagFalse)
+	case int64:
+		if err := w.WriteByte(tagInt64); err != nil {
+			return err
+		}
+		return writeVarint(w, x)
+	case int:
+		if err := w.WriteByte(tagInt); err != nil {
+			return err
+		}
+		return writeVarint(w, int64(x))
+	case float64:
+		if err := w.WriteByte(tagFloat64); err != nil {
+			return err
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		_, err := w.Write(buf[:])
+		return err
+	case string:
+		if err := w.WriteByte(tagString); err != nil {
+			return err
+		}
+		if err := writeUvarint(w, uint64(len(x))); err != nil {
+			return err
+		}
+		_, err := w.WriteString(x)
+		return err
+	case []any:
+		if err := w.WriteByte(tagArray); err != nil {
+			return err
+		}
+		if err := writeUvarint(w, uint64(len(x))); err != nil {
+			return err
+		}
+		for _, e := range x {
+			if err := encodeValue(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case map[string]any:
+		if err := w.WriteByte(tagMap); err != nil {
+			return err
+		}
+		if err := writeUvarint(w, uint64(len(x))); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := writeUvarint(w, uint64(len(k))); err != nil {
+				return err
+			}
+			if _, err := w.WriteString(k); err != nil {
+				return err
+			}
+			if err := encodeValue(w, x[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case time.Time:
+		if err := w.WriteByte(tagTime); err != nil {
+			return err
+		}
+		b, err := x.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := writeUvarint(w, uint64(len(b))); err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	default:
+		return fmt.Errorf("memory: cannot spill value of type %T", v)
+	}
+}
+
+func decodeValue(r *bufio.Reader) (any, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNull:
+		return nil, nil
+	case tagFalse:
+		return false, nil
+	case tagTrue:
+		return true, nil
+	case tagInt64:
+		return binary.ReadVarint(r)
+	case tagInt:
+		v, err := binary.ReadVarint(r)
+		return int(v), err
+	case tagFloat64:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	case tagString:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return string(buf), nil
+	case tagArray:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, n)
+		for i := range out {
+			if out[i], err = decodeValue(r); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case tagMap:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]any, n)
+		for i := uint64(0); i < n; i++ {
+			kl, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			kb := make([]byte, kl)
+			if _, err := io.ReadFull(r, kb); err != nil {
+				return nil, err
+			}
+			v, err := decodeValue(r)
+			if err != nil {
+				return nil, err
+			}
+			out[string(kb)] = v
+		}
+		return out, nil
+	case tagTime:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		var t time.Time
+		if err := t.UnmarshalBinary(buf); err != nil {
+			return nil, err
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("memory: corrupt spill stream (tag %d)", tag)
+	}
+}
+
+// EncodeBatch writes one batch to the stream. The selection vector is
+// applied: only live rows are written, so the decoded batch is dense.
+func EncodeBatch(w *bufio.Writer, b *schema.Batch) error {
+	if err := w.WriteByte(batchMagic); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(b.Width())); err != nil {
+		return err
+	}
+	n := b.NumRows()
+	if err := writeUvarint(w, uint64(n)); err != nil {
+		return err
+	}
+	if err := writeVarint(w, b.Seq); err != nil {
+		return err
+	}
+	for _, col := range b.Cols {
+		for i := 0; i < n; i++ {
+			r := i
+			if b.Sel != nil {
+				r = int(b.Sel[i])
+			}
+			if err := encodeValue(w, col[r]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeBatch reads one batch; it returns schema.Done at a clean
+// end-of-stream.
+func DecodeBatch(r *bufio.Reader) (*schema.Batch, error) {
+	magic, err := r.ReadByte()
+	if err == io.EOF {
+		return nil, schema.Done
+	}
+	if err != nil {
+		return nil, err
+	}
+	if magic != batchMagic {
+		return nil, fmt.Errorf("memory: corrupt spill stream (bad batch magic %#x)", magic)
+	}
+	width, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := binary.ReadVarint(r)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]any, width)
+	for c := range cols {
+		col := make([]any, n)
+		for i := range col {
+			if col[i], err = decodeValue(r); err != nil {
+				return nil, err
+			}
+		}
+		cols[c] = col
+	}
+	return &schema.Batch{Len: int(n), Cols: cols, Seq: seq}, nil
+}

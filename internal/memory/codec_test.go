@@ -1,0 +1,153 @@
+package memory
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"calcite/internal/schema"
+)
+
+func roundTrip(t *testing.T, b *schema.Batch) *schema.Batch {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := EncodeBatch(w, b); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+// TestCodecRoundTripAllTypes spills one batch holding every runtime value
+// kind and requires an exact round-trip.
+func TestCodecRoundTripAllTypes(t *testing.T) {
+	ts := time.Date(2026, 7, 26, 12, 30, 0, 0, time.UTC)
+	rows := [][]any{
+		{nil, true, int64(-42), 3.25, "hello", []any{int64(1), "a", nil}, map[string]any{"k": int64(9), "j": "v"}, int(7), ts},
+		{nil, false, int64(1 << 40), -0.0, "", []any{}, map[string]any{}, int(-3), ts.Add(time.Hour)},
+	}
+	b := schema.BatchFromRows(rows, 9)
+	b.Seq = 17
+	got := roundTrip(t, b)
+	if got.Seq != 17 {
+		t.Fatalf("seq = %d, want 17", got.Seq)
+	}
+	if got.NumRows() != 2 || got.Width() != 9 {
+		t.Fatalf("shape = %dx%d", got.NumRows(), got.Width())
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(got.Row(i), rows[i]) {
+			t.Errorf("row %d: got %#v want %#v", i, got.Row(i), rows[i])
+		}
+	}
+}
+
+// TestCodecAppliesSelectionVector: a batch with a selection vector decodes
+// as the compacted batch — only live rows, in selection order.
+func TestCodecAppliesSelectionVector(t *testing.T) {
+	b := &schema.Batch{
+		Len: 4,
+		Cols: [][]any{
+			{int64(0), int64(1), int64(2), int64(3)},
+			{"a", "b", "c", "d"},
+		},
+		Sel: []int32{3, 1},
+	}
+	got := roundTrip(t, b)
+	if got.Sel != nil {
+		t.Fatal("decoded batch should be dense")
+	}
+	want := [][]any{{int64(3), "d"}, {int64(1), "b"}}
+	for i := range want {
+		if !reflect.DeepEqual(got.Row(i), want[i]) {
+			t.Errorf("row %d: got %#v want %#v", i, got.Row(i), want[i])
+		}
+	}
+}
+
+// TestCodecStreamBatchSize3 writes a stream of batchSize=3 batches (the
+// boundary-shakeout configuration) and reads them back through a run file.
+func TestCodecStreamBatchSize3(t *testing.T) {
+	a := NewAllocator(nil, 0, true)
+	defer a.Close()
+	w, err := a.NewRun("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]any
+	seq := int64(0)
+	for start := 0; start < 10; start += 3 {
+		var rows [][]any
+		for i := start; i < start+3 && i < 10; i++ {
+			row := []any{int64(i), float64(i) / 4, nil}
+			rows = append(rows, row)
+			want = append(want, row)
+		}
+		b := schema.BatchFromRows(rows, 3)
+		b.Seq = seq
+		seq++
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Rows() != 10 {
+		t.Fatalf("run rows = %d, want 10", run.Rows())
+	}
+	rr, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	var got [][]any
+	wantSeq := int64(0)
+	for {
+		b, err := rr.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Seq != wantSeq {
+			t.Fatalf("batch seq = %d, want %d", b.Seq, wantSeq)
+		}
+		wantSeq++
+		got = b.AppendRows(got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCodecRejectsUnspillable: opaque values fail with a clear error
+// instead of corrupting the stream.
+func TestCodecRejectsUnspillable(t *testing.T) {
+	type opaque struct{ x int }
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	err := EncodeBatch(w, schema.BatchFromRows([][]any{{opaque{1}}}, 1))
+	if err == nil {
+		t.Fatal("expected error for unspillable value")
+	}
+}
+
+// TestCodecZeroWidthAndEmpty round-trips degenerate shapes.
+func TestCodecZeroWidthAndEmpty(t *testing.T) {
+	got := roundTrip(t, &schema.Batch{Len: 0, Cols: [][]any{{}, {}}})
+	if got.NumRows() != 0 || got.Width() != 2 {
+		t.Fatalf("empty batch shape = %dx%d", got.NumRows(), got.Width())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"calcite/internal/exec"
+	"calcite/internal/memory"
 	"calcite/internal/rel"
 	"calcite/internal/rex"
 	"calcite/internal/schema"
@@ -672,9 +673,21 @@ func (a *PartialAgg) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
 	return Gather(a.pool, parts), nil
 }
 
+// partialGroup is one thread-local group of the pre-aggregation stage.
+type partialGroup struct {
+	key   []any
+	accs  []rex.Accumulator
+	fsSeq int64
+	fsIdx int64
+}
+
 // BindPartitions runs the pre-aggregation eagerly across the pool (the
-// aggregate is a pipeline breaker) and returns the materialized partial
-// batches, one partition per worker.
+// aggregate is a pipeline breaker) and returns the partial batches, one
+// partition per worker. Under a memory allocator every worker charges its
+// group table against the shared query budget and, when a grant fails,
+// flushes the dehydrated partial states to a spill run; the flushed rows
+// are re-hydrated when the partition is read, and the final stage's
+// MergeAccumulators folds the duplicate groups the flushes introduced.
 func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
 	parts, err := BindPartitions(ctx, a.inner.Inputs()[0])
 	if err != nil {
@@ -683,21 +696,58 @@ func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 	keys := a.inner.GroupKeys
 	calls := a.inner.Calls
 	width := len(keys) + len(calls) + 2
-	results := make([]*schema.Batch, len(parts))
+	results := make([]schema.BatchCursor, len(parts))
 	err = a.pool.Run(nil, len(parts), func(rctx ctxT, w int) error {
 		part := parts[w]
 		defer part.Close()
-		type group struct {
-			key   []any
-			accs  []rex.Accumulator
-			fsSeq int64
-			fsIdx int64
+		res := memory.Reserve(ctx.Alloc, "ParallelPartialAggregate")
+		var spillW *memory.RunWriter
+		groups := map[string]*partialGroup{}
+		var order []*partialGroup
+		// flush dehydrates every group into the worker's spill run and
+		// resets the table (duplicate groups across flushes are merged by
+		// the final stage).
+		flush := func() error {
+			if spillW == nil {
+				sw, err := ctx.Alloc.NewRun("ParallelPartialAggregate")
+				if err != nil {
+					return err
+				}
+				spillW = sw
+				res.NoteSpillEvent()
+			}
+			buf := make([][]any, 0, spillFlushChunk)
+			for _, g := range order {
+				row := make([]any, 0, width)
+				row = append(row, g.key...)
+				for _, acc := range g.accs {
+					st, err := rex.DehydrateAccumulator(acc)
+					if err != nil {
+						return err
+					}
+					row = append(row, st)
+				}
+				row = append(row, g.fsSeq, g.fsIdx)
+				buf = append(buf, row)
+				if len(buf) >= spillFlushChunk {
+					if err := spillW.WriteRows(buf, width); err != nil {
+						return err
+					}
+					buf = buf[:0]
+				}
+			}
+			if err := spillW.WriteRows(buf, width); err != nil {
+				return err
+			}
+			groups = map[string]*partialGroup{}
+			order = order[:0]
+			res.Shrink(res.Held())
+			return nil
 		}
-		groups := map[string]*group{}
-		var order []*group
 		scratch := []any(nil)
 		for {
 			if rctx.Err() != nil {
+				res.Free()
 				return rctx.Err()
 			}
 			b, err := part.NextBatch()
@@ -705,6 +755,7 @@ func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 				break
 			}
 			if err != nil {
+				res.Free()
 				return err
 			}
 			n := b.NumRows()
@@ -720,8 +771,7 @@ func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 					scratch[c] = b.Cols[c][r]
 				}
 				k := types.HashRowKey(scratch, keys)
-				g, ok := groups[k]
-				if !ok {
+				newGroup := func() *partialGroup {
 					key := make([]any, len(keys))
 					for ki, gk := range keys {
 						key[ki] = scratch[gk]
@@ -730,12 +780,55 @@ func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 					for ci, call := range calls {
 						accs[ci] = rex.NewAccumulator(call)
 					}
-					g = &group{key: key, accs: accs, fsSeq: b.Seq, fsIdx: int64(i)}
+					g := &partialGroup{key: key, accs: accs, fsSeq: b.Seq, fsIdx: int64(i)}
 					groups[k] = g
 					order = append(order, g)
+					return g
+				}
+				g, ok := groups[k]
+				if !ok {
+					charge := exec.AggGroupCharge(keys, calls, scratch, len(k))
+					if err := res.Grow(charge); err != nil {
+						if !res.SpillAllowed() {
+							res.Free()
+							return err
+						}
+						if len(order) > 0 {
+							if err := flush(); err != nil {
+								res.Free()
+								return err
+							}
+						}
+						// Post-flush best effort: siblings may hold the rest
+						// of the budget; proceed untracked rather than starve.
+						_ = res.Grow(charge)
+					}
+					g = newGroup()
+				}
+				if retained := exec.AggRetainedBytes(calls, scratch); retained > 0 {
+					if err := res.Grow(retained); err != nil {
+						if !res.SpillAllowed() {
+							res.Free()
+							return err
+						}
+						// Flush-then-proceed, exactly like the serial
+						// spillable aggregate: the flush moves every group's
+						// retained values to disk (accumulators restart
+						// empty), so memory genuinely drops even when no new
+						// group will ever be created again (e.g. a global
+						// COLLECT). Never ignore the failure — that is
+						// unbounded untracked growth.
+						if err := flush(); err != nil {
+							res.Free()
+							return err
+						}
+						g = newGroup()
+						_ = res.Grow(retained) // post-flush best effort
+					}
 				}
 				for _, acc := range g.accs {
 					if err := acc.Add(scratch); err != nil {
+						res.Free()
 						return err
 					}
 				}
@@ -743,12 +836,33 @@ func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 		}
 		// A global aggregate emits its single group even over empty input,
 		// mirroring the serial engine.
-		if len(keys) == 0 && len(order) == 0 {
+		if len(keys) == 0 && len(order) == 0 && spillW == nil {
 			accs := make([]rex.Accumulator, len(calls))
 			for ci, call := range calls {
 				accs[ci] = rex.NewAccumulator(call)
 			}
-			order = append(order, &group{accs: accs})
+			order = append(order, &partialGroup{accs: accs})
+		}
+		if spillW != nil {
+			// Spill the tail too and serve the whole partition from disk.
+			if err := flush(); err != nil {
+				res.Free()
+				spillW.Abandon()
+				return err
+			}
+			run, err := spillW.Finish()
+			if err != nil {
+				res.Free()
+				return err
+			}
+			res.Free()
+			rr, err := run.Open()
+			if err != nil {
+				run.Remove()
+				return err
+			}
+			results[w] = &hydratingCursor{rr: rr, run: run, calls: calls, nKeys: len(keys)}
+			return nil
 		}
 		rows := make([][]any, len(order))
 		for gi, g := range order {
@@ -762,17 +876,73 @@ func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 		}
 		b := schema.BatchFromRows(rows, width)
 		b.Seq = int64(w)
-		results[w] = b
+		results[w] = &reservedSliceCursor{
+			SliceBatchCursor: schema.NewSliceBatchCursor([]*schema.Batch{b}),
+			res:              res,
+		}
 		return nil
 	})
 	if err != nil {
+		for _, bc := range results {
+			if bc != nil {
+				bc.Close()
+			}
+		}
 		return nil, err
 	}
-	out := make([]schema.BatchCursor, len(results))
-	for i, b := range results {
-		out[i] = schema.NewSliceBatchCursor([]*schema.Batch{b})
+	return results, nil
+}
+
+// spillFlushChunk is how many dehydrated rows a flush encodes per batch.
+const spillFlushChunk = 512
+
+// reservedSliceCursor frees its reservation when the partial batch has been
+// handed off.
+type reservedSliceCursor struct {
+	*schema.SliceBatchCursor
+	res *memory.Reservation
+}
+
+func (c *reservedSliceCursor) Close() error {
+	c.res.Free()
+	return c.SliceBatchCursor.Close()
+}
+
+// hydratingCursor replays a spilled partial-aggregation run, rebuilding the
+// accumulator objects of each row so downstream stages see exactly what an
+// in-memory partial batch would have carried.
+type hydratingCursor struct {
+	rr    *memory.RunReader
+	run   *memory.Run
+	calls []rex.AggCall
+	nKeys int
+	seq   int64
+}
+
+func (c *hydratingCursor) NextBatch() (*schema.Batch, error) {
+	b, err := c.rr.NextBatch()
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	for ci, call := range c.calls {
+		col := b.Cols[c.nKeys+ci]
+		for i, st := range col {
+			acc, err := rex.HydrateAccumulator(call, st)
+			if err != nil {
+				return nil, err
+			}
+			col[i] = acc
+		}
+	}
+	b.Seq = c.seq
+	c.seq++
+	return b, nil
+}
+
+func (c *hydratingCursor) Close() error {
+	err := c.rr.Close()
+	c.run.Remove()
+	return err
 }
 
 // FinalAgg merges partial rows into final groups. With group keys it is
@@ -842,7 +1012,7 @@ type finalGroup struct {
 	fsIdx int64
 }
 
-func (a *FinalAgg) mergeRows(in schema.BatchCursor, rctx ctxT) ([]*finalGroup, error) {
+func (a *FinalAgg) mergeRows(in schema.BatchCursor, rctx ctxT, res *memory.Reservation) ([]*finalGroup, error) {
 	nKeys := len(a.inner.GroupKeys)
 	nCalls := len(a.inner.Calls)
 	keyOrds := make([]int, nKeys)
@@ -870,6 +1040,13 @@ func (a *FinalAgg) mergeRows(in schema.BatchCursor, rctx ctxT) ([]*finalGroup, e
 			k := types.HashRowKey(row, keyOrds)
 			g, ok := groups[k]
 			if !ok {
+				// The merged group set is the post-aggregation result of this
+				// key range — orders of magnitude below the input. It is
+				// charged but not spillable: a budget too small for the
+				// result itself fails here with a clean error.
+				if err := res.Grow(int64(96+len(k)) + types.SizeOfRow(row)); err != nil {
+					return nil, err
+				}
 				g = &finalGroup{
 					key:   row[:nKeys],
 					accs:  make([]rex.Accumulator, nCalls),
@@ -936,11 +1113,15 @@ func (a *FinalAgg) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
 		return nil, err
 	}
 	defer in.Close()
-	order, err := a.mergeRows(in, nil)
+	res := memory.Reserve(ctx.Alloc, "ParallelFinalAggregate")
+	order, err := a.mergeRows(in, nil, res)
 	if err != nil {
+		res.Free()
 		return nil, err
 	}
-	return schema.NewSliceBatchCursor([]*schema.Batch{a.emitGroups(order, !a.global())}), nil
+	out := a.emitGroups(order, !a.global())
+	res.Free()
+	return schema.NewSliceBatchCursor([]*schema.Batch{out}), nil
 }
 
 // BindPartitions merges each hash-exchanged partition independently.
@@ -958,7 +1139,7 @@ func (a *FinalAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, erro
 	}
 	out := make([]schema.BatchCursor, len(parts))
 	for i, part := range parts {
-		out[i] = &finalAggCursor{agg: a, in: part}
+		out[i] = &finalAggCursor{agg: a, in: part, alloc: ctx.Alloc}
 	}
 	return out, nil
 }
@@ -966,10 +1147,11 @@ func (a *FinalAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, erro
 // finalAggCursor lazily merges one partition's partials when first pulled,
 // so the merge work runs on whichever worker drives this partition.
 type finalAggCursor struct {
-	agg  *FinalAgg
-	in   schema.BatchCursor
-	out  *schema.Batch
-	done bool
+	agg   *FinalAgg
+	in    schema.BatchCursor
+	alloc *memory.Allocator
+	out   *schema.Batch
+	done  bool
 }
 
 func (c *finalAggCursor) NextBatch() (*schema.Batch, error) {
@@ -977,11 +1159,14 @@ func (c *finalAggCursor) NextBatch() (*schema.Batch, error) {
 		return nil, schema.Done
 	}
 	if c.out == nil {
-		order, err := c.agg.mergeRows(c.in, nil)
+		res := memory.Reserve(c.alloc, "ParallelFinalAggregate")
+		order, err := c.agg.mergeRows(c.in, nil, res)
 		if err != nil {
+			res.Free()
 			return nil, err
 		}
 		c.out = c.agg.emitGroups(order, true)
+		res.Free()
 	}
 	c.done = true
 	if c.out.Len == 0 {
@@ -1069,7 +1254,11 @@ func (s *SortPar) BindBatch(ctx *exec.Context) (schema.BatchCursor, error) {
 }
 
 // BindPartitions sorts every partition eagerly across the pool (sort is a
-// pipeline breaker) and returns the materialized runs.
+// pipeline breaker) and returns the sorted runs. Under a memory allocator
+// each worker runs an external merge sort: its rows accumulate against the
+// shared query budget and overflow to sorted on-disk runs that the returned
+// cursor k-way-merges back (the per-worker half of the parallel external
+// sort; the merge-gather above combines the workers).
 func (s *SortPar) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error) {
 	parts, err := BindPartitions(ctx, s.inner.Inputs()[0])
 	if err != nil {
@@ -1081,10 +1270,62 @@ func (s *SortPar) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error
 	if s.inner.Fetch >= 0 {
 		keep = s.inner.Offset + s.inner.Fetch
 	}
-	results := make([]*schema.Batch, len(parts))
+	// The per-worker sort order: collation, then global input position —
+	// a total order, so spilled runs merge deterministically.
+	cmp := func(a, b []any) int {
+		if c := exec.CompareRows(a, b, coll); c != 0 {
+			return c
+		}
+		if sa, sb := a[width-2].(int64), b[width-2].(int64); sa != sb {
+			if sa < sb {
+				return -1
+			}
+			return 1
+		}
+		ia, ib := a[width-1].(int64), b[width-1].(int64)
+		switch {
+		case ia < ib:
+			return -1
+		case ia > ib:
+			return 1
+		}
+		return 0
+	}
+	results := make([]schema.BatchCursor, len(parts))
 	err = s.pool.Run(nil, len(parts), func(rctx ctxT, w int) error {
 		part := parts[w]
 		defer part.Close()
+		if ctx.Alloc != nil {
+			sorter := exec.NewExternalSorter(ctx, "ParallelSort", cmp, width)
+			for {
+				if rctx.Err() != nil {
+					sorter.Abandon()
+					return rctx.Err()
+				}
+				b, err := part.NextBatch()
+				if err == schema.Done {
+					break
+				}
+				if err != nil {
+					sorter.Abandon()
+					return err
+				}
+				n := b.NumRows()
+				for i := 0; i < n; i++ {
+					row := b.Row(i)
+					row = append(row, b.Seq, int64(i))
+					if err := sorter.Add(row); err != nil {
+						return err
+					}
+				}
+			}
+			bc, err := sorter.Finish(0, keep, batchSize(ctx))
+			if err != nil {
+				return err
+			}
+			results[w] = bc
+			return nil
+		}
 		var rows [][]any
 		for {
 			if rctx.Err() != nil {
@@ -1104,30 +1345,23 @@ func (s *SortPar) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, error
 				rows = append(rows, row)
 			}
 		}
-		sort.Slice(rows, func(a, b int) bool {
-			if c := exec.CompareRows(rows[a], rows[b], coll); c != 0 {
-				return c < 0
-			}
-			if rows[a][width-2].(int64) != rows[b][width-2].(int64) {
-				return rows[a][width-2].(int64) < rows[b][width-2].(int64)
-			}
-			return rows[a][width-1].(int64) < rows[b][width-1].(int64)
-		})
+		sort.Slice(rows, func(a, b int) bool { return cmp(rows[a], rows[b]) < 0 })
 		// Rows beyond OFFSET+FETCH can never be emitted by the merge.
 		if keep >= 0 && int64(len(rows)) > keep {
 			rows = rows[:keep]
 		}
 		b := schema.BatchFromRows(rows, width)
 		b.Seq = int64(w)
-		results[w] = b
+		results[w] = schema.NewSliceBatchCursor([]*schema.Batch{b})
 		return nil
 	})
 	if err != nil {
+		for _, bc := range results {
+			if bc != nil {
+				bc.Close()
+			}
+		}
 		return nil, err
 	}
-	out := make([]schema.BatchCursor, len(results))
-	for i, b := range results {
-		out[i] = schema.NewSliceBatchCursor([]*schema.Batch{b})
-	}
-	return out, nil
+	return results, nil
 }

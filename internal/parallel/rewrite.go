@@ -29,14 +29,30 @@ import (
 	"calcite/internal/trait"
 )
 
+// Options configures the parallel rewrite.
+type Options struct {
+	// SerialJoins keeps hash joins on the serial engine (partitioned inputs
+	// gather in front of them). The memory-governed execution mode sets it:
+	// the serial hash join is the spill-capable (Grace) one, and a
+	// memory-bounded join wants one partition in memory at a time rather
+	// than p shard tables at once. The subtrees below the join still run
+	// parallel, each worker charging the shared query budget.
+	SerialJoins bool
+}
+
 // Parallelize rewrites an optimized physical plan for execution across p
 // workers sharing pool. p <= 1 returns the plan unchanged. The returned root
 // always produces a single (singleton-distribution) stream.
 func Parallelize(root rel.Node, pool *Pool, p int) rel.Node {
+	return ParallelizeWith(root, pool, p, Options{})
+}
+
+// ParallelizeWith is Parallelize with explicit options.
+func ParallelizeWith(root rel.Node, pool *Pool, p int, opts Options) rel.Node {
 	if p <= 1 || pool == nil {
 		return root
 	}
-	r := &rewriter{pool: pool, p: p}
+	r := &rewriter{pool: pool, p: p, opts: opts}
 	n, dist := r.rewrite(root)
 	if dist.Partitioned() {
 		n = NewGatherExchange(n, pool, p)
@@ -47,6 +63,7 @@ func Parallelize(root rel.Node, pool *Pool, p int) rel.Node {
 type rewriter struct {
 	pool *Pool
 	p    int
+	opts Options
 }
 
 // singleton wraps n with a gather exchange when it is partitioned.
@@ -86,8 +103,9 @@ func (r *rewriter) rewrite(n rel.Node) (rel.Node, trait.Distribution) {
 	case *exec.HashJoin:
 		probe, pd := r.rewrite(x.Left())
 		build, bd := r.rewrite(x.Right())
-		parallelizable := x.Kind == rel.InnerJoin || x.Kind == rel.LeftJoin ||
-			x.Kind == rel.SemiJoin || x.Kind == rel.AntiJoin
+		parallelizable := !r.opts.SerialJoins &&
+			(x.Kind == rel.InnerJoin || x.Kind == rel.LeftJoin ||
+				x.Kind == rel.SemiJoin || x.Kind == rel.AntiJoin)
 		if !parallelizable {
 			return x.WithNewInputs([]rel.Node{
 				r.singleton(probe, pd), r.singleton(build, bd),

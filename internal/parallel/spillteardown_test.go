@@ -1,0 +1,136 @@
+package parallel
+
+// Spill teardown: a worker failing (or a query being cancelled) mid-spill
+// must tear the exchanges down through their cancellation context AND leave
+// no spill files behind once the query's allocator closes — the contract
+// core.Framework relies on (it defers Alloc.Close on every exit path).
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"calcite/internal/exec"
+	"calcite/internal/memory"
+	"calcite/internal/rel"
+	"calcite/internal/schema"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// failingCursor yields ok batches, then fails — the mid-query error that
+// stands in for cancellation.
+type failingCursor struct {
+	left int
+	err  error
+	seq  int64
+}
+
+func (c *failingCursor) NextBatch() (*schema.Batch, error) {
+	if c.left <= 0 {
+		return nil, c.err
+	}
+	c.left--
+	rows := make([][]any, 64)
+	for i := range rows {
+		rows[i] = []any{c.seq*64 + int64(i), "payload-payload-payload"}
+	}
+	b := schema.BatchFromRows(rows, 2)
+	b.Seq = c.seq
+	c.seq++
+	return b, nil
+}
+
+func (c *failingCursor) Close() error { return nil }
+
+// failingTable serves the failing cursor through the batch-scan interface.
+type failingTable struct {
+	*schema.MemTable
+	batches int
+	err     error
+}
+
+func (t *failingTable) ScanBatches(batchSize int) (schema.BatchCursor, error) {
+	return &failingCursor{left: t.batches, err: t.err}, nil
+}
+
+func TestSpillFilesCleanedUpOnMidSpillError(t *testing.T) {
+	boom := errors.New("backend failed mid-query")
+	rowType := types.Row(
+		types.Field{Name: "id", Type: types.BigInt},
+		types.Field{Name: "payload", Type: types.Varchar},
+	)
+	tbl := &failingTable{
+		MemTable: schema.NewMemTable("t", rowType, nil),
+		batches:  40, // enough to overflow the tiny budget and start spilling
+		err:      boom,
+	}
+	scan := exec.NewScan(tbl, []string{"t"})
+	sortNode := exec.NewSort(scan, trait.Collation{{Field: 1}, {Field: 0}}, 0, -1)
+	pool := NewPool(4)
+	plan := Parallelize(sortNode, pool, 4)
+
+	// A budget small enough that the per-worker sorts spill several runs
+	// before the source fails.
+	alloc := memory.NewAllocator(memory.NewPool(32<<10), 0, true)
+	ctx := exec.NewContext()
+	ctx.Alloc = alloc
+
+	_, err := exec.Execute(ctx, plan)
+	if err == nil {
+		t.Fatal("expected the mid-query error to surface")
+	}
+	if !errors.Is(err, boom) && err.Error() == "" {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	dir := alloc.SpillDir()
+	if dir == "" {
+		t.Fatal("the query never spilled; lower the budget so the teardown path is actually exercised")
+	}
+	if alloc.Spilled() == 0 {
+		t.Fatal("no bytes recorded as spilled")
+	}
+	// The teardown contract: closing the allocator (what core defers on
+	// every exit path) removes the spill directory with all files in it.
+	if err := alloc.Close(); err != nil {
+		t.Fatalf("allocator close: %v", err)
+	}
+	if _, statErr := os.Stat(dir); !os.IsNotExist(statErr) {
+		ents, _ := os.ReadDir(dir)
+		t.Fatalf("spill dir %s survived teardown with %d entries", dir, len(ents))
+	}
+}
+
+// TestSpillParallelSortMatchesSerial: the governed parallel sort (external
+// per-worker runs + merge gather) must reproduce the serial order exactly.
+func TestSpillParallelSortMatchesSerial(t *testing.T) {
+	scan := memScan(t, "t", 5000)
+	sortNode := exec.NewSort(scan, trait.Collation{{Field: 1}, {Field: 0, Direction: trait.Descending}}, 0, -1)
+	want := renderRows(runPlan(t, sortNode))
+	for _, p := range []int{2, 4} {
+		pool := NewPool(p)
+		plan := Parallelize(sortNode, pool, p)
+		ctx := exec.NewContext()
+		alloc := memory.NewAllocator(memory.NewPool(24<<10), 0, true)
+		ctx.Alloc = alloc
+		rows, err := exec.Execute(ctx, plan)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		got := renderRows(rows)
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d rows, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d row %d: got %s, want %s", p, i, got[i], want[i])
+			}
+		}
+		if alloc.Spilled() == 0 {
+			t.Fatalf("p=%d: parallel sort under a 24KiB budget did not spill", p)
+		}
+		alloc.Close()
+	}
+}
+
+var _ rel.Node = (*MorselScan)(nil)

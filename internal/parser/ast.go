@@ -113,11 +113,15 @@ type AnalyzeStmt struct {
 
 func (*AnalyzeStmt) stmt() {}
 
-// ExplainStmt is EXPLAIN [PLAN FOR] query.
+// ExplainStmt is EXPLAIN [LOGICAL|ANALYZE] [PLAN FOR] query.
 type ExplainStmt struct {
 	Target Statement
 	// Logical requests the un-optimized plan.
 	Logical bool
+	// Analyze requests execution: the plan is printed together with run
+	// statistics (rows, elapsed time, per-operator peak memory and spill
+	// counters).
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}

@@ -47,6 +47,16 @@ func (p *parser) isKeyword(kw string) bool {
 	return t.kind == tokIdent && strings.ToUpper(t.text) == kw
 }
 
+// peekKeywordAt reports whether the token at offset ahead of the cursor is
+// the given keyword.
+func (p *parser) peekKeywordAt(offset int, kw string) bool {
+	if p.pos+offset >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+offset]
+	return t.kind == tokIdent && strings.ToUpper(t.text) == kw
+}
+
 // acceptKeyword consumes a keyword if present.
 func (p *parser) acceptKeyword(kw string) bool {
 	if p.isKeyword(kw) {
@@ -139,8 +149,14 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.isKeyword("EXPLAIN"):
 		p.pos++
 		logical := false
+		analyze := false
 		if p.acceptKeyword("LOGICAL") {
 			logical = true
+		} else if p.isKeyword("ANALYZE") && !p.peekKeywordAt(1, "TABLE") {
+			// EXPLAIN ANALYZE <query> runs the query and reports run stats;
+			// EXPLAIN ANALYZE TABLE t still explains the ANALYZE statement.
+			p.pos++
+			analyze = true
 		}
 		p.acceptKeyword("PLAN")
 		p.acceptKeyword("FOR")
@@ -148,7 +164,7 @@ func (p *parser) parseStatement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Target: inner, Logical: logical}, nil
+		return &ExplainStmt{Target: inner, Logical: logical, Analyze: analyze}, nil
 	case p.isKeyword("INSERT"):
 		return p.parseInsert()
 	case p.isKeyword("CREATE"):

@@ -1,0 +1,103 @@
+package rex
+
+// Accumulator dehydration: the spillable-aggregation contract. A hash
+// aggregate under memory pressure flushes its partial accumulator states to
+// disk as plain runtime values (which the spill codec can encode), then
+// hydrates them back and folds duplicates with MergeAccumulators when the
+// partition is re-read. Dehydrate∘Hydrate is exact — counts, partial sums,
+// extrema and collected values round-trip bit-for-bit — so spilling never
+// changes aggregate results.
+
+import (
+	"fmt"
+
+	"calcite/internal/types"
+)
+
+// DehydrateAccumulator flattens an accumulator's running state into a value
+// tree of spillable runtime types ([]any, int64, float64, bool, …).
+func DehydrateAccumulator(a Accumulator) (any, error) {
+	switch s := a.(type) {
+	case *aggState:
+		return []any{
+			"agg", s.count, s.sumF, s.sumI, s.allInts, s.started,
+			s.minV, s.maxV, append([]any(nil), s.values...),
+		}, nil
+	case *distinctState:
+		inner, err := DehydrateAccumulator(s.inner)
+		if err != nil {
+			return nil, err
+		}
+		return []any{"distinct", inner, append([]any(nil), s.vals...)}, nil
+	}
+	return nil, fmt.Errorf("rex: accumulator %T does not support spilling", a)
+}
+
+// HydrateAccumulator rebuilds an accumulator of the given call from a
+// dehydrated state.
+func HydrateAccumulator(call AggCall, state any) (Accumulator, error) {
+	parts, ok := state.([]any)
+	if !ok || len(parts) == 0 {
+		return nil, fmt.Errorf("rex: malformed accumulator state %T", state)
+	}
+	switch parts[0] {
+	case "agg":
+		if len(parts) != 9 {
+			return nil, fmt.Errorf("rex: malformed aggState state (len %d)", len(parts))
+		}
+		s := &aggState{call: call}
+		s.count, _ = parts[1].(int64)
+		s.sumF, _ = parts[2].(float64)
+		s.sumI, _ = parts[3].(int64)
+		s.allInts, _ = parts[4].(bool)
+		s.started, _ = parts[5].(bool)
+		s.minV = parts[6]
+		s.maxV = parts[7]
+		if vals, ok := parts[8].([]any); ok && len(vals) > 0 {
+			s.values = append([]any(nil), vals...)
+		}
+		return s, nil
+	case "distinct":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("rex: malformed distinctState state (len %d)", len(parts))
+		}
+		inner, err := HydrateAccumulator(call, parts[1])
+		if err != nil {
+			return nil, err
+		}
+		d := &distinctState{inner: inner, seen: map[string]bool{}}
+		if vals, ok := parts[2].([]any); ok {
+			for _, v := range vals {
+				d.seen[types.HashKey(v)] = true
+				d.vals = append(d.vals, v)
+			}
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("rex: unknown accumulator state kind %v", parts[0])
+}
+
+// AccumulatorMemSize estimates the retained bytes of an accumulator, for
+// memory-budget accounting. Fixed state costs a flat constant; value-
+// retaining aggregates (MIN/MAX over strings, COLLECT, DISTINCT) add the
+// size of what they hold.
+func AccumulatorMemSize(a Accumulator) int64 {
+	switch s := a.(type) {
+	case *aggState:
+		n := int64(96)
+		n += types.SizeOfValue(s.minV) + types.SizeOfValue(s.maxV)
+		for _, v := range s.values {
+			n += types.SizeOfValue(v)
+		}
+		return n
+	case *distinctState:
+		n := AccumulatorMemSize(s.inner) + 48
+		for _, v := range s.vals {
+			// Each distinct value is held twice: the ordered slice and the
+			// seen-key map.
+			n += 2 * types.SizeOfValue(v)
+		}
+		return n
+	}
+	return 128
+}

@@ -1,0 +1,107 @@
+package rex
+
+import (
+	"reflect"
+	"testing"
+)
+
+// feedRows drives an accumulator with single-column rows.
+func feedRows(t *testing.T, acc Accumulator, vals ...any) {
+	t.Helper()
+	for _, v := range vals {
+		if err := acc.Add([]any{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDehydrateHydrateRoundTrip: for every aggregate kind, a hydrated copy
+// of a dehydrated accumulator must produce the same result and keep
+// accepting input.
+func TestDehydrateHydrateRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		call AggCall
+		vals []any
+	}{
+		{"count", NewAggCall(AggCount, nil, false, "c"), []any{int64(1), int64(2), int64(3)}},
+		{"sum-int", NewAggCall(AggSum, []int{0}, false, "s"), []any{int64(4), int64(5)}},
+		{"sum-float", NewAggCall(AggSum, []int{0}, false, "s"), []any{1.25, nil, 2.5}},
+		{"avg", NewAggCall(AggAvg, []int{0}, false, "a"), []any{2.0, 4.0, nil}},
+		{"min", NewAggCall(AggMin, []int{0}, false, "m"), []any{"b", "a", "c"}},
+		{"max", NewAggCall(AggMax, []int{0}, false, "m"), []any{int64(3), int64(9), int64(1)}},
+		{"collect", NewAggCall(AggCollect, []int{0}, false, "col"), []any{int64(1), int64(1), int64(2)}},
+		{"single", NewAggCall(AggSingleValue, []int{0}, false, "sv"), []any{"only"}},
+		{"count-distinct", NewAggCall(AggCount, []int{0}, true, "cd"), []any{int64(1), int64(1), int64(2), nil}},
+		{"sum-distinct", NewAggCall(AggSum, []int{0}, true, "sd"), []any{2.5, 2.5, 1.25}},
+		{"empty", NewAggCall(AggSum, []int{0}, false, "s"), nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			acc := NewAccumulator(c.call)
+			feedRows(t, acc, c.vals...)
+			st, err := DehydrateAccumulator(acc)
+			if err != nil {
+				t.Fatalf("dehydrate: %v", err)
+			}
+			back, err := HydrateAccumulator(c.call, st)
+			if err != nil {
+				t.Fatalf("hydrate: %v", err)
+			}
+			if got, want := back.Result(), acc.Result(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("result after round-trip = %#v, want %#v", got, want)
+			}
+			// Hydrated state must keep accumulating (the re-merge path adds
+			// later partials into it). SINGLE_VALUE rightly errors on a
+			// second value, so it is exempt.
+			if len(c.vals) > 0 && c.call.Func != AggSingleValue {
+				other := NewAccumulator(c.call)
+				feedRows(t, other, c.vals[0])
+				if err := MergeAccumulators(back, other); err != nil {
+					t.Fatalf("merge into hydrated: %v", err)
+				}
+				ref := NewAccumulator(c.call)
+				feedRows(t, ref, c.vals...)
+				feedRows(t, ref, c.vals[0])
+				// DISTINCT re-merge deduplicates, so the reference must too.
+				if got, want := back.Result(), ref.Result(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("post-merge result = %#v, want %#v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHydratedDistinctDeduplicatesAcrossSpills: values flushed in one
+// partial and re-fed in another must still count once.
+func TestHydratedDistinctDeduplicatesAcrossSpills(t *testing.T) {
+	call := NewAggCall(AggCount, []int{0}, true, "cd")
+	first := NewAccumulator(call)
+	feedRows(t, first, int64(1), int64(2))
+	st, err := DehydrateAccumulator(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := HydrateAccumulator(call, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := NewAccumulator(call)
+	feedRows(t, second, int64(2), int64(3)) // 2 duplicates across "spills"
+	if err := MergeAccumulators(back, second); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Result(); got != int64(3) {
+		t.Fatalf("distinct count = %v, want 3", got)
+	}
+}
+
+func TestAccumulatorMemSizeGrowsWithRetention(t *testing.T) {
+	call := NewAggCall(AggCollect, []int{0}, false, "col")
+	acc := NewAccumulator(call)
+	before := AccumulatorMemSize(acc)
+	feedRows(t, acc, "some value", "another value", "a third value")
+	if after := AccumulatorMemSize(acc); after <= before {
+		t.Fatalf("mem size did not grow: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,300 @@
+package calcite_test
+
+// Differential spill suite: every query must produce identical results with
+// the memory limit forced below the working-set size (spill paths: external
+// sort, Grace hash join, spillable aggregation) and with memory unlimited,
+// at parallelism 1 and 4. Plus the acceptance scenarios of the memory
+// governor: a 5-way join + aggregation over data larger than the budget,
+// and the clean "memory budget exceeded" failure with spilling disabled.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"calcite"
+)
+
+// spillBudget is far below the diffConn working set (the sales table alone
+// materializes at a few hundred KiB), so sorts, joins and aggregates over
+// it must spill.
+const spillBudget = 64 << 10
+
+// TestSpillAndInMemoryAgree runs the shared SQL corpus limited vs unlimited
+// at parallelism 1 and 4. ORDER BY queries must match in order (the suite's
+// orderings are total); everything else as multisets — operator output
+// order without ORDER BY is plan-dependent, and the Grace join/partitioned
+// aggregation legitimately emit partition by partition.
+func TestSpillAndInMemoryAgree(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		ref := diffConn()
+		ref.SetParallelism(par)
+		limited := diffConn()
+		limited.SetParallelism(par)
+		limited.SetMemoryLimit(spillBudget)
+		for _, q := range diffQueries {
+			rr, rerr := ref.Query(q.sql, q.params...)
+			lr, lerr := limited.Query(q.sql, q.params...)
+			if (rerr == nil) != (lerr == nil) {
+				t.Errorf("p=%d %s\n  unlimited err=%v limited err=%v", par, q.sql, rerr, lerr)
+				continue
+			}
+			if rerr != nil {
+				continue
+			}
+			a, b := renderRows(lr.Rows), renderRows(rr.Rows)
+			if !strings.Contains(strings.ToUpper(q.sql), "ORDER BY") {
+				sort.Strings(a)
+				sort.Strings(b)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("p=%d (budget=%d) %s\n  limited:   %v\n  unlimited: %v", par, spillBudget, q.sql, a, b)
+			}
+		}
+	}
+}
+
+// TestSpillSmallBatches crosses the spill paths with the batchSize=3
+// boundary configuration.
+func TestSpillSmallBatches(t *testing.T) {
+	ref := diffConn()
+	ref.SetParallelism(1)
+	ref.SetBatchSize(3)
+	limited := diffConn()
+	limited.SetParallelism(1)
+	limited.SetBatchSize(3)
+	limited.SetMemoryLimit(spillBudget)
+	for _, q := range diffQueries {
+		rr, rerr := ref.Query(q.sql, q.params...)
+		lr, lerr := limited.Query(q.sql, q.params...)
+		if (rerr == nil) != (lerr == nil) {
+			t.Errorf("%s\n  unlimited err=%v limited err=%v", q.sql, rerr, lerr)
+			continue
+		}
+		if rerr != nil {
+			continue
+		}
+		a, b := renderRows(lr.Rows), renderRows(rr.Rows)
+		if !strings.Contains(strings.ToUpper(q.sql), "ORDER BY") {
+			sort.Strings(a)
+			sort.Strings(b)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s (batchSize=3, budget=%d)\n  limited:   %v\n  unlimited: %v", q.sql, spillBudget, a, b)
+		}
+	}
+}
+
+// memStarConn builds the acceptance-criterion catalog: a fact table joined to
+// four dimensions, with a working set well above the spill budgets used
+// below. Sums use quarter-unit floats (exactly representable), so spilled
+// partial-sum reassociation is bit-exact.
+func memStarConn() *calcite.Connection {
+	conn := calcite.Open()
+	const nFact = 20000
+	fact := make([][]any, nFact)
+	for i := range fact {
+		fact[i] = []any{
+			int64(i),
+			int64(i % 97), // custkey
+			int64(i % 53), // prodkey
+			int64(i % 11), // storekey
+			int64(i % 7),  // promokey
+			float64(i%40) / 4.0,
+			int64(i % 5),
+		}
+	}
+	conn.AddTable("fact", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "custkey", Type: calcite.BigIntType},
+		{Name: "prodkey", Type: calcite.BigIntType},
+		{Name: "storekey", Type: calcite.BigIntType},
+		{Name: "promokey", Type: calcite.BigIntType},
+		{Name: "amount", Type: calcite.DoubleType},
+		{Name: "qty", Type: calcite.BigIntType},
+	}, fact)
+	dim := func(name, keyCol, valCol string, n int) {
+		rows := make([][]any, n)
+		for i := range rows {
+			rows[i] = []any{int64(i), fmt.Sprintf("%s-%d", name, i)}
+		}
+		conn.AddTable(name, calcite.Columns{
+			{Name: keyCol, Type: calcite.BigIntType},
+			{Name: valCol, Type: calcite.VarcharType},
+		}, rows)
+	}
+	dim("customers", "custkey", "custname", 97)
+	dim("products", "prodkey", "prodname", 53)
+	dim("stores", "storekey", "storename", 11)
+	dim("promos", "promokey", "promoname", 7)
+	return conn
+}
+
+// memStarQuery is the acceptance query: a 5-way join plus aggregation plus a
+// total-order sort.
+const memStarQuery = `
+SELECT s.storename, p.prodname, COUNT(*) AS cnt, SUM(f.amount) AS amt, SUM(f.qty) AS q
+FROM fact f
+JOIN customers c ON f.custkey = c.custkey
+JOIN products p ON f.prodkey = p.prodkey
+JOIN stores s ON f.storekey = s.storekey
+JOIN promos pr ON f.promokey = pr.promokey
+GROUP BY s.storename, p.prodname
+ORDER BY s.storename, p.prodname`
+
+// TestFiveWayJoinLargerThanBudget is the acceptance criterion: the 5-way
+// join + aggregation over data larger than the configured budget completes
+// with results identical to the unlimited-memory run, at parallelism 1
+// and 4.
+func TestFiveWayJoinLargerThanBudget(t *testing.T) {
+	ref := memStarConn()
+	ref.SetParallelism(1)
+	want, err := ref.Query(memStarQuery)
+	if err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("unlimited run returned no rows")
+	}
+	for _, par := range []int{1, 4} {
+		limited := memStarConn()
+		limited.SetParallelism(par)
+		limited.SetMemoryLimit(256 << 10) // ~1/10 of the fact working set
+		got, err := limited.Query(memStarQuery)
+		if err != nil {
+			t.Fatalf("p=%d limited run: %v", par, err)
+		}
+		if !reflect.DeepEqual(renderRows(got.Rows), renderRows(want.Rows)) {
+			t.Errorf("p=%d: limited results differ from unlimited (rows %d vs %d)",
+				par, len(got.Rows), len(want.Rows))
+		}
+	}
+}
+
+// TestFiveWayJoinActuallySpills asserts the budgeted star query exercises
+// the spill machinery (not just fits anyway), via EXPLAIN ANALYZE counters.
+func TestFiveWayJoinActuallySpills(t *testing.T) {
+	limited := memStarConn()
+	limited.SetParallelism(1)
+	limited.SetMemoryLimit(256 << 10)
+	res, err := limited.Query("EXPLAIN ANALYZE " + memStarQuery)
+	if err != nil {
+		t.Fatalf("EXPLAIN ANALYZE: %v", err)
+	}
+	if !strings.Contains(res.Plan, "spilled=") || !strings.Contains(res.Plan, "run stats") {
+		t.Fatalf("EXPLAIN ANALYZE did not report run stats:\n%s", res.Plan)
+	}
+	spilled := false
+	for _, line := range strings.Split(res.Plan, "\n") {
+		if strings.Contains(line, "spill-events=") {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Fatalf("no operator reported spilling under a 256KiB budget:\n%s", res.Plan)
+	}
+}
+
+// TestBudgetExceededWithoutSpillFailsCleanly is the admission-control
+// acceptance criterion: with spilling disabled, exceeding the budget is a
+// clean "memory budget exceeded" error, not an OOM.
+func TestBudgetExceededWithoutSpillFailsCleanly(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		conn := memStarConn()
+		conn.SetParallelism(par)
+		conn.SetMemoryLimit(128 << 10)
+		conn.EnableSpill(false)
+		_, err := conn.Query(memStarQuery)
+		if err == nil {
+			t.Fatalf("p=%d: query larger than budget succeeded with spilling disabled", par)
+		}
+		if !strings.Contains(err.Error(), "memory budget exceeded") {
+			t.Fatalf("p=%d: error %q does not mention the memory budget", par, err)
+		}
+	}
+}
+
+// TestQueryMemoryLimitIndependentOfPool: a per-query cap applies even when
+// no framework-wide limit is set.
+func TestQueryMemoryLimitIndependentOfPool(t *testing.T) {
+	conn := memStarConn()
+	conn.SetParallelism(1)
+	conn.SetQueryMemoryLimit(256 << 10)
+	got, err := conn.Query(memStarQuery)
+	if err != nil {
+		t.Fatalf("per-query limited run: %v", err)
+	}
+	ref := memStarConn()
+	ref.SetParallelism(1)
+	want, err := ref.Query(memStarQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(renderRows(got.Rows), renderRows(want.Rows)) {
+		t.Error("per-query limited results differ from unlimited")
+	}
+}
+
+// TestRetainedAggregateLargerThanBudgetCompletes is the regression test for
+// the flush/re-add recursion: value-retaining aggregates whose per-row
+// charge can never be granted (rows bigger than the whole query budget)
+// must still complete via flush-then-proceed, not recurse forever.
+func TestRetainedAggregateLargerThanBudgetCompletes(t *testing.T) {
+	conn := calcite.Open()
+	big := strings.Repeat("x", 4096)
+	rows := make([][]any, 64)
+	for i := range rows {
+		rows[i] = []any{int64(i % 4), fmt.Sprintf("%s-%d", big, i)}
+	}
+	conn.AddTable("blobs", calcite.Columns{
+		{Name: "grp", Type: calcite.BigIntType},
+		{Name: "v", Type: calcite.VarcharType},
+	}, rows)
+	conn.SetParallelism(1)
+	conn.SetQueryMemoryLimit(1 << 10) // 1KiB: below a single row's charge
+	res, err := conn.Query("SELECT grp, COUNT(DISTINCT v) FROM blobs GROUP BY grp ORDER BY grp")
+	if err != nil {
+		t.Fatalf("tiny-budget distinct aggregate: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[1] != int64(16) {
+			t.Fatalf("distinct count = %v, want 16 (row %v)", row[1], row)
+		}
+	}
+}
+
+// TestManySpillRunsCascade is the regression test for the merge fan-in:
+// a budget small enough to cut hundreds of runs must cascade-merge them
+// instead of opening every run at once, and still produce the exact sorted
+// order.
+func TestManySpillRunsCascade(t *testing.T) {
+	conn := calcite.Open()
+	n := 20000
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{int64((i * 7919) % n), int64(i)}
+	}
+	conn.AddTable("shuf", calcite.Columns{
+		{Name: "k", Type: calcite.BigIntType},
+		{Name: "pos", Type: calcite.BigIntType},
+	}, rows)
+	conn.SetParallelism(1)
+	conn.SetQueryMemoryLimit(8 << 10) // ~60-row runs → hundreds of runs
+	res, err := conn.Query("SELECT k FROM shuf ORDER BY k")
+	if err != nil {
+		t.Fatalf("many-run sort: %v", err)
+	}
+	if len(res.Rows) != n {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), n)
+	}
+	for i, row := range res.Rows {
+		if row[0] != int64(i) {
+			t.Fatalf("row %d = %v, want %d", i, row[0], i)
+		}
+	}
+}
