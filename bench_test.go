@@ -700,6 +700,59 @@ func benchSpillVsInMemory(b *testing.B, mk func() *calcite.Connection, sql strin
 	}
 }
 
+// --- window execution: recompute vs incremental vs parallel ---
+
+// windowBenchConn is the window fixture: 100k time-series rows in 8
+// partitions, so a 1000-row sliding frame genuinely slides.
+func windowBenchConn() *calcite.Connection {
+	conn := calcite.Open()
+	rows := make([][]any, 100000)
+	for i := range rows {
+		rows[i] = []any{int64(i % 8), int64(i), float64(i%1000) / 4}
+	}
+	conn.AddTable("wseries", calcite.Columns{
+		{Name: "grp", Type: calcite.BigIntType},
+		{Name: "seq", Type: calcite.BigIntType},
+		{Name: "score", Type: calcite.DoubleType},
+	}, rows)
+	return conn
+}
+
+const windowBenchSQL = `SELECT grp, SUM(score) OVER (PARTITION BY grp ORDER BY seq ROWS 1000 PRECEDING) AS s FROM wseries`
+
+func benchWindow(b *testing.B, parallelism int, recompute bool) {
+	conn := windowBenchConn()
+	conn.SetParallelism(parallelism)
+	conn.ForceWindowRecompute(recompute)
+	_, optimized, err := conn.Plan(windowBenchSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := conn.Framework.ExecutePhysical(optimized)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 100000 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkExec_Window_Recompute is the seed's O(n·frame) baseline: every
+// 1000-row frame re-accumulated from scratch.
+func BenchmarkExec_Window_Recompute(b *testing.B) { benchWindow(b, 1, true) }
+
+// BenchmarkExec_Window_Incremental is the default path: retractable
+// accumulators slide each frame in O(1) amortized.
+func BenchmarkExec_Window_Incremental(b *testing.B) { benchWindow(b, 1, false) }
+
+// BenchmarkExec_Window_Parallel adds partition-parallel execution across 4
+// workers on top of the incremental path.
+func BenchmarkExec_Window_Parallel(b *testing.B) { benchWindow(b, 4, false) }
+
 // spillBenchConn is a 100k-row single-table fixture (~8MB working set as
 // materialized rows).
 func spillBenchConn() *calcite.Connection {

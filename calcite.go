@@ -168,6 +168,13 @@ func (c *Connection) ForceRowMode(on bool) { c.Framework.RowMode = on }
 // (<= 0 restores the default).
 func (c *Connection) SetBatchSize(n int) { c.Framework.BatchSize = n }
 
+// ForceWindowRecompute toggles the window operator's O(n·frame) per-frame
+// recompute path in place of the default incremental frame maintenance
+// (retractable SUM/COUNT/AVG, deque-based MIN/MAX). Results are identical up
+// to floating-point summation order; the toggle exists for debugging and A/B
+// measurement.
+func (c *Connection) ForceWindowRecompute(on bool) { c.Framework.WindowRecompute = on }
+
 // SetMemoryLimit sets the connection-wide execution-memory budget in bytes,
 // shared by all concurrent queries of this connection (0 = unlimited).
 // Memory-hungry operators (sort, hash join, aggregate) charge their retained

@@ -110,6 +110,10 @@ type Framework struct {
 	// DisableSpill turns off overflow-to-disk: a query exceeding its budget
 	// fails with a "memory budget exceeded" error instead of spilling.
 	DisableSpill bool
+	// WindowRecompute forces the window operator's per-frame recompute path
+	// instead of incremental frame maintenance (the A/B baseline of the
+	// window benchmarks).
+	WindowRecompute bool
 
 	// poolMu guards the lazily created shared worker pool.
 	poolMu sync.Mutex
@@ -554,5 +558,6 @@ func (f *Framework) newExecContext() *exec.Context {
 	ctx.BatchMode = !f.RowMode
 	ctx.BatchSize = f.BatchSize
 	ctx.Alloc = f.newAllocator(false)
+	ctx.WindowRecompute = f.WindowRecompute
 	return ctx
 }

@@ -33,11 +33,16 @@ type Context struct {
 	// schema.DefaultBatchSize.
 	BatchSize int
 	// Alloc is the query's memory account. Memory-hungry operators (sort,
-	// hash join, aggregate) charge their retained state against it and spill
-	// to disk when a grant fails; every worker partition of a parallel plan
-	// charges the same allocator. A nil Alloc means the query is ungoverned:
-	// grants always succeed, nothing is tracked, nothing spills.
+	// hash join, aggregate, window) charge their retained state against it
+	// and spill to disk when a grant fails; every worker partition of a
+	// parallel plan charges the same allocator. A nil Alloc means the query
+	// is ungoverned: grants always succeed, nothing is tracked, nothing
+	// spills.
 	Alloc *memory.Allocator
+	// WindowRecompute forces the window operator's O(n·frame) per-frame
+	// recompute path instead of incremental frame maintenance — the A/B
+	// baseline of the window benchmarks.
+	WindowRecompute bool
 }
 
 // NewContext returns an execution context with no parameters. Batch mode is

@@ -147,7 +147,7 @@ func TestWindowFrames(t *testing.T) {
 	sum := rex.NewAggCall(rex.AggSum, []int{1}, false, "s")
 
 	// ROWS 1 PRECEDING: sliding pairs.
-	g := rel.WindowGroup{OrderKeys: orderKeys, Frame: rel.WindowFrame{Rows: true, Preceding: 1}, Calls: []rex.AggCall{sum}}
+	g := rel.WindowGroup{OrderKeys: orderKeys, Frame: rel.WindowFrame{Rows: true, Lo: -1}, Calls: []rex.AggCall{sum}}
 	rows := run(t, exec.NewWindow(scanOf2(tb), []rel.WindowGroup{g}))
 	wantRows := []int64{1, 3, 6, 12}
 	for i, w := range wantRows {
@@ -156,7 +156,7 @@ func TestWindowFrames(t *testing.T) {
 		}
 	}
 	// RANGE 15 PRECEDING over ts.
-	g = rel.WindowGroup{OrderKeys: orderKeys, Frame: rel.WindowFrame{Rows: false, Preceding: 15}, Calls: []rex.AggCall{sum}}
+	g = rel.WindowGroup{OrderKeys: orderKeys, Frame: rel.WindowFrame{Rows: false, Lo: -15}, Calls: []rex.AggCall{sum}}
 	rows = run(t, exec.NewWindow(scanOf2(tb), []rel.WindowGroup{g}))
 	wantRange := []int64{1, 3, 6, 12}
 	for i, w := range wantRange {
@@ -165,7 +165,7 @@ func TestWindowFrames(t *testing.T) {
 		}
 	}
 	// UNBOUNDED PRECEDING: running total.
-	g = rel.WindowGroup{OrderKeys: orderKeys, Frame: rel.WindowFrame{Preceding: -1}, Calls: []rex.AggCall{sum}}
+	g = rel.WindowGroup{OrderKeys: orderKeys, Frame: rel.DefaultFrame(), Calls: []rex.AggCall{sum}}
 	rows = run(t, exec.NewWindow(scanOf2(tb), []rel.WindowGroup{g}))
 	if got, _ := types.AsInt(rows[3][2]); got != 15 {
 		t.Errorf("running total = %v", rows[3][2])

@@ -36,6 +36,20 @@ type ExternalSorter struct {
 	width int
 	rows  [][]any
 	runs  []*memory.Run
+	// Total declares cmp a total order (no two distinct rows compare equal),
+	// allowing the cheaper non-stable in-memory sort; the output is identical
+	// because a total order leaves stability nothing to decide. The window
+	// pipeline sets it — its comparators tie-break on unique row positions.
+	Total bool
+}
+
+// sortBuf sorts the in-memory buffer.
+func (s *ExternalSorter) sortBuf() {
+	if s.Total {
+		sort.Slice(s.rows, func(i, j int) bool { return s.cmp(s.rows[i], s.rows[j]) < 0 })
+		return
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool { return s.cmp(s.rows[i], s.rows[j]) < 0 })
 }
 
 // NewExternalSorter opens a sorter charging the context's allocator under
@@ -54,6 +68,10 @@ func NewExternalSorter(ctx *Context, op string, cmp func(a, b []any) int, width 
 // debt is bounded — the next failing grant spills it — and starving one
 // worker forever would deadlock progress, not save memory.
 func (s *ExternalSorter) Add(row []any) error {
+	if s.res == nil { // ungoverned: nothing to charge, nothing to spill
+		s.rows = append(s.rows, row)
+		return nil
+	}
 	sz := types.SizeOfRow(row)
 	if err := s.res.Grow(sz); err != nil {
 		if !s.res.SpillAllowed() {
@@ -74,7 +92,7 @@ func (s *ExternalSorter) Add(row []any) error {
 
 // spill sorts the buffered rows and writes them out as one run.
 func (s *ExternalSorter) spill() error {
-	sort.SliceStable(s.rows, func(i, j int) bool { return s.cmp(s.rows[i], s.rows[j]) < 0 })
+	s.sortBuf()
 	w, err := s.ctx.Alloc.NewRun(s.op)
 	if err != nil {
 		return err
@@ -170,12 +188,11 @@ func (s *ExternalSorter) mergeRunsToRun(runs []*memory.Run) (*memory.Run, error)
 	return merged, nil
 }
 
-// Finish sorts whatever remains in memory and returns the merged, sorted
-// output with offset/fetch applied (fetch < 0 = unlimited).
-func (s *ExternalSorter) Finish(offset, fetch int64, batchSize int) (schema.BatchCursor, error) {
-	sort.SliceStable(s.rows, func(i, j int) bool { return s.cmp(s.rows[i], s.rows[j]) < 0 })
-	// Cascade oversized run sets down to one bounded final merge. Merging
-	// left-to-right in groups keeps run order (and therefore stability).
+// cascadeRuns merges oversized run sets down to at most mergeFanIn runs, so
+// the final k-way merge opens a bounded number of files. Merging
+// left-to-right in groups keeps run order (and therefore stability). On
+// error the sorter is abandoned.
+func (s *ExternalSorter) cascadeRuns() error {
 	for len(s.runs) > mergeFanIn {
 		next := make([]*memory.Run, 0, (len(s.runs)+mergeFanIn-1)/mergeFanIn)
 		for start := 0; start < len(s.runs); start += mergeFanIn {
@@ -191,11 +208,21 @@ func (s *ExternalSorter) Finish(offset, fetch int64, batchSize int) (schema.Batc
 			if err != nil {
 				s.runs = append(next, s.runs[start:]...)
 				s.Abandon()
-				return nil, err
+				return err
 			}
 			next = append(next, merged)
 		}
 		s.runs = next
+	}
+	return nil
+}
+
+// Finish sorts whatever remains in memory and returns the merged, sorted
+// output with offset/fetch applied (fetch < 0 = unlimited).
+func (s *ExternalSorter) Finish(offset, fetch int64, batchSize int) (schema.BatchCursor, error) {
+	s.sortBuf()
+	if err := s.cascadeRuns(); err != nil {
+		return nil, err
 	}
 	if len(s.runs) == 0 {
 		rows := s.rows
@@ -247,6 +274,64 @@ func (s *ExternalSorter) Finish(offset, fetch int64, batchSize int) (schema.Batc
 			}
 			res.Free()
 		},
+	}, nil
+}
+
+// FinishStream is Finish for row-at-a-time consumers (the window pipeline's
+// stages feed each other rows): it returns the merged sorted output as a row
+// iterator — next yields nil at the end — skipping the batch round-trip.
+// close releases the reservation and removes any runs; it must be called on
+// every path once FinishStream succeeds.
+func (s *ExternalSorter) FinishStream() (next func() ([]any, error), close func(), err error) {
+	s.sortBuf()
+	if err := s.cascadeRuns(); err != nil {
+		return nil, nil, err
+	}
+	if len(s.runs) == 0 {
+		rows := s.rows
+		pos := 0
+		res := s.res
+		return func() ([]any, error) {
+			if pos >= len(rows) {
+				return nil, nil
+			}
+			row := rows[pos]
+			rows[pos] = nil
+			pos++
+			// Hand the charge off with the row: the downstream stage charges
+			// it as it arrives, so the pipeline's peak stays ~one copy of the
+			// input instead of two (which would spill at half the budget).
+			if res != nil {
+				res.Shrink(types.SizeOfRow(row))
+			}
+			return row, nil
+		}, res.Free, nil
+	}
+	sources := make([]rowSource, 0, len(s.runs)+1)
+	readers := make([]*memory.RunReader, 0, len(s.runs))
+	for _, run := range s.runs {
+		rr, err := run.Open()
+		if err != nil {
+			for _, r := range readers {
+				r.Close()
+			}
+			s.Abandon()
+			return nil, nil, err
+		}
+		readers = append(readers, rr)
+		sources = append(sources, &cursorRowSource{cur: schema.RowCursorFromBatches(rr)})
+	}
+	sources = append(sources, &sliceRowSource{rows: s.rows})
+	m := &mergeRunsCursor{sources: sources, cmp: s.cmp, fetch: -1, width: s.width}
+	runs, res := s.runs, s.res
+	return m.next, func() {
+		for _, r := range readers {
+			r.Close()
+		}
+		for _, r := range runs {
+			r.Remove()
+		}
+		res.Free()
 	}, nil
 }
 

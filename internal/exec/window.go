@@ -1,18 +1,28 @@
 package exec
 
 import (
-	"sort"
+	"fmt"
+	"math"
 
+	"calcite/internal/memory"
 	"calcite/internal/rel"
 	"calcite/internal/rex"
 	"calcite/internal/schema"
+	"calcite/internal/trait"
 	"calcite/internal/types"
 )
 
-// Window is the enumerable window-aggregate operator (§4's window operator:
-// partition, order, frame bounds, and the aggregate functions to execute on
-// each window). It materializes its input, partitions, orders each
-// partition, and evaluates every aggregate over each row's frame.
+// Window is the enumerable window operator (§4's window operator: partition,
+// order, frame bounds, and the functions to execute on each window). It runs
+// as a pipeline of memory-governed sort stages: rows are tagged with their
+// global position, then for each window group sorted by (partition keys,
+// order keys, position) — through the external sorter, so oversized inputs
+// spill instead of blowing the query budget — and evaluated one partition at
+// a time with incremental frame maintenance (retractable accumulators for
+// SUM/COUNT/AVG, a monotonic deque for MIN/MAX, O(n·frame) recompute only
+// for the rest). A final position sort restores the input row order, so the
+// operator's output order is identical across the row, batch and parallel
+// engines.
 type Window struct {
 	*rel.Window
 }
@@ -33,112 +43,778 @@ func (w *Window) Bind(ctx *Context) (schema.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := drain(in)
+	width := rel.FieldCount(w.Inputs()[0])
+	bc, err := w.pipe(ctx, schema.BatchCursorFromCursor(in, width, ctx.batchSize()), tagCounter, false)
 	if err != nil {
 		return nil, err
 	}
-
-	// Output rows start as copies of the input with space for agg results.
-	nAggs := 0
-	for _, g := range w.Groups {
-		nAggs += len(g.Calls)
-	}
-	out := make([][]any, len(rows))
-	for i, row := range rows {
-		o := make([]any, len(row), len(row)+nAggs)
-		copy(o, row)
-		out[i] = o[:len(row)+nAggs]
-	}
-
-	aggOffset := len(w.RowType().Fields) - nAggs
-	col := aggOffset
-	for _, g := range w.Groups {
-		if err := w.computeGroup(rows, out, g, col); err != nil {
-			return nil, err
-		}
-		col += len(g.Calls)
-	}
-	return schema.NewSliceCursor(out), nil
+	return schema.RowCursorFromBatches(bc), nil
 }
 
-func (w *Window) computeGroup(rows, out [][]any, g rel.WindowGroup, col int) error {
-	// Partition row indices.
-	parts := map[string][]int{}
-	var order []string
-	for i, row := range rows {
-		k := types.HashRowKey(row, g.PartitionKeys)
-		if _, ok := parts[k]; !ok {
-			order = append(order, k)
-		}
-		parts[k] = append(parts[k], i)
+// BindBatch is the vectorized path: the input subtree stays columnar and the
+// window emits columnar batches.
+func (w *Window) BindBatch(ctx *Context) (schema.BatchCursor, error) {
+	in, err := BindBatch(ctx, w.Inputs()[0])
+	if err != nil {
+		return nil, err
 	}
-	for _, k := range order {
-		idx := parts[k]
-		// Order the partition.
-		sort.SliceStable(idx, func(a, b int) bool {
-			return CompareRows(rows[idx[a]], rows[idx[b]], g.OrderKeys) < 0
-		})
-		for pos, ri := range idx {
-			lo, hi := frameBounds(rows, idx, pos, g)
-			for ci, callDef := range g.Calls {
-				acc := rex.NewAccumulator(callDef)
-				for p := lo; p <= hi; p++ {
-					if err := acc.Add(rows[idx[p]]); err != nil {
-						return err
-					}
-				}
-				out[ri][col+ci] = acc.Result()
-			}
+	return w.pipe(ctx, in, tagCounter, false)
+}
+
+// BindOverPartition runs the window pipeline over one worker's partition
+// stream, tagging each row with its global input position (batch Seq,
+// physical in-batch index). The output keeps the two hidden position
+// columns — the parallel merge-gather above interleaves the workers'
+// position-sorted streams on them and strips them itself.
+func (w *Window) BindOverPartition(ctx *Context, in schema.BatchCursor) (schema.BatchCursor, error) {
+	return w.pipe(ctx, in, tagSeq, true)
+}
+
+// tagMode selects how input rows get their two position columns.
+type tagMode int
+
+const (
+	// tagCounter tags a serial stream with a running row counter.
+	tagCounter tagMode = iota
+	// tagSeq tags with (batch Seq, physical row index): Seqs are globally
+	// unique and ordered by the serial drain order, and a selection vector's
+	// entries are the physical indices of the surviving rows, so the pair
+	// sorts back to exactly the serial row order even after hash exchanges
+	// split batches across workers.
+	tagSeq
+)
+
+// rowStream is the pull row stream connecting pipeline stages: next returns
+// a nil row at the end; close releases resources.
+type rowStream struct {
+	next  func() ([]any, error)
+	close func()
+}
+
+// pipe chains the per-group sort+evaluate stages and the final position
+// sort. Stages exchange rows directly — no batch round-trips — and every
+// sort runs through the memory-governed external sorter, so oversized
+// inputs spill instead of blowing the query budget. The final sort restores
+// position order; a worker's partitions hold position ranges that interleave
+// with other workers', so the parallel path needs it too — the merge-gather
+// above can only interleave streams that are each position-sorted. keepPos
+// keeps the two hidden position columns in the output.
+func (w *Window) pipe(ctx *Context, in schema.BatchCursor, tag tagMode, keepPos bool) (schema.BatchCursor, error) {
+	base := rel.FieldCount(w.Inputs()[0])
+	outW := len(w.RowType().Fields)
+	rows := batchRows(in, tag, outW-base)
+	done := 0
+	for gi := range w.Groups {
+		g := w.Groups[gi]
+		inW := base + done + 2
+		sorter := NewExternalSorter(ctx, "Window", groupCmp(g, inW), inW)
+		sorter.Total = true
+		if err := drainInto(sorter, rows); err != nil {
+			return nil, err
 		}
+		next, closeFn, err := sorter.FinishStream()
+		if err != nil {
+			return nil, err
+		}
+		rows = evalStream(next, closeFn, g, inW, ctx.WindowRecompute,
+			memory.Reserve(ctx.Alloc, "Window"))
+		done += len(g.Calls)
+	}
+	width := outW
+	if keepPos {
+		width = outW + 2
+	}
+	if ctx.Alloc == nil && tag == tagCounter {
+		// Ungoverned serial stream: the counter positions are dense, so the
+		// restore is an O(n) scatter into position slots — no comparison
+		// sort. (Governed runs keep the sorter: a scatter would materialize
+		// the whole output outside the budget.)
+		next, err := scatterByPos(rows, outW+2)
+		if err != nil {
+			return nil, err
+		}
+		return &packCursor{next: next, close: func() {}, width: width, batchSize: ctx.batchSize()}, nil
+	}
+	sorter := NewExternalSorter(ctx, "Window", func(a, b []any) int {
+		return comparePos(a, b, outW+2)
+	}, outW+2)
+	sorter.Total = true
+	if err := drainInto(sorter, rows); err != nil {
+		return nil, err
+	}
+	next, closeFn, err := sorter.FinishStream()
+	if err != nil {
+		return nil, err
+	}
+	return &packCursor{next: next, close: closeFn, width: width, batchSize: ctx.batchSize()}, nil
+}
+
+// scatterByPos drains the stream into a slice indexed by the dense counter
+// position and returns an iterator over it.
+func scatterByPos(rs rowStream, width int) (func() ([]any, error), error) {
+	var out [][]any
+	for {
+		row, err := rs.next()
+		if err != nil {
+			rs.close()
+			return nil, err
+		}
+		if row == nil {
+			rs.close()
+			break
+		}
+		i, _ := row[width-1].(int64)
+		for int64(len(out)) <= i {
+			out = append(out, nil)
+		}
+		out[i] = row
+	}
+	pos := 0
+	return func() ([]any, error) {
+		if pos >= len(out) {
+			return nil, nil
+		}
+		row := out[pos]
+		pos++
+		return row, nil
+	}, nil
+}
+
+// batchRows adapts a batch cursor to a row stream, tagging each row with its
+// position columns. Rows are allocated with spare capacity for the call
+// results of every group, so the evaluators can extend them in place.
+func batchRows(in schema.BatchCursor, tag tagMode, extraCap int) rowStream {
+	var b *schema.Batch
+	pos := 0
+	counter := int64(0)
+	closed := false
+	closeIn := func() {
+		if !closed {
+			closed = true
+			in.Close()
+		}
+	}
+	return rowStream{
+		next: func() ([]any, error) {
+			for {
+				if closed {
+					return nil, nil
+				}
+				if b == nil || pos >= b.NumRows() {
+					nb, err := in.NextBatch()
+					if err == schema.Done {
+						closeIn()
+						return nil, nil
+					}
+					if err != nil {
+						closeIn()
+						return nil, err
+					}
+					b, pos = nb, 0
+					continue
+				}
+				w := b.Width()
+				row := make([]any, w+2, w+2+extraCap)
+				r := pos
+				if b.Sel != nil {
+					r = int(b.Sel[pos])
+				}
+				for c := 0; c < w; c++ {
+					row[c] = b.Cols[c][r]
+				}
+				if tag == tagCounter {
+					row[w] = int64(0)
+					row[w+1] = counter
+					counter++
+				} else {
+					row[w] = b.Seq
+					row[w+1] = int64(r)
+				}
+				pos++
+				return row, nil
+			}
+		},
+		close: closeIn,
+	}
+}
+
+// drainInto feeds a whole row stream into a sorter, closing the stream.
+func drainInto(sorter *ExternalSorter, rs rowStream) error {
+	defer rs.close()
+	for {
+		row, err := rs.next()
+		if err != nil {
+			sorter.Abandon()
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		if err := sorter.Add(row); err != nil {
+			return err // Add abandons the sorter itself
+		}
+	}
+}
+
+// packCursor re-batches the final row stream, dropping the hidden position
+// columns by reslicing when width says so.
+type packCursor struct {
+	next      func() ([]any, error)
+	close     func()
+	width     int
+	batchSize int
+	buf       [][]any
+	seq       int64
+	done      bool
+}
+
+func (c *packCursor) NextBatch() (*schema.Batch, error) {
+	if c.done {
+		return nil, schema.Done
+	}
+	c.buf = c.buf[:0]
+	for len(c.buf) < c.batchSize {
+		row, err := c.next()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		c.buf = append(c.buf, row[:c.width])
+	}
+	if len(c.buf) == 0 {
+		c.Close()
+		return nil, schema.Done
+	}
+	b := schema.BatchFromRows(c.buf, c.width)
+	b.Seq = c.seq
+	c.seq++
+	return b, nil
+}
+
+func (c *packCursor) Close() error {
+	if !c.done {
+		c.done = true
+		c.close()
 	}
 	return nil
 }
 
-// frameBounds computes the [lo, hi] positions (inclusive) of the window
-// frame for the row at position pos of the ordered partition idx.
-func frameBounds(rows [][]any, idx []int, pos int, g rel.WindowGroup) (int, int) {
+// groupCmp orders rows for one window group: partition keys, then the
+// group's collation, then global position — a total order, so spilled runs
+// merge back deterministically.
+func groupCmp(g rel.WindowGroup, width int) func(a, b []any) int {
+	return func(a, b []any) int {
+		for _, k := range g.PartitionKeys {
+			if c := types.Compare(a[k], b[k]); c != 0 {
+				return c
+			}
+		}
+		if c := CompareRows(a, b, g.OrderKeys); c != 0 {
+			return c
+		}
+		return comparePos(a, b, width)
+	}
+}
+
+// comparePos orders rows by the two trailing position columns.
+func comparePos(a, b []any, width int) int {
+	as, _ := a[width-2].(int64)
+	bs, _ := b[width-2].(int64)
+	if as != bs {
+		if as < bs {
+			return -1
+		}
+		return 1
+	}
+	ai, _ := a[width-1].(int64)
+	bi, _ := b[width-1].(int64)
+	switch {
+	case ai < bi:
+		return -1
+	case ai > bi:
+		return 1
+	}
+	return 0
+}
+
+// evalStream wraps a sorted row stream with the partition evaluator: it
+// buffers one partition at a time — charged to the query allocator; a
+// partition is the operator's irreducible working set — and emits rows
+// extended with the group's call results (inserted before the trailing
+// position columns).
+func evalStream(upstream func() ([]any, error), upClose func(), g rel.WindowGroup,
+	inW int, recompute bool, res *memory.Reservation) rowStream {
+	e := &windowEval{
+		upstream:  upstream,
+		g:         g,
+		inW:       inW,
+		recompute: recompute,
+		res:       res,
+	}
+	return rowStream{
+		next: e.nextRow,
+		close: func() {
+			res.Free()
+			upClose()
+		},
+	}
+}
+
+type windowEval struct {
+	upstream  func() ([]any, error)
+	g         rel.WindowGroup
+	inW       int
+	recompute bool
+	res       *memory.Reservation
+
+	pending [][]any // evaluated rows of the current partition
+	ppos    int
+	ahead   []any // lookahead row belonging to the next partition
+	inDone  bool
+}
+
+func (e *windowEval) nextRow() ([]any, error) {
+	for e.ppos >= len(e.pending) {
+		ok, err := e.loadPartition()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+	row := e.pending[e.ppos]
+	e.ppos++
+	return row, nil
+}
+
+// loadPartition buffers the next partition's rows and evaluates the group
+// over it. Returns false when the input is exhausted.
+func (e *windowEval) loadPartition() (bool, error) {
+	e.res.Shrink(e.res.Held())
+	e.pending, e.ppos = nil, 0
+	var part [][]any
+	if e.ahead != nil {
+		part = append(part, e.ahead)
+		e.ahead = nil
+	} else {
+		if e.inDone {
+			return false, nil
+		}
+		row, err := e.upstream()
+		if err != nil {
+			return false, err
+		}
+		if row == nil {
+			e.inDone = true
+			return false, nil
+		}
+		part = append(part, row)
+	}
+	for !e.inDone {
+		row, err := e.upstream()
+		if err != nil {
+			return false, err
+		}
+		if row == nil {
+			e.inDone = true
+			break
+		}
+		if !samePartition(row, part[0], e.g.PartitionKeys) {
+			e.ahead = row
+			break
+		}
+		// A single partition cannot be evaluated piecewise (frames may span
+		// it entirely), so a failing grant only errors when spilling is
+		// forbidden; otherwise the partition is accepted untracked.
+		if err := e.res.Grow(types.SizeOfRow(row)); err != nil && !e.res.SpillAllowed() {
+			return false, err
+		}
+		part = append(part, row)
+	}
+	pending, err := evalPartition(part, e.g, e.inW, e.recompute)
+	if err != nil {
+		return false, err
+	}
+	e.pending = pending
+	return true, nil
+}
+
+func samePartition(a, b []any, keys []int) bool {
+	for _, k := range keys {
+		if types.Compare(a[k], b[k]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- partition evaluation ---
+
+// evalPartition computes every call of one window group over one ordered
+// partition, returning the output rows: input prefix ++ call results ++
+// position tail.
+func evalPartition(part [][]any, g rel.WindowGroup, inW int, recompute bool) ([][]any, error) {
+	needBounds := false
+	for _, call := range g.Calls {
+		if !call.Func.WindowOnly() {
+			needBounds = true
+		}
+	}
+	var lo, hi []int
+	if needBounds {
+		var err error
+		lo, hi, err = frameBoundsAll(part, g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([][]any, len(g.Calls))
+	for ci, call := range g.Calls {
+		vals, err := evalCall(part, g, call, lo, hi, recompute)
+		if err != nil {
+			return nil, err
+		}
+		results[ci] = vals
+	}
+	// Extend each row with the results, inserted before the position tail —
+	// in place when the row has spare capacity (batchRows reserves it), else
+	// reallocating (rows rehydrated from spill runs arrive at exact size).
+	nc := len(g.Calls)
+	for i := range part {
+		row := part[i]
+		if cap(row) >= inW+nc {
+			row = row[:inW+nc]
+			copy(row[inW-2+nc:], row[inW-2:inW])
+		} else {
+			grown := make([]any, inW+nc)
+			copy(grown, row[:inW-2])
+			copy(grown[inW-2+nc:], row[inW-2:inW])
+			row = grown
+		}
+		for ci := range results {
+			row[inW-2+ci] = results[ci][i]
+		}
+		part[i] = row
+	}
+	return part, nil
+}
+
+// evalCall computes one call's value for every row of the partition.
+func evalCall(part [][]any, g rel.WindowGroup, call rex.AggCall, lo, hi []int, recompute bool) ([]any, error) {
+	n := len(part)
+	vals := make([]any, n)
+	switch call.Func {
+	case rex.AggRowNumber:
+		for i := range vals {
+			vals[i] = int64(i + 1)
+		}
+		return vals, nil
+	case rex.AggRank, rex.AggDenseRank:
+		rank, dense := int64(1), int64(0)
+		for i := 0; i < n; i++ {
+			if i == 0 || CompareRows(part[i], part[i-1], g.OrderKeys) != 0 {
+				rank = int64(i + 1)
+				dense++
+			}
+			if call.Func == rex.AggRank {
+				vals[i] = rank
+			} else {
+				vals[i] = dense
+			}
+		}
+		return vals, nil
+	case rex.AggLag, rex.AggLead:
+		return evalNavigation(part, call)
+	}
+	// Frame aggregates: incremental when the call supports it.
+	if !recompute {
+		if rex.CanRetract(call) {
+			return slideRetract(part, call, lo, hi)
+		}
+		if !call.Distinct && (call.Func == rex.AggMin || call.Func == rex.AggMax) {
+			return slideDeque(part, call, lo, hi), nil
+		}
+	}
+	// Per-frame recompute: COLLECT, DISTINCT, SINGLE_VALUE, and the
+	// benchmarks' A/B baseline.
+	for i := 0; i < n; i++ {
+		acc := rex.NewAccumulator(call)
+		for p := lo[i]; p <= hi[i]; p++ {
+			if err := acc.Add(part[p]); err != nil {
+				return nil, err
+			}
+		}
+		vals[i] = acc.Result()
+	}
+	return vals, nil
+}
+
+// evalNavigation computes LAG/LEAD: the value of args[0] at a row offset
+// rows away within the partition (default offset 1), or the default value
+// (args[2], NULL if absent) when the target falls outside the partition.
+func evalNavigation(part [][]any, call rex.AggCall) ([]any, error) {
+	n := len(part)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		off := int64(1)
+		if len(call.Args) > 1 {
+			v := part[i][call.Args[1]]
+			if v == nil {
+				vals[i] = nil
+				continue
+			}
+			o, ok := types.AsInt(v)
+			if !ok {
+				return nil, fmt.Errorf("exec: %s offset must be numeric, got %T", call.Func, v)
+			}
+			off = o
+		}
+		var def any
+		if len(call.Args) > 2 {
+			def = part[i][call.Args[2]]
+		}
+		j := i - int(off)
+		if call.Func == rex.AggLead {
+			j = i + int(off)
+		}
+		if j >= 0 && j < n {
+			vals[i] = part[j][call.Args[0]]
+		} else {
+			vals[i] = def
+		}
+	}
+	return vals, nil
+}
+
+// slideRetract evaluates a retractable aggregate over sliding frames in
+// O(n): entering rows are added, departing rows retracted. Frame bound
+// sequences are nondecreasing (see frameBoundsAll), so both pointers only
+// move forward.
+func slideRetract(part [][]any, call rex.AggCall, lo, hi []int) ([]any, error) {
+	n := len(part)
+	vals := make([]any, n)
+	acc := rex.NewAccumulator(call).(rex.Retractable)
+	curLo, curHi := 0, -1
+	for i := 0; i < n; i++ {
+		for curHi < hi[i] {
+			curHi++
+			if err := acc.Add(part[curHi]); err != nil {
+				return nil, err
+			}
+		}
+		for curLo < lo[i] {
+			if err := acc.Retract(part[curLo]); err != nil {
+				return nil, err
+			}
+			curLo++
+		}
+		vals[i] = acc.Result()
+	}
+	return vals, nil
+}
+
+// slideDeque evaluates MIN/MAX over sliding frames with a monotonic deque of
+// candidate positions: amortized O(1) per row instead of O(frame).
+func slideDeque(part [][]any, call rex.AggCall, lo, hi []int) []any {
+	n := len(part)
+	vals := make([]any, n)
+	arg := call.Args[0]
+	keep := func(back, v any) bool { // back stays in front of v
+		if call.Func == rex.AggMin {
+			return types.Compare(back, v) < 0
+		}
+		return types.Compare(back, v) > 0
+	}
+	var dq []int
+	head := 0
+	pushed := -1
+	for i := 0; i < n; i++ {
+		for pushed < hi[i] {
+			pushed++
+			row := part[pushed]
+			if call.FilterArg >= 0 {
+				if pass, _ := row[call.FilterArg].(bool); !pass {
+					continue
+				}
+			}
+			v := row[arg]
+			if v == nil {
+				continue
+			}
+			for len(dq) > head && !keep(part[dq[len(dq)-1]][arg], v) {
+				dq = dq[:len(dq)-1]
+			}
+			dq = append(dq, pushed)
+		}
+		for head < len(dq) && dq[head] < lo[i] {
+			head++
+		}
+		if head < len(dq) {
+			vals[i] = part[dq[head]][arg]
+		}
+	}
+	return vals
+}
+
+// --- frame bounds ---
+
+// frameBoundsAll computes the inclusive [lo[i], hi[i]] frame of every row of
+// one ordered partition. RANGE offset bounds are direction-aware — a DESC
+// order key measures the offset toward smaller values — and value
+// comparisons go through types.AsFloat, so temporal order keys (epoch-millis
+// timestamps or time.Time) slide correctly; an order key that is neither
+// numeric nor temporal is a clean error rather than a wrong frame. NULL
+// order keys frame their peer NULLs. Empty frames are canonicalized to
+// lo = hi+1, and both bound sequences are nondecreasing — the invariant the
+// incremental evaluators rely on.
+func frameBoundsAll(part [][]any, g rel.WindowGroup) (lo, hi []int, err error) {
+	n := len(part)
+	lo = make([]int, n)
+	hi = make([]int, n)
 	f := g.Frame
 	if f.Rows {
-		lo := 0
-		if f.Preceding >= 0 {
-			lo = pos - int(f.Preceding)
-			if lo < 0 {
-				lo = 0
+		// Saturate the offsets at the partition size first: an offset past
+		// either end behaves as unbounded, and i+offset can no longer
+		// overflow int for absurd-but-legal constants like maxint FOLLOWING.
+		loOff := clampOffset(f.Lo, n)
+		hiOff := clampOffset(f.Hi, n)
+		for i := 0; i < n; i++ {
+			l := 0
+			if !f.LoUnbounded {
+				l = clamp(i+loOff, 0, n)
 			}
-		}
-		hi := pos
-		if f.Following > 0 {
-			hi = pos + int(f.Following)
-			if hi >= len(idx) {
-				hi = len(idx) - 1
+			h := n - 1
+			if !f.HiUnbounded {
+				h = clamp(i+hiOff, -1, n-1)
 			}
-		} else if f.Following < 0 {
-			hi = len(idx) - 1
+			if l > h {
+				l = h + 1
+			}
+			lo[i], hi[i] = l, h
 		}
-		return lo, hi
+		return lo, hi, nil
 	}
-	// RANGE frame over the first order key (the paper's sliding windows:
-	// "RANGE INTERVAL '1' HOUR PRECEDING" over rowtime).
+
+	// RANGE without ORDER BY: every row is a peer of every other — the
+	// frame is the whole partition.
 	if len(g.OrderKeys) == 0 {
-		return 0, len(idx) - 1 // no order: whole partition
+		for i := 0; i < n; i++ {
+			hi[i] = n - 1
+		}
+		return lo, hi, nil
 	}
-	keyCol := g.OrderKeys[0].Field
-	cur, curOK := types.AsFloat(rows[idx[pos]][keyCol])
-	lo := 0
-	if f.Preceding >= 0 && curOK {
-		limit := cur - float64(f.Preceding)
-		for lo < pos {
-			v, ok := types.AsFloat(rows[idx[lo]][keyCol])
-			if ok && v >= limit {
-				break
+
+	// Peer groups (rows equal under the full collation): the CURRENT ROW
+	// bounds of a RANGE frame, and the whole frame of NULL-keyed rows.
+	peerStart := make([]int, n)
+	peerEnd := make([]int, n)
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || CompareRows(part[i], part[start], g.OrderKeys) != 0 {
+			for j := start; j < i; j++ {
+				peerStart[j] = start
+				peerEnd[j] = i - 1
 			}
-			lo++
+			start = i
 		}
 	}
-	// RANGE frames end at the last peer of the current row.
-	hi := pos
-	for hi+1 < len(idx) && CompareRows(rows[idx[hi+1]], rows[idx[pos]], g.OrderKeys) == 0 {
-		hi++
+	for i := 0; i < n; i++ {
+		switch {
+		case f.LoUnbounded:
+			lo[i] = 0
+		case f.Lo == 0:
+			lo[i] = peerStart[i]
+		}
+		switch {
+		case f.HiUnbounded:
+			hi[i] = n - 1
+		case f.Hi == 0:
+			hi[i] = peerEnd[i]
+		}
 	}
-	return lo, hi
+	loOff := !f.LoUnbounded && f.Lo != 0
+	hiOff := !f.HiUnbounded && f.Hi != 0
+	if loOff || hiOff {
+		// Value-based offsets over the (single) order key, folded to a
+		// direction-free axis: s = ±value, so "N PRECEDING" is always
+		// "s ≥ s_cur − N" regardless of ASC/DESC (bugfix: the ascending-only
+		// scan walked the wrong direction under DESC). NULL keys sort to one
+		// end (direction-dependent) and become ∓∞ on the axis, which keeps
+		// the axis monotone and excludes them from any finite offset bound.
+		fc := g.OrderKeys[0]
+		sign := 1.0
+		nullInf := math.Inf(-1) // ASC: NULLs first
+		if fc.Direction == trait.Descending {
+			sign = -1.0
+			nullInf = math.Inf(1) // DESC: NULLs last
+		}
+		s := make([]float64, n)
+		isNull := make([]bool, n)
+		for i, row := range part {
+			v := row[fc.Field]
+			if v == nil {
+				s[i] = nullInf
+				isNull[i] = true
+				continue
+			}
+			fv, ok := types.AsFloat(v)
+			if !ok {
+				return nil, nil, fmt.Errorf("exec: RANGE frame requires a numeric or temporal order key, cannot offset over %T", v)
+			}
+			s[i] = sign * fv
+		}
+		loPtr, hiPtr := 0, -1
+		for i := 0; i < n; i++ {
+			if isNull[i] {
+				// NULL is a peer only of NULL: its frame is the NULL run.
+				lo[i], hi[i] = peerStart[i], peerEnd[i]
+				continue
+			}
+			if loOff {
+				target := s[i] + float64(f.Lo)
+				for loPtr < n && s[loPtr] < target {
+					loPtr++
+				}
+				lo[i] = loPtr
+			}
+			if hiOff {
+				limit := s[i] + float64(f.Hi)
+				for hiPtr+1 < n && s[hiPtr+1] <= limit {
+					hiPtr++
+				}
+				hi[i] = hiPtr
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if lo[i] > hi[i] {
+			lo[i] = hi[i] + 1
+		}
+	}
+	return lo, hi, nil
+}
+
+func clamp(v, min, max int) int {
+	if v < min {
+		return min
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// clampOffset saturates a signed row offset at ±n (the partition size).
+func clampOffset(v int64, n int) int {
+	if v > int64(n) {
+		return n
+	}
+	if v < -int64(n) {
+		return -n
+	}
+	return int(v)
 }

@@ -243,11 +243,21 @@ type WindowSpec struct {
 	Frame *FrameSpec
 }
 
-// FrameSpec is ROWS/RANGE BETWEEN ... bounds.
+// FrameSpec is a ROWS/RANGE frame clause. The short form ("ROWS 3
+// PRECEDING") sets Hi to CURRENT ROW.
 type FrameSpec struct {
-	Rows      bool
-	Preceding Expr // nil = UNBOUNDED
-	Following Expr // nil = CURRENT ROW
+	Rows   bool
+	Lo, Hi FrameBound
+}
+
+// FrameBound is one endpoint of a window frame: UNBOUNDED, CURRENT ROW, or
+// an offset expression pointing toward the partition start (PRECEDING) or
+// end (FOLLOWING).
+type FrameBound struct {
+	Unbounded bool
+	Current   bool
+	Offset    Expr
+	Following bool
 }
 
 // CaseExpr is a searched or simple CASE.

@@ -511,65 +511,63 @@ func (p *parser) parseFrameSpec() (*FrameSpec, error) {
 	} else if err := p.expectKeyword("RANGE"); err != nil {
 		return nil, err
 	}
-	parseBound := func() (Expr, bool, error) {
-		// Returns (bound, isCurrentRow, err); bound nil means UNBOUNDED.
+	// parseFrameBound parses UNBOUNDED PRECEDING|FOLLOWING, CURRENT ROW, or
+	// "<expr> PRECEDING|FOLLOWING". lower selects which UNBOUNDED direction
+	// is legal for this endpoint.
+	parseFrameBound := func(lower bool) (FrameBound, error) {
 		if p.acceptKeyword("UNBOUNDED") {
-			return nil, false, nil
+			if lower {
+				if err := p.expectKeyword("PRECEDING"); err != nil {
+					return FrameBound{}, err
+				}
+			} else if err := p.expectKeyword("FOLLOWING"); err != nil {
+				return FrameBound{}, err
+			}
+			return FrameBound{Unbounded: true}, nil
 		}
 		if p.acceptKeyword("CURRENT") {
 			if err := p.expectKeyword("ROW"); err != nil {
-				return nil, false, err
+				return FrameBound{}, err
 			}
-			return nil, true, nil
+			return FrameBound{Current: true}, nil
 		}
 		e, err := p.parseAdditive()
-		return e, false, err
+		if err != nil {
+			return FrameBound{}, err
+		}
+		if p.acceptKeyword("FOLLOWING") {
+			return FrameBound{Offset: e, Following: true}, nil
+		}
+		if err := p.expectKeyword("PRECEDING"); err != nil {
+			return FrameBound{}, err
+		}
+		return FrameBound{Offset: e}, nil
 	}
 	if p.acceptKeyword("BETWEEN") {
-		lo, loCur, err := parseBound()
+		lo, err := parseFrameBound(true)
 		if err != nil {
 			return nil, err
-		}
-		if !loCur {
-			if err := p.expectKeyword("PRECEDING"); err != nil {
-				return nil, err
-			}
 		}
 		if err := p.expectKeyword("AND"); err != nil {
 			return nil, err
 		}
-		hi, hiCur, err := parseBound()
+		hi, err := parseFrameBound(false)
 		if err != nil {
 			return nil, err
 		}
-		if !hiCur {
-			if p.acceptKeyword("FOLLOWING") {
-				// bounded following
-			} else if err := p.expectKeyword("PRECEDING"); err != nil {
-				return nil, err
-			}
-		}
-		frame.Preceding = lo
-		if loCur {
-			frame.Preceding = &NumberLit{Text: "0", IsInt: true}
-		}
-		if !hiCur {
-			frame.Following = hi
-		}
+		frame.Lo, frame.Hi = lo, hi
 		return frame, nil
 	}
-	// Short form: "<N> PRECEDING" or "UNBOUNDED PRECEDING" or "CURRENT ROW".
-	lo, loCur, err := parseBound()
+	// Short form: "<N> PRECEDING" / "UNBOUNDED PRECEDING" / "CURRENT ROW";
+	// the upper bound defaults to CURRENT ROW.
+	lo, err := parseFrameBound(true)
 	if err != nil {
 		return nil, err
 	}
-	if !loCur {
-		if err := p.expectKeyword("PRECEDING"); err != nil {
-			return nil, err
-		}
-		frame.Preceding = lo
-	} else {
-		frame.Preceding = &NumberLit{Text: "0", IsInt: true}
+	if lo.Following {
+		return nil, p.errorf("frame shorthand bound must be PRECEDING or CURRENT ROW")
 	}
+	frame.Lo = lo
+	frame.Hi = FrameBound{Current: true}
 	return frame, nil
 }

@@ -132,6 +132,41 @@ func TestParseStreamAndWindows(t *testing.T) {
 	}
 }
 
+func TestParseFrameBounds(t *testing.T) {
+	frameOf := func(sql string) *FrameSpec {
+		t.Helper()
+		sel := mustParse(t, sql).(*SelectStmt)
+		return sel.Items[0].Expr.(*FuncCall).Over.Frame
+	}
+	fs := frameOf(`SELECT SUM(v) OVER (ORDER BY v ROWS 3 PRECEDING) FROM t`)
+	if !fs.Rows || fs.Lo.Offset == nil || fs.Lo.Following || !fs.Hi.Current {
+		t.Errorf("short form: %+v", fs)
+	}
+	fs = frameOf(`SELECT SUM(v) OVER (ORDER BY v ROWS BETWEEN 3 PRECEDING AND 1 PRECEDING) FROM t`)
+	if fs.Hi.Offset == nil || fs.Hi.Following {
+		t.Errorf("upper PRECEDING bound: %+v", fs)
+	}
+	fs = frameOf(`SELECT SUM(v) OVER (ORDER BY v ROWS BETWEEN CURRENT ROW AND UNBOUNDED FOLLOWING) FROM t`)
+	if !fs.Lo.Current || !fs.Hi.Unbounded {
+		t.Errorf("current..unbounded: %+v", fs)
+	}
+	fs = frameOf(`SELECT SUM(v) OVER (ORDER BY v RANGE BETWEEN 2 FOLLOWING AND 5 FOLLOWING) FROM t`)
+	if fs.Rows || !fs.Lo.Following || !fs.Hi.Following {
+		t.Errorf("following..following: %+v", fs)
+	}
+	// UNBOUNDED must take the direction of its endpoint, and the short form
+	// cannot point forward.
+	for _, bad := range []string{
+		`SELECT SUM(v) OVER (ORDER BY v ROWS BETWEEN UNBOUNDED FOLLOWING AND CURRENT ROW) FROM t`,
+		`SELECT SUM(v) OVER (ORDER BY v ROWS BETWEEN CURRENT ROW AND UNBOUNDED PRECEDING) FROM t`,
+		`SELECT SUM(v) OVER (ORDER BY v ROWS 3 FOLLOWING) FROM t`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("expected parse error: %s", bad)
+		}
+	}
+}
+
 func TestParseDDL(t *testing.T) {
 	ct := mustParse(t, "CREATE TABLE s.t (id BIGINT, name VARCHAR(20), tags VARCHAR ARRAY)").(*CreateTableStmt)
 	if len(ct.Name) != 2 || len(ct.Cols) != 3 {

@@ -436,11 +436,36 @@ func (v *Values) WithNewInputs(inputs []Node) Node {
 // WindowFrame describes the bounds of a window aggregate (§4: the window
 // operator "encapsulates the window definition, i.e. upper and lower bound,
 // partitioning etc."). Rows=false means RANGE (value-based, over the order
-// key). Preceding/Following of -1 mean UNBOUNDED.
+// key). Lo and Hi are signed offsets from the current row measured along the
+// sort direction — negative toward the partition start (PRECEDING), positive
+// toward its end (FOLLOWING), 0 meaning CURRENT ROW (for RANGE: the current
+// row's peer group). ROWS offsets count rows; RANGE offsets are order-key
+// units (e.g. interval milliseconds over a rowtime column, §7.2). The
+// unbounded flags override the corresponding offset.
 type WindowFrame struct {
-	Rows      bool
-	Preceding int64
-	Following int64
+	Rows        bool
+	LoUnbounded bool
+	Lo          int64
+	HiUnbounded bool
+	Hi          int64
+}
+
+// DefaultFrame is the implicit frame of an OVER clause with no frame spec:
+// RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW.
+func DefaultFrame() WindowFrame { return WindowFrame{LoUnbounded: true} }
+
+func frameBoundString(unbounded bool, off int64, lower bool) string {
+	switch {
+	case unbounded && lower:
+		return "UNBOUNDED PRECEDING"
+	case unbounded:
+		return "UNBOUNDED FOLLOWING"
+	case off < 0:
+		return fmt.Sprintf("%d PRECEDING", -off)
+	case off > 0:
+		return fmt.Sprintf("%d FOLLOWING", off)
+	}
+	return "CURRENT ROW"
 }
 
 func (f WindowFrame) String() string {
@@ -448,17 +473,9 @@ func (f WindowFrame) String() string {
 	if f.Rows {
 		unit = "ROWS"
 	}
-	lo := "UNBOUNDED PRECEDING"
-	if f.Preceding >= 0 {
-		lo = fmt.Sprintf("%d PRECEDING", f.Preceding)
-	}
-	hi := "CURRENT ROW"
-	if f.Following > 0 {
-		hi = fmt.Sprintf("%d FOLLOWING", f.Following)
-	} else if f.Following < 0 {
-		hi = "UNBOUNDED FOLLOWING"
-	}
-	return fmt.Sprintf("%s BETWEEN %s AND %s", unit, lo, hi)
+	return fmt.Sprintf("%s BETWEEN %s AND %s", unit,
+		frameBoundString(f.LoUnbounded, f.Lo, true),
+		frameBoundString(f.HiUnbounded, f.Hi, false))
 }
 
 // WindowGroup is one OVER clause shared by one or more aggregate calls.

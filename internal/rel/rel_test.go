@@ -113,7 +113,7 @@ func TestExplainAndWalk(t *testing.T) {
 func TestWindowRowType(t *testing.T) {
 	w := rel.NewWindow(scan(), []rel.WindowGroup{{
 		OrderKeys: trait.Collation{{Field: 0, Direction: trait.Ascending}},
-		Frame:     rel.WindowFrame{Preceding: -1},
+		Frame:     rel.DefaultFrame(),
 		Calls:     []rex.AggCall{rex.NewAggCall(rex.AggSum, []int{0}, false, "s")},
 	}})
 	if rel.FieldCount(w) != 3 {

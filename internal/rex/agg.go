@@ -18,6 +18,16 @@ const (
 	AggAvg
 	AggCollect     // gathers values into a MULTISET
 	AggSingleValue // asserts exactly one input value (scalar subqueries)
+
+	// Window-only (ranking/navigation) functions. They are positional over
+	// an ordered partition rather than folds over a frame, so they resolve
+	// through LookupWindowFunc only — a GROUP BY aggregate can never name
+	// them.
+	AggRowNumber
+	AggRank
+	AggDenseRank
+	AggLag
+	AggLead
 )
 
 var aggNames = map[AggFuncKind]string{
@@ -30,11 +40,46 @@ var aggNames = map[AggFuncKind]string{
 	AggSingleValue: "SINGLE_VALUE",
 }
 
-func (k AggFuncKind) String() string { return aggNames[k] }
+// winOnlyNames are the functions valid only under an OVER clause.
+var winOnlyNames = map[AggFuncKind]string{
+	AggRowNumber: "ROW_NUMBER",
+	AggRank:      "RANK",
+	AggDenseRank: "DENSE_RANK",
+	AggLag:       "LAG",
+	AggLead:      "LEAD",
+}
+
+func (k AggFuncKind) String() string {
+	if n, ok := aggNames[k]; ok {
+		return n
+	}
+	return winOnlyNames[k]
+}
+
+// WindowOnly reports whether k is a ranking/navigation function that is only
+// meaningful under an OVER clause.
+func (k AggFuncKind) WindowOnly() bool {
+	_, ok := winOnlyNames[k]
+	return ok
+}
 
 // LookupAggFunc resolves an aggregate function name.
 func LookupAggFunc(name string) (AggFuncKind, bool) {
 	for k, n := range aggNames {
+		if strings.EqualFold(n, name) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// LookupWindowFunc resolves a function name usable under an OVER clause:
+// every aggregate plus the ranking/navigation functions.
+func LookupWindowFunc(name string) (AggFuncKind, bool) {
+	if k, ok := LookupAggFunc(name); ok {
+		return k, true
+	}
+	for k, n := range winOnlyNames {
 		if strings.EqualFold(n, name) {
 			return k, true
 		}
@@ -78,6 +123,13 @@ func (a AggCall) ResultType(inputFields []types.Field) *types.Type {
 			elem = inputFields[a.Args[0]].Type
 		}
 		return types.Multiset(elem)
+	case AggRowNumber, AggRank, AggDenseRank:
+		return types.BigInt
+	case AggLag, AggLead:
+		if len(a.Args) > 0 && a.Args[0] < len(inputFields) {
+			return inputFields[a.Args[0]].Type.WithNullable(true)
+		}
+		return types.Any
 	}
 	return types.Any
 }
@@ -117,6 +169,32 @@ type Accumulator interface {
 	Result() any
 }
 
+// Retractable is an accumulator that can remove a previously Added row —
+// the incremental-frame hook of the window operator: a sliding frame
+// evaluates in O(n) per partition by adding entering rows and retracting
+// departing ones instead of recomputing every frame from scratch (the
+// FO+MOD-style maintenance-under-updates of Berkholz et al.).
+type Retractable interface {
+	Accumulator
+	// Retract removes one row previously fed to Add. Retracting a row that
+	// was never added is undefined.
+	Retract(row []any) error
+}
+
+// CanRetract reports whether the call's accumulator supports retraction
+// (SUM/COUNT/AVG without DISTINCT). MIN/MAX slide via a monotonic deque in
+// the window operator; everything else falls back to per-frame recompute.
+func CanRetract(a AggCall) bool {
+	if a.Distinct {
+		return false
+	}
+	switch a.Func {
+	case AggSum, AggCount, AggAvg:
+		return true
+	}
+	return false
+}
+
 // MergeAccumulators folds src into dst — the partial→final combine step of
 // parallel aggregation: workers pre-aggregate thread-locally, then the final
 // stage merges the per-worker states of each group.
@@ -148,11 +226,16 @@ func NewAccumulator(a AggCall) Accumulator {
 }
 
 type aggState struct {
-	call    AggCall
-	count   int64
-	sumF    float64
-	sumI    int64
-	allInts bool
+	call  AggCall
+	count int64
+	sumF  float64
+	sumI  int64
+	// floats counts the non-integer values currently contributing to the
+	// sums. Integer values always feed both sums, so when every float has
+	// been retracted from a sliding frame (floats back to 0) the exact
+	// integer sum is still on hand — SUM's result type follows the live
+	// frame contents, matching a from-scratch recompute.
+	floats  int64
 	started bool
 	minV    any
 	maxV    any
@@ -177,13 +260,12 @@ func (s *aggState) Add(row []any) error {
 	}
 	if !s.started {
 		s.started = true
-		s.allInts = true
 		s.minV, s.maxV = v, v
 	}
 	s.count++
 	switch s.call.Func {
 	case AggSum, AggAvg:
-		if i, ok := v.(int64); ok && s.allInts {
+		if i, ok := v.(int64); ok {
 			s.sumI += i
 			s.sumF += float64(i)
 		} else {
@@ -191,9 +273,7 @@ func (s *aggState) Add(row []any) error {
 			if !ok {
 				return fmt.Errorf("rex: %s over non-numeric %T", s.call.Func, v)
 			}
-			if s.allInts {
-				s.allInts = false
-			}
+			s.floats++
 			s.sumF += f
 		}
 	case AggMin:
@@ -223,7 +303,7 @@ func (s *aggState) Result() any {
 		if !s.started {
 			return nil
 		}
-		if s.allInts {
+		if s.floats == 0 {
 			return s.sumI
 		}
 		return s.sumF
@@ -247,6 +327,55 @@ func (s *aggState) Result() any {
 	return nil
 }
 
+// Retract removes one previously Added row (SUM/COUNT/AVG only). When the
+// last row leaves, the state resets to pristine so SUM over an empty frame
+// is NULL again and integer sums recover exactness for later frames.
+func (s *aggState) Retract(row []any) error {
+	if s.call.FilterArg >= 0 {
+		keep, _ := row[s.call.FilterArg].(bool)
+		if !keep {
+			return nil
+		}
+	}
+	if len(s.call.Args) == 0 { // COUNT(*)
+		if s.call.Func != AggCount {
+			return fmt.Errorf("rex: %s does not support retraction", s.call.Func)
+		}
+		s.count--
+		return nil
+	}
+	v := row[s.call.Args[0]]
+	if v == nil {
+		return nil // NULLs were never added
+	}
+	switch s.call.Func {
+	case AggSum, AggAvg:
+		// Mirror Add exactly, so every retraction undoes precisely what the
+		// matching Add contributed.
+		if i, ok := v.(int64); ok {
+			s.sumI -= i
+			s.sumF -= float64(i)
+		} else {
+			f, ok := types.AsFloat(v)
+			if !ok {
+				return fmt.Errorf("rex: %s over non-numeric %T", s.call.Func, v)
+			}
+			s.floats--
+			s.sumF -= f
+		}
+	case AggCount:
+	default:
+		return fmt.Errorf("rex: %s does not support retraction", s.call.Func)
+	}
+	s.count--
+	if s.count == 0 {
+		s.started = false
+		s.sumI, s.sumF = 0, 0
+		s.floats = 0
+	}
+	return nil
+}
+
 // merge folds another partial aggState of the same call into s.
 func (s *aggState) merge(o *aggState) error {
 	if o.call.Func != s.call.Func {
@@ -258,7 +387,7 @@ func (s *aggState) merge(o *aggState) error {
 	}
 	if !s.started {
 		s.started = true
-		s.allInts = o.allInts
+		s.floats = o.floats
 		s.sumI, s.sumF = o.sumI, o.sumF
 		s.minV, s.maxV = o.minV, o.maxV
 		s.values = append(s.values, o.values...)
@@ -269,9 +398,7 @@ func (s *aggState) merge(o *aggState) error {
 	}
 	switch s.call.Func {
 	case AggSum, AggAvg:
-		if !o.allInts {
-			s.allInts = false
-		}
+		s.floats += o.floats
 		s.sumI += o.sumI
 		s.sumF += o.sumF
 	case AggMin:

@@ -20,7 +20,7 @@ func DehydrateAccumulator(a Accumulator) (any, error) {
 	switch s := a.(type) {
 	case *aggState:
 		return []any{
-			"agg", s.count, s.sumF, s.sumI, s.allInts, s.started,
+			"agg", s.count, s.sumF, s.sumI, s.floats, s.started,
 			s.minV, s.maxV, append([]any(nil), s.values...),
 		}, nil
 	case *distinctState:
@@ -49,7 +49,7 @@ func HydrateAccumulator(call AggCall, state any) (Accumulator, error) {
 		s.count, _ = parts[1].(int64)
 		s.sumF, _ = parts[2].(float64)
 		s.sumI, _ = parts[3].(int64)
-		s.allInts, _ = parts[4].(bool)
+		s.floats, _ = parts[4].(int64)
 		s.started, _ = parts[5].(bool)
 		s.minV = parts[6]
 		s.maxV = parts[7]

@@ -504,11 +504,27 @@ func (c *Converter) attachWindows(sel *parser.SelectStmt, items []parser.SelectI
 			continue
 		}
 		seenCall[digest] = true
-		kind, ok := rex.LookupAggFunc(f.Name)
+		kind, ok := rex.LookupWindowFunc(f.Name)
 		if !ok && f.Star {
 			kind = rex.AggCount
 		} else if !ok {
 			return nil, nil, fmt.Errorf("sql2rel: unknown window function %q", f.Name)
+		}
+		switch kind {
+		case rex.AggRowNumber, rex.AggRank, rex.AggDenseRank:
+			if len(f.Args) != 0 || f.Star {
+				return nil, nil, fmt.Errorf("sql2rel: %s takes no arguments", kind)
+			}
+			if kind != rex.AggRowNumber && len(f.Over.OrderBy) == 0 {
+				return nil, nil, fmt.Errorf("sql2rel: %s requires ORDER BY in its OVER clause", kind)
+			}
+		case rex.AggLag, rex.AggLead:
+			if len(f.Args) < 1 || len(f.Args) > 3 {
+				return nil, nil, fmt.Errorf("sql2rel: %s takes 1 to 3 arguments (value, offset, default)", kind)
+			}
+		}
+		if f.Distinct && kind.WindowOnly() {
+			return nil, nil, fmt.Errorf("sql2rel: DISTINCT is not allowed with %s", kind)
 		}
 		var args []int
 		if !f.Star {
@@ -554,34 +570,9 @@ func (c *Converter) attachWindows(sel *parser.SelectStmt, items []parser.SelectI
 				return nil, nil, fmt.Errorf("sql2rel: streaming window aggregation requires ORDER BY on a monotonic (rowtime) column (§7.2)")
 			}
 		}
-		frame := rel.WindowFrame{Rows: false, Preceding: -1, Following: 0}
-		if f.Over.Frame != nil {
-			frame.Rows = f.Over.Frame.Rows
-			frame.Preceding = -1
-			if f.Over.Frame.Preceding != nil {
-				p, err := rawConv.Convert(f.Over.Frame.Preceding)
-				if err != nil {
-					return nil, nil, err
-				}
-				v, err := rex.EvalConstant(p)
-				if err != nil {
-					return nil, nil, fmt.Errorf("sql2rel: frame bound must be constant: %v", err)
-				}
-				iv, _ := types.AsInt(v)
-				frame.Preceding = iv
-			}
-			if f.Over.Frame.Following != nil {
-				p, err := rawConv.Convert(f.Over.Frame.Following)
-				if err != nil {
-					return nil, nil, err
-				}
-				v, err := rex.EvalConstant(p)
-				if err != nil {
-					return nil, nil, fmt.Errorf("sql2rel: frame bound must be constant: %v", err)
-				}
-				iv, _ := types.AsInt(v)
-				frame.Following = iv
-			}
+		frame, err := c.convertFrame(f.Over, orderKeys, rawConv)
+		if err != nil {
+			return nil, nil, err
 		}
 		key := groupKey{spec: fmt.Sprintf("%v|%s|%s", partCols, orderKeys, frame)}
 		gb, ok := groups[key]
@@ -632,6 +623,62 @@ func (c *Converter) attachWindows(sel *parser.SelectStmt, items []parser.SelectI
 		outConv.Scope.AddNamespace(ns.Alias, ns.Fields)
 	}
 	return node, outConv, nil
+}
+
+// convertFrame builds the physical frame of one OVER clause: the implicit
+// RANGE UNBOUNDED PRECEDING .. CURRENT ROW when no spec is written,
+// otherwise the parsed bounds folded to signed constant offsets, with the
+// static checks the executor relies on (non-negative constant offsets, a
+// coherent lower/upper pair, and — for value-based RANGE offsets — exactly
+// one ORDER BY key to measure the offset against).
+func (c *Converter) convertFrame(over *parser.WindowSpec, orderKeys trait.Collation, rawConv *validate.ExprConverter) (rel.WindowFrame, error) {
+	frame := rel.DefaultFrame()
+	if over.Frame == nil {
+		return frame, nil
+	}
+	fs := over.Frame
+	frame.Rows = fs.Rows
+	bound := func(b parser.FrameBound) (unbounded bool, off int64, err error) {
+		if b.Unbounded {
+			return true, 0, nil
+		}
+		if b.Current {
+			return false, 0, nil
+		}
+		n, err := rawConv.Convert(b.Offset)
+		if err != nil {
+			return false, 0, err
+		}
+		v, err := rex.EvalConstant(n)
+		if err != nil {
+			return false, 0, fmt.Errorf("sql2rel: frame bound must be constant: %v", err)
+		}
+		iv, ok := types.AsInt(v)
+		if !ok || iv < 0 {
+			return false, 0, fmt.Errorf("sql2rel: frame offset must be a non-negative constant, got %v", v)
+		}
+		if !b.Following {
+			iv = -iv
+		}
+		return false, iv, nil
+	}
+	var err error
+	if frame.LoUnbounded, frame.Lo, err = bound(fs.Lo); err != nil {
+		return frame, err
+	}
+	if frame.HiUnbounded, frame.Hi, err = bound(fs.Hi); err != nil {
+		return frame, err
+	}
+	if !frame.LoUnbounded && !frame.HiUnbounded && frame.Lo > frame.Hi {
+		return frame, fmt.Errorf("sql2rel: frame lower bound is beyond its upper bound")
+	}
+	if !frame.Rows {
+		hasOffset := (!frame.LoUnbounded && frame.Lo != 0) || (!frame.HiUnbounded && frame.Hi != 0)
+		if hasOffset && len(orderKeys) != 1 {
+			return frame, fmt.Errorf("sql2rel: a RANGE frame with an offset requires exactly one ORDER BY key")
+		}
+	}
+	return frame, nil
 }
 
 // deriveName picks the output column name for a select item.

@@ -3,6 +3,7 @@ package types
 import (
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestKindPredicates(t *testing.T) {
@@ -193,5 +194,32 @@ func TestStatisticsLikeFieldIndex(t *testing.T) {
 	rt := Row(Field{"Alpha", BigInt}, Field{"beta", Varchar})
 	if rt.FieldIndex("ALPHA") != 0 || rt.FieldIndex("Beta") != 1 || rt.FieldIndex("x") != -1 {
 		t.Error("FieldIndex should be case-insensitive")
+	}
+}
+
+func TestAsFloatTemporal(t *testing.T) {
+	// Adapters may hand back time.Time where the engine's native
+	// representation is epoch-millisecond int64; both must order identically
+	// (RANGE window frames over a rowtime column rely on it).
+	at := time.Date(2018, 6, 10, 12, 0, 0, 0, time.UTC)
+	f, ok := AsFloat(at)
+	if !ok || f != float64(at.UnixMilli()) {
+		t.Errorf("AsFloat(time.Time) = %v, %v", f, ok)
+	}
+	g, ok := AsFloat(at.UnixMilli())
+	if !ok || g != f {
+		t.Errorf("epoch millis and time.Time diverge: %v vs %v", g, f)
+	}
+	if _, ok := AsFloat("2018-06-10"); ok {
+		t.Error("strings must not coerce to float")
+	}
+	// Compare must be antisymmetric across the two representations, or
+	// sorting a mixed column becomes comparator-order dependent.
+	ms := at.UnixMilli()
+	if Compare(ms-1, at) != -1 || Compare(at, ms-1) != 1 {
+		t.Errorf("mixed compare asymmetric: %d vs %d", Compare(ms-1, at), Compare(at, ms-1))
+	}
+	if Compare(at, ms) != 0 || Compare(ms, at) != 0 {
+		t.Error("equal instants should compare equal both ways")
 	}
 }

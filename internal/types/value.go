@@ -26,7 +26,11 @@ import (
 //	GEOMETRY           geo.Geometry (opaque here; implements fmt.Stringer)
 //	NULL               nil
 
-// AsFloat coerces a numeric runtime value to float64.
+// AsFloat coerces a numeric or temporal runtime value to float64. Temporal
+// values (adapters may hand back time.Time instead of the engine's epoch-
+// millisecond int64) map to epoch milliseconds, so value-based ordering —
+// RANGE window frames over a rowtime column, histogram bucketing — treats
+// both representations identically.
 func AsFloat(v any) (float64, bool) {
 	switch x := v.(type) {
 	case int64:
@@ -40,6 +44,8 @@ func AsFloat(v any) (float64, bool) {
 			return 1, true
 		}
 		return 0, true
+	case time.Time:
+		return float64(x.UnixMilli()), true
 	}
 	return 0, false
 }
@@ -114,6 +120,13 @@ func Compare(a, b any) int {
 				return 1
 			}
 			return 0
+		}
+		// Mixed representations (adapters hand back time.Time, the engine's
+		// native form is epoch-millis int64) compare numerically — and must
+		// do so from BOTH sides, or the comparator turns asymmetric and
+		// sorting/partitioning over such a column becomes arbitrary.
+		if y, ok := AsFloat(b); ok {
+			return compareFloat(float64(x.UnixMilli()), y)
 		}
 	case []any:
 		if y, ok := b.([]any); ok {

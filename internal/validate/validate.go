@@ -419,6 +419,9 @@ func (c *ExprConverter) convertFuncCall(x *parser.FuncCall) (rex.Node, error) {
 	if fn, ok := c.SpecialFuncs[strings.ToUpper(x.Name)]; ok {
 		return fn(x)
 	}
+	if k, ok := rex.LookupWindowFunc(x.Name); ok && k.WindowOnly() {
+		return nil, fmt.Errorf("validate: window function %s requires an OVER clause", x.Name)
+	}
 	if _, isAgg := rex.LookupAggFunc(x.Name); isAgg && !x.Star || x.Star {
 		if c.AggSink == nil {
 			return nil, fmt.Errorf("validate: aggregate function %s is not allowed here", x.Name)

@@ -89,6 +89,8 @@ var diffQueries = []struct {
 	{sql: "SELECT dname FROM (SELECT deptno, dname FROM depts WHERE deptno < 30) t WHERE t.deptno > 5"},
 	{sql: "SELECT products.name, COUNT(*) FROM sales JOIN products USING (productId) WHERE sales.discount IS NOT NULL GROUP BY products.name ORDER BY COUNT(*) DESC, products.name"},
 	{sql: "SELECT productId, COUNT(*) OVER (PARTITION BY productId ORDER BY productId ROWS 10 PRECEDING) AS c FROM sales WHERE productId < 5"},
+	{sql: "SELECT productId, COUNT(discount) OVER (PARTITION BY productId ORDER BY discount DESC ROWS BETWEEN 3 PRECEDING AND 1 PRECEDING) AS c FROM sales WHERE productId < 6"},
+	{sql: "SELECT productId, ROW_NUMBER() OVER (PARTITION BY productId ORDER BY discount DESC) AS rn, LAG(discount) OVER (PARTITION BY productId ORDER BY discount DESC) AS lg FROM sales WHERE productId < 4"},
 	{sql: "SELECT empid, name FROM emps WHERE sal > ? ORDER BY empid", params: []any{120.0}},
 	{sql: "SELECT name FROM emps WHERE empid = ? AND deptno = ?", params: []any{int64(3), int64(10)}},
 }
