@@ -1,0 +1,238 @@
+// benchsnap captures and compares execution-benchmark snapshots.
+//
+// A snapshot is a normalized JSON file (BENCH_<n>.json) mapping benchmark
+// name → {ns/op, B/op, allocs/op}, produced either from a live `go test
+// -bench` run or from a saved raw benchmark log. Snapshots are committed to
+// the repository so performance changes travel with the code that caused
+// them, and CI replays the suite against the latest committed snapshot to
+// catch regressions.
+//
+// Usage:
+//
+//	benchsnap -out BENCH_1.json                 # run suite, write snapshot
+//	benchsnap -in raw.txt -out BENCH_0.json     # normalize a saved log
+//	benchsnap -baseline BENCH_1.json            # run suite, gate vs snapshot
+//	benchsnap -baseline latest                  # gate vs highest BENCH_<n>.json
+//
+// The gate fails (exit 1) when any BenchmarkExec_* entry regresses by more
+// than -threshold (default 1.5x) in ns/op or allocs/op versus the baseline.
+// Entries below -floor ns/op (default 1ms) are reported but never gated:
+// micro-scale entries drown in scheduler noise at smoke iteration counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one normalized benchmark entry.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the on-disk BENCH_<n>.json shape.
+type Snapshot struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkExec_RowVsBatch_Filter/Batch-8   40  8155886 ns/op  6434462 B/op  41540 allocs/op
+//
+// The -<GOMAXPROCS> suffix and the B/op and allocs/op fields are optional
+// (the latter appear only under -benchmem).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parseRaw(raw string) map[string]Result {
+	out := make(map[string]Result)
+	for _, line := range strings.Split(raw, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := Result{}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		out[m[1]] = r
+	}
+	return out
+}
+
+// runBench executes the benchmark suite and returns its raw output.
+func runBench(pkg, pattern, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench failed: %w", err)
+	}
+	return string(out), nil
+}
+
+// latestSnapshot returns the BENCH_<n>.json with the highest n in dir.
+func latestSnapshot(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err == nil && n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json snapshot found in %s", dir)
+	}
+	return best, nil
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compare gates fresh results against the baseline. It returns the number
+// of gated regressions; floorNs exempts micro-scale entries from gating.
+func compare(baseline, fresh map[string]Result, gate *regexp.Regexp, threshold, floorNs float64) int {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		if !gate.MatchString(name) {
+			continue
+		}
+		base := baseline[name]
+		cur, ok := fresh[name]
+		if !ok {
+			fmt.Printf("MISSING  %-55s (in baseline, not in fresh run)\n", name)
+			regressions++
+			continue
+		}
+		nsRatio := ratio(cur.NsPerOp, base.NsPerOp)
+		allocRatio := ratio(float64(cur.AllocsPerOp), float64(base.AllocsPerOp))
+		status := "ok      "
+		gated := base.NsPerOp >= floorNs
+		bad := nsRatio > threshold || (allocRatio > threshold && base.AllocsPerOp >= 64)
+		switch {
+		case bad && gated:
+			status = "REGRESS "
+			regressions++
+		case bad:
+			status = "noise?  " // below the floor: report, don't gate
+		}
+		fmt.Printf("%s %-55s ns/op %10.0f -> %10.0f (%.2fx)  allocs %8d -> %8d (%.2fx)\n",
+			status, name, base.NsPerOp, cur.NsPerOp, nsRatio,
+			base.AllocsPerOp, cur.AllocsPerOp, allocRatio)
+	}
+	return regressions
+}
+
+func ratio(cur, base float64) float64 {
+	if base <= 0 {
+		if cur <= 0 {
+			return 1
+		}
+		return cur
+	}
+	return cur / base
+}
+
+func main() {
+	var (
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		pattern   = flag.String("bench", "BenchmarkExec_", "benchmark regexp passed to -bench")
+		benchtime = flag.String("benchtime", "1x", "benchtime for live runs")
+		in        = flag.String("in", "", "parse this saved raw benchmark log instead of running")
+		out       = flag.String("out", "", "write the normalized snapshot to this JSON file")
+		baseline  = flag.String("baseline", "", "gate against this snapshot ('latest' = highest committed BENCH_<n>.json)")
+		gateExpr  = flag.String("gate", `^BenchmarkExec_`, "regexp of entries the regression gate applies to")
+		threshold = flag.Float64("threshold", 1.5, "fail when ns/op or allocs/op exceeds baseline by this factor")
+		floorMs   = flag.Float64("floor-ms", 1.0, "entries under this baseline ns/op (in ms) are reported but not gated")
+	)
+	flag.Parse()
+
+	var raw string
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		raw = string(data)
+	} else {
+		var err error
+		fmt.Fprintf(os.Stderr, "benchsnap: running go test -bench %q -benchtime %s %s\n", *pattern, *benchtime, *pkg)
+		raw, err = runBench(*pkg, *pattern, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	results := parseRaw(raw)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found"))
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(&Snapshot{Benchmarks: results}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: wrote %d entries to %s\n", len(results), *out)
+	}
+
+	if *baseline != "" {
+		path := *baseline
+		if path == "latest" {
+			var err error
+			if path, err = latestSnapshot("."); err != nil {
+				fatal(err)
+			}
+		}
+		snap, err := loadSnapshot(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchsnap: gating against %s (threshold %.2fx)\n", path, *threshold)
+		if n := compare(snap.Benchmarks, results, regexp.MustCompile(*gateExpr), *threshold, *floorMs*1e6); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchsnap: %d regression(s) vs %s\n", n, path)
+			os.Exit(1)
+		}
+		fmt.Println("benchsnap: no regressions")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

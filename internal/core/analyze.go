@@ -43,8 +43,9 @@ func (f *Framework) analyzeTable(s *parser.AnalyzeStmt) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			cols := b.BoxedCols()
 			for c := 0; c < b.Width() && c < width; c++ {
-				collector.AddCol(c, b.Cols[c], b.Sel)
+				collector.AddCol(c, cols[c], b.Sel)
 			}
 			collector.AddRows(b.NumRows())
 		}

@@ -32,6 +32,10 @@ const (
 type aggGroup struct {
 	key  []any
 	accs []rex.Accumulator
+	// typed holds the fast-path handle of each accumulator eligible for
+	// pre-unboxed adds (nil entry otherwise); only the in-memory aggregation
+	// engine (groupkey.go) populates it.
+	typed []rex.TypedAccumulator
 }
 
 // AggRetainedBytes estimates the bytes a row permanently adds to its
@@ -266,10 +270,11 @@ func bindSpillableAggregate(ctx *Context, a *Aggregate, in schema.BatchCursor) (
 		}
 		var sel []int32
 		sel, dense = liveSel(b, dense)
+		cols := b.BoxedCols()
 		for _, ri := range sel {
 			r := int(ri)
 			for c := range scratch {
-				scratch[c] = b.Cols[c][r]
+				scratch[c] = cols[c][r]
 			}
 			if err := s.add(scratch); err != nil {
 				return fail(err)

@@ -16,7 +16,6 @@ import (
 	"calcite/internal/rel"
 	"calcite/internal/rex"
 	"calcite/internal/schema"
-	"calcite/internal/types"
 )
 
 // BatchBound is a Bound operator that can additionally produce its output as
@@ -129,22 +128,27 @@ func (s *Scan) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 // --- Filter ---
 
 type filterBatchCursor struct {
-	in     schema.BatchCursor
-	kernel rex.SelKernel
-	pred   func(cols [][]any, r int) (bool, error)
-	selBuf []int32 // output selection storage, reused batch-over-batch
-	dense  []int32 // dense-iota scratch
+	in        schema.BatchCursor
+	vecKernel rex.VecSelKernel // monomorphic kernel over typed vectors
+	kernel    rex.SelKernel    // boxed-column kernel
+	pred      func(cols [][]any, r int) (bool, error)
+	selBuf    []int32 // output selection storage, reused batch-over-batch
+	dense     []int32 // dense-iota scratch
 }
 
-// BindBatch filters by narrowing each batch's selection vector: a typed
-// kernel when the predicate has a recognized hot shape, otherwise a compiled
-// closure per live row. Columns are never copied.
+// BindBatch filters by narrowing each batch's selection vector: a
+// monomorphic vector kernel when the batch carries typed columns of the
+// right kinds, a boxed kernel when the predicate has a recognized hot shape,
+// otherwise a compiled closure per live row. Columns are never copied.
 func (f *Filter) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 	in, err := BindBatch(ctx, f.Inputs()[0])
 	if err != nil {
 		return nil, err
 	}
 	c := &filterBatchCursor{in: in}
+	if vk, ok := rex.FilterKernelVec(f.Condition); ok {
+		c.vecKernel = vk
+	}
 	if k, ok := rex.FilterKernel(f.Condition); ok {
 		c.kernel = k
 	} else {
@@ -162,19 +166,28 @@ func (c *filterBatchCursor) NextBatch() (*schema.Batch, error) {
 		var sel []int32
 		sel, c.dense = liveSel(b, c.dense)
 		out := c.selBuf[:0]
-		if c.kernel != nil {
-			out, err = c.kernel(b.Cols, sel, out)
-			if err != nil {
-				return nil, err
+		done := false
+		if c.vecKernel != nil && b.Vecs != nil {
+			if res, ok := c.vecKernel(b.Vecs, sel, out); ok {
+				out, done = res, true
 			}
-		} else {
-			for _, r := range sel {
-				keep, err := c.pred(b.Cols, int(r))
+		}
+		if !done {
+			cols := b.BoxedCols()
+			if c.kernel != nil {
+				out, err = c.kernel(cols, sel, out)
 				if err != nil {
 					return nil, err
 				}
-				if keep {
-					out = append(out, r)
+			} else {
+				for _, r := range sel {
+					keep, err := c.pred(cols, int(r))
+					if err != nil {
+						return nil, err
+					}
+					if keep {
+						out = append(out, r)
+					}
 				}
 			}
 		}
@@ -182,7 +195,7 @@ func (c *filterBatchCursor) NextBatch() (*schema.Batch, error) {
 		if len(out) == 0 {
 			continue
 		}
-		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out, Seq: b.Seq}, nil
+		return &schema.Batch{Len: b.Len, Cols: b.Cols, Vecs: b.Vecs, Sel: out, Seq: b.Seq}, nil
 	}
 }
 
@@ -192,6 +205,7 @@ func (c *filterBatchCursor) Close() error { return c.in.Close() }
 
 type projExpr struct {
 	passthrough int // input ordinal for plain $i, else -1
+	vecKernel   rex.VecColKernel
 	kernel      rex.ColKernel
 	colFn       rex.ColFn
 }
@@ -199,6 +213,13 @@ type projExpr struct {
 type projectBatchCursor struct {
 	in    schema.BatchCursor
 	exprs []projExpr
+	// allVec reports every expression has a vector kernel (or is a
+	// pass-through), enabling the typed all-columns output path.
+	allVec bool
+	// pure reports every expression is a plain input reference: the
+	// projection only prunes/permutes columns and forwards the input batch's
+	// representations and selection vector zero-copy.
+	pure bool
 	// evalAll, when set, handles expressions needing the Evaluator: a scratch
 	// row is assembled once per live row and every expression interprets it.
 	evalAll []rex.Node
@@ -207,9 +228,11 @@ type projectBatchCursor struct {
 	dense   []int32
 }
 
-// BindBatch projects each batch column-wise: pass-through references are
-// zero-copy on dense batches, recognized arithmetic shapes run as typed
-// kernels, everything else evaluates a compiled closure per live row.
+// BindBatch projects each batch column-wise: when the input carries typed
+// vectors and every expression compiles to a monomorphic kernel, the output
+// batch is vector-backed (pass-throughs are zero-copy on dense batches);
+// otherwise recognized arithmetic shapes run as boxed kernels and everything
+// else evaluates a compiled closure per live row.
 func (p *Project) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 	in, err := BindBatch(ctx, p.Inputs()[0])
 	if err != nil {
@@ -217,10 +240,16 @@ func (p *Project) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 	}
 	c := &projectBatchCursor{in: in, inWidth: rel.FieldCount(p.Inputs()[0])}
 	exprs := make([]projExpr, len(p.Exprs))
+	c.allVec = true
 	for i, e := range p.Exprs {
 		pe := projExpr{passthrough: -1}
 		if ref, ok := e.(*rex.InputRef); ok {
 			pe.passthrough = ref.Index
+		}
+		if vk, ok := rex.ArithKernelVec(e); ok {
+			pe.vecKernel = vk
+		} else if pe.passthrough < 0 {
+			c.allVec = false
 		}
 		if k, ok := rex.ArithKernel(e); ok {
 			pe.kernel = k
@@ -231,11 +260,21 @@ func (p *Project) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 			// through the interpreter on assembled rows.
 			c.evalAll = p.Exprs
 			c.ev = ctx.Evaluator
+			c.allVec = false
 			break
 		}
 		exprs[i] = pe
 	}
 	c.exprs = exprs
+	if c.evalAll == nil {
+		c.pure = true
+		for _, pe := range exprs {
+			if pe.passthrough < 0 {
+				c.pure = false
+				break
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -247,24 +286,50 @@ func (c *projectBatchCursor) NextBatch() (*schema.Batch, error) {
 	if c.evalAll != nil {
 		return c.projectInterpreted(b)
 	}
+	if c.pure {
+		// Column pruning/permutation only: forward whichever representations
+		// the input carries, selection vector included — no gather, no copy.
+		out := &schema.Batch{Len: b.Len, Sel: b.Sel, Seq: b.Seq}
+		if b.Vecs != nil {
+			out.Vecs = make([]*schema.Vector, len(c.exprs))
+			for j, pe := range c.exprs {
+				out.Vecs[j] = b.Vecs[pe.passthrough]
+			}
+		}
+		if b.Cols != nil {
+			out.Cols = make([][]any, len(c.exprs))
+			for j, pe := range c.exprs {
+				out.Cols[j] = b.Cols[pe.passthrough]
+			}
+		}
+		return out, nil
+	}
 	var sel []int32
 	sel, c.dense = liveSel(b, c.dense)
 	n := len(sel)
+	if c.allVec && b.Vecs != nil {
+		if out, ok, err := c.projectVec(b, sel, n); err != nil {
+			return nil, err
+		} else if ok {
+			return out, nil
+		}
+	}
 	cols := make([][]any, len(c.exprs))
+	boxed := b.BoxedCols()
 	for j, pe := range c.exprs {
 		if pe.passthrough >= 0 && b.Sel == nil {
-			cols[j] = b.Cols[pe.passthrough]
+			cols[j] = boxed[pe.passthrough]
 			continue
 		}
 		col := make([]any, n)
 		switch {
 		case pe.kernel != nil:
-			if err := pe.kernel(b.Cols, sel, col); err != nil {
+			if err := pe.kernel(boxed, sel, col); err != nil {
 				return nil, err
 			}
 		default:
 			for k, r := range sel {
-				v, err := pe.colFn(b.Cols, int(r))
+				v, err := pe.colFn(boxed, int(r))
 				if err != nil {
 					return nil, err
 				}
@@ -276,6 +341,48 @@ func (c *projectBatchCursor) NextBatch() (*schema.Batch, error) {
 	return &schema.Batch{Len: n, Cols: cols, Seq: b.Seq}, nil
 }
 
+// projectVec evaluates every projection as a typed vector over the batch.
+// ok=false (some kernel met a VecAny column) sends the whole batch down the
+// boxed path so the output batch is uniformly represented.
+func (c *projectBatchCursor) projectVec(b *schema.Batch, sel []int32, n int) (*schema.Batch, bool, error) {
+	vecs := make([]*schema.Vector, len(c.exprs))
+	var cols [][]any // boxed pass-through windows, when free
+	for j, pe := range c.exprs {
+		if pe.passthrough >= 0 && b.Sel == nil {
+			// Dense pass-through: reuse the input vector zero-copy, along
+			// with its boxed window when the input batch carries one.
+			vecs[j] = b.Vecs[pe.passthrough]
+			if b.Cols != nil {
+				if cols == nil {
+					cols = make([][]any, len(c.exprs))
+				}
+				cols[j] = b.Cols[pe.passthrough]
+			}
+			continue
+		}
+		v, ok, err := pe.vecKernel(b.Vecs, sel)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		vecs[j] = v
+		cols = nil // a computed column breaks the all-boxed invariant
+	}
+	// Attach the boxed representation only when every column has a window
+	// (pure pass-through projection over a dense, dual-representation batch).
+	if cols != nil {
+		for _, col := range cols {
+			if col == nil {
+				cols = nil
+				break
+			}
+		}
+	}
+	return &schema.Batch{Len: n, Cols: cols, Vecs: vecs, Seq: b.Seq}, true, nil
+}
+
 func (c *projectBatchCursor) projectInterpreted(b *schema.Batch) (*schema.Batch, error) {
 	var sel []int32
 	sel, c.dense = liveSel(b, c.dense)
@@ -284,11 +391,12 @@ func (c *projectBatchCursor) projectInterpreted(b *schema.Batch) (*schema.Batch,
 	for j := range cols {
 		cols[j] = make([]any, n)
 	}
+	boxed := b.BoxedCols()
 	scratch := make([]any, c.inWidth)
 	for k, ri := range sel {
 		r := int(ri)
 		for cc := range scratch {
-			scratch[cc] = b.Cols[cc][r]
+			scratch[cc] = boxed[cc][r]
 		}
 		for j, e := range c.evalAll {
 			v, err := c.ev.Eval(e, scratch)
@@ -343,7 +451,7 @@ func (c *limitBatchCursor) NextBatch() (*schema.Batch, error) {
 		}
 		c.returned += int64(len(sel))
 		out := append([]int32(nil), sel...)
-		return &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: out, Seq: b.Seq}, nil
+		return &schema.Batch{Len: b.Len, Cols: b.Cols, Vecs: b.Vecs, Sel: out, Seq: b.Seq}, nil
 	}
 }
 
@@ -407,12 +515,12 @@ func (s *Sort) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 
 // --- Aggregate ---
 
-// BindBatch aggregates the batched input. Grouping and accumulation reuse
-// the row-based accumulators over a scratch row per live row — the win is
-// upstream: the scan/filter/project subtree feeding the aggregate runs
-// vectorized. Under a memory allocator the aggregation is spillable (see
-// aggspill.go): partial accumulator states flush to hash partitions on disk
-// and re-merge through rex.MergeAccumulators.
+// BindBatch aggregates the batched input through the groupedAgg engine
+// (groupkey.go): typed single-column grouping and pre-unboxed accumulator
+// adds when batches carry vectors, the boxed scratch-row path otherwise.
+// Under a memory allocator the aggregation is spillable (see aggspill.go):
+// partial accumulator states flush to hash partitions on disk and re-merge
+// through rex.MergeAccumulators.
 func (a *Aggregate) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 	in, err := BindBatch(ctx, a.Inputs()[0])
 	if err != nil {
@@ -422,15 +530,7 @@ func (a *Aggregate) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 		return bindSpillableAggregate(ctx, a, in)
 	}
 	defer in.Close()
-	width := rel.FieldCount(a.Inputs()[0])
-	scratch := make([]any, width)
-
-	type group struct {
-		key  []any
-		accs []rex.Accumulator
-	}
-	groups := map[string]*group{}
-	var order []string
+	agg := newGroupedAgg(a.GroupKeys, a.Calls, rel.FieldCount(a.Inputs()[0]))
 	var dense []int32
 	for {
 		b, err := in.NextBatch()
@@ -442,53 +542,11 @@ func (a *Aggregate) BindBatch(ctx *Context) (schema.BatchCursor, error) {
 		}
 		var sel []int32
 		sel, dense = liveSel(b, dense)
-		for _, ri := range sel {
-			r := int(ri)
-			for c := range scratch {
-				scratch[c] = b.Cols[c][r]
-			}
-			k := types.HashRowKey(scratch, a.GroupKeys)
-			g, ok := groups[k]
-			if !ok {
-				key := make([]any, len(a.GroupKeys))
-				for i, gk := range a.GroupKeys {
-					key[i] = scratch[gk]
-				}
-				accs := make([]rex.Accumulator, len(a.Calls))
-				for i, c := range a.Calls {
-					accs[i] = rex.NewAccumulator(c)
-				}
-				g = &group{key: key, accs: accs}
-				groups[k] = g
-				order = append(order, k)
-			}
-			for _, acc := range g.accs {
-				if err := acc.Add(scratch); err != nil {
-					return nil, err
-				}
-			}
+		if err := agg.addBatch(b, sel); err != nil {
+			return nil, err
 		}
 	}
-	// Global aggregate over empty input still yields one row.
-	if len(a.GroupKeys) == 0 && len(order) == 0 {
-		accs := make([]rex.Accumulator, len(a.Calls))
-		for i, c := range a.Calls {
-			accs[i] = rex.NewAccumulator(c)
-		}
-		groups[""] = &group{accs: accs}
-		order = append(order, "")
-	}
-	out := make([][]any, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		row := make([]any, 0, len(g.key)+len(g.accs))
-		row = append(row, g.key...)
-		for _, acc := range g.accs {
-			row = append(row, acc.Result())
-		}
-		out = append(out, row)
-	}
-	return batchesFromRows(out, rel.FieldCount(a), ctx.batchSize()), nil
+	return batchesFromRows(agg.finish(), rel.FieldCount(a), ctx.batchSize()), nil
 }
 
 // --- HashJoin ---

@@ -1,0 +1,467 @@
+package exec
+
+// Typed key index for hash aggregation and hash joins. The boxed engine
+// identifies grouping/join keys by formatting every value into a
+// types.HashKey string — one strconv call plus one string allocation per row
+// probed. For single-column keys of the core runtime types the index instead
+// keys native maps on the machine value, assigning each distinct key a dense
+// ordinal (insertion order) that callers use to address per-group state.
+//
+// Equivalence must match types.HashKey exactly or typed and boxed execution
+// would group differently: HashKey folds integral float64s onto the int64
+// key space, so the index normalizes them the same way, and everything
+// outside int64/float64/string (bools, NULLs, composites) drops to the
+// HashKey-string fallback tier. A column that arrives as VecInt64 in one
+// batch and boxed in the next therefore still lands in the same map.
+
+import (
+	"math"
+	"strings"
+
+	"calcite/internal/rex"
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+// keyIndex maps single-column key values to dense ordinals 0..n-1.
+type keyIndex struct {
+	byInt map[int64]int32
+	byStr map[string]int32
+	byKey map[string]int32 // types.HashKey fallback tier
+	n     int32
+}
+
+func newKeyIndex() *keyIndex {
+	return &keyIndex{
+		byInt: map[int64]int32{},
+		byStr: map[string]int32{},
+		byKey: map[string]int32{},
+	}
+}
+
+// Len returns the number of distinct keys seen.
+func (ki *keyIndex) Len() int { return int(ki.n) }
+
+// ordInt returns the ordinal of int64 key k, inserting it if new.
+func (ki *keyIndex) ordInt(k int64) (int32, bool) {
+	if ord, ok := ki.byInt[k]; ok {
+		return ord, false
+	}
+	ord := ki.n
+	ki.byInt[k] = ord
+	ki.n++
+	return ord, true
+}
+
+// ordStr returns the ordinal of string key k, inserting it if new.
+func (ki *keyIndex) ordStr(k string) (int32, bool) {
+	if ord, ok := ki.byStr[k]; ok {
+		return ord, false
+	}
+	ord := ki.n
+	ki.byStr[k] = ord
+	ki.n++
+	return ord, true
+}
+
+// ordKey returns the ordinal of a fallback HashKey-encoded key.
+func (ki *keyIndex) ordKey(k string) (int32, bool) {
+	if ord, ok := ki.byKey[k]; ok {
+		return ord, false
+	}
+	ord := ki.n
+	ki.byKey[k] = ord
+	ki.n++
+	return ord, true
+}
+
+// intKeyOfFloat reports whether f folds onto the int64 key space, mirroring
+// types.HashKey's normalization of integral float64s.
+func intKeyOfFloat(f float64) (int64, bool) {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
+		return int64(f), true
+	}
+	return 0, false
+}
+
+// ordVal routes one boxed key value to its tier, inserting if new.
+func (ki *keyIndex) ordVal(v any) (int32, bool) {
+	switch x := v.(type) {
+	case int64:
+		return ki.ordInt(x)
+	case float64:
+		if i, ok := intKeyOfFloat(x); ok {
+			return ki.ordInt(i)
+		}
+	case string:
+		return ki.ordStr(x)
+	}
+	return ki.ordKey(types.HashKey(v))
+}
+
+// findInt looks an int64 key up without inserting.
+func (ki *keyIndex) findInt(k int64) (int32, bool) {
+	ord, ok := ki.byInt[k]
+	return ord, ok
+}
+
+// findStr looks a string key up without inserting.
+func (ki *keyIndex) findStr(k string) (int32, bool) {
+	ord, ok := ki.byStr[k]
+	return ord, ok
+}
+
+// findVal looks a boxed key value up without inserting.
+func (ki *keyIndex) findVal(v any) (int32, bool) {
+	switch x := v.(type) {
+	case int64:
+		return ki.findInt(x)
+	case float64:
+		if i, ok := intKeyOfFloat(x); ok {
+			return ki.findInt(i)
+		}
+	case string:
+		return ki.findStr(x)
+	}
+	ord, ok := ki.byKey[types.HashKey(v)]
+	return ord, ok
+}
+
+// hashVecRowKey is types.HashRowKey over vector-backed columns: the
+// multi-column grouping key of row r, byte-for-byte identical to HashRowKey
+// over the materialized row.
+func hashVecRowKey(vecs []*schema.Vector, r int, cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		b.WriteString(types.HashKey(vecs[c].Get(r)))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// groupedAgg is the in-memory hash aggregation engine shared by the serial
+// batch operator: typed single-column grouping through a keyIndex, typed
+// per-column accumulator adds when a batch carries vectors of the right
+// kinds, and the boxed scratch-row path for everything else. Groups are kept
+// in first-seen order.
+type groupedAgg struct {
+	keys  []int
+	calls []rex.AggCall
+
+	index    *keyIndex        // single-column keys
+	multiKey map[string]int32 // zero- or multi-column keys, HashRowKey-encoded
+
+	groups    []*aggGroup
+	callTyped []bool // calls[i] is eligible for typed adds
+	anyTyped  bool
+	scratch   []any
+}
+
+func newGroupedAgg(keys []int, calls []rex.AggCall, width int) *groupedAgg {
+	g := &groupedAgg{keys: keys, calls: calls, scratch: make([]any, width)}
+	if len(keys) == 1 {
+		g.index = newKeyIndex()
+	} else {
+		g.multiKey = map[string]int32{}
+	}
+	g.callTyped = make([]bool, len(calls))
+	for i, c := range calls {
+		g.callTyped[i] = rex.AsTyped(rex.NewAccumulator(c)) != nil
+		g.anyTyped = g.anyTyped || g.callTyped[i]
+	}
+	return g
+}
+
+func (g *groupedAgg) newGroup(key []any) *aggGroup {
+	accs := make([]rex.Accumulator, len(g.calls))
+	var typed []rex.TypedAccumulator
+	if g.anyTyped {
+		typed = make([]rex.TypedAccumulator, len(g.calls))
+	}
+	for i, c := range g.calls {
+		accs[i] = rex.NewAccumulator(c)
+		if g.callTyped[i] {
+			typed[i] = rex.AsTyped(accs[i])
+		}
+	}
+	gr := &aggGroup{key: key, accs: accs, typed: typed}
+	g.groups = append(g.groups, gr)
+	return gr
+}
+
+// groupForRow finds or creates the group of a boxed row.
+func (g *groupedAgg) groupForRow(row []any) *aggGroup {
+	if g.index != nil {
+		ord, isNew := g.index.ordVal(row[g.keys[0]])
+		if isNew {
+			return g.newGroup([]any{row[g.keys[0]]})
+		}
+		return g.groups[ord]
+	}
+	k := types.HashRowKey(row, g.keys)
+	if ord, ok := g.multiKey[k]; ok {
+		return g.groups[ord]
+	}
+	g.multiKey[k] = int32(len(g.groups))
+	key := make([]any, len(g.keys))
+	for i, gk := range g.keys {
+		key[i] = row[gk]
+	}
+	return g.newGroup(key)
+}
+
+// groupForVecKey finds or creates the group of row r keyed by the single
+// grouping column kv, without boxing the key except on first sight.
+func (g *groupedAgg) groupForVecKey(kv *schema.Vector, r int) *aggGroup {
+	var ord int32
+	var isNew bool
+	isNull := kv.Nulls != nil && kv.Nulls[r]
+	switch {
+	case isNull:
+		ord, isNew = g.index.ordKey(types.HashKey(nil))
+	case kv.Kind == schema.VecInt64:
+		ord, isNew = g.index.ordInt(kv.I64[r])
+	case kv.Kind == schema.VecFloat64:
+		if i, ok := intKeyOfFloat(kv.F64[r]); ok {
+			ord, isNew = g.index.ordInt(i)
+		} else {
+			ord, isNew = g.index.ordKey(types.HashKey(kv.F64[r]))
+		}
+	case kv.Kind == schema.VecString:
+		ord, isNew = g.index.ordStr(kv.S[r])
+	default:
+		ord, isNew = g.index.ordVal(kv.Get(r))
+	}
+	if isNew {
+		return g.newGroup([]any{kv.Get(r)})
+	}
+	return g.groups[ord]
+}
+
+// addBatch folds the live rows of one batch into the group table.
+func (g *groupedAgg) addBatch(b *schema.Batch, sel []int32) error {
+	if b.Vecs != nil {
+		return g.addBatchVec(b, sel)
+	}
+	cols := b.BoxedCols()
+	for _, ri := range sel {
+		r := int(ri)
+		for c := range g.scratch {
+			g.scratch[c] = cols[c][r]
+		}
+		gr := g.groupForRow(g.scratch)
+		for _, acc := range gr.accs {
+			if err := acc.Add(g.scratch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Per-batch add plan of one call over typed vectors.
+type callMode uint8
+
+const (
+	modeBoxed callMode = iota // assemble scratch row, Accumulator.Add
+	modeCountStar
+	modeI64
+	modeF64
+	modeStr
+)
+
+func (g *groupedAgg) addBatchVec(b *schema.Batch, sel []int32) error {
+	// Resolve each call against this batch's vector kinds.
+	modes := make([]callMode, len(g.calls))
+	argVec := make([]*schema.Vector, len(g.calls))
+	needScratch := false
+	for i, c := range g.calls {
+		modes[i] = modeBoxed
+		if g.callTyped[i] {
+			if len(c.Args) == 0 {
+				modes[i] = modeCountStar
+			} else {
+				v := b.Vecs[c.Args[0]]
+				argVec[i] = v
+				switch v.Kind {
+				case schema.VecInt64:
+					modes[i] = modeI64
+				case schema.VecFloat64:
+					modes[i] = modeF64
+				case schema.VecString:
+					modes[i] = modeStr
+				}
+			}
+		}
+		if modes[i] == modeBoxed {
+			needScratch = true
+		}
+	}
+	var kv *schema.Vector
+	if g.index != nil {
+		kv = b.Vecs[g.keys[0]]
+	}
+	for _, ri := range sel {
+		r := int(ri)
+		var gr *aggGroup
+		if kv != nil {
+			gr = g.groupForVecKey(kv, r)
+		} else {
+			k := hashVecRowKey(b.Vecs, r, g.keys)
+			if ord, ok := g.multiKey[k]; ok {
+				gr = g.groups[ord]
+			} else {
+				g.multiKey[k] = int32(len(g.groups))
+				key := make([]any, len(g.keys))
+				for i, gk := range g.keys {
+					key[i] = b.Vecs[gk].Get(r)
+				}
+				gr = g.newGroup(key)
+			}
+		}
+		if needScratch {
+			for c, v := range b.Vecs {
+				g.scratch[c] = v.Get(r)
+			}
+		}
+		for i, m := range modes {
+			switch m {
+			case modeCountStar:
+				gr.typed[i].AddCountStar(1)
+			case modeI64:
+				v := argVec[i]
+				if v.Nulls == nil || !v.Nulls[r] {
+					gr.typed[i].AddNonNullInt64(v.I64[r])
+				}
+			case modeF64:
+				v := argVec[i]
+				if v.Nulls == nil || !v.Nulls[r] {
+					gr.typed[i].AddNonNullFloat64(v.F64[r])
+				}
+			case modeStr:
+				v := argVec[i]
+				if v.Nulls == nil || !v.Nulls[r] {
+					if err := gr.typed[i].AddNonNullString(v.S[r]); err != nil {
+						return err
+					}
+				}
+			default:
+				if err := gr.accs[i].Add(g.scratch); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// finish materializes the result rows in group order. A global aggregate
+// over empty input still yields one row.
+func (g *groupedAgg) finish() [][]any {
+	if len(g.keys) == 0 && len(g.groups) == 0 {
+		g.newGroup(nil)
+	}
+	out := make([][]any, 0, len(g.groups))
+	for _, gr := range g.groups {
+		row := make([]any, 0, len(gr.key)+len(gr.accs))
+		row = append(row, gr.key...)
+		for _, acc := range gr.accs {
+			row = append(row, acc.Result())
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// findKey looks a fallback HashKey-encoded key up without inserting.
+func (ki *keyIndex) findKey(k string) (int32, bool) {
+	ord, ok := ki.byKey[k]
+	return ord, ok
+}
+
+// joinTable is the build-side index of a hash join. Single-column equi-keys
+// index native maps through a keyIndex (no HashKey string per row); composite
+// keys keep the HashRowKey-encoded map. NULL build keys are never inserted
+// (SQL equi-join: NULL matches nothing).
+type joinTable struct {
+	single *keyIndex // single-column keys, else nil
+	byOrd  [][]int32 // candidate build rows per keyIndex ordinal
+	multi  map[string][]int32
+	keys   []int
+}
+
+// buildJoinTable indexes the build rows by the given key columns.
+func buildJoinTable(rows [][]any, keys []int) *joinTable {
+	t := &joinTable{keys: keys}
+	if len(keys) == 1 {
+		t.single = newKeyIndex()
+		k := keys[0]
+		for i, row := range rows {
+			v := row[k]
+			if v == nil {
+				continue
+			}
+			ord, _ := t.single.ordVal(v)
+			if int(ord) == len(t.byOrd) {
+				t.byOrd = append(t.byOrd, nil)
+			}
+			t.byOrd[ord] = append(t.byOrd[ord], int32(i))
+		}
+		return t
+	}
+	t.multi = make(map[string][]int32, len(rows))
+	for i, row := range rows {
+		if hasNullAt(row, keys) {
+			continue
+		}
+		hk := types.HashRowKey(row, keys)
+		t.multi[hk] = append(t.multi[hk], int32(i))
+	}
+	return t
+}
+
+// probeVec returns the candidate build rows matching probe row r of the
+// single key column kv, reading the key in typed form.
+func (t *joinTable) probeVec(kv *schema.Vector, r int) []int32 {
+	if kv.Nulls != nil && kv.Nulls[r] {
+		return nil
+	}
+	var ord int32
+	var ok bool
+	switch kv.Kind {
+	case schema.VecInt64:
+		ord, ok = t.single.findInt(kv.I64[r])
+	case schema.VecFloat64:
+		f := kv.F64[r]
+		if i, isInt := intKeyOfFloat(f); isInt {
+			ord, ok = t.single.findInt(i)
+		} else {
+			ord, ok = t.single.findKey(types.HashKey(f))
+		}
+	case schema.VecString:
+		ord, ok = t.single.findStr(kv.S[r])
+	default:
+		v := kv.Get(r)
+		if v == nil {
+			return nil
+		}
+		ord, ok = t.single.findVal(v)
+	}
+	if !ok {
+		return nil
+	}
+	return t.byOrd[ord]
+}
+
+// probeCols returns the candidate build rows matching probe row r over boxed
+// columns (the caller has already screened NULL keys).
+func (t *joinTable) probeCols(cols [][]any, r int, keys []int) []int32 {
+	if t.single != nil {
+		ord, ok := t.single.findVal(cols[keys[0]][r])
+		if !ok {
+			return nil
+		}
+		return t.byOrd[ord]
+	}
+	return t.multi[types.HashColsKey(cols, r, keys)]
+}

@@ -135,29 +135,25 @@ drain:
 // batches. done (optional) runs exactly once when the cursor finishes or
 // closes.
 type hashProbeCursor struct {
-	spec     *joinSpec
-	rows     [][]any
-	table    map[string][]int32
-	matched  []bool // build rows matched so far (right/full)
-	probe    schema.BatchCursor
-	dense    []int32
-	combined []any
-	seq      int64
-	tailSent bool
-	closed   bool
-	done     func()
+	spec      *joinSpec
+	rows      [][]any
+	table     *joinTable
+	buildCols [][]any          // lazy columnar transpose of rows (boxed output)
+	buildVecs []*schema.Vector // same transpose, typed (kernel output)
+	matched   []bool           // build rows matched so far (right/full)
+	probe     schema.BatchCursor
+	dense     []int32
+	gatherL   []int32 // scratch: probe row per output row
+	gatherR   []int32 // scratch: build ordinal per output row (-1 = NULL pad)
+	combined  []any
+	seq       int64
+	tailSent  bool
+	closed    bool
+	done      func()
 }
 
 func newHashProbeCursor(spec *joinSpec, buildRows [][]any, probe schema.BatchCursor, done func()) *hashProbeCursor {
-	table := make(map[string][]int32, len(buildRows))
-	for i, row := range buildRows {
-		if hasNullAt(row, spec.info.RightKeys) {
-			continue // SQL equi-join: NULL keys never match
-		}
-		k := types.HashRowKey(row, spec.info.RightKeys)
-		table[k] = append(table[k], int32(i))
-	}
-	c := &hashProbeCursor{spec: spec, rows: buildRows, table: table, probe: probe, done: done}
+	c := &hashProbeCursor{spec: spec, rows: buildRows, table: buildJoinTable(buildRows, spec.info.RightKeys), probe: probe, done: done}
 	if spec.kind == rel.RightJoin || spec.kind == rel.FullJoin {
 		c.matched = make([]bool, len(buildRows))
 	}
@@ -231,42 +227,45 @@ func (c *hashProbeCursor) NextBatch() (*schema.Batch, error) {
 // output rows (caller keeps pulling).
 func (c *hashProbeCursor) probeBatch(b *schema.Batch) (*schema.Batch, error) {
 	spec := c.spec
-	outCols := make([][]any, spec.outWidth())
-	nRows := 0
-	emit := func(l int, rrow []any) {
-		for col := 0; col < spec.leftWidth; col++ {
-			outCols[col] = append(outCols[col], b.Cols[col][l])
+	// BoxedCols is deferred: a typed probe batch with a typed single-column
+	// key never needs the boxed windows unless a residual runs.
+	var cols [][]any
+	boxed := func() [][]any {
+		if cols == nil {
+			cols = b.BoxedCols()
 		}
-		if spec.emitRight {
-			for col := 0; col < spec.rightWidth; col++ {
-				if rrow == nil {
-					outCols[spec.leftWidth+col] = append(outCols[spec.leftWidth+col], nil)
-				} else {
-					outCols[spec.leftWidth+col] = append(outCols[spec.leftWidth+col], rrow[col])
-				}
-			}
-		}
-		nRows++
+		return cols
 	}
+	// Pass 1 records the output as (probe row, build ordinal) pairs — a
+	// build ordinal of -1 is the outer-join NULL pad — so pass 2 can gather
+	// whole columns at once instead of appending boxed values row by row.
+	gl := c.gatherL[:0]
+	gr := c.gatherR[:0]
 	if c.combined == nil {
 		c.combined = make([]any, spec.leftWidth+spec.rightWidth)
 	}
 	var sel []int32
 	sel, c.dense = liveSel(b, c.dense)
+	var keyVec *schema.Vector
+	if c.table.single != nil && b.Vecs != nil {
+		keyVec = b.Vecs[spec.info.LeftKeys[0]]
+	}
 	for _, li := range sel {
 		l := int(li)
 		var candidates []int32
-		if !colsHaveNullAt(b.Cols, l, spec.info.LeftKeys) {
-			candidates = c.table[types.HashColsKey(b.Cols, l, spec.info.LeftKeys)]
+		if keyVec != nil {
+			candidates = c.table.probeVec(keyVec, l)
+		} else if !colsHaveNullAt(boxed(), l, spec.info.LeftKeys) {
+			candidates = c.table.probeCols(cols, l, spec.info.LeftKeys)
 		}
 		matched := false
 		for _, ri := range candidates {
-			rrow := c.rows[ri]
 			if spec.residual != nil {
+				bc := boxed()
 				for col := 0; col < spec.leftWidth; col++ {
-					c.combined[col] = b.Cols[col][l]
+					c.combined[col] = bc[col][l]
 				}
-				copy(c.combined[spec.leftWidth:], rrow)
+				copy(c.combined[spec.leftWidth:], c.rows[ri])
 				ok, err := spec.residual(c.combined)
 				if err != nil {
 					return nil, err
@@ -282,29 +281,121 @@ func (c *hashProbeCursor) probeBatch(b *schema.Batch) (*schema.Batch, error) {
 			if spec.kind == rel.SemiJoin || spec.kind == rel.AntiJoin {
 				break
 			}
-			emit(l, rrow)
+			gl = append(gl, li)
+			gr = append(gr, ri)
 		}
 		switch spec.kind {
 		case rel.SemiJoin:
 			if matched {
-				emit(l, nil)
+				gl = append(gl, li)
+				gr = append(gr, -1)
 			}
 		case rel.AntiJoin:
 			if !matched {
-				emit(l, nil)
+				gl = append(gl, li)
+				gr = append(gr, -1)
 			}
 		case rel.LeftJoin, rel.FullJoin:
 			if !matched {
-				emit(l, nil)
+				gl = append(gl, li)
+				gr = append(gr, -1)
 			}
 		}
 	}
+	c.gatherL, c.gatherR = gl, gr
+	nRows := len(gl)
 	if nRows == 0 {
 		return nil, nil
 	}
-	out := &schema.Batch{Len: nRows, Cols: outCols, Seq: c.seq}
+	out := &schema.Batch{Len: nRows, Seq: c.seq}
 	c.seq++
+	// Pass 2: typed probe batches gather straight into typed output vectors
+	// (the build rows transpose into columns once, on first use). When the
+	// probe batch also carries boxed windows, gather those too: the boxed
+	// copies are shared interface values — no re-boxing for row-at-a-time
+	// consumers downstream. Boxed-only probes keep boxed output columns.
+	if spec.emitRight && c.buildCols == nil {
+		c.buildCols, c.buildVecs = transposeBuild(c.rows, spec.rightWidth)
+	}
+	if b.Vecs != nil {
+		vecs := make([]*schema.Vector, spec.outWidth())
+		var outCols [][]any
+		if b.Cols != nil {
+			outCols = make([][]any, spec.outWidth())
+		}
+		for col := 0; col < spec.leftWidth; col++ {
+			vecs[col] = b.Vecs[col].Gather(gl)
+			if outCols != nil {
+				outCols[col] = gatherAny(b.Cols[col], gl)
+			}
+		}
+		if spec.emitRight {
+			for col := 0; col < spec.rightWidth; col++ {
+				vecs[spec.leftWidth+col] = c.buildVecs[col].GatherOrd(gr)
+				if outCols != nil {
+					outCols[spec.leftWidth+col] = gatherAnyOrd(c.buildCols[col], gr)
+				}
+			}
+		}
+		out.Vecs = vecs
+		out.Cols = outCols
+		return out, nil
+	}
+	bc := boxed()
+	outCols := make([][]any, spec.outWidth())
+	for col := 0; col < spec.leftWidth; col++ {
+		outCols[col] = gatherAny(bc[col], gl)
+	}
+	if spec.emitRight {
+		for col := 0; col < spec.rightWidth; col++ {
+			dst := make([]any, nRows)
+			for i, ri := range gr {
+				if ri >= 0 {
+					dst[i] = c.rows[ri][col]
+				}
+			}
+			outCols[spec.leftWidth+col] = dst
+		}
+	}
+	out.Cols = outCols
 	return out, nil
+}
+
+// transposeBuild pivots the row-major build side into columnar form for
+// gather-based join output: boxed columns (sharing the build rows' values)
+// plus their typed vectors.
+func transposeBuild(rows [][]any, width int) ([][]any, []*schema.Vector) {
+	cols := make([][]any, width)
+	vecs := make([]*schema.Vector, width)
+	for c := 0; c < width; c++ {
+		col := make([]any, len(rows))
+		for i, row := range rows {
+			col[i] = row[c]
+		}
+		cols[c] = col
+		vecs[c] = schema.BuildVector(col, schema.VecAny)
+	}
+	return cols, vecs
+}
+
+// gatherAny gathers boxed values by row index.
+func gatherAny(src []any, sel []int32) []any {
+	dst := make([]any, len(sel))
+	for i, r := range sel {
+		dst[i] = src[r]
+	}
+	return dst
+}
+
+// gatherAnyOrd is gatherAny with NULL injection for negative ordinals.
+func gatherAnyOrd(src []any, ords []int32) []any {
+	dst := make([]any, len(ords))
+	for i, r := range ords {
+		if r >= 0 {
+			dst[i] = src[r]
+		}
+	}
+	return dst
 }
 
 func (c *hashProbeCursor) Close() error {

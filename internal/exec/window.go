@@ -219,8 +219,9 @@ func batchRows(in schema.BatchCursor, tag tagMode, extraCap int) rowStream {
 				if b.Sel != nil {
 					r = int(b.Sel[pos])
 				}
+				cols := b.BoxedCols()
 				for c := 0; c < w; c++ {
-					row[c] = b.Cols[c][r]
+					row[c] = cols[c][r]
 				}
 				if tag == tagCounter {
 					row[w] = int64(0)

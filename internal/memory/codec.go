@@ -2,11 +2,18 @@ package memory
 
 // The batch spill codec: a compact, self-delimiting binary encoding of
 // schema.Batch streams for spill files. Batches are written compacted
-// (selection vectors applied) and column-major, each value tagged with its
-// runtime kind; the closed set of runtime value types (internal/types)
-// keeps the codec total without reflection. The format is private to one
-// process run — spill files never outlive the query that wrote them — so
-// there is no versioning beyond a magic byte per batch.
+// (selection vectors applied) and column-major as typed pages: each column
+// carries one kind byte and (when any live row is NULL) one packed null
+// bitmap — one bit per row, the on-disk counterpart of the in-memory
+// byte-per-row mask — followed by a monomorphic payload (varint int64s, raw
+// 8-byte float64s, bit-packed bools, length-prefixed strings). Columns
+// outside the core kinds, and every column when the boxed fallback is forced
+// (schema.ForceBoxed), ride an "any" page that tags each value with its
+// runtime kind; the closed set of runtime value types (internal/types) keeps
+// the codec total without reflection. Decoded batches are vector-backed, so
+// a spill round-trip re-enters the typed kernels directly. The format is
+// private to one process run — spill files never outlive the query that
+// wrote them — so there is no versioning beyond a magic byte per batch.
 
 import (
 	"bufio"
@@ -20,7 +27,7 @@ import (
 	"calcite/internal/schema"
 )
 
-const batchMagic = 0xB7
+const batchMagic = 0xB8
 
 // Value tags of the spill encoding.
 const (
@@ -227,13 +234,289 @@ func decodeValue(r *bufio.Reader) (any, error) {
 	}
 }
 
+// rowAt resolves live-row index i through an optional selection vector.
+func rowAt(sel []int32, i int) int {
+	if sel != nil {
+		return int(sel[i])
+	}
+	return i
+}
+
+// writeNullBitmap writes the null-presence byte and, when any of the n live
+// rows is NULL per isNull, the packed one-bit-per-row bitmap.
+func writeNullBitmap(w *bufio.Writer, n int, isNull func(i int) bool) error {
+	has := false
+	for i := 0; i < n; i++ {
+		if isNull(i) {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return w.WriteByte(0)
+	}
+	if err := w.WriteByte(1); err != nil {
+		return err
+	}
+	bits := make([]byte, (n+7)/8)
+	for i := 0; i < n; i++ {
+		if isNull(i) {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	_, err := w.Write(bits)
+	return err
+}
+
+// readNullBitmap reads the null-presence byte and bitmap, returning the
+// byte-per-row mask (nil when the page has no NULLs).
+func readNullBitmap(r *bufio.Reader, n int) ([]bool, error) {
+	has, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch has {
+	case 0:
+		return nil, nil
+	case 1:
+		bits := make([]byte, (n+7)/8)
+		if _, err := io.ReadFull(r, bits); err != nil {
+			return nil, err
+		}
+		nulls := make([]bool, n)
+		for i := 0; i < n; i++ {
+			nulls[i] = bits[i/8]&(1<<(i%8)) != 0
+		}
+		return nulls, nil
+	default:
+		return nil, fmt.Errorf("memory: corrupt spill stream (null flag %d)", has)
+	}
+}
+
+// pageKindOf detects the uniform monomorphic kind of a boxed column's live
+// rows, VecAny when mixed or outside the core set.
+func pageKindOf(col []any, n int, sel []int32) schema.VecKind {
+	kind := schema.VecAny
+	for i := 0; i < n; i++ {
+		v := col[rowAt(sel, i)]
+		var k schema.VecKind
+		switch v.(type) {
+		case nil:
+			continue
+		case int64:
+			k = schema.VecInt64
+		case float64:
+			k = schema.VecFloat64
+		case bool:
+			k = schema.VecBool
+		case string:
+			k = schema.VecString
+		case time.Time:
+			k = schema.VecTime
+		default:
+			return schema.VecAny
+		}
+		if kind == schema.VecAny {
+			kind = k
+		} else if kind != k {
+			return schema.VecAny
+		}
+	}
+	return kind
+}
+
+// encodeTypedPage writes one column page of the given kind, reading live row
+// i through get (which returns the boxed value, nil for NULL).
+func encodeTypedPage(w *bufio.Writer, kind schema.VecKind, n int, get func(i int) any) error {
+	if err := w.WriteByte(byte(kind)); err != nil {
+		return err
+	}
+	if kind == schema.VecAny {
+		// Any-page rows carry their own tags; NULL is tagNull.
+		if err := w.WriteByte(0); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := encodeValue(w, get(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeNullBitmap(w, n, func(i int) bool { return get(i) == nil }); err != nil {
+		return err
+	}
+	switch kind {
+	case schema.VecInt64:
+		for i := 0; i < n; i++ {
+			var x int64
+			if v := get(i); v != nil {
+				x = v.(int64)
+			}
+			if err := writeVarint(w, x); err != nil {
+				return err
+			}
+		}
+	case schema.VecFloat64:
+		var buf [8]byte
+		for i := 0; i < n; i++ {
+			var x float64
+			if v := get(i); v != nil {
+				x = v.(float64)
+			}
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	case schema.VecBool:
+		bits := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if v := get(i); v != nil && v.(bool) {
+				bits[i/8] |= 1 << (i % 8)
+			}
+		}
+		if _, err := w.Write(bits); err != nil {
+			return err
+		}
+	case schema.VecString:
+		for i := 0; i < n; i++ {
+			var x string
+			if v := get(i); v != nil {
+				x = v.(string)
+			}
+			if err := writeUvarint(w, uint64(len(x))); err != nil {
+				return err
+			}
+			if _, err := w.WriteString(x); err != nil {
+				return err
+			}
+		}
+	case schema.VecTime:
+		for i := 0; i < n; i++ {
+			v := get(i)
+			if v == nil {
+				if err := writeUvarint(w, 0); err != nil {
+					return err
+				}
+				continue
+			}
+			mb, err := v.(time.Time).MarshalBinary()
+			if err != nil {
+				return err
+			}
+			if err := writeUvarint(w, uint64(len(mb))); err != nil {
+				return err
+			}
+			if _, err := w.Write(mb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// encodeColumn writes column c of the batch as one typed page, preferring
+// the vector representation when present (and the boxed fallback is not
+// forced).
+func encodeColumn(w *bufio.Writer, b *schema.Batch, c, n int, sel []int32) error {
+	forced := schema.ForceBoxed()
+	if b.Vecs != nil && !forced {
+		v := b.Vecs[c]
+		if v.Kind != schema.VecAny {
+			// Typed vector: page out the payload slices directly.
+			if err := w.WriteByte(byte(v.Kind)); err != nil {
+				return err
+			}
+			isNull := func(i int) bool { return v.Nulls != nil && v.Nulls[rowAt(sel, i)] }
+			if err := writeNullBitmap(w, n, isNull); err != nil {
+				return err
+			}
+			switch v.Kind {
+			case schema.VecInt64:
+				for i := 0; i < n; i++ {
+					if err := writeVarint(w, v.I64[rowAt(sel, i)]); err != nil {
+						return err
+					}
+				}
+			case schema.VecFloat64:
+				var buf [8]byte
+				for i := 0; i < n; i++ {
+					binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F64[rowAt(sel, i)]))
+					if _, err := w.Write(buf[:]); err != nil {
+						return err
+					}
+				}
+			case schema.VecBool:
+				bits := make([]byte, (n+7)/8)
+				for i := 0; i < n; i++ {
+					if v.B[rowAt(sel, i)] {
+						bits[i/8] |= 1 << (i % 8)
+					}
+				}
+				if _, err := w.Write(bits); err != nil {
+					return err
+				}
+			case schema.VecString:
+				for i := 0; i < n; i++ {
+					s := v.S[rowAt(sel, i)]
+					if isNull(i) {
+						s = ""
+					}
+					if err := writeUvarint(w, uint64(len(s))); err != nil {
+						return err
+					}
+					if _, err := w.WriteString(s); err != nil {
+						return err
+					}
+				}
+			case schema.VecTime:
+				for i := 0; i < n; i++ {
+					if isNull(i) {
+						if err := writeUvarint(w, 0); err != nil {
+							return err
+						}
+						continue
+					}
+					mb, err := v.T[rowAt(sel, i)].MarshalBinary()
+					if err != nil {
+						return err
+					}
+					if err := writeUvarint(w, uint64(len(mb))); err != nil {
+						return err
+					}
+					if _, err := w.Write(mb); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+	// Boxed column (or VecAny vector): detect the page kind over live rows;
+	// the forced-boxed knob pins it to an any-page so the differential suites
+	// also cover the per-value encoding.
+	var col []any
+	if b.Cols != nil {
+		col = b.Cols[c]
+	} else {
+		col = b.Vecs[c].Boxed()
+	}
+	kind := schema.VecAny
+	if !forced {
+		kind = pageKindOf(col, n, sel)
+	}
+	return encodeTypedPage(w, kind, n, func(i int) any { return col[rowAt(sel, i)] })
+}
+
 // EncodeBatch writes one batch to the stream. The selection vector is
 // applied: only live rows are written, so the decoded batch is dense.
 func EncodeBatch(w *bufio.Writer, b *schema.Batch) error {
 	if err := w.WriteByte(batchMagic); err != nil {
 		return err
 	}
-	if err := writeUvarint(w, uint64(b.Width())); err != nil {
+	width := b.Width()
+	if err := writeUvarint(w, uint64(width)); err != nil {
 		return err
 	}
 	n := b.NumRows()
@@ -243,22 +526,108 @@ func EncodeBatch(w *bufio.Writer, b *schema.Batch) error {
 	if err := writeVarint(w, b.Seq); err != nil {
 		return err
 	}
-	for _, col := range b.Cols {
-		for i := 0; i < n; i++ {
-			r := i
-			if b.Sel != nil {
-				r = int(b.Sel[i])
-			}
-			if err := encodeValue(w, col[r]); err != nil {
-				return err
-			}
+	for c := 0; c < width; c++ {
+		if err := encodeColumn(w, b, c, n, b.Sel); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// decodeColumn reads one typed column page of n rows into a vector.
+func decodeColumn(r *bufio.Reader, n int) (*schema.Vector, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	kind := schema.VecKind(kb)
+	if kind > schema.VecTime {
+		return nil, fmt.Errorf("memory: corrupt spill stream (column kind %d)", kb)
+	}
+	nulls, err := readNullBitmap(r, n)
+	if err != nil {
+		return nil, err
+	}
+	v := &schema.Vector{Kind: kind, Nulls: nulls}
+	switch kind {
+	case schema.VecAny:
+		d := make([]any, n)
+		for i := range d {
+			if d[i], err = decodeValue(r); err != nil {
+				return nil, err
+			}
+		}
+		v.A = d
+	case schema.VecInt64:
+		d := make([]int64, n)
+		for i := range d {
+			if d[i], err = binary.ReadVarint(r); err != nil {
+				return nil, err
+			}
+		}
+		v.I64 = d
+	case schema.VecFloat64:
+		d := make([]float64, n)
+		var buf [8]byte
+		for i := range d {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, err
+			}
+			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		}
+		v.F64 = d
+	case schema.VecBool:
+		bits := make([]byte, (n+7)/8)
+		if _, err := io.ReadFull(r, bits); err != nil {
+			return nil, err
+		}
+		d := make([]bool, n)
+		for i := range d {
+			d[i] = bits[i/8]&(1<<(i%8)) != 0
+		}
+		v.B = d
+	case schema.VecString:
+		d := make([]string, n)
+		for i := range d {
+			l, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			if l == 0 {
+				continue
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			d[i] = string(buf)
+		}
+		v.S = d
+	case schema.VecTime:
+		d := make([]time.Time, n)
+		for i := range d {
+			l, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			if l == 0 {
+				continue
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			if err := d[i].UnmarshalBinary(buf); err != nil {
+				return nil, err
+			}
+		}
+		v.T = d
+	}
+	return v, nil
+}
+
 // DecodeBatch reads one batch; it returns schema.Done at a clean
-// end-of-stream.
+// end-of-stream. Decoded batches are dense and vector-backed.
 func DecodeBatch(r *bufio.Reader) (*schema.Batch, error) {
 	magic, err := r.ReadByte()
 	if err == io.EOF {
@@ -282,15 +651,11 @@ func DecodeBatch(r *bufio.Reader) (*schema.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	cols := make([][]any, width)
-	for c := range cols {
-		col := make([]any, n)
-		for i := range col {
-			if col[i], err = decodeValue(r); err != nil {
-				return nil, err
-			}
+	vecs := make([]*schema.Vector, width)
+	for c := range vecs {
+		if vecs[c], err = decodeColumn(r, int(n)); err != nil {
+			return nil, err
 		}
-		cols[c] = col
 	}
-	return &schema.Batch{Len: int(n), Cols: cols, Seq: seq}, nil
+	return &schema.Batch{Len: int(n), Vecs: vecs, Seq: seq}, nil
 }

@@ -151,3 +151,174 @@ func TestCodecZeroWidthAndEmpty(t *testing.T) {
 		t.Fatalf("empty batch shape = %dx%d", got.NumRows(), got.Width())
 	}
 }
+
+// typedPageBatch builds a vector-backed batch with one column per core
+// vector kind, each carrying a NULL, so every typed page encoder sees its
+// null bitmap.
+func typedPageBatch(t *testing.T) (*schema.Batch, [][]any) {
+	t.Helper()
+	ts := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	cols := [][]any{
+		{int64(-5), nil, int64(1 << 50)},
+		{1.25, -0.5, nil},
+		{nil, true, false},
+		{"alpha", "", nil},
+		{ts, nil, ts.Add(time.Minute)},
+		{[]any{int64(1)}, nil, map[string]any{"k": int64(2)}}, // dynamic → VecAny page
+	}
+	b := &schema.Batch{Len: 3, Vecs: make([]*schema.Vector, len(cols))}
+	for c, col := range cols {
+		b.Vecs[c] = schema.BuildVector(col, schema.VecAny)
+	}
+	wantKinds := []schema.VecKind{
+		schema.VecInt64, schema.VecFloat64, schema.VecBool,
+		schema.VecString, schema.VecTime, schema.VecAny,
+	}
+	for c, want := range wantKinds {
+		if b.Vecs[c].Kind != want {
+			t.Fatalf("fixture col %d built as %v, want %v", c, b.Vecs[c].Kind, want)
+		}
+	}
+	return b, cols
+}
+
+// TestCodecTypedPagesRoundTrip spills a vector-backed batch and requires
+// the decoded batch to come back typed: same kinds, same values, same NULLs.
+func TestCodecTypedPagesRoundTrip(t *testing.T) {
+	if schema.ForceBoxed() {
+		t.Skip("CALCITE_FORCE_BOXED set")
+	}
+	b, cols := typedPageBatch(t)
+	got := roundTrip(t, b)
+	if got.Vecs == nil {
+		t.Fatal("decode did not produce typed vectors")
+	}
+	for c := range cols {
+		if got.Vecs[c].Kind != b.Vecs[c].Kind {
+			t.Errorf("col %d decoded as %v, want %v", c, got.Vecs[c].Kind, b.Vecs[c].Kind)
+		}
+	}
+	for r := range cols[0] {
+		for c := range cols {
+			if !reflect.DeepEqual(got.Vecs[c].Get(r), cols[c][r]) {
+				t.Errorf("col %d row %d: got %#v want %#v", c, r, got.Vecs[c].Get(r), cols[c][r])
+			}
+		}
+	}
+}
+
+// TestCodecTypedPagesStreamBatchSize3 streams a typed run through a spill
+// file at batchSize=3 and checks the reassembled rows, exercising page
+// framing across many tiny batches.
+func TestCodecTypedPagesStreamBatchSize3(t *testing.T) {
+	if schema.ForceBoxed() {
+		t.Skip("CALCITE_FORCE_BOXED set")
+	}
+	a := NewAllocator(nil, 0, true)
+	defer a.Close()
+	w, err := a.NewRun("Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]any
+	ts := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	for chunk := 0; chunk < 4; chunk++ {
+		cols := make([][]any, 4)
+		for i := 0; i < 3; i++ {
+			n := chunk*3 + i
+			var f any
+			if n%3 != 1 {
+				f = float64(n) / 4
+			}
+			row := []any{int64(n), f, "s" + string(rune('a'+n)), ts.Add(time.Duration(n) * time.Second)}
+			want = append(want, row)
+			for c, v := range row {
+				cols[c] = append(cols[c], v)
+			}
+		}
+		b := &schema.Batch{Len: 3, Vecs: make([]*schema.Vector, len(cols))}
+		for c, col := range cols {
+			b.Vecs[c] = schema.BuildVector(col, schema.VecAny)
+		}
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	var got [][]any
+	for {
+		b, err := rr.NextBatch()
+		if err == schema.Done {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Vecs == nil {
+			t.Fatal("spilled typed run decoded without vectors")
+		}
+		got = b.AppendRows(got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCodecForceBoxedWritesAnyPages pins the escape hatch: under the boxed
+// fallback the codec must not emit typed pages, and the round-trip must
+// still be exact.
+func TestCodecForceBoxedWritesAnyPages(t *testing.T) {
+	prev := schema.SetForceBoxed(true)
+	defer schema.SetForceBoxed(prev)
+	b, cols := typedPageBatch(t)
+	got := roundTrip(t, b)
+	if got.Vecs != nil {
+		for c, v := range got.Vecs {
+			if v.Kind != schema.VecAny {
+				t.Errorf("forced-boxed decode produced typed col %d (%v)", c, v.Kind)
+			}
+		}
+	}
+	for r := range cols[0] {
+		row := got.Row(r)
+		for c := range cols {
+			if !reflect.DeepEqual(row[c], cols[c][r]) {
+				t.Errorf("col %d row %d: got %#v want %#v", c, r, row[c], cols[c][r])
+			}
+		}
+	}
+}
+
+// TestCodecTypedPageWithSelection spills a typed batch through a selection
+// vector: only live rows survive, in selection order, still typed.
+func TestCodecTypedPageWithSelection(t *testing.T) {
+	if schema.ForceBoxed() {
+		t.Skip("CALCITE_FORCE_BOXED set")
+	}
+	b := &schema.Batch{Len: 4, Vecs: []*schema.Vector{
+		schema.BuildVector([]any{int64(0), int64(1), nil, int64(3)}, schema.VecAny),
+		schema.BuildVector([]any{"a", "b", "c", "d"}, schema.VecAny),
+	}}
+	b.Sel = []int32{3, 2, 0}
+	got := roundTrip(t, b)
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", got.NumRows())
+	}
+	want := [][]any{{int64(3), "d"}, {nil, "c"}, {int64(0), "a"}}
+	for i := range want {
+		if !reflect.DeepEqual(got.Row(i), want[i]) {
+			t.Errorf("row %d: got %#v want %#v", i, got.Row(i), want[i])
+		}
+	}
+	if got.Vecs == nil || got.Vecs[0].Kind != schema.VecInt64 {
+		t.Fatal("selection round-trip lost typed representation")
+	}
+}

@@ -392,15 +392,16 @@ func Scatter(inParts []schema.BatchCursor, p int, keys []int) []schema.BatchCurs
 				}
 				// Hash split: one selection vector per target partition
 				// over the shared columns.
+				cols := b.BoxedCols()
 				sels := make([][]int32, p)
 				if b.Sel != nil {
 					for _, r := range b.Sel {
-						k := shardOfKey(routeKey(b.Cols, int(r), keys), p)
+						k := shardOfKey(routeKey(cols, int(r), keys), p)
 						sels[k] = append(sels[k], r)
 					}
 				} else {
 					for r := 0; r < b.Len; r++ {
-						k := shardOfKey(routeKey(b.Cols, r, keys), p)
+						k := shardOfKey(routeKey(cols, r, keys), p)
 						sels[k] = append(sels[k], int32(r))
 					}
 				}
@@ -408,7 +409,7 @@ func Scatter(inParts []schema.BatchCursor, p int, keys []int) []schema.BatchCurs
 					if len(sel) == 0 {
 						continue
 					}
-					sub := &schema.Batch{Len: b.Len, Cols: b.Cols, Sel: sel, Seq: b.Seq}
+					sub := &schema.Batch{Len: b.Len, Cols: b.Cols, Vecs: b.Vecs, Sel: sel, Seq: b.Seq}
 					if !send(st, outs[i], sub) {
 						return
 					}

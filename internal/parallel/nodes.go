@@ -528,11 +528,12 @@ func (c *probeCursor) NextBatch() (*schema.Batch, error) {
 		if c.emitRight {
 			outWidth += c.rightWidth
 		}
+		cols := b.BoxedCols()
 		outCols := make([][]any, outWidth)
 		nRows := 0
 		emit := func(l int, rrow []any) {
 			for col := 0; col < c.leftWidth; col++ {
-				outCols[col] = append(outCols[col], b.Cols[col][l])
+				outCols[col] = append(outCols[col], cols[col][l])
 			}
 			if c.emitRight {
 				for col := 0; col < c.rightWidth; col++ {
@@ -562,14 +563,14 @@ func (c *probeCursor) NextBatch() (*schema.Batch, error) {
 		for _, li := range sel {
 			l := int(li)
 			var candidates []buildRow
-			if key, ok := keyOfCols(b.Cols, l, c.info.LeftKeys); ok {
+			if key, ok := keyOfCols(cols, l, c.info.LeftKeys); ok {
 				candidates = c.tables[shardOfKey(key, c.p)][key]
 			}
 			matched := false
 			for _, br := range candidates {
 				if c.residual != nil {
 					for col := 0; col < c.leftWidth; col++ {
-						c.combined[col] = b.Cols[col][l]
+						c.combined[col] = cols[col][l]
 					}
 					copy(c.combined[c.leftWidth:], br.row)
 					ok, err := c.residual(c.combined)
@@ -762,13 +763,14 @@ func (a *PartialAgg) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 			if scratch == nil {
 				scratch = make([]any, b.Width())
 			}
+			cols := b.BoxedCols()
 			for i := 0; i < n; i++ {
 				r := i
 				if b.Sel != nil {
 					r = int(b.Sel[i])
 				}
 				for c := range scratch {
-					scratch[c] = b.Cols[c][r]
+					scratch[c] = cols[c][r]
 				}
 				k := types.HashRowKey(scratch, keys)
 				newGroup := func() *partialGroup {
@@ -924,6 +926,11 @@ func (c *hydratingCursor) NextBatch() (*schema.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The spill codec may hand back vector-backed batches; hydration mutates
+	// the accumulator columns in place, so pin the boxed representation and
+	// drop the vectors to keep the two in sync.
+	b.BoxedCols()
+	b.Vecs = nil
 	for ci, call := range c.calls {
 		col := b.Cols[c.nKeys+ci]
 		for i, st := range col {

@@ -1,0 +1,153 @@
+package rex
+
+// Typed accumulator fast paths: per-value Add entry points that skip the row
+// indexing, the nil check and the interface unboxing of Accumulator.Add when
+// the caller already holds the value in machine-typed form (a typed vector
+// column). They mutate exactly the state the boxed Add would, so Result,
+// Retract, merge and the spill hydration all see an indistinguishable
+// accumulator.
+
+import (
+	"fmt"
+
+	"calcite/internal/types"
+)
+
+// TypedAccumulator is an accumulator accepting pre-unboxed values.
+type TypedAccumulator interface {
+	Accumulator
+	// IsCountStar reports a COUNT(*) state, addable via AddCountStar.
+	IsCountStar() bool
+	// ArgOrdinal is the input ordinal of the single argument (-1 for
+	// COUNT(*)).
+	ArgOrdinal() int
+	AddCountStar(n int64)
+	AddNonNullInt64(v int64)
+	AddNonNullFloat64(v float64)
+	AddNonNullString(v string) error
+}
+
+// AsTyped unwraps acc into its typed fast-path interface: a non-DISTINCT,
+// unfiltered state computing COUNT/SUM/AVG/MIN/MAX. Any other accumulator
+// (DISTINCT wrapper, FILTER clause, COLLECT/SINGLE_VALUE) returns nil and
+// must be fed boxed rows.
+func AsTyped(acc Accumulator) TypedAccumulator {
+	s, ok := acc.(*aggState)
+	if !ok || s.call.FilterArg >= 0 || s.call.Distinct {
+		return nil
+	}
+	switch s.call.Func {
+	case AggCount, AggSum, AggMin, AggMax, AggAvg:
+		return s
+	}
+	return nil
+}
+
+// IsCountStar reports whether the state counts rows with no argument, so the
+// caller may bulk-add with AddCountStar instead of iterating.
+func (s *aggState) IsCountStar() bool {
+	return s.call.Func == AggCount && len(s.call.Args) == 0
+}
+
+// ArgOrdinal returns the input ordinal of the single aggregate argument, or
+// -1 for COUNT(*).
+func (s *aggState) ArgOrdinal() int {
+	if len(s.call.Args) == 0 {
+		return -1
+	}
+	return s.call.Args[0]
+}
+
+// AddCountStar adds n rows to a COUNT(*) state.
+func (s *aggState) AddCountStar(n int64) { s.count += n }
+
+// AddNonNullInt64 feeds one non-NULL int64 argument value.
+func (s *aggState) AddNonNullInt64(v int64) {
+	if !s.started {
+		s.started = true
+		s.minV, s.maxV = v, v
+	}
+	s.count++
+	switch s.call.Func {
+	case AggSum, AggAvg:
+		s.sumI += v
+		s.sumF += float64(v)
+	case AggMin:
+		if mv, ok := s.minV.(int64); ok {
+			if v < mv {
+				s.minV = v
+			}
+		} else if types.Compare(v, s.minV) < 0 {
+			s.minV = v
+		}
+	case AggMax:
+		if mv, ok := s.maxV.(int64); ok {
+			if v > mv {
+				s.maxV = v
+			}
+		} else if types.Compare(v, s.maxV) > 0 {
+			s.maxV = v
+		}
+	}
+}
+
+// AddNonNullFloat64 feeds one non-NULL float64 argument value.
+func (s *aggState) AddNonNullFloat64(v float64) {
+	if !s.started {
+		s.started = true
+		s.minV, s.maxV = v, v
+	}
+	s.count++
+	switch s.call.Func {
+	case AggSum, AggAvg:
+		s.floats++
+		s.sumF += v
+	case AggMin:
+		if mv, ok := s.minV.(float64); ok {
+			if v < mv {
+				s.minV = v
+			}
+		} else if types.Compare(v, s.minV) < 0 {
+			s.minV = v
+		}
+	case AggMax:
+		if mv, ok := s.maxV.(float64); ok {
+			if v > mv {
+				s.maxV = v
+			}
+		} else if types.Compare(v, s.maxV) > 0 {
+			s.maxV = v
+		}
+	}
+}
+
+// AddNonNullString feeds one non-NULL string argument value. SUM/AVG error
+// exactly as the boxed path does for non-numeric input.
+func (s *aggState) AddNonNullString(v string) error {
+	if !s.started {
+		s.started = true
+		s.minV, s.maxV = v, v
+	}
+	s.count++
+	switch s.call.Func {
+	case AggSum, AggAvg:
+		return fmt.Errorf("rex: %s over non-numeric %T", s.call.Func, v)
+	case AggMin:
+		if mv, ok := s.minV.(string); ok {
+			if v < mv {
+				s.minV = v
+			}
+		} else if types.Compare(v, s.minV) < 0 {
+			s.minV = v
+		}
+	case AggMax:
+		if mv, ok := s.maxV.(string); ok {
+			if v > mv {
+				s.maxV = v
+			}
+		} else if types.Compare(v, s.maxV) > 0 {
+			s.maxV = v
+		}
+	}
+	return nil
+}

@@ -9,6 +9,13 @@ package schema
 // groups of up to a few thousand rows with an optional selection vector — so
 // per-row work collapses into tight loops over slices.
 //
+// A batch carries its columns in one or both of two representations: typed
+// vectors (Vecs — monomorphic storage, see vector.go) and boxed columns
+// (Cols — []any). Typed operators read Vecs; everything else calls
+// BoxedCols(), which returns Cols, materializing and caching it from the
+// vectors on first use. Sources that have both on hand (MemTable's cached
+// snapshot) attach both zero-copy, so compatibility costs nothing on scans.
+//
 // Both conventions interoperate: BatchCursorFromCursor lifts any row cursor
 // into batches, and RowCursorFromBatches flattens batches back into rows, so
 // every adapter written against Cursor keeps working unmodified while the
@@ -18,16 +25,20 @@ package schema
 // is chosen so a batch of a few wide columns stays comfortably inside L2.
 const DefaultBatchSize = 1024
 
-// Batch is a column-major group of rows. Cols[c][r] is the value of column c
-// in physical row r; every column has Len entries. Sel, when non-nil, is a
-// selection vector: the ordered physical row indices that are logically
-// present (filters narrow batches by replacing Sel instead of copying
-// columns). A nil Sel means all Len rows are live.
+// Batch is a column-major group of rows. Column c of physical row r is
+// Vecs[c] row r (typed) and/or Cols[c][r] (boxed); every column has Len
+// entries. Sel, when non-nil, is a selection vector: the ordered physical
+// row indices that are logically present (filters narrow batches by
+// replacing Sel instead of copying columns). A nil Sel means all Len rows
+// are live.
 type Batch struct {
 	// Len is the number of physical rows held by each column.
 	Len int
-	// Cols holds the column vectors; len(Cols) is the batch width.
+	// Cols holds the boxed column vectors; may be nil when Vecs is set
+	// (BoxedCols materializes it on demand).
 	Cols [][]any
+	// Vecs holds the typed column vectors; nil on boxed-only batches.
+	Vecs []*Vector
 	// Sel selects the live subset of rows, in order; nil selects all.
 	Sel []int32
 	// Seq orders batches globally within one source: sources assign
@@ -47,7 +58,26 @@ func (b *Batch) NumRows() int {
 }
 
 // Width returns the number of columns.
-func (b *Batch) Width() int { return len(b.Cols) }
+func (b *Batch) Width() int {
+	if b.Cols != nil {
+		return len(b.Cols)
+	}
+	return len(b.Vecs)
+}
+
+// BoxedCols returns the boxed column representation, materializing (and
+// caching) it from the typed vectors when the batch is vector-only. The
+// batch must be owned by a single goroutine (the Cursor contract).
+func (b *Batch) BoxedCols() [][]any {
+	if b.Cols == nil && b.Vecs != nil {
+		cols := make([][]any, len(b.Vecs))
+		for c, v := range b.Vecs {
+			cols[c] = v.Boxed()
+		}
+		b.Cols = cols
+	}
+	return b.Cols
+}
 
 // Row materializes the i'th live row (0 ≤ i < NumRows) as a fresh []any.
 func (b *Batch) Row(i int) []any {
@@ -55,9 +85,16 @@ func (b *Batch) Row(i int) []any {
 	if b.Sel != nil {
 		r = int(b.Sel[i])
 	}
-	row := make([]any, len(b.Cols))
-	for c, col := range b.Cols {
-		row[c] = col[r]
+	w := b.Width()
+	row := make([]any, w)
+	if b.Cols != nil {
+		for c, col := range b.Cols {
+			row[c] = col[r]
+		}
+		return row
+	}
+	for c, v := range b.Vecs {
+		row[c] = v.Get(r)
 	}
 	return row
 }
@@ -67,7 +104,7 @@ func (b *Batch) Row(i int) []any {
 // keep the rows append-safe).
 func (b *Batch) AppendRows(dst [][]any) [][]any {
 	n := b.NumRows()
-	w := len(b.Cols)
+	w := b.Width()
 	if n == 0 {
 		return dst
 	}
@@ -78,6 +115,30 @@ func (b *Batch) AppendRows(dst [][]any) [][]any {
 		return dst
 	}
 	flat := make([]any, n*w)
+	if b.Cols == nil {
+		// Vector-only batch: box column-at-a-time (one Kind dispatch per
+		// column, not per value).
+		for c, v := range b.Vecs {
+			if b.Sel == nil && v.Kind == VecAny && v.Nulls == nil {
+				col := v.A
+				for i := 0; i < n; i++ {
+					flat[i*w+c] = col[i]
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				r := i
+				if b.Sel != nil {
+					r = int(b.Sel[i])
+				}
+				flat[i*w+c] = v.Get(r)
+			}
+		}
+		for i := 0; i < n; i++ {
+			dst = append(dst, flat[i*w:(i+1)*w:(i+1)*w])
+		}
+		return dst
+	}
 	for i := 0; i < n; i++ {
 		r := i
 		if b.Sel != nil {
@@ -103,26 +164,37 @@ func (b *Batch) Detach() *Batch {
 	if b.Sel == nil {
 		return b
 	}
-	return &Batch{Len: b.Len, Cols: b.Cols, Sel: append([]int32(nil), b.Sel...), Seq: b.Seq}
+	return &Batch{Len: b.Len, Cols: b.Cols, Vecs: b.Vecs, Sel: append([]int32(nil), b.Sel...), Seq: b.Seq}
 }
 
 // Compact returns a batch with no selection vector: if b already is dense it
 // is returned unchanged, otherwise the selected rows are gathered into fresh
-// columns.
+// columns (in whichever representations the batch carries).
 func (b *Batch) Compact() *Batch {
 	if b.Sel == nil {
 		return b
 	}
 	n := len(b.Sel)
-	cols := make([][]any, len(b.Cols))
-	for c, col := range b.Cols {
-		dense := make([]any, n)
-		for i, r := range b.Sel {
-			dense[i] = col[r]
+	out := &Batch{Len: n, Seq: b.Seq}
+	if b.Vecs != nil {
+		vecs := make([]*Vector, len(b.Vecs))
+		for c, v := range b.Vecs {
+			vecs[c] = v.Gather(b.Sel)
 		}
-		cols[c] = dense
+		out.Vecs = vecs
 	}
-	return &Batch{Len: n, Cols: cols}
+	if b.Cols != nil {
+		cols := make([][]any, len(b.Cols))
+		for c, col := range b.Cols {
+			dense := make([]any, n)
+			for i, r := range b.Sel {
+				dense[i] = col[r]
+			}
+			cols[c] = dense
+		}
+		out.Cols = cols
+	}
+	return out
 }
 
 // BatchFromRows transposes row-major rows into a dense batch of the given
@@ -230,9 +302,9 @@ func (c *rowBatchCursor) Close() error { return c.cur.Close() }
 
 // batchRowCursor adapts a BatchCursor to the row Cursor interface.
 type batchRowCursor struct {
-	bc  BatchCursor
-	cur *Batch
-	pos int
+	bc   BatchCursor
+	rows [][]any
+	pos  int
 }
 
 // RowCursorFromBatches flattens a batch cursor into a row cursor, so batch
@@ -243,14 +315,16 @@ func RowCursorFromBatches(bc BatchCursor) Cursor {
 }
 
 func (c *batchRowCursor) Next() ([]any, error) {
-	for c.cur == nil || c.pos >= c.cur.NumRows() {
+	for c.pos >= len(c.rows) {
 		b, err := c.bc.NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		c.cur, c.pos = b, 0
+		// One arena allocation per batch instead of one make per row; the
+		// header slice is reused (consumers retain the rows, not the header).
+		c.rows, c.pos = b.AppendRows(c.rows[:0]), 0
 	}
-	row := c.cur.Row(c.pos)
+	row := c.rows[c.pos]
 	c.pos++
 	return row, nil
 }
@@ -258,9 +332,11 @@ func (c *batchRowCursor) Next() ([]any, error) {
 func (c *batchRowCursor) Close() error { return c.bc.Close() }
 
 // memBatchCursor serves batches as zero-copy slices of a MemTable's
-// columnar snapshot: producing the next batch costs a few slice headers.
+// columnar snapshot — both the typed vectors and the boxed columns, so
+// typed kernels and boxed fallbacks alike start from free representations.
 type memBatchCursor struct {
 	cols      [][]any
+	vecs      []*Vector
 	n         int
 	batchSize int
 	pos       int
@@ -280,6 +356,13 @@ func (c *memBatchCursor) NextBatch() (*Batch, error) {
 		cols[i] = col[c.pos:end]
 	}
 	b := &Batch{Len: end - c.pos, Cols: cols, Seq: c.seq}
+	if c.vecs != nil {
+		vecs := make([]*Vector, len(c.vecs))
+		for i, v := range c.vecs {
+			vecs[i] = v.Slice(c.pos, end)
+		}
+		b.Vecs = vecs
+	}
 	c.pos = end
 	c.seq++
 	return b, nil
@@ -287,14 +370,16 @@ func (c *memBatchCursor) NextBatch() (*Batch, error) {
 
 func (c *memBatchCursor) Close() error { return nil }
 
-// columns returns the columnar snapshot, building (and caching) it on first
-// use. The snapshot is immutable: Insert replaces it rather than appending.
-func (t *MemTable) columns() ([][]any, int) {
+// columns returns the columnar snapshot (boxed columns plus typed vectors),
+// building (and caching) it on first use. The snapshot is immutable: Insert
+// replaces it rather than appending. Vector kinds come from the declared
+// column types, falling back per column when the stored values disagree.
+func (t *MemTable) columns() ([][]any, []*Vector, int) {
 	t.mu.RLock()
-	cols, n := t.cols, len(t.rows)
+	cols, vecs, n := t.cols, t.vecs, len(t.rows)
 	t.mu.RUnlock()
 	if cols != nil {
-		return cols, n
+		return cols, vecs, n
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -309,8 +394,15 @@ func (t *MemTable) columns() ([][]any, int) {
 			cols[c] = col
 		}
 		t.cols = cols
+		if !ForceBoxed() {
+			vecs = make([]*Vector, width)
+			for c := range vecs {
+				vecs[c] = BuildVector(cols[c], VecKindForType(t.rowType.Fields[c].Type))
+			}
+			t.vecs = vecs
+		}
 	}
-	return t.cols, len(t.rows)
+	return t.cols, t.vecs, len(t.rows)
 }
 
 // ScanBatches implements BatchScannableTable: batches are zero-copy windows
@@ -319,6 +411,6 @@ func (t *MemTable) ScanBatches(batchSize int) (BatchCursor, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	cols, n := t.columns()
-	return &memBatchCursor{cols: cols, n: n, batchSize: batchSize}, nil
+	cols, vecs, n := t.columns()
+	return &memBatchCursor{cols: cols, vecs: vecs, n: n, batchSize: batchSize}, nil
 }

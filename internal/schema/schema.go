@@ -258,9 +258,11 @@ type MemTable struct {
 	mu    sync.RWMutex
 	rows  [][]any
 	stats Statistics
-	// cols is a lazily built column-major snapshot of rows serving
-	// ScanBatches zero-copy; Insert invalidates it.
+	// cols/vecs are the lazily built column-major snapshot of rows (boxed
+	// columns plus typed vectors) serving ScanBatches zero-copy; Insert
+	// invalidates both.
 	cols [][]any
+	vecs []*Vector
 }
 
 // NewMemTable creates an in-memory table.
@@ -312,7 +314,7 @@ func (t *MemTable) Insert(rows [][]any) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rows = append(t.rows, rows...)
-	t.cols = nil // invalidate the columnar snapshot
+	t.cols, t.vecs = nil, nil // invalidate the columnar snapshot
 	if t.stats.RowCount > 0 {
 		t.stats.RowCount += float64(len(rows))
 	}

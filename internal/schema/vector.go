@@ -1,0 +1,457 @@
+package schema
+
+// Typed columnar vectors: the monomorphic storage backing the batch
+// convention. The paper decouples the optimizer from data representation so
+// engines can process data "in columnar and compressed form"; boxed []any
+// columns pay an interface header per value, a type assertion per use and an
+// allocation per produced value. A Vector stores one column of one of the
+// engine's core runtime types (int64, float64, bool, string, time.Time) in a
+// flat Go slice plus a null mask, so kernels compile to tight loops over
+// machine types. Everything outside the core set rides the VecAny fallback, a
+// plain []any with identical semantics.
+//
+// Null representation: in memory the mask is one bool per row (Nulls), which
+// slices zero-copy at any offset and reads in one byte load; the spill codec
+// packs it to one bit per row on disk (see internal/memory). A nil mask means
+// the column has no NULLs, letting kernels hoist the null branch out of the
+// loop entirely.
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+
+	"calcite/internal/types"
+)
+
+// VecKind enumerates the monomorphic storage classes of a Vector.
+type VecKind uint8
+
+const (
+	// VecAny is the boxed fallback: values of any runtime type, NULL as nil.
+	VecAny VecKind = iota
+	VecInt64
+	VecFloat64
+	VecBool
+	VecString
+	VecTime
+)
+
+var vecKindNames = [...]string{"any", "int64", "float64", "bool", "string", "time"}
+
+func (k VecKind) String() string {
+	if int(k) < len(vecKindNames) {
+		return vecKindNames[k]
+	}
+	return "invalid"
+}
+
+// VecKindForType maps a declared SQL type to the vector kind holding its
+// native runtime representation (temporal kinds are epoch-millis int64 in
+// this engine; time.Time vectors arise from adapter values, not declarations).
+func VecKindForType(t *types.Type) VecKind {
+	if t == nil {
+		return VecAny
+	}
+	switch t.Kind {
+	case types.TinyIntKind, types.IntegerKind, types.BigIntKind,
+		types.TimestampKind, types.DateKind, types.TimeKind, types.IntervalKind:
+		return VecInt64
+	case types.FloatKind, types.DoubleKind, types.DecimalKind:
+		return VecFloat64
+	case types.BooleanKind:
+		return VecBool
+	case types.VarcharKind, types.CharKind:
+		return VecString
+	}
+	return VecAny
+}
+
+// Vector is one column of values in monomorphic storage. Exactly one of the
+// payload slices (chosen by Kind) is non-nil and holds Len() entries; rows
+// whose Nulls entry is true are NULL and their payload slot is the zero
+// value. VecAny vectors represent NULL as a nil element and may leave Nulls
+// nil.
+type Vector struct {
+	Kind VecKind
+	// Nulls is the null mask: Nulls[r] reports row r NULL. nil = no NULLs.
+	Nulls []bool
+
+	I64 []int64
+	F64 []float64
+	B   []bool
+	S   []string
+	T   []time.Time
+	A   []any
+}
+
+// Len returns the number of rows.
+func (v *Vector) Len() int {
+	switch v.Kind {
+	case VecInt64:
+		return len(v.I64)
+	case VecFloat64:
+		return len(v.F64)
+	case VecBool:
+		return len(v.B)
+	case VecString:
+		return len(v.S)
+	case VecTime:
+		return len(v.T)
+	}
+	return len(v.A)
+}
+
+// IsNull reports whether row r is NULL.
+func (v *Vector) IsNull(r int) bool {
+	if v.Nulls != nil {
+		return v.Nulls[r]
+	}
+	if v.Kind == VecAny {
+		return v.A[r] == nil
+	}
+	return false
+}
+
+// Get boxes the value of row r (nil for NULL). It is the row-at-a-time
+// compatibility accessor; kernels read the payload slices directly.
+func (v *Vector) Get(r int) any {
+	if v.Nulls != nil && v.Nulls[r] {
+		return nil
+	}
+	switch v.Kind {
+	case VecInt64:
+		return v.I64[r]
+	case VecFloat64:
+		return v.F64[r]
+	case VecBool:
+		return v.B[r]
+	case VecString:
+		return v.S[r]
+	case VecTime:
+		return v.T[r]
+	}
+	return v.A[r]
+}
+
+// Slice returns the zero-copy window [lo, hi) of the vector.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{Kind: v.Kind}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[lo:hi]
+	}
+	switch v.Kind {
+	case VecInt64:
+		out.I64 = v.I64[lo:hi]
+	case VecFloat64:
+		out.F64 = v.F64[lo:hi]
+	case VecBool:
+		out.B = v.B[lo:hi]
+	case VecString:
+		out.S = v.S[lo:hi]
+	case VecTime:
+		out.T = v.T[lo:hi]
+	default:
+		out.A = v.A[lo:hi]
+	}
+	return out
+}
+
+// Gather returns a dense copy of the selected rows, in selection order.
+func (v *Vector) Gather(sel []int32) *Vector {
+	n := len(sel)
+	out := &Vector{Kind: v.Kind}
+	if v.Nulls != nil {
+		nulls := make([]bool, n)
+		any := false
+		for i, r := range sel {
+			if v.Nulls[r] {
+				nulls[i] = true
+				any = true
+			}
+		}
+		if any {
+			out.Nulls = nulls
+		}
+	}
+	switch v.Kind {
+	case VecInt64:
+		d := make([]int64, n)
+		for i, r := range sel {
+			d[i] = v.I64[r]
+		}
+		out.I64 = d
+	case VecFloat64:
+		d := make([]float64, n)
+		for i, r := range sel {
+			d[i] = v.F64[r]
+		}
+		out.F64 = d
+	case VecBool:
+		d := make([]bool, n)
+		for i, r := range sel {
+			d[i] = v.B[r]
+		}
+		out.B = d
+	case VecString:
+		d := make([]string, n)
+		for i, r := range sel {
+			d[i] = v.S[r]
+		}
+		out.S = d
+	case VecTime:
+		d := make([]time.Time, n)
+		for i, r := range sel {
+			d[i] = v.T[r]
+		}
+		out.T = d
+	default:
+		d := make([]any, n)
+		for i, r := range sel {
+			d[i] = v.A[r]
+		}
+		out.A = d
+	}
+	return out
+}
+
+// GatherOrd is Gather with NULL injection: a negative ordinal produces a
+// NULL output slot. Joins use it to materialize the build side of outer
+// joins, where unmatched probe rows pad the build columns with NULLs.
+func (v *Vector) GatherOrd(ords []int32) *Vector {
+	n := len(ords)
+	out := &Vector{Kind: v.Kind}
+	var nulls []bool
+	setNull := func(i int) {
+		if nulls == nil {
+			nulls = make([]bool, n)
+		}
+		nulls[i] = true
+	}
+	for i, r := range ords {
+		if r < 0 || (v.Nulls != nil && v.Nulls[r]) {
+			setNull(i)
+		}
+	}
+	switch v.Kind {
+	case VecInt64:
+		d := make([]int64, n)
+		for i, r := range ords {
+			if r >= 0 {
+				d[i] = v.I64[r]
+			}
+		}
+		out.I64 = d
+	case VecFloat64:
+		d := make([]float64, n)
+		for i, r := range ords {
+			if r >= 0 {
+				d[i] = v.F64[r]
+			}
+		}
+		out.F64 = d
+	case VecBool:
+		d := make([]bool, n)
+		for i, r := range ords {
+			if r >= 0 {
+				d[i] = v.B[r]
+			}
+		}
+		out.B = d
+	case VecString:
+		d := make([]string, n)
+		for i, r := range ords {
+			if r >= 0 {
+				d[i] = v.S[r]
+			}
+		}
+		out.S = d
+	case VecTime:
+		d := make([]time.Time, n)
+		for i, r := range ords {
+			if r >= 0 {
+				d[i] = v.T[r]
+			}
+		}
+		out.T = d
+	default:
+		d := make([]any, n)
+		for i, r := range ords {
+			if r >= 0 {
+				d[i] = v.A[r]
+			}
+		}
+		out.A = d
+	}
+	out.Nulls = nulls
+	return out
+}
+
+// Boxed materializes the whole vector as a boxed column. VecAny vectors
+// return their payload slice directly (zero-copy).
+func (v *Vector) Boxed() []any {
+	if v.Kind == VecAny && v.Nulls == nil {
+		return v.A
+	}
+	n := v.Len()
+	out := make([]any, n)
+	for r := 0; r < n; r++ {
+		out[r] = v.Get(r)
+	}
+	return out
+}
+
+// detectVecKind returns the uniform monomorphic kind of the non-NULL values,
+// or VecAny when the column mixes dynamic types or uses a type outside the
+// core set.
+func detectVecKind(vals []any) VecKind {
+	kind := VecAny
+	for _, x := range vals {
+		var k VecKind
+		switch x.(type) {
+		case nil:
+			continue
+		case int64:
+			k = VecInt64
+		case float64:
+			k = VecFloat64
+		case bool:
+			k = VecBool
+		case string:
+			k = VecString
+		case time.Time:
+			k = VecTime
+		default:
+			return VecAny
+		}
+		if kind == VecAny {
+			kind = k
+		} else if kind != k {
+			return VecAny
+		}
+	}
+	return kind
+}
+
+// BuildVector converts a boxed column into a typed vector. hint (from the
+// declared column type) short-circuits detection when the values conform;
+// columns with mixed or non-core runtime types fall back to VecAny, sharing
+// the input slice.
+func BuildVector(vals []any, hint VecKind) *Vector {
+	kind := hint
+	if kind == VecAny || !valuesConform(vals, kind) {
+		kind = detectVecKind(vals)
+	}
+	if kind == VecAny {
+		return &Vector{Kind: VecAny, A: vals}
+	}
+	n := len(vals)
+	v := &Vector{Kind: kind}
+	var nulls []bool
+	setNull := func(r int) {
+		if nulls == nil {
+			nulls = make([]bool, n)
+		}
+		nulls[r] = true
+	}
+	switch kind {
+	case VecInt64:
+		d := make([]int64, n)
+		for r, x := range vals {
+			if x == nil {
+				setNull(r)
+				continue
+			}
+			d[r] = x.(int64)
+		}
+		v.I64 = d
+	case VecFloat64:
+		d := make([]float64, n)
+		for r, x := range vals {
+			if x == nil {
+				setNull(r)
+				continue
+			}
+			d[r] = x.(float64)
+		}
+		v.F64 = d
+	case VecBool:
+		d := make([]bool, n)
+		for r, x := range vals {
+			if x == nil {
+				setNull(r)
+				continue
+			}
+			d[r] = x.(bool)
+		}
+		v.B = d
+	case VecString:
+		d := make([]string, n)
+		for r, x := range vals {
+			if x == nil {
+				setNull(r)
+				continue
+			}
+			d[r] = x.(string)
+		}
+		v.S = d
+	case VecTime:
+		d := make([]time.Time, n)
+		for r, x := range vals {
+			if x == nil {
+				setNull(r)
+				continue
+			}
+			d[r] = x.(time.Time)
+		}
+		v.T = d
+	}
+	v.Nulls = nulls
+	return v
+}
+
+// valuesConform reports whether every non-nil value matches kind.
+func valuesConform(vals []any, kind VecKind) bool {
+	for _, x := range vals {
+		if x == nil {
+			continue
+		}
+		ok := false
+		switch kind {
+		case VecInt64:
+			_, ok = x.(int64)
+		case VecFloat64:
+			_, ok = x.(float64)
+		case VecBool:
+			_, ok = x.(bool)
+		case VecString:
+			_, ok = x.(string)
+		case VecTime:
+			_, ok = x.(time.Time)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// forceBoxed is the framework knob disabling typed vectors engine-wide:
+// sources stop attaching Vecs to batches and the spill codec writes boxed
+// pages, so every operator takes its boxed fallback path. It exists for the
+// differential suites (typed vs boxed results must be identical) and as an
+// escape hatch; CALCITE_FORCE_BOXED=1 sets it at startup.
+var forceBoxed atomic.Bool
+
+func init() {
+	if v := os.Getenv("CALCITE_FORCE_BOXED"); v == "1" || v == "true" {
+		forceBoxed.Store(true)
+	}
+}
+
+// SetForceBoxed toggles the boxed-fallback knob (tests restore the previous
+// value).
+func SetForceBoxed(on bool) (prev bool) { return forceBoxed.Swap(on) }
+
+// ForceBoxed reports whether typed vectors are disabled engine-wide.
+func ForceBoxed() bool { return forceBoxed.Load() }
