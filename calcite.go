@@ -19,10 +19,14 @@
 package calcite
 
 import (
+	"io"
+	"time"
+
 	"calcite/internal/avatica"
 	"calcite/internal/builder"
 	"calcite/internal/core"
 	"calcite/internal/mv"
+	"calcite/internal/obs"
 	"calcite/internal/plan"
 	"calcite/internal/rel"
 	"calcite/internal/schema"
@@ -41,6 +45,17 @@ type Connection struct {
 // Open creates a connection with the default optimizer configuration.
 func Open() *Connection {
 	return &Connection{Framework: core.New()}
+}
+
+// OpenChecked is Open with configuration errors (for example a malformed
+// CALCITE_MEM_LIMIT environment value) returned instead of panicking, so
+// binaries can print a clean startup error.
+func OpenChecked() (*Connection, error) {
+	fw, err := core.NewChecked()
+	if err != nil {
+		return nil, err
+	}
+	return &Connection{Framework: fw}, nil
 }
 
 // Result is a query result: column names plus rows of values.
@@ -205,6 +220,28 @@ func (c *Connection) EnableSpill(on bool) { c.Framework.DisableSpill = !on }
 // sums reassociate), and COLLECT multiset element order follows partial-
 // merge order rather than input order.
 func (c *Connection) SetParallelism(n int) { c.Framework.Parallelism = n }
+
+// SetSlowQueryThreshold marks queries at or over threshold as slow: they
+// are retained in the observability engine's slow-trace ring (visible at
+// the server's /debug/queries endpoint) and, when log is non-nil, written
+// to it as one JSON line each. threshold 0 disables slow-query tracking.
+func (c *Connection) SetSlowQueryThreshold(threshold time.Duration, log io.Writer) {
+	c.Framework.SetSlowQuery(threshold, log)
+}
+
+// Obs exposes the connection's observability engine: the metrics registry
+// (Prometheus text exposition), the recent/slow trace rings, and the
+// slow-query configuration.
+func (c *Connection) Obs() *obs.Engine { return c.Framework.Obs() }
+
+// LastTraces returns up to n recent query traces, newest first.
+func (c *Connection) LastTraces(n int) []*obs.TraceSnapshot {
+	traces := c.Framework.Obs().Recent.Snapshot()
+	if n > 0 && len(traces) > n {
+		traces = traces[:n]
+	}
+	return traces
+}
 
 // UseHeuristicPlanner switches physical planning to the exhaustive
 // rule-driven engine (§6's second planner engine).

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"calcite"
 	"calcite/internal/adapter/csvfile"
 	"calcite/internal/memory"
+	"calcite/internal/obs"
 	"calcite/internal/types"
 )
 
@@ -34,10 +36,20 @@ func main() {
 	mem := flag.String("mem", "", "execution-memory budget, e.g. 64MB or 1GiB (empty = unlimited); operators spill to disk beyond it")
 	queryMem := flag.String("querymem", "", "per-query memory cap, e.g. 16MB (empty = bounded by -mem only)")
 	noSpill := flag.Bool("nospill", false, "fail queries that exceed the memory budget instead of spilling")
+	slowQuery := flag.Duration("slowquery", 0, "slow-query threshold, e.g. 250ms (0 = disabled); slow queries are logged as JSON lines on stderr")
+	trace := flag.Bool("trace", false, "print the per-operator trace (rows/batches/elapsed/memory) after each statement")
 	flag.Parse()
 
-	conn := calcite.Open()
+	conn, err := calcite.OpenChecked()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	conn.SetParallelism(*par)
+	if *slowQuery > 0 {
+		conn.SetSlowQueryThreshold(*slowQuery, os.Stderr)
+	}
+	traceOn = *trace
 	if *mem != "" {
 		n, err := memory.ParseBytes(*mem)
 		if err != nil {
@@ -106,6 +118,9 @@ func main() {
 	}
 }
 
+// traceOn prints each statement's span tree after its result (-trace).
+var traceOn bool
+
 func runSQL(conn *calcite.Connection, sql string) {
 	if sql == "" {
 		return
@@ -116,6 +131,17 @@ func runSQL(conn *calcite.Connection, sql string) {
 		return
 	}
 	printTable(res)
+	if traceOn {
+		if traces := conn.LastTraces(1); len(traces) > 0 && traces[0].Spans != nil {
+			t := traces[0]
+			fmt.Printf("-- trace %d (fingerprint %s): plan=%s optimize=%s exec=%s\n",
+				t.ID, t.Fingerprint,
+				time.Duration(t.PlanNs).Round(time.Microsecond),
+				time.Duration(t.OptimizeNs).Round(time.Microsecond),
+				time.Duration(t.ExecNs).Round(time.Microsecond))
+			fmt.Print(obs.RenderSpans(t.Spans))
+		}
+	}
 }
 
 func printTable(res *calcite.Result) {

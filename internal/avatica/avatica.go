@@ -7,11 +7,13 @@ package avatica
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"calcite/internal/core"
@@ -86,6 +88,14 @@ type Server struct {
 	// MaxStatements caps the statement table (<= 0 uses
 	// DefaultMaxStatements).
 	MaxStatements int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiling endpoints expose internals and cost CPU). Set
+	// before Handler/Start.
+	EnablePprof bool
+
+	// Statement-table eviction counters, sampled by the metrics registry.
+	evictedTTL atomic.Int64
+	evictedLRU atomic.Int64
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
@@ -124,6 +134,7 @@ func (s *Server) evictLocked() {
 	for id, e := range s.stmts {
 		if e.lastUsed.Before(deadline) {
 			delete(s.stmts, id)
+			s.evictedTTL.Add(1)
 		}
 	}
 	for len(s.stmts) >= s.maxStatements() {
@@ -136,6 +147,7 @@ func (s *Server) evictLocked() {
 			}
 		}
 		delete(s.stmts, oldest)
+		s.evictedLRU.Add(1)
 	}
 }
 
@@ -147,13 +159,23 @@ func (s *Server) StatementCount() int {
 	return len(s.stmts)
 }
 
-// Handler returns the HTTP handler (also usable without a listener).
+// Handler returns the HTTP handler (also usable without a listener): the
+// wire-protocol endpoints plus the observability surface (/metrics,
+// /debug/queries, /healthz, and /debug/pprof/ when enabled), all wrapped in
+// per-route request metrics.
 func (s *Server) Handler() http.Handler {
+	s.registerServerMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/prepare", s.handlePrepare)
 	mux.HandleFunc("/execute", s.handleExecute)
 	mux.HandleFunc("/close", s.handleClose)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.EnablePprof {
+		mountPprof(mux)
+	}
+	return s.instrument(mux)
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves in
@@ -169,10 +191,19 @@ func (s *Server) Start(addr string) (string, error) {
 	return s.addr, nil
 }
 
-// Stop shuts the server down.
+// Stop shuts the server down immediately, dropping in-flight requests.
 func (s *Server) Stop() error {
 	if s.httpSrv != nil {
 		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+// Shutdown drains the server gracefully: the listener closes at once,
+// in-flight requests run to completion until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv != nil {
+		return s.httpSrv.Shutdown(ctx)
 	}
 	return nil
 }

@@ -1,0 +1,120 @@
+package avatica
+
+// The server's observability surface: Prometheus exposition at /metrics,
+// the recent/slow trace rings as JSON at /debug/queries, a load-balancer
+// probe at /healthz, optional net/http/pprof, and per-route request
+// latency/status metrics around every handler.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"calcite/internal/obs"
+)
+
+// registerServerMetrics exposes the statement table through function-backed
+// instruments on the framework's registry.
+func (s *Server) registerServerMetrics() {
+	r := s.fw.Obs().Registry
+	r.GaugeFunc("calcite_statements_live",
+		"Prepared statements currently held by the server.",
+		func() float64 { return float64(s.StatementCount()) })
+	r.CounterFunc("calcite_statement_evictions_total",
+		"Prepared statements evicted from the statement table, by reason.",
+		func() int64 { return s.evictedTTL.Load() }, obs.L("reason", "ttl"))
+	r.CounterFunc("calcite_statement_evictions_total",
+		"Prepared statements evicted from the statement table, by reason.",
+		func() int64 { return s.evictedLRU.Load() }, obs.L("reason", "lru"))
+}
+
+// statusRecorder captures the response status for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with per-route latency histograms and status
+// counters. The route label is the request path as matched by the fixed
+// endpoint set — unknown paths collapse into "other" so a client cannot
+// inflate label cardinality.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	reg := s.fw.Obs().Registry
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		switch route {
+		case "/prepare", "/execute", "/close", "/metrics", "/debug/queries", "/healthz":
+		default:
+			route = "other"
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start).Seconds()
+		reg.Histogram("calcite_http_request_seconds",
+			"HTTP request latency by route.", nil, obs.L("route", route)).Observe(elapsed)
+		reg.Counter("calcite_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.L("route", route), obs.L("code", strconv.Itoa(rec.status))).Inc()
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.fw.Obs().Registry.WritePrometheus(w)
+}
+
+// DebugQueriesResponse is the JSON shape of /debug/queries.
+type DebugQueriesResponse struct {
+	SlowThresholdMs float64              `json:"slow_threshold_ms"`
+	Recent          []*obs.TraceSnapshot `json:"recent"`
+	Slow            []*obs.TraceSnapshot `json:"slow"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	eng := s.fw.Obs()
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "invalid limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	resp := DebugQueriesResponse{
+		SlowThresholdMs: float64(eng.SlowThreshold()) / 1e6,
+		Recent:          eng.Recent.Snapshot(),
+		Slow:            eng.Slow.Snapshot(),
+	}
+	if limit > 0 {
+		if len(resp.Recent) > limit {
+			resp.Recent = resp.Recent[:limit]
+		}
+		if len(resp.Slow) > limit {
+			resp.Slow = resp.Slow[:limit]
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// mountPprof wires the net/http/pprof handlers onto the server's own mux
+// (the package's init only registers on http.DefaultServeMux).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"calcite/internal/memory"
 	"calcite/internal/meta"
 	"calcite/internal/mv"
+	"calcite/internal/obs"
 	"calcite/internal/parallel"
 	"calcite/internal/parser"
 	"calcite/internal/plan"
@@ -115,6 +117,14 @@ type Framework struct {
 	// window benchmarks).
 	WindowRecompute bool
 
+	// SlowQueryThreshold marks queries whose end-to-end latency meets or
+	// exceeds it as slow: they are retained in the observability engine's
+	// slow ring and written to SlowQueryLog (0 disables).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one JSON line per slow query (nil keeps only
+	// the in-memory slow ring).
+	SlowQueryLog io.Writer
+
 	// poolMu guards the lazily created shared worker pool.
 	poolMu sync.Mutex
 	pool   *parallel.Pool
@@ -122,6 +132,10 @@ type Framework struct {
 	// memPoolMu guards the lazily created shared memory pool.
 	memPoolMu sync.Mutex
 	memPool   *memory.Pool
+
+	// obsMu guards the lazily created observability engine.
+	obsMu  sync.Mutex
+	obsEng *obs.Engine
 
 	// Views holds materialized views registered via CREATE MATERIALIZED
 	// VIEW or adapter declarations.
@@ -138,6 +152,20 @@ type Framework struct {
 // default framework memory limit — the hook CI uses to run the whole test
 // corpus under memory governance.
 func New() *Framework {
+	f, err := NewChecked()
+	if err != nil {
+		// Refusing to start beats running ungoverned: a typo'd limit in
+		// the CI governance job would otherwise silently test nothing.
+		// Binaries that want a clean startup error use NewChecked.
+		panic(err.Error())
+	}
+	return f
+}
+
+// NewChecked is New with configuration errors (today: a malformed
+// CALCITE_MEM_LIMIT) returned instead of panicking, so binaries can print a
+// clean startup error.
+func NewChecked() (*Framework, error) {
 	f := &Framework{
 		Catalog:       schema.NewBaseSchema("root"),
 		LogicalRules:  rules.DefaultLogicalRules(),
@@ -149,13 +177,11 @@ func New() *Framework {
 	if s := os.Getenv("CALCITE_MEM_LIMIT"); s != "" {
 		n, err := memory.ParseBytes(s)
 		if err != nil {
-			// Refusing to start beats running ungoverned: a typo'd limit in
-			// the CI governance job would otherwise silently test nothing.
-			panic(fmt.Sprintf("calcite: invalid CALCITE_MEM_LIMIT %q: %v", s, err))
+			return nil, fmt.Errorf("calcite: invalid CALCITE_MEM_LIMIT %q: %v", s, err)
 		}
 		f.MemoryLimit = n
 	}
-	return f
+	return f, nil
 }
 
 // SetMemoryLimit sets the framework-wide execution-memory budget in bytes
@@ -170,11 +196,13 @@ func (f *Framework) SetMemoryLimit(n int64) {
 }
 
 // MemoryPool returns the framework's shared memory pool, creating it on
-// first use (nil when no framework-wide limit is configured).
+// first use. With no framework-wide limit configured the pool is unlimited
+// but still accounts usage, so the memory metrics cover ungoverned
+// deployments too.
 func (f *Framework) MemoryPool() *memory.Pool {
 	f.memPoolMu.Lock()
 	defer f.memPoolMu.Unlock()
-	if f.memPool == nil && f.MemoryLimit > 0 {
+	if f.memPool == nil {
 		f.memPool = memory.NewPool(f.MemoryLimit)
 	}
 	return f.memPool
@@ -321,7 +349,10 @@ type Result struct {
 	Plan string
 }
 
-// Execute parses, plans and runs a SQL statement (including DDL).
+// Execute parses, plans and runs a SQL statement (including DDL). Query and
+// DML statements run traced: the observability engine assigns an ID, times
+// each stage, builds a per-operator span tree and retains the finished
+// trace (see Obs).
 func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 	stmt, err := parser.Parse(sql)
 	if err != nil {
@@ -329,7 +360,7 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 	}
 	switch s := stmt.(type) {
 	case *parser.ExplainStmt:
-		return f.explain(s)
+		return f.explain(s, sql)
 	case *parser.CreateTableStmt:
 		return f.createTable(s)
 	case *parser.CreateViewStmt:
@@ -337,14 +368,34 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 	case *parser.AnalyzeStmt:
 		return f.analyzeTable(s)
 	}
+	return f.executeQuery(sql, stmt, params...)
+}
+
+// executeQuery runs a converted query/DML statement under tracing.
+func (f *Framework) executeQuery(sql string, stmt parser.Statement, params ...any) (*Result, error) {
+	eng := f.Obs()
+	tr := eng.Begin(sql)
+	res, err := f.runTraced(tr, stmt, params)
+	if err != nil {
+		tr.Error = err.Error()
+	}
+	eng.End(tr)
+	return res, err
+}
+
+func (f *Framework) runTraced(tr *obs.QueryTrace, stmt parser.Statement, params []any) (*Result, error) {
+	t0 := time.Now()
 	logical, err := sql2rel.New(f.Catalog).Convert(stmt)
 	if err != nil {
 		return nil, err
 	}
+	tr.PlanNs = int64(time.Since(t0))
+	t1 := time.Now()
 	physical, err := f.Optimize(logical)
 	if err != nil {
 		return nil, err
 	}
+	tr.OptimizeNs = int64(time.Since(t1))
 	ctx := f.newExecContext()
 	// The allocator cleanup is the spill-file guarantee: whatever path
 	// execution takes out of this function — rows, error, worker teardown —
@@ -352,10 +403,15 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 	// removed.
 	defer ctx.Alloc.Close()
 	ctx.Evaluator.Params = params
-	rows, err := exec.Execute(ctx, f.prepareForExecution(physical))
+	prepared := f.attachTrace(ctx, tr, physical)
+	t2 := time.Now()
+	rows, err := exec.Execute(ctx, prepared)
+	tr.ExecNs = int64(time.Since(t2))
+	f.mergeMemStats(tr, ctx)
 	if err != nil {
 		return nil, err
 	}
+	tr.Rows = int64(len(rows))
 	return &Result{Columns: physical.RowType().FieldNames(), Rows: rows}, nil
 }
 
@@ -405,7 +461,7 @@ func (f *Framework) ExecutePhysical(physical rel.Node) ([][]any, error) {
 	return exec.Execute(ctx, f.prepareForExecution(physical))
 }
 
-func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
+func (f *Framework) explain(s *parser.ExplainStmt, sql string) (*Result, error) {
 	logical, err := sql2rel.New(f.Catalog).Convert(s.Target)
 	if err != nil {
 		return nil, err
@@ -425,7 +481,7 @@ func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
 		return fmt.Sprintf("rows=%.4g, cost=%.4g", mq.RowCount(n), mq.CumulativeCost(n).Scalar())
 	})
 	if s.Analyze {
-		statsText, err := f.explainAnalyze(node)
+		statsText, err := f.explainAnalyze(node, sql)
 		if err != nil {
 			return nil, err
 		}
@@ -438,25 +494,36 @@ func (f *Framework) explain(s *parser.ExplainStmt) (*Result, error) {
 	return &Result{Columns: []string{"PLAN"}, Rows: rows, Plan: text}, nil
 }
 
-// explainAnalyze executes the explained plan under a tracking allocator and
-// renders the run statistics: rows, elapsed time, and the per-operator
-// peak-memory / spill counters of the memory governor.
-func (f *Framework) explainAnalyze(physical rel.Node) (string, error) {
+// explainAnalyze executes the explained plan under tracing (and a tracking
+// allocator) and renders the run statistics from the finished trace
+// snapshot — the same span tree /debug/queries serves as JSON, so the text
+// and the JSON can never disagree.
+func (f *Framework) explainAnalyze(physical rel.Node, sql string) (string, error) {
+	eng := f.Obs()
+	tr := eng.Begin(sql)
 	ctx := f.newExecContext()
 	if ctx.Alloc == nil {
 		// No budget configured: track anyway so peaks are still reported.
 		ctx.Alloc = f.newAllocator(true)
 	}
 	defer ctx.Alloc.Close()
+	prepared := f.attachTrace(ctx, tr, physical)
 	start := time.Now()
-	rows, err := exec.Execute(ctx, f.prepareForExecution(physical))
+	rows, err := exec.Execute(ctx, prepared)
+	tr.ExecNs = int64(time.Since(start))
+	f.mergeMemStats(tr, ctx)
 	if err != nil {
+		tr.Error = err.Error()
+		eng.End(tr)
 		return "", err
 	}
-	elapsed := time.Since(start)
+	tr.Rows = int64(len(rows))
+	snap := eng.End(tr)
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "--- run stats ---\n")
-	fmt.Fprintf(&b, "rows: %d, elapsed: %s\n", len(rows), elapsed.Round(time.Microsecond))
+	fmt.Fprintf(&b, "rows: %d, elapsed: %s\n", snap.Rows,
+		time.Duration(snap.TotalNs).Round(time.Microsecond))
 	budget := "unlimited"
 	if lim := f.MemoryLimit; lim > 0 {
 		budget = memory.FormatBytes(lim)
@@ -465,15 +532,8 @@ func (f *Framework) explainAnalyze(physical rel.Node) (string, error) {
 		budget += ", per-query " + memory.FormatBytes(ql)
 	}
 	fmt.Fprintf(&b, "memory: budget=%s, peak=%s, spilled=%s\n",
-		budget, memory.FormatBytes(ctx.Alloc.Peak()), memory.FormatBytes(ctx.Alloc.Spilled()))
-	for _, op := range ctx.Alloc.Snapshot() {
-		fmt.Fprintf(&b, "  %s: peak=%s", op.Name, memory.FormatBytes(op.PeakBytes))
-		if op.SpilledBytes > 0 || op.SpillEvents > 0 {
-			fmt.Fprintf(&b, ", spilled=%s, files=%d, spill-events=%d",
-				memory.FormatBytes(op.SpilledBytes), op.SpillFiles, op.SpillEvents)
-		}
-		b.WriteByte('\n')
-	}
+		budget, memory.FormatBytes(snap.PeakBytes), memory.FormatBytes(snap.Spilled))
+	b.WriteString(obs.RenderSpans(snap.Spans))
 	return b.String(), nil
 }
 

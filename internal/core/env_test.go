@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"calcite/internal/core"
+)
+
+// TestMemLimitEnv pins the CALCITE_MEM_LIMIT startup contract: a valid value
+// becomes the framework budget, a malformed one is a clean NewChecked error
+// (and a New panic) naming the bad value.
+func TestMemLimitEnv(t *testing.T) {
+	t.Setenv("CALCITE_MEM_LIMIT", "64MB")
+	fw, err := core.NewChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.MemoryLimit != 64<<20 {
+		t.Fatalf("limit = %d, want %d", fw.MemoryLimit, 64<<20)
+	}
+
+	t.Setenv("CALCITE_MEM_LIMIT", "12parsecs")
+	if _, err := core.NewChecked(); err == nil ||
+		!strings.Contains(err.Error(), "CALCITE_MEM_LIMIT") ||
+		!strings.Contains(err.Error(), "12parsecs") {
+		t.Fatalf("NewChecked error = %v, want mention of CALCITE_MEM_LIMIT and the value", err)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "CALCITE_MEM_LIMIT") {
+			t.Fatalf("New panic = %v, want CALCITE_MEM_LIMIT message", r)
+		}
+	}()
+	core.New()
+}

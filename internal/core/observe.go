@@ -1,0 +1,125 @@
+package core
+
+// Observability wiring: the Framework owns one obs.Engine (metrics registry
+// + trace retention + slow-query log) and registers function-backed
+// instruments over the subsystems that keep their own atomic counters (the
+// memory pool and the worker pool), so the hot paths never touch the
+// registry.
+
+import (
+	"io"
+	"time"
+
+	"calcite/internal/exec"
+	"calcite/internal/obs"
+	"calcite/internal/rel"
+)
+
+// Obs returns the framework's observability engine, creating it on first
+// use with the subsystem metrics registered and the configured slow-query
+// threshold applied.
+func (f *Framework) Obs() *obs.Engine {
+	f.obsMu.Lock()
+	defer f.obsMu.Unlock()
+	if f.obsEng == nil {
+		f.obsEng = obs.NewEngine()
+		f.obsEng.SetSlowQuery(f.SlowQueryThreshold, f.SlowQueryLog)
+		f.registerSubsystemMetrics(f.obsEng.Registry)
+	}
+	return f.obsEng
+}
+
+// SetSlowQuery updates the slow-query threshold and log sink, on the live
+// engine if one exists.
+func (f *Framework) SetSlowQuery(threshold time.Duration, w io.Writer) {
+	f.SlowQueryThreshold = threshold
+	f.SlowQueryLog = w
+	f.obsMu.Lock()
+	eng := f.obsEng
+	f.obsMu.Unlock()
+	eng.SetSlowQuery(threshold, w)
+}
+
+// registerSubsystemMetrics exposes the memory governor and the worker pool
+// through function-backed instruments sampled at scrape time.
+func (f *Framework) registerSubsystemMetrics(r *obs.Registry) {
+	mp := f.MemoryPool()
+	r.GaugeFunc("calcite_memory_pool_limit_bytes",
+		"Configured framework-wide memory budget (0 = unlimited).",
+		func() float64 { return float64(mp.Limit()) })
+	r.GaugeFunc("calcite_memory_pool_used_bytes",
+		"Bytes currently reserved by running queries.",
+		func() float64 { return float64(mp.Used()) })
+	r.CounterFunc("calcite_memory_granted_bytes_total",
+		"Bytes granted by the memory pool.",
+		func() int64 { return mp.Counters().GrantedBytes })
+	r.CounterFunc("calcite_memory_denied_bytes_total",
+		"Bytes refused because they would exceed the pool limit.",
+		func() int64 { return mp.Counters().DeniedBytes })
+	r.CounterFunc("calcite_memory_denials_total",
+		"Grant requests refused by the memory pool.",
+		func() int64 { return mp.Counters().Denials })
+	r.CounterFunc("calcite_memory_released_bytes_total",
+		"Bytes returned to the memory pool.",
+		func() int64 { return mp.Counters().ReleasedBytes })
+	r.CounterFunc("calcite_spill_events_total",
+		"Operator decisions to overflow state to disk.",
+		func() int64 { return mp.Counters().SpillEvents })
+	r.CounterFunc("calcite_spill_bytes_total",
+		"Bytes written to spill files.",
+		func() int64 { return mp.Counters().SpillBytes })
+	r.CounterFunc("calcite_spill_files_total",
+		"Spill files created.",
+		func() int64 { return mp.Counters().SpillFiles })
+
+	wp := f.WorkerPool()
+	r.GaugeFunc("calcite_workers_busy",
+		"Worker goroutines currently executing a task.",
+		func() float64 { return float64(wp.Busy()) })
+	r.GaugeFunc("calcite_workers_parallelism",
+		"Configured degree of parallelism.",
+		func() float64 { return float64(wp.Parallelism()) })
+	r.CounterFunc("calcite_worker_tasks_total",
+		"Tasks completed by pool workers.",
+		func() int64 { return wp.TasksDone() })
+	r.CounterFunc("calcite_worker_spawns_total",
+		"Worker goroutines started (task arrived with no idle resident).",
+		func() int64 { s, _ := wp.Stats(); return s })
+	r.CounterFunc("calcite_worker_handoffs_total",
+		"Tasks handed to an already-resident idle worker.",
+		func() int64 { _, h := wp.Stats(); return h })
+	r.CounterFunc("calcite_morsels_dispatched_total",
+		"Scan morsels claimed by workers.",
+		func() int64 { return wp.MorselsDispatched() })
+}
+
+// attachTrace prepares physical for execution and attaches the trace's span
+// tree to the execution context, one span per node of the prepared
+// (post-parallel-rewrite) plan.
+func (f *Framework) attachTrace(ctx *exec.Context, tr *obs.QueryTrace, physical rel.Node) rel.Node {
+	prepared := f.prepareForExecution(physical)
+	if tr != nil {
+		if f.RowMode {
+			tr.Parallelism = 1
+		} else {
+			tr.Parallelism = f.EffectiveParallelism()
+		}
+		ctx.Trace = tr
+		ctx.Spans = exec.BuildSpans(tr, prepared)
+	}
+	return prepared
+}
+
+// mergeMemStats folds the query allocator's counters into the trace: the
+// query-level peak/spilled totals and the per-operator reservation stats,
+// matched to spans by the governor's operator names.
+func (f *Framework) mergeMemStats(tr *obs.QueryTrace, ctx *exec.Context) {
+	if tr == nil || ctx.Alloc == nil {
+		return
+	}
+	tr.PeakBytes = ctx.Alloc.Peak()
+	tr.SpilledBytes = ctx.Alloc.Spilled()
+	for _, op := range ctx.Alloc.Snapshot() {
+		tr.AttachMemStats(op.Name, op.PeakBytes, op.SpilledBytes, op.SpillFiles, op.SpillEvents)
+	}
+}

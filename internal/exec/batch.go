@@ -12,6 +12,7 @@ package exec
 
 import (
 	"sort"
+	"time"
 
 	"calcite/internal/rel"
 	"calcite/internal/rex"
@@ -28,14 +29,27 @@ type BatchBound interface {
 // BindBatch binds a plan node as a batch cursor, lifting row-only nodes
 // through the row→batch shim.
 func BindBatch(ctx *Context, n rel.Node) (schema.BatchCursor, error) {
+	// Span elapsed is inclusive of the subtree (a pull through the wrapper
+	// times everything below it), so bind time — where materializing
+	// operators like sort and aggregate do their work — is charged the same
+	// inclusive way.
+	sp := ctx.SpanFor(n)
+	start := time.Now()
 	if bb, ok := n.(BatchBound); ok {
-		return bb.BindBatch(ctx)
+		bc, err := bb.BindBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		sp.AddElapsed(time.Since(start))
+		return TraceBatch(sp, bc), nil
 	}
 	cur, err := bindRow(ctx, n)
 	if err != nil {
 		return nil, err
 	}
-	return schema.BatchCursorFromCursor(cur, rel.FieldCount(n), ctx.batchSize()), nil
+	bc := schema.BatchCursorFromCursor(cur, rel.FieldCount(n), ctx.batchSize())
+	sp.AddElapsed(time.Since(start))
+	return TraceBatch(sp, bc), nil
 }
 
 // drainBatches materializes every live row of a batch cursor and closes it.

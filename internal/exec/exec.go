@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"calcite/internal/memory"
+	"calcite/internal/obs"
 	"calcite/internal/rel"
 	"calcite/internal/rex"
 	"calcite/internal/schema"
@@ -43,6 +44,12 @@ type Context struct {
 	// recompute path instead of incremental frame maintenance — the A/B
 	// baseline of the window benchmarks.
 	WindowRecompute bool
+	// Trace is the query's trace (nil when untraced); Spans indexes its
+	// per-operator spans by plan node, built by BuildSpans. The central
+	// binders consult Spans to wrap cursors with counting wrappers; both
+	// fields nil means tracing adds no per-batch work.
+	Trace *obs.QueryTrace
+	Spans map[rel.Node]*obs.Span
 }
 
 // NewContext returns an execution context with no parameters. Batch mode is
@@ -102,15 +109,19 @@ func Execute(ctx *Context, root rel.Node) ([][]any, error) {
 // consumers (window, set ops, adapters) still sit on a vectorized subtree.
 func BindNode(ctx *Context, n rel.Node) (schema.Cursor, error) {
 	if ctx.BatchMode {
-		if bb, ok := n.(BatchBound); ok {
-			bc, err := bb.BindBatch(ctx)
+		if _, ok := n.(BatchBound); ok {
+			bc, err := BindBatch(ctx, n)
 			if err != nil {
 				return nil, err
 			}
 			return schema.RowCursorFromBatches(bc), nil
 		}
 	}
-	return bindRow(ctx, n)
+	cur, err := bindRow(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return traceRow(ctx.SpanFor(n), cur), nil
 }
 
 // bindRow binds a node strictly through its row-cursor contract.

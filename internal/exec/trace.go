@@ -1,0 +1,115 @@
+package exec
+
+// Operator tracing: when a query runs with a trace attached, BuildSpans
+// creates one obs.Span per plan node and the central binders (BindBatch /
+// BindNode) wrap each node's cursor so the span accumulates rows, batches
+// and elapsed time. Wrapping happens only in the central dispatchers —
+// operators that bind their children through direct method calls (exchange
+// internals, morsel views) stay unwrapped, so every delivered row is counted
+// exactly once per operator. Worker partitions of a parallel plan share the
+// node's single span; its counters are atomic.
+
+import (
+	"strings"
+	"time"
+
+	"calcite/internal/obs"
+	"calcite/internal/rel"
+	"calcite/internal/schema"
+)
+
+// BuildSpans attaches one span per plan node to the trace, mirroring the
+// plan tree, and returns the node→span index the binders consult. The
+// MemKey ties the span to the memory governor's per-operator reservation
+// name (reservations drop the "Enumerable" convention prefix).
+func BuildSpans(tr *obs.QueryTrace, root rel.Node) map[rel.Node]*obs.Span {
+	if tr == nil || root == nil {
+		return nil
+	}
+	spans := make(map[rel.Node]*obs.Span)
+	var build func(n rel.Node, parent *obs.Span)
+	build = func(n rel.Node, parent *obs.Span) {
+		sp := tr.NewSpan(parent, n.Op(), n.Attrs(), strings.TrimPrefix(n.Op(), "Enumerable"))
+		spans[n] = sp
+		for _, in := range n.Inputs() {
+			build(in, sp)
+		}
+	}
+	build(root, nil)
+	return spans
+}
+
+// SpanFor returns the span attached to n, or nil when the query is untraced
+// (every wrapper below tolerates nil).
+func (ctx *Context) SpanFor(n rel.Node) *obs.Span {
+	if ctx.Spans == nil {
+		return nil
+	}
+	return ctx.Spans[n]
+}
+
+// TraceBatch wraps bc so sp accumulates the batches it delivers. Exported
+// for the parallel binder, which wraps partition cursors of cloned
+// (replicated) operators with the original node's span.
+func TraceBatch(sp *obs.Span, bc schema.BatchCursor) schema.BatchCursor {
+	if sp == nil {
+		return bc
+	}
+	return &tracedBatchCursor{in: bc, sp: sp}
+}
+
+type tracedBatchCursor struct {
+	in schema.BatchCursor
+	sp *obs.Span
+}
+
+func (t *tracedBatchCursor) NextBatch() (*schema.Batch, error) {
+	start := time.Now()
+	b, err := t.in.NextBatch()
+	if err != nil {
+		t.sp.AddElapsed(time.Since(start))
+		return b, err
+	}
+	t.sp.Record(int64(b.NumRows()), time.Since(start))
+	return b, nil
+}
+
+func (t *tracedBatchCursor) Close() error { return t.in.Close() }
+
+// traceRow wraps a row cursor so sp accumulates delivered rows. The row
+// path skips per-row clock reads (they would dominate the per-row work);
+// rows are counted locally and flushed to the span's atomic on Done/Close.
+func traceRow(sp *obs.Span, cur schema.Cursor) schema.Cursor {
+	if sp == nil {
+		return cur
+	}
+	return &tracedRowCursor{in: cur, sp: sp}
+}
+
+type tracedRowCursor struct {
+	in      schema.Cursor
+	sp      *obs.Span
+	pending int64
+}
+
+func (t *tracedRowCursor) Next() ([]any, error) {
+	row, err := t.in.Next()
+	if err != nil {
+		t.flush()
+		return row, err
+	}
+	t.pending++
+	return row, nil
+}
+
+func (t *tracedRowCursor) flush() {
+	if t.pending > 0 {
+		t.sp.AddRows(t.pending)
+		t.pending = 0
+	}
+}
+
+func (t *tracedRowCursor) Close() error {
+	t.flush()
+	return t.in.Close()
+}

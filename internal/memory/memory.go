@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBudgetExceeded is the sentinel cause of every budget failure. Operators
@@ -41,6 +42,17 @@ type Pool struct {
 	mu    sync.Mutex
 	limit int64 // <= 0: unlimited
 	used  int64
+
+	// Cumulative accounting, kept as plain atomics so this package stays
+	// free of observability imports; the metrics registry samples them
+	// through function-backed counters at scrape time.
+	grantedBytes  atomic.Int64
+	deniedBytes   atomic.Int64
+	releasedBytes atomic.Int64
+	denials       atomic.Int64
+	spillEvents   atomic.Int64
+	spillBytes    atomic.Int64
+	spillFiles    atomic.Int64
 }
 
 // NewPool returns a pool with the given byte limit (<= 0 means unlimited).
@@ -76,10 +88,13 @@ func (p *Pool) Reserve(n int64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.limit > 0 && p.used+n > p.limit {
+		p.denials.Add(1)
+		p.deniedBytes.Add(n)
 		return fmt.Errorf("%w: pool limit %s, in use %s, requested %s",
 			ErrBudgetExceeded, FormatBytes(p.limit), FormatBytes(p.used), FormatBytes(n))
 	}
 	p.used += n
+	p.grantedBytes.Add(n)
 	return nil
 }
 
@@ -94,6 +109,45 @@ func (p *Pool) Release(n int64) {
 		p.used = 0
 	}
 	p.mu.Unlock()
+	p.releasedBytes.Add(n)
+}
+
+// noteSpill accumulates the pool-wide spill totals.
+func (p *Pool) noteSpill(bytes int64, files, events int) {
+	if p == nil {
+		return
+	}
+	p.spillBytes.Add(bytes)
+	p.spillFiles.Add(int64(files))
+	p.spillEvents.Add(int64(events))
+}
+
+// PoolCounters is a point-in-time read of the pool's cumulative accounting.
+type PoolCounters struct {
+	GrantedBytes  int64
+	DeniedBytes   int64
+	ReleasedBytes int64
+	Denials       int64
+	SpillEvents   int64
+	SpillBytes    int64
+	SpillFiles    int64
+}
+
+// Counters returns the cumulative grant/denial/spill totals since the pool
+// was created.
+func (p *Pool) Counters() PoolCounters {
+	if p == nil {
+		return PoolCounters{}
+	}
+	return PoolCounters{
+		GrantedBytes:  p.grantedBytes.Load(),
+		DeniedBytes:   p.deniedBytes.Load(),
+		ReleasedBytes: p.releasedBytes.Load(),
+		Denials:       p.denials.Load(),
+		SpillEvents:   p.spillEvents.Load(),
+		SpillBytes:    p.spillBytes.Load(),
+		SpillFiles:    p.spillFiles.Load(),
+	}
 }
 
 // OpStats are the per-operator memory counters of one query execution,
@@ -240,6 +294,7 @@ func (a *Allocator) noteSpill(op string, bytes int64, files, events int) {
 	st.SpillFiles += files
 	st.SpillEvents += events
 	a.mu.Unlock()
+	a.pool.noteSpill(bytes, files, events)
 }
 
 // Snapshot returns the per-operator counters in first-registration order.

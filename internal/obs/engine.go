@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default retention for the trace rings.
+const (
+	DefaultRecentTraces = 128
+	DefaultSlowTraces   = 64
+)
+
+// Engine ties the observability pieces together for one framework instance:
+// the metrics registry, the ring buffers of recent and slow traces, the
+// structured slow-query log, and the engine-level instruments the query
+// lifecycle updates.
+type Engine struct {
+	Registry *Registry
+	// Recent retains the most recent finished traces; Slow retains only
+	// those over the slow-query threshold.
+	Recent *TraceRing
+	Slow   *TraceRing
+
+	slowNs atomic.Int64 // slow-query threshold; 0 = disabled
+
+	logMu   sync.Mutex
+	slowLog io.Writer
+
+	nextID atomic.Uint64
+
+	queriesStarted *Counter
+	queriesOK      *Counter
+	queriesErr     *Counter
+	rowsReturned   *Counter
+	slowQueries    *Counter
+	stagePlan      *Histogram
+	stageOptimize  *Histogram
+	stageExec      *Histogram
+	queryTotal     *Histogram
+}
+
+// NewEngine builds an Engine with a fresh registry and the engine-level
+// query metrics pre-registered.
+func NewEngine() *Engine {
+	r := NewRegistry()
+	e := &Engine{
+		Registry: r,
+		Recent:   NewTraceRing(DefaultRecentTraces),
+		Slow:     NewTraceRing(DefaultSlowTraces),
+	}
+	e.queriesStarted = r.Counter("calcite_queries_started_total",
+		"Statements accepted for execution.")
+	e.queriesOK = r.Counter("calcite_queries_finished_total",
+		"Statements finished, by status.", L("status", "ok"))
+	e.queriesErr = r.Counter("calcite_queries_finished_total",
+		"Statements finished, by status.", L("status", "error"))
+	e.rowsReturned = r.Counter("calcite_rows_returned_total",
+		"Rows delivered to clients.")
+	e.slowQueries = r.Counter("calcite_slow_queries_total",
+		"Queries exceeding the slow-query threshold.")
+	e.stagePlan = r.Histogram("calcite_query_stage_seconds",
+		"Per-stage query latency.", nil, L("stage", "plan"))
+	e.stageOptimize = r.Histogram("calcite_query_stage_seconds",
+		"Per-stage query latency.", nil, L("stage", "optimize"))
+	e.stageExec = r.Histogram("calcite_query_stage_seconds",
+		"Per-stage query latency.", nil, L("stage", "exec"))
+	e.queryTotal = r.Histogram("calcite_query_seconds",
+		"End-to-end statement latency.", nil)
+	return e
+}
+
+// SetSlowQuery configures the slow-query threshold and, optionally, a writer
+// that receives one JSON line per slow query. threshold <= 0 disables slow
+// tracking; w may be nil to keep only the in-memory slow ring.
+func (e *Engine) SetSlowQuery(threshold time.Duration, w io.Writer) {
+	if e == nil {
+		return
+	}
+	e.slowNs.Store(int64(threshold))
+	e.logMu.Lock()
+	e.slowLog = w
+	e.logMu.Unlock()
+}
+
+// SlowThreshold returns the configured slow-query threshold (0 = disabled).
+func (e *Engine) SlowThreshold() time.Duration {
+	if e == nil {
+		return 0
+	}
+	return time.Duration(e.slowNs.Load())
+}
+
+// Begin starts tracing one statement: assigns an ID, fingerprints the SQL
+// and bumps the started counter. Safe on a nil engine (returns nil, and the
+// rest of the trace API tolerates a nil trace).
+func (e *Engine) Begin(sql string) *QueryTrace {
+	if e == nil {
+		return nil
+	}
+	e.queriesStarted.Inc()
+	return &QueryTrace{
+		ID:          e.nextID.Add(1),
+		SQL:         sql,
+		Fingerprint: Fingerprint(sql),
+		Start:       time.Now(),
+	}
+}
+
+// End finishes a trace: records stage latencies and outcome counters,
+// snapshots the span tree, retains the snapshot in the recent ring (and the
+// slow ring + JSON log when over threshold), and returns the snapshot.
+func (e *Engine) End(t *QueryTrace) *TraceSnapshot {
+	if e == nil || t == nil {
+		return nil
+	}
+	if t.TotalNs == 0 {
+		t.TotalNs = int64(time.Since(t.Start))
+	}
+	e.stagePlan.Observe(float64(t.PlanNs) / 1e9)
+	e.stageOptimize.Observe(float64(t.OptimizeNs) / 1e9)
+	e.stageExec.Observe(float64(t.ExecNs) / 1e9)
+	e.queryTotal.Observe(float64(t.TotalNs) / 1e9)
+	if t.Error != "" {
+		e.queriesErr.Inc()
+	} else {
+		e.queriesOK.Inc()
+	}
+	e.rowsReturned.Add(t.Rows)
+
+	snap := t.Snapshot()
+	if thresh := e.slowNs.Load(); thresh > 0 && t.TotalNs >= thresh {
+		snap.Slow = true
+		e.slowQueries.Inc()
+		e.Slow.Add(snap)
+		e.logSlow(snap)
+	}
+	e.Recent.Add(snap)
+	return snap
+}
+
+// logSlow writes one JSON line for a slow query. Errors are swallowed: the
+// log is best-effort telemetry and must never fail a query.
+func (e *Engine) logSlow(snap *TraceSnapshot) {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	if e.slowLog == nil {
+		return
+	}
+	line, err := json.Marshal(slowLogEntry{
+		Time:        snap.Start.Format(time.RFC3339Nano),
+		ID:          snap.ID,
+		Fingerprint: snap.Fingerprint,
+		SQL:         snap.SQL,
+		TotalMs:     float64(snap.TotalNs) / 1e6,
+		ExecMs:      float64(snap.ExecNs) / 1e6,
+		Rows:        snap.Rows,
+		PeakBytes:   snap.PeakBytes,
+		Spilled:     snap.Spilled,
+		Error:       snap.Error,
+	})
+	if err != nil {
+		return
+	}
+	e.slowLog.Write(append(line, '\n'))
+}
+
+// slowLogEntry is the JSON shape of one slow-query log line.
+type slowLogEntry struct {
+	Time        string  `json:"time"`
+	ID          uint64  `json:"id"`
+	Fingerprint string  `json:"fingerprint"`
+	SQL         string  `json:"sql"`
+	TotalMs     float64 `json:"total_ms"`
+	ExecMs      float64 `json:"exec_ms"`
+	Rows        int64   `json:"rows"`
+	PeakBytes   int64   `json:"peak_bytes"`
+	Spilled     int64   `json:"spilled_bytes"`
+	Error       string  `json:"error,omitempty"`
+}

@@ -1,0 +1,58 @@
+package obs
+
+import "sync"
+
+// TraceRing is a bounded ring buffer of finished query traces. Adding past
+// capacity evicts the oldest entry. Safe for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*TraceSnapshot
+	next int // index the next Add writes to
+	n    int // live entries (<= len(buf))
+}
+
+// NewTraceRing returns a ring holding at most capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]*TraceSnapshot, capacity)}
+}
+
+// Add appends a trace, evicting the oldest when full.
+func (r *TraceRing) Add(t *TraceSnapshot) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained traces.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *TraceRing) Snapshot() []*TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceSnapshot, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package obs
+
+// Per-query tracing: every execution builds a tree of spans, one per
+// physical operator, keyed by a fingerprint of the normalized SQL text.
+// Spans accumulate rows/batches/elapsed with atomic counters (worker
+// partitions of a parallel plan update the same span concurrently) and the
+// memory governor's per-operator peak/spill counters are attached when the
+// query finishes. A finished trace is condensed into an immutable
+// TraceSnapshot — the single source of truth that EXPLAIN ANALYZE renders
+// as text and /debug/queries serves as JSON.
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one operator's execution record. Counter updates are atomic; the
+// identity fields and tree shape are fixed at construction.
+type Span struct {
+	// Name is the operator name (rel.Node.Op()).
+	Name string
+	// Attrs are the operator's own attributes (rel.Node.Attrs()).
+	Attrs string
+	// MemKey is the operator name used by the memory governor's
+	// reservations ("Sort", "HashJoin", ...); empty when the operator never
+	// reserves memory.
+	MemKey string
+	// Children are the input operators' spans.
+	Children []*Span
+
+	rows      atomic.Int64
+	batches   atomic.Int64
+	elapsedNs atomic.Int64
+
+	// Memory counters, attached once by AttachMemStats after execution.
+	peakBytes    int64
+	spilledBytes int64
+	spillFiles   int
+	spillEvents  int
+	memAttached  bool
+}
+
+// Record accumulates one batch pull: n rows delivered in d.
+func (s *Span) Record(n int64, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.batches.Add(1)
+	s.rows.Add(n)
+	s.elapsedNs.Add(int64(d))
+}
+
+// AddRows accumulates n rows without batch/elapsed accounting (the
+// row-at-a-time shim path, where per-row clock reads would dominate).
+func (s *Span) AddRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.rows.Add(n)
+}
+
+// AddElapsed accumulates time spent inside the operator without a batch
+// (the final Done-returning pull still does work worth attributing).
+func (s *Span) AddElapsed(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.elapsedNs.Add(int64(d))
+}
+
+// Rows returns the rows delivered so far.
+func (s *Span) Rows() int64 { return s.rows.Load() }
+
+// QueryTrace is one query execution being traced. It is built by the
+// framework's execute path, handed to the executor (which attaches spans to
+// plan nodes), and finished into a TraceSnapshot.
+type QueryTrace struct {
+	ID          uint64
+	SQL         string
+	Fingerprint string
+	Start       time.Time
+	// Stage latencies, filled by the framework's execute path.
+	PlanNs     int64
+	OptimizeNs int64
+	ExecNs     int64
+	TotalNs    int64
+	Rows       int64
+	Error      string
+	// Parallelism is the worker count the plan was prepared for.
+	Parallelism int
+	// Query-level memory counters (from the query's allocator).
+	PeakBytes    int64
+	SpilledBytes int64
+
+	Root *Span
+}
+
+// NewSpan creates a span under parent (nil parent makes it the root).
+func (t *QueryTrace) NewSpan(parent *Span, name, attrs, memKey string) *Span {
+	s := &Span{Name: name, Attrs: attrs, MemKey: memKey}
+	if parent == nil {
+		t.Root = s
+	} else {
+		parent.Children = append(parent.Children, s)
+	}
+	return s
+}
+
+// AttachMemStats attaches the memory governor's per-operator counters to
+// the first span whose MemKey matches op and has no stats yet. The governor
+// aggregates by operator name, so when a plan contains several operators
+// with the same reservation name the aggregate lands on the first (document
+// order) — the same collapse the governor itself performs. Counters with no
+// matching span are attached to a synthetic child of the root so nothing is
+// dropped.
+func (t *QueryTrace) AttachMemStats(op string, peak, spilled int64, files, events int) {
+	if sp := findMemSpan(t.Root, op); sp != nil {
+		sp.peakBytes, sp.spilledBytes = peak, spilled
+		sp.spillFiles, sp.spillEvents = files, events
+		sp.memAttached = true
+		return
+	}
+	if t.Root == nil {
+		t.Root = &Span{Name: "Query"}
+	}
+	orphan := &Span{Name: op, MemKey: op,
+		peakBytes: peak, spilledBytes: spilled,
+		spillFiles: files, spillEvents: events, memAttached: true}
+	t.Root.Children = append(t.Root.Children, orphan)
+}
+
+func findMemSpan(s *Span, op string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.MemKey == op && !s.memAttached {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := findMemSpan(c, op); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// SpanStats is the immutable, JSON-ready snapshot of one span.
+type SpanStats struct {
+	Name         string       `json:"name"`
+	Attrs        string       `json:"attrs,omitempty"`
+	Rows         int64        `json:"rows"`
+	Batches      int64        `json:"batches"`
+	ElapsedNs    int64        `json:"elapsed_ns"`
+	PeakBytes    int64        `json:"peak_bytes,omitempty"`
+	SpilledBytes int64        `json:"spilled_bytes,omitempty"`
+	SpillFiles   int          `json:"spill_files,omitempty"`
+	SpillEvents  int          `json:"spill_events,omitempty"`
+	Children     []*SpanStats `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() *SpanStats {
+	if s == nil {
+		return nil
+	}
+	out := &SpanStats{
+		Name:         s.Name,
+		Attrs:        s.Attrs,
+		Rows:         s.rows.Load(),
+		Batches:      s.batches.Load(),
+		ElapsedNs:    s.elapsedNs.Load(),
+		PeakBytes:    s.peakBytes,
+		SpilledBytes: s.spilledBytes,
+		SpillFiles:   s.spillFiles,
+		SpillEvents:  s.spillEvents,
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+// TraceSnapshot is a finished query trace: immutable, safe to share between
+// the ring buffer, the slow-query log and HTTP handlers.
+type TraceSnapshot struct {
+	ID          uint64     `json:"id"`
+	SQL         string     `json:"sql"`
+	Fingerprint string     `json:"fingerprint"`
+	Start       time.Time  `json:"start"`
+	PlanNs      int64      `json:"plan_ns"`
+	OptimizeNs  int64      `json:"optimize_ns"`
+	ExecNs      int64      `json:"exec_ns"`
+	TotalNs     int64      `json:"total_ns"`
+	Rows        int64      `json:"rows"`
+	Error       string     `json:"error,omitempty"`
+	Parallelism int        `json:"parallelism,omitempty"`
+	PeakBytes   int64      `json:"peak_bytes"`
+	Spilled     int64      `json:"spilled_bytes"`
+	Slow        bool       `json:"slow,omitempty"`
+	Spans       *SpanStats `json:"spans,omitempty"`
+}
+
+// Snapshot condenses the live trace into its immutable form.
+func (t *QueryTrace) Snapshot() *TraceSnapshot {
+	return &TraceSnapshot{
+		ID:          t.ID,
+		SQL:         t.SQL,
+		Fingerprint: t.Fingerprint,
+		Start:       t.Start,
+		PlanNs:      t.PlanNs,
+		OptimizeNs:  t.OptimizeNs,
+		ExecNs:      t.ExecNs,
+		TotalNs:     t.TotalNs,
+		Rows:        t.Rows,
+		Error:       t.Error,
+		Parallelism: t.Parallelism,
+		PeakBytes:   t.PeakBytes,
+		Spilled:     t.SpilledBytes,
+		Spans:       t.Root.snapshot(),
+	}
+}
+
+// RenderSpans renders the span tree as indented text — the EXPLAIN ANALYZE
+// operator-stats section. One line per operator:
+//
+//	EnumerableSort: rows=42, batches=1, elapsed=1.2ms, peak=128.0KiB, spilled=800.0KiB, spill-files=3, spill-events=2
+//
+// Memory fields appear only on operators the governor tracked; spill fields
+// only when the operator spilled.
+func RenderSpans(root *SpanStats) string {
+	var b strings.Builder
+	renderSpan(&b, root, 0)
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *SpanStats, depth int) {
+	if s == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Name)
+	b.WriteString(": rows=")
+	b.WriteString(strconv.FormatInt(s.Rows, 10))
+	b.WriteString(", batches=")
+	b.WriteString(strconv.FormatInt(s.Batches, 10))
+	b.WriteString(", elapsed=")
+	b.WriteString(time.Duration(s.ElapsedNs).Round(time.Microsecond).String())
+	if s.PeakBytes > 0 || s.SpillEvents > 0 {
+		b.WriteString(", peak=")
+		b.WriteString(formatBytes(s.PeakBytes))
+	}
+	if s.SpilledBytes > 0 || s.SpillEvents > 0 {
+		b.WriteString(", spilled=")
+		b.WriteString(formatBytes(s.SpilledBytes))
+		b.WriteString(", spill-files=")
+		b.WriteString(strconv.Itoa(s.SpillFiles))
+		b.WriteString(", spill-events=")
+		b.WriteString(strconv.Itoa(s.SpillEvents))
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(b, c, depth+1)
+	}
+}
+
+// formatBytes renders a byte count with a binary-unit suffix (kept local so
+// obs stays dependency-free; mirrors memory.FormatBytes).
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return strconv.FormatFloat(float64(n)/(1<<30), 'f', 1, 64) + "GiB"
+	case n >= 1<<20:
+		return strconv.FormatFloat(float64(n)/(1<<20), 'f', 1, 64) + "MiB"
+	case n >= 1<<10:
+		return strconv.FormatFloat(float64(n)/(1<<10), 'f', 1, 64) + "KiB"
+	}
+	return strconv.FormatInt(n, 10) + "B"
+}
+
+// NormalizeSQL canonicalizes a SQL text for fingerprinting: literals become
+// '?', whitespace collapses to single spaces, and everything outside string
+// literals is lowercased. Two invocations of the same statement shape (same
+// plan, different constants) normalize identically.
+func NormalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	i := 0
+	lastSpace := true
+	last := byte(0)
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			// String literal (with '' escapes) → ?
+			j := i + 1
+			for j < len(sql) {
+				if sql[j] == '\'' {
+					if j+1 < len(sql) && sql[j+1] == '\'' {
+						j += 2
+						continue
+					}
+					break
+				}
+				j++
+			}
+			b.WriteByte('?')
+			last, lastSpace = '?', false
+			if j < len(sql) {
+				j++
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			// Numeric literal → ?, unless part of an identifier.
+			if isIdentChar(last) {
+				b.WriteByte(c)
+				last, lastSpace = c, false
+				i++
+				continue
+			}
+			j := i
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.' ||
+				sql[j] == 'e' || sql[j] == 'E' ||
+				((sql[j] == '+' || sql[j] == '-') && j > i && (sql[j-1] == 'e' || sql[j-1] == 'E'))) {
+				j++
+			}
+			b.WriteByte('?')
+			last, lastSpace = '?', false
+			i = j
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if !lastSpace {
+				b.WriteByte(' ')
+				last, lastSpace = ' ', true
+			}
+			i++
+		default:
+			lc := c
+			if c >= 'A' && c <= 'Z' {
+				lc = c + ('a' - 'A')
+			}
+			b.WriteByte(lc)
+			last, lastSpace = lc, false
+			i++
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '$'
+}
+
+// Fingerprint returns the FNV-64a hash of the normalized SQL as hex — the
+// plan-fingerprint key of the trace layer.
+func Fingerprint(sql string) string {
+	h := uint64(14695981039346656037)
+	norm := NormalizeSQL(sql)
+	for i := 0; i < len(norm); i++ {
+		h ^= uint64(norm[i])
+		h *= 1099511628211
+	}
+	return strconv.FormatUint(h, 16)
+}

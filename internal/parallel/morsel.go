@@ -23,7 +23,8 @@ type dispenser struct {
 	seq    int64
 	err    error
 	closed bool
-	views  int // open partition views; the last Close closes the cursor
+	views  int   // open partition views; the last Close closes the cursor
+	pool   *Pool // claim counter target; nil in pool-less tests
 }
 
 func (d *dispenser) next() (*schema.Batch, error) {
@@ -39,6 +40,7 @@ func (d *dispenser) next() (*schema.Batch, error) {
 	}
 	b.Seq = d.seq
 	d.seq++
+	d.pool.noteMorsel()
 	return b, nil
 }
 
@@ -63,7 +65,13 @@ func (v dispenserView) Close() error                      { return v.d.closeView
 // each NextBatch atomically claims the next morsel. The p views together own
 // the underlying cursor; it is closed when the last view closes.
 func Morsels(cur schema.BatchCursor, p int) []schema.BatchCursor {
-	d := &dispenser{cur: cur, views: p}
+	return MorselsOn(nil, cur, p)
+}
+
+// MorselsOn is Morsels with the owning worker pool attached, so each morsel
+// claim is counted in the pool's dispatch statistics.
+func MorselsOn(pool *Pool, cur schema.BatchCursor, p int) []schema.BatchCursor {
+	d := &dispenser{cur: cur, views: p, pool: pool}
 	out := make([]schema.BatchCursor, p)
 	for i := range out {
 		out[i] = dispenserView{d}

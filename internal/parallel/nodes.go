@@ -45,7 +45,18 @@ type PartitionedNode interface {
 // partition.
 func BindPartitions(ctx *exec.Context, n rel.Node) ([]schema.BatchCursor, error) {
 	if pn, ok := n.(PartitionedNode); ok {
-		return pn.BindPartitions(ctx)
+		parts, err := pn.BindPartitions(ctx)
+		if err != nil {
+			return nil, err
+		}
+		// All partitions of one operator share its span: counters are
+		// atomic, so per-partition wrappers sum into one set of totals.
+		if sp := ctx.SpanFor(n); sp != nil {
+			for i, part := range parts {
+				parts[i] = exec.TraceBatch(sp, part)
+			}
+		}
+		return parts, nil
 	}
 	switch n.(type) {
 	case *exec.Filter, *exec.Project:
@@ -69,6 +80,7 @@ func replicate(ctx *exec.Context, n rel.Node) ([]schema.BatchCursor, error) {
 		return nil, err
 	}
 	out := make([]schema.BatchCursor, len(parts))
+	sp := ctx.SpanFor(n) // clones are not in the span index; wrap explicitly
 	for i, part := range parts {
 		clone := n.WithNewInputs([]rel.Node{&leafSource{cur: part, rowType: in.RowType()}})
 		bc, err := exec.BindBatch(ctx, clone)
@@ -77,7 +89,7 @@ func replicate(ctx *exec.Context, n rel.Node) ([]schema.BatchCursor, error) {
 			closeAll(out[:i])
 			return nil, err
 		}
-		out[i] = bc
+		out[i] = exec.TraceBatch(sp, bc)
 	}
 	return out, nil
 }
@@ -153,7 +165,7 @@ func (s *MorselScan) BindPartitions(ctx *exec.Context) ([]schema.BatchCursor, er
 	if err != nil {
 		return nil, err
 	}
-	return Morsels(bc, s.p), nil
+	return MorselsOn(s.pool, bc, s.p), nil
 }
 
 // --- exchange ---

@@ -31,6 +31,13 @@ type Pool struct {
 	// tests and introspection.
 	spawned  atomic.Int64
 	handoffs atomic.Int64
+	// busy counts workers currently inside a task; tasksDone counts
+	// completed tasks; morsels counts morsel claims across all dispensers
+	// created on this pool. Plain atomics — the metrics registry samples
+	// them through function-backed instruments.
+	busy      atomic.Int64
+	tasksDone atomic.Int64
+	morsels   atomic.Int64
 }
 
 // NewPool returns a pool whose default degree of parallelism is n (floored
@@ -52,6 +59,40 @@ func (p *Pool) Stats() (spawned, handoffs int64) {
 	return p.spawned.Load(), p.handoffs.Load()
 }
 
+// Busy returns the number of workers currently executing a task.
+func (p *Pool) Busy() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.busy.Load()
+}
+
+// TasksDone returns the cumulative count of completed tasks.
+func (p *Pool) TasksDone() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.tasksDone.Load()
+}
+
+// MorselsDispatched returns the cumulative count of morsels claimed by
+// workers across every scan driven through this pool.
+func (p *Pool) MorselsDispatched() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.morsels.Load()
+}
+
+// noteMorsel counts one morsel claim (nil-safe: dispensers can be built
+// without a pool in tests).
+func (p *Pool) noteMorsel() {
+	if p == nil {
+		return
+	}
+	p.morsels.Add(1)
+}
+
 // Go schedules fn without blocking the caller.
 func (p *Pool) Go(fn func()) {
 	select {
@@ -67,7 +108,10 @@ func (p *Pool) Go(fn func()) {
 // worker runs fn, then lingers as a resident worker for a short idle window.
 func (p *Pool) worker(fn func()) {
 	for {
+		p.busy.Add(1)
 		fn()
+		p.busy.Add(-1)
+		p.tasksDone.Add(1)
 		timer := time.NewTimer(poolIdleTimeout)
 		select {
 		case fn = <-p.tasks:

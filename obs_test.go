@@ -1,0 +1,250 @@
+package calcite_test
+
+// Observability integration suite: the differential guarantee that EXPLAIN
+// ANALYZE's operator-stats text and the /debug/queries JSON render from the
+// same span tree, span assembly under serial and parallel execution, the
+// slow-query log, and the engine-level metrics a query leaves behind.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"calcite"
+	"calcite/internal/obs"
+)
+
+// obsConn builds a connection with a "shuf" table large enough that a sort
+// under the given per-query budget must spill.
+func obsConn(t *testing.T, rows int, queryMem int64) *calcite.Connection {
+	t.Helper()
+	conn := calcite.Open()
+	data := make([][]any, rows)
+	for i := range data {
+		h := uint64(i) * 0x9e3779b97f4a7c15
+		data[i] = []any{int64(i), int64(h % 97), float64(h%100000) / 100}
+	}
+	conn.AddTable("shuf", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "grp", Type: calcite.BigIntType},
+		{Name: "val", Type: calcite.DoubleType},
+	}, data)
+	if queryMem > 0 {
+		conn.SetQueryMemoryLimit(queryMem)
+	}
+	return conn
+}
+
+// TestExplainAnalyzeMatchesDebugTrace is the differential acceptance test:
+// the per-operator stats EXPLAIN ANALYZE prints must be the same numbers the
+// trace ring serves as JSON — byte-identical after a JSON round trip, since
+// both render from one TraceSnapshot.
+func TestExplainAnalyzeMatchesDebugTrace(t *testing.T) {
+	conn := obsConn(t, 4000, 16<<10)
+	res, err := conn.Query("EXPLAIN ANALYZE SELECT id, val FROM shuf ORDER BY val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Plan
+	if !strings.Contains(text, "--- run stats ---") {
+		t.Fatalf("EXPLAIN ANALYZE missing run stats:\n%s", text)
+	}
+	if !strings.Contains(text, "spill-events=") {
+		t.Fatalf("governed sort did not report spills:\n%s", text)
+	}
+
+	traces := conn.LastTraces(1)
+	if len(traces) == 0 || traces[0].Spans == nil {
+		t.Fatalf("no trace retained for the analyzed run")
+	}
+	snap := traces[0]
+	if snap.Rows != 4000 {
+		t.Fatalf("trace rows = %d, want 4000", snap.Rows)
+	}
+
+	// Round-trip the snapshot through JSON — the exact bytes /debug/queries
+	// would serve — and re-render the span tree. The text section must embed
+	// it verbatim: same rows, same batches, same spill counters.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded obs.TraceSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	rendered := obs.RenderSpans(decoded.Spans)
+	if !strings.Contains(text, rendered) {
+		t.Fatalf("EXPLAIN ANALYZE text does not embed the JSON span stats:\n--- text ---\n%s--- from JSON ---\n%s", text, rendered)
+	}
+	if decoded.Spilled == 0 || decoded.PeakBytes == 0 {
+		t.Fatalf("trace memory counters empty: peak=%d spilled=%d", decoded.PeakBytes, decoded.Spilled)
+	}
+}
+
+// findSpan walks a span tree for the first operator whose name contains sub.
+func findSpan(s *obs.SpanStats, sub string) *obs.SpanStats {
+	if s == nil {
+		return nil
+	}
+	if strings.Contains(s.Name, sub) {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := findSpan(c, sub); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// TestSpanTreeParallelism checks span assembly at parallelism 1 and 4: all
+// worker partitions of an operator feed one span, so row totals match the
+// serial run exactly.
+func TestSpanTreeParallelism(t *testing.T) {
+	const n = 5000
+	for _, par := range []int{1, 4} {
+		conn := obsConn(t, n, 0)
+		conn.SetParallelism(par)
+		res, err := conn.Query("SELECT grp, COUNT(*), SUM(val) FROM shuf GROUP BY grp")
+		if err != nil {
+			t.Fatalf("p=%d: %v", par, err)
+		}
+		traces := conn.LastTraces(1)
+		if len(traces) == 0 || traces[0].Spans == nil {
+			t.Fatalf("p=%d: no trace", par)
+		}
+		snap := traces[0]
+		if snap.Parallelism != par {
+			t.Errorf("p=%d: trace parallelism = %d", par, snap.Parallelism)
+		}
+		root := snap.Spans
+		if root.Rows != int64(len(res.Rows)) {
+			t.Errorf("p=%d: root span rows = %d, result rows = %d", par, root.Rows, len(res.Rows))
+		}
+		scan := findSpan(root, "Scan")
+		if scan == nil {
+			t.Fatalf("p=%d: no scan span in tree:\n%s", par, obs.RenderSpans(root))
+		}
+		if scan.Rows != n {
+			t.Errorf("p=%d: scan span rows = %d, want %d (partitions must share one span)\n%s",
+				par, scan.Rows, n, obs.RenderSpans(root))
+		}
+		agg := findSpan(root, "Aggregate")
+		if agg == nil || agg.Rows == 0 {
+			t.Errorf("p=%d: aggregate span missing or empty:\n%s", par, obs.RenderSpans(root))
+		}
+	}
+}
+
+func TestSlowQueryLogOverConnection(t *testing.T) {
+	conn := obsConn(t, 1000, 0)
+	var buf bytes.Buffer
+	conn.SetSlowQueryThreshold(time.Nanosecond, &buf) // everything is slow
+	if _, err := conn.Query("SELECT COUNT(*) FROM shuf WHERE val > 10"); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("slow log line not JSON: %v (%q)", err, line)
+	}
+	if entry["fingerprint"] == "" || entry["sql"] == "" || entry["total_ms"] == nil {
+		t.Fatalf("slow log entry incomplete: %v", entry)
+	}
+	if conn.Obs().Slow.Len() != 1 {
+		t.Fatalf("slow ring len = %d, want 1", conn.Obs().Slow.Len())
+	}
+	traces := conn.LastTraces(1)
+	if len(traces) != 1 || !traces[0].Slow {
+		t.Fatalf("recent trace not marked slow: %+v", traces)
+	}
+
+	// Disabling the threshold stops both the ring and the log.
+	conn.SetSlowQueryThreshold(0, nil)
+	buf.Reset()
+	if _, err := conn.Query("SELECT COUNT(*) FROM shuf"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 || conn.Obs().Slow.Len() != 1 {
+		t.Fatal("slow tracking survived being disabled")
+	}
+}
+
+// TestQueryMetrics checks the metric families a query lifecycle writes:
+// outcome counters, stage histograms, and the memory-pool series (the pool
+// is always registered, even without a configured limit).
+func TestQueryMetrics(t *testing.T) {
+	conn := obsConn(t, 2000, 8<<10)
+	if _, err := conn.Query("SELECT id FROM shuf ORDER BY val"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query("SELECT bogus_column FROM shuf"); err == nil {
+		t.Fatal("expected error for bogus column")
+	}
+	var b strings.Builder
+	if err := conn.Obs().Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`calcite_queries_started_total 2`,
+		`calcite_queries_finished_total{status="ok"} 1`,
+		`calcite_queries_finished_total{status="error"} 1`,
+		`calcite_rows_returned_total 2000`,
+		`calcite_query_stage_seconds_bucket{le="+Inf",stage="exec"} 2`,
+		`calcite_query_seconds_count 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The governed sort left spill and grant evidence in the pool series.
+	for _, prefix := range []string{
+		"calcite_spill_events_total ",
+		"calcite_spill_bytes_total ",
+		"calcite_memory_granted_bytes_total ",
+	} {
+		val, ok := metricValue(out, prefix)
+		if !ok || val <= 0 {
+			t.Errorf("pool metric %q absent or zero (got %v, present=%v)", prefix, val, ok)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+}
+
+// metricValue extracts the sample of an unlabeled series from exposition text.
+func metricValue(exposition, prefix string) (float64, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, prefix)), 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// TestRowModeTracing: the row-at-a-time path counts rows through the shim
+// wrapper (no per-row clock reads, but totals must still be exact).
+func TestRowModeTracing(t *testing.T) {
+	conn := obsConn(t, 1500, 0)
+	conn.ForceRowMode(true)
+	res, err := conn.Query("SELECT id FROM shuf WHERE grp < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := conn.LastTraces(1)
+	if len(traces) == 0 || traces[0].Spans == nil {
+		t.Fatal("row-mode query left no trace")
+	}
+	root := traces[0].Spans
+	if root.Rows != int64(len(res.Rows)) {
+		t.Fatalf("row-mode root span rows = %d, result rows = %d\n%s",
+			root.Rows, len(res.Rows), obs.RenderSpans(root))
+	}
+}

@@ -212,7 +212,8 @@ func TestWindowGoverned(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := renderPlan(plan.Rows)
-	if !strings.Contains(text, "Window: peak=") || !strings.Contains(text, "spill") {
+	if !strings.Contains(text, "EnumerableWindow: rows=") ||
+		!strings.Contains(text, "peak=") || !strings.Contains(text, "spill") {
 		t.Errorf("EXPLAIN ANALYZE should show window spill counters:\n%s", text)
 	}
 	strict := windowConn(5000)
