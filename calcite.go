@@ -143,6 +143,7 @@ func (c *Connection) AddTable(name string, cols Columns, rows [][]any) *schema.M
 	}
 	t := schema.NewMemTable(name, types.Row(fields...), rows)
 	c.Framework.Catalog.AddTable(t)
+	c.Framework.InvalidatePlans()
 	return t
 }
 
@@ -171,7 +172,18 @@ func (c *Connection) ExecutePlan(node rel.Node) (*Result, error) {
 // aggregate queries (§6 materialized views, lattice algorithm).
 func (c *Connection) RegisterLattice(l *mv.Lattice) {
 	c.Framework.Views.RegisterLattice(l)
+	c.Framework.InvalidatePlans()
 }
+
+// EnablePlanCache toggles the prepared-plan cache (default on): repeated
+// byte-identical statements reuse their optimized physical plan and skip
+// parse+optimize. The cache is invalidated by DDL, ANALYZE, INSERT and
+// adapter/table registration.
+func (c *Connection) EnablePlanCache(on bool) { c.Framework.DisablePlanCache = !on }
+
+// SetPlanCacheSize bounds the prepared-plan cache's entry count (<= 0
+// restores the default).
+func (c *Connection) SetPlanCacheSize(n int) { c.Framework.PlanCacheSize = n }
 
 // ForceRowMode toggles the row-at-a-time execution path. By default queries
 // execute through the vectorized batch convention (column-major batches,
@@ -247,6 +259,7 @@ func (c *Connection) LastTraces(n int) []*obs.TraceSnapshot {
 // rule-driven engine (§6's second planner engine).
 func (c *Connection) UseHeuristicPlanner() {
 	c.Framework.Planner = core.HeuristicHep
+	c.Framework.InvalidatePlans()
 }
 
 // UseCostBasedPlanner switches back to the Volcano-style engine, optionally
@@ -259,6 +272,7 @@ func (c *Connection) UseCostBasedPlanner(heuristicFixpoint bool, delta float64) 
 	} else {
 		c.Framework.FixPoint = plan.Exhaustive
 	}
+	c.Framework.InvalidatePlans()
 }
 
 // Serve starts an Avatica-style JSON/HTTP server for this connection on

@@ -10,10 +10,14 @@
 // Usage:
 //
 //	avaticasrv -addr 127.0.0.1:8765 [-csv dir] [-mem 64MB] [-querymem 16MB]
-//	           [-slowquery 250ms] [-pprof] [-demorows 50000]
+//	           [-tenantmem 8MB] [-maxconcurrent 16] [-maxqueue 64]
+//	           [-queuetimeout 5s] [-slowquery 250ms] [-pprof] [-demorows 50000]
 //
-// Then POST {"sql": "SELECT ..."} to /execute. SIGINT/SIGTERM drain
-// in-flight requests for up to 10 seconds before exiting.
+// Then POST {"sql": "SELECT ..."} to /execute. Requests carrying an
+// X-Calcite-Tenant header execute against that tenant's memory budget
+// (-tenantmem); saturation beyond -maxconcurrent running plus -maxqueue
+// queued requests answers 503 SERVER_BUSY. SIGINT/SIGTERM drain in-flight
+// requests for up to 10 seconds before exiting.
 package main
 
 import (
@@ -41,8 +45,12 @@ func main() {
 	mem := flag.String("mem", "", "execution-memory budget, e.g. 64MB (empty = unlimited); operators spill beyond it")
 	queryMem := flag.String("querymem", "", "per-query memory cap, e.g. 16MB (empty = bounded by -mem only)")
 	slowQuery := flag.Duration("slowquery", 0, "slow-query threshold, e.g. 250ms (0 = disabled); slow queries are logged as JSON lines on stderr and kept in /debug/queries")
+	tenantMem := flag.String("tenantmem", "", "per-tenant memory budget, e.g. 8MB (empty = tenants bounded by -mem only)")
+	maxConcurrent := flag.Int("maxconcurrent", 0, "concurrent query executions (0 = 2 x parallelism)")
+	maxQueue := flag.Int("maxqueue", 0, "admission wait-queue depth (0 = 4 x maxconcurrent, -1 = no queue)")
+	queueTimeout := flag.Duration("queuetimeout", 0, "max wait for an execution slot (0 = 5s)")
 	pprofOn := flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
-	demoRows := flag.Int("demorows", 2, "rows in the built-in demo table (large values make governed queries spill)")
+	demoRows := flag.Int("demorows", 2, "rows in the built-in demo table (large values make governed queries spill); also sizes the star-schema fact table")
 	flag.Parse()
 
 	conn, err := calcite.OpenChecked()
@@ -81,6 +89,17 @@ func main() {
 
 	srv := avatica.NewServer(conn.Framework)
 	srv.EnablePprof = *pprofOn
+	srv.MaxConcurrent = *maxConcurrent
+	srv.MaxQueue = *maxQueue
+	srv.QueueTimeout = *queueTimeout
+	if *tenantMem != "" {
+		n, err := memory.ParseBytes(*tenantMem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv.TenantMemoryLimit = n
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -126,5 +145,46 @@ func loadDemo(conn *calcite.Connection, n int) {
 		{Name: "grp", Type: calcite.BigIntType},
 		{Name: "val", Type: calcite.DoubleType},
 		{Name: "msg", Type: calcite.VarcharType},
+	}, rows)
+	loadStarSchema(conn, n)
+}
+
+// loadStarSchema registers a small star schema — a fact table with four
+// dimension tables — sized from the demo row count. The load generator's
+// star-join query class drives it; the data is deterministic so repeated
+// runs are comparable.
+func loadStarSchema(conn *calcite.Connection, factRows int) {
+	const dimRows = 50
+	dims := [...]string{"d_cust", "d_prod", "d_geo", "d_time"}
+	for di, name := range dims {
+		rows := make([][]any, dimRows)
+		for i := 0; i < dimRows; i++ {
+			rows[i] = []any{int64(i), fmt.Sprintf("%s-%03d", name, i), int64((i * (di + 3)) % 17)}
+		}
+		conn.AddTable(name, calcite.Columns{
+			{Name: "id", Type: calcite.BigIntType},
+			{Name: "label", Type: calcite.VarcharType},
+			{Name: "attr", Type: calcite.BigIntType},
+		}, rows)
+	}
+	rows := make([][]any, factRows)
+	for i := 0; i < factRows; i++ {
+		h := uint64(i)*0x9e3779b97f4a7c15 + 0x1234
+		rows[i] = []any{
+			int64(i),
+			int64(h % dimRows),
+			int64((h >> 8) % dimRows),
+			int64((h >> 16) % dimRows),
+			int64((h >> 24) % dimRows),
+			float64(h%100000) / 100,
+		}
+	}
+	conn.AddTable("fact", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "cust_id", Type: calcite.BigIntType},
+		{Name: "prod_id", Type: calcite.BigIntType},
+		{Name: "geo_id", Type: calcite.BigIntType},
+		{Name: "time_id", Type: calcite.BigIntType},
+		{Name: "amount", Type: calcite.DoubleType},
 	}, rows)
 }

@@ -1,0 +1,55 @@
+// Command loadgen drives a live avaticasrv with a closed-loop multi-worker
+// query mix (point lookups, 5-way star joins, spilling paginated sorts,
+// window aggregations) and reports latency quantiles, error counts and the
+// server's plan-cache hit rate, exiting nonzero when the run violates its
+// bounds — the CI serving-load gate.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8765 -workers 16 -duration 20s \
+//	        [-tenants acme,globex] [-maxerrrate 0] [-maxp99 2s] [-minhitrate 0.9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"calcite/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8765", "avatica server address")
+	workers := flag.Int("workers", 16, "closed-loop worker count")
+	duration := flag.Duration("duration", 20*time.Second, "run length")
+	tenants := flag.String("tenants", "", "comma-separated tenant names, round-robin across workers (empty = untenanted)")
+	seed := flag.Int64("seed", 0, "random seed (0 = derived from workers)")
+	maxErrRate := flag.Float64("maxerrrate", 0, "fail when errors/requests exceeds this")
+	maxP99 := flag.Duration("maxp99", 0, "fail when overall p99 exceeds this (0 = no bound)")
+	minHitRate := flag.Float64("minhitrate", 0, "fail when the plan-cache hit rate is below this (0 = not checked)")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Addr:         *addr,
+		Workers:      *workers,
+		Duration:     *duration,
+		Seed:         *seed,
+		MaxErrorRate: *maxErrRate,
+		MaxP99:       *maxP99,
+		MinHitRate:   *minHitRate,
+	}
+	if *tenants != "" {
+		cfg.Tenants = strings.Split(*tenants, ",")
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	res.Render(os.Stdout)
+	if !res.Passed() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+package avatica
+
+// Admission control for the serving tier: a bounded semaphore sized from the
+// framework's worker pool, fronted by a FIFO wait queue with a per-request
+// timeout. A saturated server answers 503 SERVER_BUSY immediately (queue
+// full) or after the wait deadline (slot never freed) instead of piling up
+// goroutines until memory runs out — clients get a clean, retryable signal
+// and in-flight queries keep their share of the workers.
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServerBusy is the sentinel for admission rejections; the wire protocol
+// carries it as HTTP 503 with code SERVER_BUSY.
+var ErrServerBusy = errors.New("server busy")
+
+// Admission defaults; all overridable on Server before Start.
+const (
+	// DefaultQueueTimeout bounds how long a request may wait for a slot.
+	DefaultQueueTimeout = 5 * time.Second
+	// DefaultQueueFactor sizes the wait queue as a multiple of the
+	// concurrency limit.
+	DefaultQueueFactor = 4
+)
+
+// admission is the FIFO bounded semaphore.
+type admission struct {
+	max      int
+	maxQueue int
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	running int
+	queue   *list.List // of chan struct{}; closed to hand a slot to the waiter
+
+	admitted         atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedTimeout  atomic.Int64
+	rejectedCanceled atomic.Int64
+	waitNs           atomic.Int64 // cumulative queue wait, for the histogram-less counters
+}
+
+func newAdmission(max, maxQueue int, timeout time.Duration) *admission {
+	if max < 1 {
+		max = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if timeout <= 0 {
+		timeout = DefaultQueueTimeout
+	}
+	return &admission{max: max, maxQueue: maxQueue, timeout: timeout, queue: list.New()}
+}
+
+// Queued reports the current wait-queue depth.
+func (a *admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queue.Len()
+}
+
+// Running reports the slots currently held.
+func (a *admission) Running() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running
+}
+
+// acquire claims an execution slot, waiting FIFO up to the configured
+// timeout. It returns ErrServerBusy (wrapped with the reason) when the queue
+// is full or the wait deadline passes, and the context error if the client
+// goes away first.
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.running < a.max {
+		a.running++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return nil
+	}
+	if a.queue.Len() >= a.maxQueue {
+		a.mu.Unlock()
+		a.rejectedFull.Add(1)
+		return fmt.Errorf("%w: %d queries running, wait queue full (%d deep)",
+			ErrServerBusy, a.max, a.maxQueue)
+	}
+	ch := make(chan struct{})
+	el := a.queue.PushBack(ch)
+	a.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		// A releaser handed us its slot (running was never decremented).
+		a.waitNs.Add(int64(time.Since(start)))
+		a.admitted.Add(1)
+		return nil
+	case <-timer.C:
+		if a.cancelWait(el, ch) {
+			a.admitted.Add(1)
+			return nil
+		}
+		a.rejectedTimeout.Add(1)
+		return fmt.Errorf("%w: no execution slot within %s (%d running, %d queued)",
+			ErrServerBusy, a.timeout, a.max, a.Queued())
+	case <-ctx.Done():
+		if a.cancelWait(el, ch) {
+			a.admitted.Add(1)
+			return nil
+		}
+		a.rejectedCanceled.Add(1)
+		return ctx.Err()
+	}
+}
+
+// cancelWait removes a waiter from the queue; it reports true when a releaser
+// signaled the waiter concurrently — the slot is ours after all and the
+// caller must proceed (and eventually release).
+func (a *admission) cancelWait(el *list.Element, ch chan struct{}) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	default:
+	}
+	a.queue.Remove(el)
+	return false
+}
+
+// release returns a slot: the longest-waiting queued request inherits it
+// directly (FIFO, no thundering herd); with no waiters the slot opens up.
+func (a *admission) release() {
+	a.mu.Lock()
+	if el := a.queue.Front(); el != nil {
+		a.queue.Remove(el)
+		close(el.Value.(chan struct{}))
+		a.mu.Unlock()
+		return
+	}
+	a.running--
+	if a.running < 0 {
+		a.running = 0
+	}
+	a.mu.Unlock()
+}

@@ -1,0 +1,165 @@
+package avatica
+
+// Unit tests for the FIFO bounded-semaphore admission controller.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateGrantAndQueueFull(t *testing.T) {
+	a := newAdmission(2, 0, 50*time.Millisecond)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Queue disabled: the third caller bounces immediately.
+	start := time.Now()
+	err := a.acquire(context.Background())
+	if !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("want ErrServerBusy, got %v", err)
+	}
+	if time.Since(start) > 25*time.Millisecond {
+		t.Fatalf("queue-full rejection should not wait (took %s)", time.Since(start))
+	}
+	if got := a.rejectedFull.Load(); got != 1 {
+		t.Fatalf("rejectedFull = %d, want 1", got)
+	}
+	a.release()
+	a.release()
+	if got := a.Running(); got != 0 {
+		t.Fatalf("running = %d after full release", got)
+	}
+}
+
+func TestAdmissionFIFOHandoff(t *testing.T) {
+	a := newAdmission(1, 8, time.Second)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.release()
+		}()
+		// Serialize enqueue order so FIFO is observable.
+		waitFor(t, func() bool { return a.Queued() == i })
+	}
+	a.release() // hand the slot down the queue
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("waiters ran out of order: %v", order)
+	}
+	if got := a.Running(); got != 0 {
+		t.Fatalf("running = %d at the end", got)
+	}
+}
+
+func TestAdmissionTimeout(t *testing.T) {
+	a := newAdmission(1, 8, 30*time.Millisecond)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := a.acquire(context.Background())
+	if !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("want ErrServerBusy after wait deadline, got %v", err)
+	}
+	if got := a.rejectedTimeout.Load(); got != 1 {
+		t.Fatalf("rejectedTimeout = %d, want 1", got)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("timed-out waiter left in queue (depth %d)", got)
+	}
+	a.release()
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := newAdmission(1, 8, time.Second)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx) }()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("canceled waiter left in queue (depth %d)", got)
+	}
+	a.release()
+}
+
+// TestAdmissionNeverOversubscribes hammers the semaphore from many
+// goroutines and checks the concurrency invariant directly (run under -race
+// in CI).
+func TestAdmissionNeverOversubscribes(t *testing.T) {
+	const limit = 4
+	a := newAdmission(limit, 64, time.Second)
+	var inside, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := a.acquire(context.Background()); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				n := inside.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				inside.Add(-1)
+				a.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Fatalf("concurrency peaked at %d, limit %d", p, limit)
+	}
+	if got := a.Running(); got != 0 {
+		t.Fatalf("running = %d at the end", got)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("queued = %d at the end", got)
+	}
+}
+
+// waitFor polls cond briefly; the admission tests use it to sequence
+// goroutines without sleeping fixed amounts.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -8,14 +8,17 @@ package avatica
 import (
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
+	"calcite/internal/memory"
 	"calcite/internal/obs"
 )
 
-// registerServerMetrics exposes the statement table through function-backed
-// instruments on the framework's registry.
+// registerServerMetrics exposes the statement table, the admission
+// controller and process health through function-backed instruments on the
+// framework's registry.
 func (s *Server) registerServerMetrics() {
 	r := s.fw.Obs().Registry
 	r.GaugeFunc("calcite_statements_live",
@@ -27,6 +30,57 @@ func (s *Server) registerServerMetrics() {
 	r.CounterFunc("calcite_statement_evictions_total",
 		"Prepared statements evicted from the statement table, by reason.",
 		func() int64 { return s.evictedLRU.Load() }, obs.L("reason", "lru"))
+	r.GaugeFunc("calcite_cursor_retained_bytes",
+		"Memory charged for server-side cursors of paginated results.",
+		func() float64 { return float64(s.cursorBytes.Load()) })
+
+	adm := s.admission()
+	r.GaugeFunc("calcite_admission_running",
+		"Queries currently holding an execution slot.",
+		func() float64 { return float64(adm.Running()) })
+	r.GaugeFunc("calcite_admission_queued",
+		"Queries waiting for an execution slot.",
+		func() float64 { return float64(adm.Queued()) })
+	r.GaugeFunc("calcite_admission_limit",
+		"Configured concurrent-execution bound.",
+		func() float64 { return float64(adm.max) })
+	r.CounterFunc("calcite_admission_admitted_total",
+		"Queries granted an execution slot.",
+		func() int64 { return adm.admitted.Load() })
+	r.CounterFunc("calcite_admission_rejected_total",
+		"Queries rejected by admission control, by reason.",
+		func() int64 { return adm.rejectedFull.Load() }, obs.L("reason", "queue_full"))
+	r.CounterFunc("calcite_admission_rejected_total",
+		"Queries rejected by admission control, by reason.",
+		func() int64 { return adm.rejectedTimeout.Load() }, obs.L("reason", "timeout"))
+	r.CounterFunc("calcite_admission_rejected_total",
+		"Queries rejected by admission control, by reason.",
+		func() int64 { return adm.rejectedCanceled.Load() }, obs.L("reason", "canceled"))
+	r.CounterFunc("calcite_admission_wait_ns_total",
+		"Cumulative nanoseconds queries spent queued for admission.",
+		func() int64 { return adm.waitNs.Load() })
+
+	r.GaugeFunc("calcite_goroutines",
+		"Goroutines in the serving process (leak canary for soak tests).",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}
+
+// registerTenantMetrics exposes one tenant's child pool (called under
+// tenantMu when the pool is first carved).
+func (s *Server) registerTenantMetrics(tenant string, p *memory.Pool) {
+	r := s.fw.Obs().Registry
+	r.GaugeFunc("calcite_tenant_pool_used_bytes",
+		"Bytes currently reserved by this tenant's queries.",
+		func() float64 { return float64(p.Used()) }, obs.L("tenant", tenant))
+	r.GaugeFunc("calcite_tenant_pool_limit_bytes",
+		"This tenant's memory budget (0 = bounded by the global pool only).",
+		func() float64 { return float64(p.Limit()) }, obs.L("tenant", tenant))
+	r.CounterFunc("calcite_tenant_denials_total",
+		"Grant requests refused by this tenant's budget.",
+		func() int64 { return p.Counters().Denials }, obs.L("tenant", tenant))
+	r.CounterFunc("calcite_tenant_spill_events_total",
+		"Spill decisions by this tenant's queries.",
+		func() int64 { return p.Counters().SpillEvents }, obs.L("tenant", tenant))
 }
 
 // statusRecorder captures the response status for the request metrics.
@@ -49,7 +103,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := r.URL.Path
 		switch route {
-		case "/prepare", "/execute", "/close", "/metrics", "/debug/queries", "/healthz":
+		case "/prepare", "/execute", "/fetch", "/close", "/metrics", "/debug/queries", "/healthz":
 		default:
 			route = "other"
 		}

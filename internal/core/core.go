@@ -133,6 +133,16 @@ type Framework struct {
 	memPoolMu sync.Mutex
 	memPool   *memory.Pool
 
+	// PlanCacheSize bounds the prepared-plan cache's entry count (<= 0 uses
+	// DefaultPlanCacheSize); DisablePlanCache turns the cache off entirely
+	// (every statement re-plans — the A/B baseline).
+	PlanCacheSize    int
+	DisablePlanCache bool
+
+	// planCacheMu guards the lazily created prepared-plan cache.
+	planCacheMu sync.Mutex
+	planCache   *PlanCache
+
 	// obsMu guards the lazily created observability engine.
 	obsMu  sync.Mutex
 	obsEng *obs.Engine
@@ -215,12 +225,17 @@ func (f *Framework) memoryGoverned() bool {
 
 // newAllocator opens a per-query memory account, or nil when ungoverned.
 // forceTracking creates an unlimited tracking allocator even without limits
-// (EXPLAIN ANALYZE wants peak counters either way).
-func (f *Framework) newAllocator(forceTracking bool) *memory.Allocator {
-	if !f.memoryGoverned() && !forceTracking {
-		return nil
+// (EXPLAIN ANALYZE wants peak counters either way). A non-nil pool override
+// (per-tenant budget) always yields a tracking allocator drawing from that
+// pool instead of the framework pool.
+func (f *Framework) newAllocator(pool *memory.Pool, forceTracking bool) *memory.Allocator {
+	if pool == nil {
+		if !f.memoryGoverned() && !forceTracking {
+			return nil
+		}
+		pool = f.MemoryPool()
 	}
-	return memory.NewAllocator(f.MemoryPool(), f.QueryMemoryLimit, !f.DisableSpill)
+	return memory.NewAllocator(pool, f.QueryMemoryLimit, !f.DisableSpill)
 }
 
 // RegisterAdapter plugs an adapter into the framework.
@@ -230,6 +245,39 @@ func (f *Framework) RegisterAdapter(a Adapter) {
 	f.Converters = append(f.Converters, a.Converters()...)
 	if ma, ok := a.(MetaAdapter); ok {
 		f.Providers = append(f.Providers, ma.MetaProviders()...)
+	}
+	f.InvalidatePlans()
+}
+
+// PlanCache returns the framework's prepared-plan cache, creating it on
+// first use.
+func (f *Framework) PlanCache() *PlanCache {
+	f.planCacheMu.Lock()
+	defer f.planCacheMu.Unlock()
+	if f.planCache == nil {
+		f.planCache = NewPlanCache(f.PlanCacheSize)
+	}
+	return f.planCache
+}
+
+// planCacheIfEnabled returns the cache, or nil when caching is disabled.
+func (f *Framework) planCacheIfEnabled() *PlanCache {
+	if f.DisablePlanCache {
+		return nil
+	}
+	return f.PlanCache()
+}
+
+// InvalidatePlans flushes the prepared-plan cache. Called on every statement
+// that changes what plans mean — DDL, ANALYZE, INSERT, adapter or table
+// registration — and available to embedders that mutate the catalog
+// directly.
+func (f *Framework) InvalidatePlans() {
+	f.planCacheMu.Lock()
+	c := f.planCache
+	f.planCacheMu.Unlock()
+	if c != nil {
+		c.Invalidate()
 	}
 }
 
@@ -349,11 +397,34 @@ type Result struct {
 	Plan string
 }
 
+// ExecOptions customizes one statement execution beyond the SQL text.
+type ExecOptions struct {
+	// Params bind the statement's "?" placeholders positionally.
+	Params []any
+	// Pool, when non-nil, replaces the framework pool as the budget the
+	// query's allocator draws from — the serving tier passes a per-tenant
+	// child pool here so one tenant cannot starve another. A query with a
+	// Pool override always runs governed (tracked, spill-capable).
+	Pool *memory.Pool
+}
+
 // Execute parses, plans and runs a SQL statement (including DDL). Query and
 // DML statements run traced: the observability engine assigns an ID, times
 // each stage, builds a per-operator span tree and retains the finished
 // trace (see Obs).
 func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
+	return f.ExecuteOpts(sql, ExecOptions{Params: params})
+}
+
+// ExecuteOpts is Execute with per-execution options (parameters, a tenant
+// memory pool). Repeated statements hit the prepared-plan cache and skip
+// parse+optimize entirely.
+func (f *Framework) ExecuteOpts(sql string, opts ExecOptions) (*Result, error) {
+	if cache := f.planCacheIfEnabled(); cache != nil {
+		if ent, ok := cache.Get(sql); ok {
+			return f.executeCachedPlan(sql, ent, opts)
+		}
+	}
 	stmt, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -362,57 +433,106 @@ func (f *Framework) Execute(sql string, params ...any) (*Result, error) {
 	case *parser.ExplainStmt:
 		return f.explain(s, sql)
 	case *parser.CreateTableStmt:
+		f.InvalidatePlans()
 		return f.createTable(s)
 	case *parser.CreateViewStmt:
+		f.InvalidatePlans()
 		return f.createView(s, sql)
 	case *parser.AnalyzeStmt:
+		// New statistics change join orders: cached plans are stale.
+		f.InvalidatePlans()
 		return f.analyzeTable(s)
+	case *parser.InsertStmt:
+		// INSERT invalidates the target table's column statistics, so
+		// cached plans optimized against them are stale too.
+		f.InvalidatePlans()
 	}
-	return f.executeQuery(sql, stmt, params...)
+	return f.executeQuery(sql, stmt, opts)
 }
 
-// executeQuery runs a converted query/DML statement under tracing.
-func (f *Framework) executeQuery(sql string, stmt parser.Statement, params ...any) (*Result, error) {
+// cacheableStmt reports whether a statement's optimized plan may be reused
+// by later byte-identical statements: pure queries only — DML re-plans (and
+// flushes) every time, DDL never reaches the query path.
+func cacheableStmt(stmt parser.Statement) bool {
+	switch stmt.(type) {
+	case *parser.SelectStmt, *parser.SetOpStmt, *parser.ValuesStmt:
+		return true
+	}
+	return false
+}
+
+// executeQuery runs a converted query/DML statement under tracing and, on
+// success, caches the optimized plan for reuse by identical statements.
+func (f *Framework) executeQuery(sql string, stmt parser.Statement, opts ExecOptions) (*Result, error) {
 	eng := f.Obs()
 	tr := eng.Begin(sql)
-	res, err := f.runTraced(tr, stmt, params)
+	res, physical, err := f.runTraced(tr, stmt, opts)
 	if err != nil {
 		tr.Error = err.Error()
 	}
 	eng.End(tr)
+	if err == nil && physical != nil && cacheableStmt(stmt) {
+		if cache := f.planCacheIfEnabled(); cache != nil {
+			cache.Put(sql, physical, res.Columns)
+		}
+	}
 	return res, err
 }
 
-func (f *Framework) runTraced(tr *obs.QueryTrace, stmt parser.Statement, params []any) (*Result, error) {
+// executeCachedPlan runs a plan-cache hit: no parse, no optimize — straight
+// to execution of the cached physical plan under a fresh context.
+func (f *Framework) executeCachedPlan(sql string, ent *planEntry, opts ExecOptions) (*Result, error) {
+	eng := f.Obs()
+	tr := eng.Begin(sql)
+	tr.Cached = true
+	ctx := f.newExecContext(opts)
+	defer ctx.Alloc.Close()
+	ctx.Evaluator.Params = opts.Params
+	prepared := f.attachTrace(ctx, tr, ent.plan)
+	t := time.Now()
+	rows, err := exec.Execute(ctx, prepared)
+	tr.ExecNs = int64(time.Since(t))
+	f.mergeMemStats(tr, ctx)
+	if err != nil {
+		tr.Error = err.Error()
+		eng.End(tr)
+		return nil, err
+	}
+	tr.Rows = int64(len(rows))
+	eng.End(tr)
+	return &Result{Columns: ent.columns, Rows: rows}, nil
+}
+
+func (f *Framework) runTraced(tr *obs.QueryTrace, stmt parser.Statement, opts ExecOptions) (*Result, rel.Node, error) {
 	t0 := time.Now()
 	logical, err := sql2rel.New(f.Catalog).Convert(stmt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr.PlanNs = int64(time.Since(t0))
 	t1 := time.Now()
 	physical, err := f.Optimize(logical)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr.OptimizeNs = int64(time.Since(t1))
-	ctx := f.newExecContext()
+	ctx := f.newExecContext(opts)
 	// The allocator cleanup is the spill-file guarantee: whatever path
 	// execution takes out of this function — rows, error, worker teardown —
 	// the query's grants return to the pool and its spill directory is
 	// removed.
 	defer ctx.Alloc.Close()
-	ctx.Evaluator.Params = params
+	ctx.Evaluator.Params = opts.Params
 	prepared := f.attachTrace(ctx, tr, physical)
 	t2 := time.Now()
 	rows, err := exec.Execute(ctx, prepared)
 	tr.ExecNs = int64(time.Since(t2))
 	f.mergeMemStats(tr, ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr.Rows = int64(len(rows))
-	return &Result{Columns: physical.RowType().FieldNames(), Rows: rows}, nil
+	return &Result{Columns: physical.RowType().FieldNames(), Rows: rows}, physical, nil
 }
 
 // EffectiveParallelism resolves the configured worker count.
@@ -456,7 +576,7 @@ func (f *Framework) prepareForExecution(physical rel.Node) rel.Node {
 // framework's execution configuration (batch mode, batch size, parallelism,
 // memory budget).
 func (f *Framework) ExecutePhysical(physical rel.Node) ([][]any, error) {
-	ctx := f.newExecContext()
+	ctx := f.newExecContext(ExecOptions{})
 	defer ctx.Alloc.Close()
 	return exec.Execute(ctx, f.prepareForExecution(physical))
 }
@@ -501,10 +621,10 @@ func (f *Framework) explain(s *parser.ExplainStmt, sql string) (*Result, error) 
 func (f *Framework) explainAnalyze(physical rel.Node, sql string) (string, error) {
 	eng := f.Obs()
 	tr := eng.Begin(sql)
-	ctx := f.newExecContext()
+	ctx := f.newExecContext(ExecOptions{})
 	if ctx.Alloc == nil {
 		// No budget configured: track anyway so peaks are still reported.
-		ctx.Alloc = f.newAllocator(true)
+		ctx.Alloc = f.newAllocator(nil, true)
 	}
 	defer ctx.Alloc.Close()
 	prepared := f.attachTrace(ctx, tr, physical)
@@ -584,7 +704,7 @@ func (f *Framework) createView(s *parser.CreateViewStmt, originalSQL string) (*R
 	if err != nil {
 		return nil, err
 	}
-	mvCtx := f.newExecContext()
+	mvCtx := f.newExecContext(ExecOptions{})
 	defer mvCtx.Alloc.Close()
 	rows, err := exec.Execute(mvCtx, f.prepareForExecution(physical))
 	if err != nil {
@@ -610,14 +730,14 @@ func validateType(ts parser.TypeSpec) (*types.Type, error) {
 }
 
 // newExecContext builds an execution context honoring the framework's
-// execution-mode configuration. Callers own the allocator: defer
-// ctx.Alloc.Close() (nil-safe) so grants and spill files are reclaimed on
-// every exit path.
-func (f *Framework) newExecContext() *exec.Context {
+// execution-mode configuration and the per-execution options (tenant pool).
+// Callers own the allocator: defer ctx.Alloc.Close() (nil-safe) so grants
+// and spill files are reclaimed on every exit path.
+func (f *Framework) newExecContext(opts ExecOptions) *exec.Context {
 	ctx := exec.NewContext()
 	ctx.BatchMode = !f.RowMode
 	ctx.BatchSize = f.BatchSize
-	ctx.Alloc = f.newAllocator(false)
+	ctx.Alloc = f.newAllocator(opts.Pool, false)
 	ctx.WindowRecompute = f.WindowRecompute
 	return ctx
 }

@@ -72,6 +72,23 @@ func (f *Framework) registerSubsystemMetrics(r *obs.Registry) {
 		"Spill files created.",
 		func() int64 { return mp.Counters().SpillFiles })
 
+	pc := f.PlanCache()
+	r.GaugeFunc("calcite_plan_cache_entries",
+		"Optimized plans currently cached.",
+		func() float64 { return float64(pc.Len()) })
+	r.CounterFunc("calcite_plan_cache_hits_total",
+		"Statements that reused a cached plan (skipped parse+optimize).",
+		func() int64 { return pc.Counters().Hits })
+	r.CounterFunc("calcite_plan_cache_misses_total",
+		"Statements that planned from scratch.",
+		func() int64 { return pc.Counters().Misses })
+	r.CounterFunc("calcite_plan_cache_evictions_total",
+		"Cached plans evicted by the LRU size cap.",
+		func() int64 { return pc.Counters().Evictions })
+	r.CounterFunc("calcite_plan_cache_invalidations_total",
+		"Whole-cache flushes (DDL, ANALYZE, INSERT, adapter registration).",
+		func() int64 { return pc.Counters().Invalidations })
+
 	wp := f.WorkerPool()
 	r.GaugeFunc("calcite_workers_busy",
 		"Worker goroutines currently executing a task.",

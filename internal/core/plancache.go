@@ -1,0 +1,143 @@
+package core
+
+// The prepared-plan cache: repeated statements skip the parse → validate →
+// optimize pipeline and jump straight to execution of the cached physical
+// plan. Entries are keyed on the normalized-SQL fingerprint (obs.Fingerprint:
+// literals and whitespace canonicalized), with the exact statement text kept
+// as a guard — two statements that normalize identically but differ in
+// literals plan differently, so only a byte-identical statement may reuse a
+// plan. Prepared statements with "?" parameters are byte-identical across
+// executions, which is exactly the repeated-statement class the cache is for:
+// parameters bind at execution time, never at plan time.
+//
+// Physical plan trees are immutable after optimization — operators compile
+// expressions and allocate cursor state at bind time, and the parallel
+// rewrite wraps (never mutates) the tree per execution — so one cached plan
+// may execute on any number of concurrent queries.
+//
+// Any statement that changes what plans mean — DDL, ANALYZE (statistics
+// drive join order), INSERT (invalidates column stats), adapter or view
+// registration — flushes the whole cache: invalidation is rare and cheap,
+// staleness is not.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"calcite/internal/obs"
+	"calcite/internal/rel"
+)
+
+// DefaultPlanCacheSize bounds the plan cache's entry count.
+const DefaultPlanCacheSize = 256
+
+// planEntry is one cached statement: the exact SQL (collision/literal guard),
+// the optimized physical plan, and its output column names.
+type planEntry struct {
+	sql     string
+	plan    rel.Node
+	columns []string
+}
+
+// PlanCache is a concurrency-safe LRU of optimized plans with hit/miss/
+// eviction/invalidation counters, sampled by the metrics registry through
+// function-backed instruments.
+type PlanCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List               // front = most recently used
+	byKey map[string]*list.Element // fingerprint → element holding *planEntry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+type planElem struct {
+	key string
+	ent *planEntry
+}
+
+// NewPlanCache builds a cache bounded to max entries (<= 0 uses
+// DefaultPlanCacheSize).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = DefaultPlanCacheSize
+	}
+	return &PlanCache{max: max, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// Get returns the cached plan for sql, if the fingerprint maps to an entry
+// whose statement text matches byte-for-byte.
+func (c *PlanCache) Get(sql string) (*planEntry, bool) {
+	key := obs.Fingerprint(sql)
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok && el.Value.(*planElem).ent.sql == sql {
+		c.order.MoveToFront(el)
+		ent := el.Value.(*planElem).ent
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return ent, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores an optimized plan for sql, evicting the least recently used
+// entry beyond capacity. A fingerprint collision (same key, different text)
+// is resolved in favor of the newest statement.
+func (c *PlanCache) Put(sql string, plan rel.Node, columns []string) {
+	key := obs.Fingerprint(sql)
+	ent := &planEntry{sql: sql, plan: plan, columns: columns}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planElem).ent = ent
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&planElem{key: key, ent: ent})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*planElem).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Invalidate drops every entry (DDL, ANALYZE, DML, adapter registration).
+func (c *PlanCache) Invalidate() {
+	c.mu.Lock()
+	if c.order.Len() > 0 {
+		c.order.Init()
+		c.byKey = map[string]*list.Element{}
+		c.invalidations.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// Len reports the current entry count.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters is a point-in-time read of the cache's cumulative counters.
+type PlanCacheCounters struct {
+	Hits, Misses, Evictions, Invalidations int64
+}
+
+// Counters returns the cumulative hit/miss/eviction/invalidation counts.
+func (c *PlanCache) Counters() PlanCacheCounters {
+	return PlanCacheCounters{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"calcite/internal/schema"
+	"calcite/internal/types"
+)
+
+func cacheTestFramework(t *testing.T) *Framework {
+	t.Helper()
+	f := New()
+	f.Catalog.AddTable(schema.NewMemTable("t",
+		types.Row(
+			types.Field{Name: "id", Type: types.BigInt.WithNullable(true)},
+			types.Field{Name: "v", Type: types.Double.WithNullable(true)},
+		),
+		[][]any{
+			{int64(1), 1.5},
+			{int64(2), 2.5},
+			{int64(3), 3.5},
+		}))
+	return f
+}
+
+// TestPlanCacheHitSkipsPlanning re-runs one statement and checks the second
+// execution is a hit with identical results and zero plan/optimize time.
+func TestPlanCacheHitSkipsPlanning(t *testing.T) {
+	f := cacheTestFramework(t)
+	const q = "SELECT id FROM t WHERE v > 2 ORDER BY id"
+	first, err := f.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := f.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Fatalf("cached run differs: %v vs %v", first.Rows, second.Rows)
+	}
+	c := f.PlanCache().Counters()
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("counters = %+v, want 1 hit / 1 miss", c)
+	}
+	// The cached trace records the hit and skips the planning stages.
+	traces := f.Obs().Recent.Snapshot()
+	if len(traces) < 1 || !traces[0].Cached {
+		t.Fatalf("latest trace not marked cached: %+v", traces[0])
+	}
+	if traces[0].PlanNs != 0 || traces[0].OptimizeNs != 0 {
+		t.Fatalf("cached trace has planning time: plan=%d optimize=%d",
+			traces[0].PlanNs, traces[0].OptimizeNs)
+	}
+}
+
+// TestPlanCacheParamsRebind verifies the big win: a prepared statement's plan
+// is reused across executions with different parameter bindings.
+func TestPlanCacheParamsRebind(t *testing.T) {
+	f := cacheTestFramework(t)
+	const q = "SELECT id FROM t WHERE v > ? ORDER BY id"
+	r1, err := f.Execute(q, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.Execute(q, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 3 || len(r2.Rows) != 1 {
+		t.Fatalf("param rebind wrong: %v / %v", r1.Rows, r2.Rows)
+	}
+	if c := f.PlanCache().Counters(); c.Hits != 1 {
+		t.Fatalf("second binding should hit: %+v", c)
+	}
+}
+
+// TestPlanCacheLiteralsDoNotAlias is the correctness guard: two statements
+// that normalize to the same fingerprint but differ in literal values must
+// never share a plan (literals are baked into compiled expressions).
+func TestPlanCacheLiteralsDoNotAlias(t *testing.T) {
+	f := cacheTestFramework(t)
+	r1, err := f.Execute("SELECT id FROM t WHERE v > 1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.Execute("SELECT id FROM t WHERE v > 3.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 3 || len(r2.Rows) != 1 {
+		t.Fatalf("literal variants aliased: %v / %v", r1.Rows, r2.Rows)
+	}
+	if c := f.PlanCache().Counters(); c.Hits != 0 {
+		t.Fatalf("different literals must miss, got %+v", c)
+	}
+}
+
+// TestPlanCacheInvalidation checks every statement class that must flush:
+// DDL, ANALYZE and INSERT.
+func TestPlanCacheInvalidation(t *testing.T) {
+	f := cacheTestFramework(t)
+	const q = "SELECT COUNT(*) FROM t"
+	if _, err := f.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	if f.PlanCache().Len() != 1 {
+		t.Fatalf("plan not cached")
+	}
+	// INSERT flushes and the re-run sees the new row.
+	if _, err := f.Execute("INSERT INTO t VALUES (4, 4.5)"); err != nil {
+		t.Fatal(err)
+	}
+	if f.PlanCache().Len() != 0 {
+		t.Fatal("INSERT did not invalidate the plan cache")
+	}
+	res, err := f.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Rows[0][0].(int64); got != 4 {
+		t.Fatalf("count after insert = %v, want 4", res.Rows[0][0])
+	}
+	for _, ddl := range []string{"ANALYZE TABLE t", "CREATE TABLE t2 (x BIGINT)"} {
+		if _, err := f.Execute(q); err != nil { // repopulate
+			t.Fatal(err)
+		}
+		if f.PlanCache().Len() == 0 {
+			t.Fatalf("cache empty before %q", ddl)
+		}
+		if _, err := f.Execute(ddl); err != nil {
+			t.Fatal(err)
+		}
+		if f.PlanCache().Len() != 0 {
+			t.Fatalf("%q did not invalidate the plan cache", ddl)
+		}
+	}
+}
+
+// TestPlanCacheLRUEviction fills the cache beyond its cap and checks the
+// oldest entries leave first.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	f := cacheTestFramework(t)
+	f.PlanCacheSize = 4
+	for i := 0; i < 10; i++ {
+		// Distinct column aliases defeat literal normalization, so each
+		// statement is a distinct fingerprint.
+		q := fmt.Sprintf("SELECT id AS a%d FROM t", i)
+		if _, err := f.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.PlanCache().Len(); got != 4 {
+		t.Fatalf("cache size = %d, want 4", got)
+	}
+	c := f.PlanCache().Counters()
+	if c.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", c.Evictions)
+	}
+	// Newest is still a hit; oldest re-plans.
+	if _, err := f.Execute("SELECT id AS a9 FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PlanCache().Counters().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1 (newest retained)", got)
+	}
+	if _, err := f.Execute("SELECT id AS a0 FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PlanCache().Counters().Hits; got != 1 {
+		t.Fatalf("oldest entry should have been evicted (hits=%d)", got)
+	}
+}
+
+// TestPlanCacheConcurrentReuse executes one cached plan from many goroutines
+// at once — the sharing contract the serving tier depends on (run under
+// -race in CI).
+func TestPlanCacheConcurrentReuse(t *testing.T) {
+	f := cacheTestFramework(t)
+	const q = "SELECT id, v FROM t WHERE v > ? ORDER BY id"
+	want, err := f.Execute(q, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				res, err := f.Execute(q, 0.0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, want.Rows) {
+					errs <- fmt.Errorf("concurrent cached run differs: %v", res.Rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanCacheDisabled checks the A/B switch: with the cache off every
+// execution re-plans.
+func TestPlanCacheDisabled(t *testing.T) {
+	f := cacheTestFramework(t)
+	f.DisablePlanCache = true
+	const q = "SELECT id FROM t"
+	for i := 0; i < 3; i++ {
+		if _, err := f.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := f.PlanCache().Counters(); c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("disabled cache was consulted: %+v", c)
+	}
+}

@@ -1,0 +1,425 @@
+// Package loadgen is a closed-loop load generator for the Avatica serving
+// tier: N workers each run a loop of prepare/execute/fetch/close against a
+// live server, drawing queries from weighted classes (point lookups,
+// star joins, spilling sorts, window functions), recording latencies in
+// obs histograms, and rendering a pass/fail verdict on error rate, tail
+// latency and plan-cache hit rate. The CI serving-load job is its primary
+// caller; cmd/loadgen is the CLI wrapper.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"calcite/internal/avatica"
+	"calcite/internal/obs"
+)
+
+// Class is one query class in the mix.
+type Class struct {
+	// Name labels the class in histograms and the report.
+	Name string
+	// SQL is the statement; prepared once per worker when Prepared is set.
+	SQL string
+	// Params generates one execution's parameter bindings (nil = none).
+	Params func(r *rand.Rand) []any
+	// FetchSize > 0 paginates the result and drains it frame by frame
+	// through /fetch, closing the server-side cursor's statement after.
+	FetchSize int
+	// Prepared executes through a prepared statement handle.
+	Prepared bool
+	// Weight is the class's relative frequency in the mix (default 1).
+	Weight int
+}
+
+// DefaultClasses is the standard mix against cmd/avaticasrv's demo and star
+// schema: a prepared point filter (plan-cache fast path), a repeated 5-way
+// star join, a paginated full sort (the spill class under small budgets)
+// and a window aggregation.
+func DefaultClasses() []Class {
+	return []Class{
+		{
+			Name:     "point",
+			SQL:      "SELECT id, val, msg FROM demo WHERE id = ?",
+			Params:   func(r *rand.Rand) []any { return []any{int64(1 + r.Intn(1000))} },
+			Prepared: true,
+			Weight:   4,
+		},
+		{
+			Name: "star",
+			SQL: "SELECT c.label, SUM(f.amount) AS total FROM fact f " +
+				"JOIN d_cust c ON f.cust_id = c.id " +
+				"JOIN d_prod p ON f.prod_id = p.id " +
+				"JOIN d_geo g ON f.geo_id = g.id " +
+				"JOIN d_time t ON f.time_id = t.id " +
+				"WHERE p.attr = ? GROUP BY c.label ORDER BY total DESC",
+			Params:   func(r *rand.Rand) []any { return []any{int64(r.Intn(17))} },
+			Prepared: true,
+			Weight:   2,
+		},
+		{
+			Name:      "sort",
+			SQL:       "SELECT id, grp, val, msg FROM demo ORDER BY val DESC, id",
+			FetchSize: 256,
+			Weight:    1,
+		},
+		{
+			Name: "window",
+			SQL: "SELECT id, grp, SUM(val) OVER (PARTITION BY grp ORDER BY id " +
+				"ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS w FROM demo",
+			Weight: 1,
+		},
+	}
+}
+
+// Config configures one load run.
+type Config struct {
+	// Addr is the target server ("host:port").
+	Addr string
+	// Workers is the closed-loop concurrency (default 8).
+	Workers int
+	// Duration is how long the loop runs (default 10s).
+	Duration time.Duration
+	// Tenants are round-robin assigned to workers ("" entries run
+	// untenanted); empty list = all untenanted.
+	Tenants []string
+	// Classes is the query mix (nil = DefaultClasses).
+	Classes []Class
+	// Seed makes worker randomness reproducible (0 = seed from workers).
+	Seed int64
+
+	// MaxErrorRate fails the verdict when errors/requests exceeds it.
+	MaxErrorRate float64
+	// MaxP99 fails the verdict when the overall p99 exceeds it (0 = no
+	// bound).
+	MaxP99 time.Duration
+	// MinHitRate fails the verdict when the server's plan-cache hit rate
+	// over the run is below it (0 = not checked). Busy rejections never
+	// count as errors — saturation is the admission contract, not a fault.
+	MinHitRate float64
+}
+
+// ClassStats is one class's slice of the run.
+type ClassStats struct {
+	Name     string
+	Requests int64
+	Errors   int64
+	Rows     int64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+}
+
+// Result is the run outcome.
+type Result struct {
+	Requests int64
+	Errors   int64
+	Busy     int64 // SERVER_BUSY rejections (not errors)
+	Rows     int64
+	Elapsed  time.Duration
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	// HitRate is the server's plan-cache hit rate across the run window
+	// (delta of hits / delta of lookups), -1 when /metrics was unreadable.
+	HitRate float64
+	Classes []ClassStats
+	// Failures lists violated verdict bounds; empty = pass.
+	Failures []string
+}
+
+// Passed reports the verdict.
+func (r *Result) Passed() bool { return len(r.Failures) == 0 }
+
+// latencyBuckets spans 100µs to 30s so tail quantiles stay resolvable well
+// past the default serving buckets.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Run executes the configured load against a live server.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	classes := cfg.Classes
+	if classes == nil {
+		classes = DefaultClasses()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Workers)
+	}
+
+	// One histogram registry for the run: overall + per-class latencies.
+	reg := obs.NewRegistry()
+	overall := reg.Histogram("latency", "overall", latencyBuckets)
+	perClass := make([]*obs.Histogram, len(classes))
+	for i, c := range classes {
+		perClass[i] = reg.Histogram("latency_class", "per class", latencyBuckets, obs.L("class", c.Name))
+	}
+
+	// Weighted pick table.
+	var picks []int
+	for i, c := range classes {
+		w := c.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for j := 0; j < w; j++ {
+			picks = append(picks, i)
+		}
+	}
+
+	startHits, startLookups := scrapePlanCache(cfg.Addr)
+
+	var requests, errors, busy, rows atomic.Int64
+	classReq := make([]atomic.Int64, len(classes))
+	classErr := make([]atomic.Int64, len(classes))
+	classRows := make([]atomic.Int64, len(classes))
+	var firstErrs sync.Map // class index -> first error string, for the report
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			client := avatica.NewClient(cfg.Addr)
+			if len(cfg.Tenants) > 0 {
+				client.Tenant = cfg.Tenants[w%len(cfg.Tenants)]
+			}
+			// Prepare each prepared class once; the repeated executions are
+			// the plan-cache hit stream.
+			prepared := make([]int64, len(classes))
+			for i, c := range classes {
+				if !c.Prepared {
+					continue
+				}
+				id, err := client.Prepare(c.SQL)
+				if err != nil {
+					errors.Add(1)
+					firstErrs.LoadOrStore(i, "prepare: "+err.Error())
+					return
+				}
+				prepared[i] = id
+			}
+			defer func() {
+				for i, id := range prepared {
+					if classes[i].Prepared && id != 0 {
+						client.Close(id)
+					}
+				}
+			}()
+			for time.Now().Before(deadline) {
+				ci := picks[rng.Intn(len(picks))]
+				c := classes[ci]
+				requests.Add(1)
+				classReq[ci].Add(1)
+				t0 := time.Now()
+				n, err := runOne(client, c, prepared[ci], rng)
+				if err != nil {
+					if isBusy(err) {
+						busy.Add(1)
+					} else {
+						errors.Add(1)
+						classErr[ci].Add(1)
+						firstErrs.LoadOrStore(ci, err.Error())
+					}
+					continue
+				}
+				el := time.Since(t0).Seconds()
+				overall.Observe(el)
+				perClass[ci].Observe(el)
+				rows.Add(int64(n))
+				classRows[ci].Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	endHits, endLookups := scrapePlanCache(cfg.Addr)
+	hitRate := -1.0
+	if startLookups >= 0 && endLookups > startLookups {
+		hitRate = float64(endHits-startHits) / float64(endLookups-startLookups)
+	}
+
+	res := &Result{
+		Requests: requests.Load(),
+		Errors:   errors.Load(),
+		Busy:     busy.Load(),
+		Rows:     rows.Load(),
+		Elapsed:  elapsed,
+		P50:      secs(overall.Quantile(0.50)),
+		P95:      secs(overall.Quantile(0.95)),
+		P99:      secs(overall.Quantile(0.99)),
+		HitRate:  hitRate,
+	}
+	for i, c := range classes {
+		cs := ClassStats{
+			Name:     c.Name,
+			Requests: classReq[i].Load(),
+			Errors:   classErr[i].Load(),
+			Rows:     classRows[i].Load(),
+			P50:      secs(perClass[i].Quantile(0.50)),
+			P95:      secs(perClass[i].Quantile(0.95)),
+			P99:      secs(perClass[i].Quantile(0.99)),
+		}
+		res.Classes = append(res.Classes, cs)
+	}
+
+	// Verdict.
+	if res.Requests == 0 {
+		res.Failures = append(res.Failures, "no requests completed")
+	}
+	if res.Requests > 0 {
+		rate := float64(res.Errors) / float64(res.Requests)
+		if rate > cfg.MaxErrorRate {
+			detail := ""
+			firstErrs.Range(func(k, v any) bool {
+				detail = fmt.Sprintf(" (first: %s: %v)", classes[k.(int)].Name, v)
+				return false
+			})
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("error rate %.4f > %.4f%s", rate, cfg.MaxErrorRate, detail))
+		}
+	}
+	if cfg.MaxP99 > 0 && res.P99 > cfg.MaxP99 {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("p99 %s > bound %s", res.P99, cfg.MaxP99))
+	}
+	if cfg.MinHitRate > 0 {
+		if res.HitRate < 0 {
+			res.Failures = append(res.Failures, "plan-cache hit rate unavailable from /metrics")
+		} else if res.HitRate < cfg.MinHitRate {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("plan-cache hit rate %.3f < %.3f", res.HitRate, cfg.MinHitRate))
+		}
+	}
+	return res, nil
+}
+
+// runOne executes one request of class c, returning the row count.
+func runOne(client *avatica.Client, c Class, preparedID int64, rng *rand.Rand) (int, error) {
+	var params []any
+	if c.Params != nil {
+		params = c.Params(rng)
+	}
+	req := avatica.ExecuteRequest{Params: params, FetchSize: c.FetchSize}
+	if c.Prepared {
+		req.StatementID = preparedID
+	} else {
+		req.SQL = c.SQL
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	n := len(resp.Rows)
+	// Drain a paginated result frame by frame, then drop the cursor's
+	// statement if the server minted an implicit one.
+	implicit := resp.StatementID != 0 && !c.Prepared
+	for resp.More {
+		resp, err = client.Fetch(resp.StatementID, c.FetchSize)
+		if err != nil {
+			return n, err
+		}
+		n += len(resp.Rows)
+	}
+	if implicit {
+		if err := client.Close(resp.StatementID); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func isBusy(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "server busy")
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// scrapePlanCache reads the plan-cache hit/miss counters from /metrics;
+// (-1, -1) when the scrape fails.
+func scrapePlanCache(addr string) (hits, lookups int64) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return -1, -1
+	}
+	defer resp.Body.Close()
+	var h, m int64 = -1, -1
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "calcite_plan_cache_hits_total "):
+			h = parseMetricValue(line)
+		case strings.HasPrefix(line, "calcite_plan_cache_misses_total "):
+			m = parseMetricValue(line)
+		}
+	}
+	if h < 0 || m < 0 {
+		return -1, -1
+	}
+	return h, h + m
+}
+
+func parseMetricValue(line string) int64 {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return -1
+	}
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		return -1
+	}
+	return int64(v)
+}
+
+// Render writes the human-readable report.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d requests in %s (%.0f req/s), %d rows\n",
+		r.Requests, r.Elapsed.Round(time.Millisecond),
+		float64(r.Requests)/r.Elapsed.Seconds(), r.Rows)
+	fmt.Fprintf(w, "  errors: %d, busy rejections: %d\n", r.Errors, r.Busy)
+	fmt.Fprintf(w, "  latency: p50=%s p95=%s p99=%s\n",
+		r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
+		r.P99.Round(10*time.Microsecond))
+	if r.HitRate >= 0 {
+		fmt.Fprintf(w, "  plan-cache hit rate: %.1f%%\n", 100*r.HitRate)
+	}
+	classes := append([]ClassStats(nil), r.Classes...)
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Name < classes[j].Name })
+	for _, c := range classes {
+		fmt.Fprintf(w, "  class %-8s %6d req %3d err  p50=%-10s p95=%-10s p99=%s\n",
+			c.Name, c.Requests, c.Errors,
+			c.P50.Round(10*time.Microsecond), c.P95.Round(10*time.Microsecond),
+			c.P99.Round(10*time.Microsecond))
+	}
+	if r.Passed() {
+		fmt.Fprintln(w, "verdict: PASS")
+	} else {
+		fmt.Fprintln(w, "verdict: FAIL")
+		for _, f := range r.Failures {
+			fmt.Fprintln(w, "  -", f)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package loadgen
+
+// End-to-end smoke: boot a real server over the demo + star schema and run
+// a short load, checking the verdict machinery and the plan-cache hit-rate
+// scrape against the live /metrics endpoint.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"calcite"
+	"calcite/internal/avatica"
+)
+
+// loadFixture mirrors cmd/avaticasrv's demo + star schema at test scale.
+func loadFixture(conn *calcite.Connection, factRows int) {
+	rows := make([][]any, 2000)
+	msgs := [...]string{"hello", "world", "lorem", "ipsum"}
+	for i := range rows {
+		h := uint64(i) * 0x9e3779b97f4a7c15
+		rows[i] = []any{int64(i + 1), int64(h % 97), float64(h%100000) / 100, msgs[i%len(msgs)]}
+	}
+	conn.AddTable("demo", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "grp", Type: calcite.BigIntType},
+		{Name: "val", Type: calcite.DoubleType},
+		{Name: "msg", Type: calcite.VarcharType},
+	}, rows)
+
+	const dimRows = 20
+	for di, name := range []string{"d_cust", "d_prod", "d_geo", "d_time"} {
+		dim := make([][]any, dimRows)
+		for i := 0; i < dimRows; i++ {
+			dim[i] = []any{int64(i), fmt.Sprintf("%s-%03d", name, i), int64((i * (di + 3)) % 17)}
+		}
+		conn.AddTable(name, calcite.Columns{
+			{Name: "id", Type: calcite.BigIntType},
+			{Name: "label", Type: calcite.VarcharType},
+			{Name: "attr", Type: calcite.BigIntType},
+		}, dim)
+	}
+	fact := make([][]any, factRows)
+	for i := range fact {
+		h := uint64(i)*0x9e3779b97f4a7c15 + 0x1234
+		fact[i] = []any{
+			int64(i), int64(h % dimRows), int64((h >> 8) % dimRows),
+			int64((h >> 16) % dimRows), int64((h >> 24) % dimRows),
+			float64(h%100000) / 100,
+		}
+	}
+	conn.AddTable("fact", calcite.Columns{
+		{Name: "id", Type: calcite.BigIntType},
+		{Name: "cust_id", Type: calcite.BigIntType},
+		{Name: "prod_id", Type: calcite.BigIntType},
+		{Name: "geo_id", Type: calcite.BigIntType},
+		{Name: "time_id", Type: calcite.BigIntType},
+		{Name: "amount", Type: calcite.DoubleType},
+	}, fact)
+}
+
+func TestLoadgenEndToEnd(t *testing.T) {
+	conn := calcite.Open()
+	// Pin the budget: under the CI low-memory matrix (CALCITE_MEM_LIMIT)
+	// the default pool would be too small to retain the sort class's
+	// cursors, which is that configuration's correct behavior but not what
+	// this test measures.
+	conn.SetMemoryLimit(64 << 20)
+	loadFixture(conn, 500)
+	srv := avatica.NewServer(conn.Framework)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	res, err := Run(Config{
+		Addr:         addr,
+		Workers:      8,
+		Duration:     2 * time.Second,
+		Tenants:      []string{"acme", "globex"},
+		MaxErrorRate: 0,
+		MaxP99:       10 * time.Second,
+		MinHitRate:   0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	res.Render(&report)
+	t.Log("\n" + report.String())
+	if !res.Passed() {
+		t.Fatalf("load run failed: %v", res.Failures)
+	}
+	if res.Requests < int64(len(DefaultClasses())) {
+		t.Fatalf("suspiciously few requests: %d", res.Requests)
+	}
+	// Prepared point/star classes repeat two statements endlessly; with
+	// paginated sort and window classes also repeating, the plan cache
+	// should be nearly all hits after warmup.
+	if res.HitRate < 0.9 {
+		t.Fatalf("plan-cache hit rate %.3f, want > 0.9", res.HitRate)
+	}
+	// Every class must actually have run and returned rows.
+	for _, c := range res.Classes {
+		if c.Requests == 0 {
+			t.Fatalf("class %s never ran", c.Name)
+		}
+		if c.Rows == 0 {
+			t.Fatalf("class %s returned no rows", c.Name)
+		}
+	}
+}
+
+// TestLoadgenVerdictFails checks the gate actually gates: an impossible p99
+// bound must fail the run.
+func TestLoadgenVerdictFails(t *testing.T) {
+	conn := calcite.Open()
+	loadFixture(conn, 50)
+	srv := avatica.NewServer(conn.Framework)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	conn.SetMemoryLimit(64 << 20)
+	res, err := Run(Config{
+		Addr:     addr,
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		MaxP99:   time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("1ns p99 bound should fail")
+	}
+}

@@ -38,7 +38,15 @@ import (
 var ErrBudgetExceeded = errors.New("memory budget exceeded")
 
 // Pool is the framework-wide memory budget shared by all concurrent queries.
+// A Pool may also be a child carved from a parent pool (NewChildPool): every
+// grant then charges both budgets, which is how the serving tier gives each
+// tenant a private cap inside the global budget.
 type Pool struct {
+	// parent, when set, is charged for every reservation this pool grants,
+	// so a child can never exceed the budget it was carved from. Immutable
+	// after construction (no lock needed).
+	parent *Pool
+
 	mu    sync.Mutex
 	limit int64 // <= 0: unlimited
 	used  int64
@@ -57,6 +65,15 @@ type Pool struct {
 
 // NewPool returns a pool with the given byte limit (<= 0 means unlimited).
 func NewPool(limit int64) *Pool { return &Pool{limit: limit} }
+
+// NewChildPool carves a sub-budget out of parent: reservations must fit under
+// the child's own limit (<= 0: bounded by the parent only) AND succeed against
+// the parent, so the sum of all children can never exceed the parent's budget.
+// Used by the serving tier for per-tenant budgets — one tenant's spill storm
+// exhausts its child pool and degrades that tenant only.
+func NewChildPool(parent *Pool, limit int64) *Pool {
+	return &Pool{parent: parent, limit: limit}
+}
 
 // SetLimit replaces the pool's byte limit (<= 0 means unlimited). Grants
 // already outstanding are unaffected.
@@ -80,25 +97,40 @@ func (p *Pool) Used() int64 {
 	return p.used
 }
 
-// Reserve charges n bytes against the pool. A nil pool is unlimited.
+// Reserve charges n bytes against the pool. A nil pool is unlimited. For a
+// child pool the grant must also succeed against the parent; a parent denial
+// rolls the child's charge back, so the two budgets never drift apart.
 func (p *Pool) Reserve(n int64) error {
 	if p == nil {
 		return nil
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.limit > 0 && p.used+n > p.limit {
 		p.denials.Add(1)
 		p.deniedBytes.Add(n)
-		return fmt.Errorf("%w: pool limit %s, in use %s, requested %s",
+		err := fmt.Errorf("%w: pool limit %s, in use %s, requested %s",
 			ErrBudgetExceeded, FormatBytes(p.limit), FormatBytes(p.used), FormatBytes(n))
+		p.mu.Unlock()
+		return err
 	}
 	p.used += n
+	p.mu.Unlock()
+	if err := p.parent.Reserve(n); err != nil {
+		p.mu.Lock()
+		p.used -= n
+		if p.used < 0 {
+			p.used = 0
+		}
+		p.mu.Unlock()
+		p.denials.Add(1)
+		p.deniedBytes.Add(n)
+		return err
+	}
 	p.grantedBytes.Add(n)
 	return nil
 }
 
-// Release returns n bytes to the pool.
+// Release returns n bytes to the pool (and, for a child, to its parent).
 func (p *Pool) Release(n int64) {
 	if p == nil {
 		return
@@ -109,10 +141,12 @@ func (p *Pool) Release(n int64) {
 		p.used = 0
 	}
 	p.mu.Unlock()
+	p.parent.Release(n)
 	p.releasedBytes.Add(n)
 }
 
-// noteSpill accumulates the pool-wide spill totals.
+// noteSpill accumulates the pool-wide spill totals (and the parent's, so the
+// global counters cover every tenant).
 func (p *Pool) noteSpill(bytes int64, files, events int) {
 	if p == nil {
 		return
@@ -120,6 +154,7 @@ func (p *Pool) noteSpill(bytes int64, files, events int) {
 	p.spillBytes.Add(bytes)
 	p.spillFiles.Add(int64(files))
 	p.spillEvents.Add(int64(events))
+	p.parent.noteSpill(bytes, files, events)
 }
 
 // PoolCounters is a point-in-time read of the pool's cumulative accounting.

@@ -238,3 +238,83 @@ func TestPartitionDeterministicAndSeedSensitive(t *testing.T) {
 		t.Fatal("seed change did not move any key")
 	}
 }
+
+// TestChildPoolChargesParent verifies the per-tenant budget scheme: a child
+// grant charges both budgets, a child denial leaves the parent untouched,
+// and a parent denial rolls the child's charge back.
+func TestChildPoolChargesParent(t *testing.T) {
+	parent := NewPool(1000)
+	a := NewChildPool(parent, 600)
+	b := NewChildPool(parent, 600)
+
+	if err := a.Reserve(500); err != nil {
+		t.Fatalf("child a reserve: %v", err)
+	}
+	if parent.Used() != 500 || a.Used() != 500 {
+		t.Fatalf("used parent=%d a=%d, want 500/500", parent.Used(), a.Used())
+	}
+	// Child limit enforced independently of the parent's headroom.
+	if err := a.Reserve(200); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("child over own limit: got %v, want ErrBudgetExceeded", err)
+	}
+	if parent.Used() != 500 {
+		t.Fatalf("parent charged %d by a denied child grant", parent.Used()-500)
+	}
+	// Parent denial rolls back the child's optimistic charge.
+	if err := b.Reserve(600); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("parent exhaustion: got %v, want ErrBudgetExceeded", err)
+	}
+	if b.Used() != 0 {
+		t.Fatalf("child b kept %d after parent denial", b.Used())
+	}
+	// Release flows back up.
+	a.Release(500)
+	if parent.Used() != 0 || a.Used() != 0 {
+		t.Fatalf("after release: parent=%d a=%d, want 0/0", parent.Used(), a.Used())
+	}
+	if err := b.Reserve(600); err != nil {
+		t.Fatalf("child b after release: %v", err)
+	}
+}
+
+// TestChildPoolSpillPropagates checks that a child's spill totals roll up
+// into the parent's counters (the global /metrics series).
+func TestChildPoolSpillPropagates(t *testing.T) {
+	parent := NewPool(0)
+	child := NewChildPool(parent, 0)
+	child.noteSpill(1024, 2, 1)
+	if c := child.Counters(); c.SpillBytes != 1024 || c.SpillFiles != 2 || c.SpillEvents != 1 {
+		t.Fatalf("child counters: %+v", c)
+	}
+	if c := parent.Counters(); c.SpillBytes != 1024 || c.SpillFiles != 2 || c.SpillEvents != 1 {
+		t.Fatalf("parent counters: %+v", c)
+	}
+}
+
+// TestChildPoolConcurrent hammers two children of one parent under -race:
+// accounting must balance and the parent cap must hold throughout.
+func TestChildPoolConcurrent(t *testing.T) {
+	parent := NewPool(10000)
+	children := []*Pool{NewChildPool(parent, 8000), NewChildPool(parent, 8000)}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := children[w%2]
+			for i := 0; i < 500; i++ {
+				if p.Reserve(100) == nil {
+					if parent.Used() > 10000 {
+						t.Error("parent cap exceeded")
+					}
+					p.Release(100)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if parent.Used() != 0 || children[0].Used() != 0 || children[1].Used() != 0 {
+		t.Fatalf("unbalanced: parent=%d c0=%d c1=%d",
+			parent.Used(), children[0].Used(), children[1].Used())
+	}
+}

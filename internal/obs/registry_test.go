@@ -203,3 +203,37 @@ func TestNilInstrumentsSafe(t *testing.T) {
 		t.Fatal("nil instruments should read as zero")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "h", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations uniformly in (0, 1]: every bucket boundary is exact.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Fatalf("p50 = %v, want 0.5 (interpolated within [0,1))", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %v, want 1", got)
+	}
+	// Observations beyond the last bound clamp to it.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 8 {
+		t.Fatalf("p99 with +Inf mass = %v, want clamp to 8", got)
+	}
+	// Interpolation lands inside the right bucket.
+	h2 := r.Histogram("q2", "h", []float64{10, 20})
+	for i := 0; i < 10; i++ {
+		h2.Observe(15)
+	}
+	p50 := h2.Quantile(0.5)
+	if p50 <= 10 || p50 > 20 {
+		t.Fatalf("p50 = %v, want within (10, 20]", p50)
+	}
+}

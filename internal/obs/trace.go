@@ -88,6 +88,9 @@ type QueryTrace struct {
 	TotalNs    int64
 	Rows       int64
 	Error      string
+	// Cached marks a plan-cache hit: the statement skipped parse+optimize
+	// and executed a previously optimized plan (PlanNs and OptimizeNs are 0).
+	Cached bool
 	// Parallelism is the worker count the plan was prepared for.
 	Parallelism int
 	// Query-level memory counters (from the query's allocator).
@@ -194,6 +197,7 @@ type TraceSnapshot struct {
 	TotalNs     int64      `json:"total_ns"`
 	Rows        int64      `json:"rows"`
 	Error       string     `json:"error,omitempty"`
+	Cached      bool       `json:"cached,omitempty"`
 	Parallelism int        `json:"parallelism,omitempty"`
 	PeakBytes   int64      `json:"peak_bytes"`
 	Spilled     int64      `json:"spilled_bytes"`
@@ -214,6 +218,7 @@ func (t *QueryTrace) Snapshot() *TraceSnapshot {
 		TotalNs:     t.TotalNs,
 		Rows:        t.Rows,
 		Error:       t.Error,
+		Cached:      t.Cached,
 		Parallelism: t.Parallelism,
 		PeakBytes:   t.PeakBytes,
 		Spilled:     t.SpilledBytes,

@@ -1,0 +1,115 @@
+package calcite_test
+
+// Wire-differential suite: every query of the differential corpus
+// (modes_test.go) replayed through a live Avatica HTTP server must match
+// the embedded Connection row for row — both as a single response and
+// reassembled from paginated fetches at frame size 3. This pins the whole
+// wire stack: JSON encoding, column-type restoration, prepared-statement
+// params, cursor pagination and the plan-cache path the server rides.
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"calcite"
+	"calcite/internal/avatica"
+)
+
+func startDiffServer(t *testing.T) (*avatica.Server, *avatica.Client) {
+	t.Helper()
+	remote := diffConn()
+	srv := avatica.NewServer(remote.Framework)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Stop() })
+	return srv, avatica.NewClient(addr)
+}
+
+// compareWire checks columns and rows from the wire against the embedded
+// result (ordered when the query orders, as multisets otherwise).
+func compareWire(t *testing.T, sql string, want *calcite.Result, cols []string, rows [][]any) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Columns, cols) {
+		t.Errorf("%s\n  columns differ: embedded %v, wire %v", sql, want.Columns, cols)
+		return
+	}
+	wantRows := renderRows(want.Rows)
+	gotRows := renderRows(rows)
+	if !strings.Contains(strings.ToUpper(sql), "ORDER BY") {
+		sort.Strings(wantRows)
+		sort.Strings(gotRows)
+	}
+	if !reflect.DeepEqual(wantRows, gotRows) {
+		t.Errorf("%s\n  embedded: %v\n  wire:     %v", sql, wantRows, gotRows)
+	}
+}
+
+func TestWireDifferential(t *testing.T) {
+	local := diffConn()
+	_, client := startDiffServer(t)
+	for _, q := range diffQueries {
+		want, lerr := local.Query(q.sql, q.params...)
+		resp, werr := client.Query(q.sql, q.params...)
+		if (lerr == nil) != (werr == nil) {
+			t.Errorf("%s\n  embedded err=%v, wire err=%v", q.sql, lerr, werr)
+			continue
+		}
+		if lerr != nil {
+			continue // both fail: agreement
+		}
+		compareWire(t, q.sql, want, resp.Columns, resp.Rows)
+	}
+}
+
+// TestWireDifferentialPaginated replays the corpus through prepared
+// statements with fetch size 3, reassembling each result from its frames.
+func TestWireDifferentialPaginated(t *testing.T) {
+	local := diffConn()
+	srv, client := startDiffServer(t)
+	for _, q := range diffQueries {
+		want, lerr := local.Query(q.sql, q.params...)
+		if lerr != nil {
+			continue // error agreement is TestWireDifferential's job
+		}
+		id, err := client.Prepare(q.sql)
+		if err != nil {
+			t.Fatalf("%s\n  prepare: %v", q.sql, err)
+		}
+		resp, err := client.Do(avatica.ExecuteRequest{
+			StatementID: id, Params: q.params, FetchSize: 3,
+		})
+		if err != nil {
+			t.Errorf("%s\n  paginated execute: %v", q.sql, err)
+			continue
+		}
+		rows := resp.Rows
+		if resp.More && len(resp.Rows) != 3 {
+			t.Errorf("%s\n  first frame has %d rows, want 3", q.sql, len(resp.Rows))
+		}
+		for resp.More {
+			nextOffset := resp.Offset + len(resp.Rows)
+			resp, err = client.Fetch(id, 3)
+			if err != nil {
+				t.Fatalf("%s\n  fetch: %v", q.sql, err)
+			}
+			if resp.Offset != nextOffset {
+				t.Errorf("%s\n  frame offset %d, want %d", q.sql, resp.Offset, nextOffset)
+			}
+			rows = append(rows, resp.Rows...)
+		}
+		compareWire(t, q.sql, want, resp.Columns, rows)
+		if err := client.Close(id); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	if got := srv.StatementCount(); got != 0 {
+		t.Fatalf("statements leaked after paginated replay: %d", got)
+	}
+	if got := srv.CursorBytes(); got != 0 {
+		t.Fatalf("cursor bytes leaked after paginated replay: %d", got)
+	}
+}
