@@ -25,6 +25,7 @@ import (
 	"calcite/internal/avatica"
 	"calcite/internal/builder"
 	"calcite/internal/core"
+	"calcite/internal/feedback"
 	"calcite/internal/mv"
 	"calcite/internal/obs"
 	"calcite/internal/plan"
@@ -184,6 +185,22 @@ func (c *Connection) EnablePlanCache(on bool) { c.Framework.DisablePlanCache = !
 // SetPlanCacheSize bounds the prepared-plan cache's entry count (<= 0
 // restores the default).
 func (c *Connection) SetPlanCacheSize(n int) { c.Framework.PlanCacheSize = n }
+
+// EnableFeedback toggles the cardinality-feedback loop (default on): every
+// traced execution's actual per-operator row counts are harvested against
+// the optimizer's estimates, repeated executions of a statement whose
+// estimates drifted re-plan with bounded, exponentially-smoothed corrections,
+// and hash joins whose build side overshot its estimate swap build/probe
+// sides on the next planning. Corrections are invalidated by ANALYZE, DDL
+// and INSERT alongside the plan cache.
+func (c *Connection) EnableFeedback(on bool) { c.Framework.DisableFeedback = !on }
+
+// FeedbackReport returns the feedback store's per-statement plan-quality
+// summaries (est/actual/q-error per operator), worst estimation error first
+// — the same payload the server's /debug/plans endpoint serves.
+func (c *Connection) FeedbackReport() []feedback.PlanReport {
+	return c.Framework.Feedback().Report()
+}
 
 // ForceRowMode toggles the row-at-a-time execution path. By default queries
 // execute through the vectorized batch convention (column-major batches,

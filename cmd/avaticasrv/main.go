@@ -4,6 +4,7 @@
 //
 //	/metrics        Prometheus text exposition
 //	/debug/queries  recent + slow query traces as JSON
+//	/debug/plans    plan-quality reports: est/actual/q-error per operator
 //	/healthz        load-balancer probe
 //	/debug/pprof/   Go profiling endpoints (only with -pprof)
 //
@@ -51,6 +52,7 @@ func main() {
 	queueTimeout := flag.Duration("queuetimeout", 0, "max wait for an execution slot (0 = 5s)")
 	pprofOn := flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
 	demoRows := flag.Int("demorows", 2, "rows in the built-in demo table (large values make governed queries spill); also sizes the star-schema fact table")
+	fbOn := flag.Bool("feedback", true, "harvest actual row counts from each execution and re-plan drifted statements with corrected cardinalities (see /debug/plans)")
 	flag.Parse()
 
 	conn, err := calcite.OpenChecked()
@@ -77,6 +79,7 @@ func main() {
 	if *slowQuery > 0 {
 		conn.SetSlowQueryThreshold(*slowQuery, os.Stderr)
 	}
+	conn.EnableFeedback(*fbOn)
 	if *csvDir != "" {
 		a, err := csvfile.Load("csv", *csvDir)
 		if err != nil {

@@ -38,6 +38,7 @@ func main() {
 	noSpill := flag.Bool("nospill", false, "fail queries that exceed the memory budget instead of spilling")
 	slowQuery := flag.Duration("slowquery", 0, "slow-query threshold, e.g. 250ms (0 = disabled); slow queries are logged as JSON lines on stderr")
 	trace := flag.Bool("trace", false, "print the per-operator trace (rows/batches/elapsed/memory) after each statement")
+	fbOn := flag.Bool("feedback", true, "harvest actual row counts from each execution and re-plan drifted statements with corrected cardinalities")
 	flag.Parse()
 
 	conn, err := calcite.OpenChecked()
@@ -67,6 +68,7 @@ func main() {
 		conn.SetQueryMemoryLimit(n)
 	}
 	conn.EnableSpill(!*noSpill)
+	conn.EnableFeedback(*fbOn)
 	if *csvDir != "" {
 		a, err := csvfile.Load("csv", *csvDir)
 		if err != nil {

@@ -1,0 +1,221 @@
+// Acceptance tests for the cardinality-feedback loop: shared plan-cache /
+// feedback-store invalidation, EXPLAIN ANALYZE estimate rendering, adaptive
+// build/probe swapping after a hash-join build overshoot, and convergence of
+// a stale-statistics workload toward the analyzed plan's runtime.
+package calcite_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"calcite"
+	"calcite/internal/obs"
+)
+
+// TestFeedbackSharedInvalidation: the feedback store must flush through the
+// same DDL/ANALYZE funnel as the plan cache — after ANALYZE, both are empty
+// together.
+func TestFeedbackSharedInvalidation(t *testing.T) {
+	conn := starConn(2000)
+	conn.SetParallelism(1)
+	for i := 0; i < 2; i++ {
+		if _, err := conn.Query("SELECT COUNT(*) AS n FROM sales WHERE amt < 50"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if conn.Framework.PlanCache().Len() == 0 {
+		t.Fatal("plan cache empty after repeated query")
+	}
+	if fps, _ := conn.Framework.Feedback().Size(); fps == 0 {
+		t.Fatal("feedback store empty after traced executions")
+	}
+
+	if _, err := conn.Exec("ANALYZE TABLE sales"); err != nil {
+		t.Fatal(err)
+	}
+	if n := conn.Framework.PlanCache().Len(); n != 0 {
+		t.Fatalf("plan cache not flushed by ANALYZE: %d entries", n)
+	}
+	fps, ops := conn.Framework.Feedback().Size()
+	if fps != 0 || ops != 0 {
+		t.Fatalf("feedback store not flushed by ANALYZE: %d fingerprints, %d corrections", fps, ops)
+	}
+	if c := conn.Framework.Feedback().Counters(); c.Invalidations == 0 {
+		t.Fatal("feedback invalidation not counted")
+	}
+}
+
+// TestFeedbackDisabled: with the loop off, executions leave no feedback
+// state behind.
+func TestFeedbackDisabled(t *testing.T) {
+	conn := starConn(1000)
+	conn.EnableFeedback(false)
+	if _, err := conn.Query("SELECT COUNT(*) AS n FROM sales WHERE amt < 50"); err != nil {
+		t.Fatal(err)
+	}
+	if fps, ops := conn.Framework.Feedback().Size(); fps != 0 || ops != 0 {
+		t.Fatalf("disabled feedback still harvested: %d fingerprints, %d corrections", fps, ops)
+	}
+}
+
+// TestExplainAnalyzeEstimates: EXPLAIN ANALYZE renders the optimizer's est=
+// next to actual rows=, with the drift marker on operators whose estimate
+// was off by DriftQError or more, and the same numbers land in the feedback
+// report.
+func TestExplainAnalyzeEstimates(t *testing.T) {
+	conn := starConn(2000)
+	conn.SetParallelism(1)
+	// Unanalyzed, "amt < 1000" defaults to selectivity 0.5 (est 1000) but
+	// amt values lie in [0, 97): every row passes, q-error = 2 = drift.
+	res, err := conn.Query("EXPLAIN ANALYZE SELECT COUNT(*) AS n FROM sales WHERE amt < 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Plan
+	if !strings.Contains(text, ", est=") {
+		t.Fatalf("EXPLAIN ANALYZE missing estimates:\n%s", text)
+	}
+	if !strings.Contains(text, "!]") {
+		t.Fatalf("EXPLAIN ANALYZE missing drift marker for a 2x misestimate:\n%s", text)
+	}
+
+	reports := conn.FeedbackReport()
+	if len(reports) == 0 {
+		t.Fatal("no feedback report after EXPLAIN ANALYZE")
+	}
+	r := reports[0]
+	if r.MaxQError < 2 || len(r.Ops) == 0 {
+		t.Fatalf("report lacks the observed drift: %+v", r)
+	}
+	var drifted bool
+	for _, op := range r.Ops {
+		if op.EstRows > 0 && op.ActualRows > 0 && op.QError >= 2 {
+			drifted = true
+		}
+	}
+	if !drifted {
+		t.Fatalf("no operator carries est/actual with the 2x error: %+v", r.Ops)
+	}
+}
+
+// TestFeedbackBuildOvershootSwap: a hash join whose build side produces far
+// more rows than estimated must (a) record the overshoot, (b) swap build and
+// probe sides at the next planning of the statement, and (c) keep the output
+// identical through the column-restoring projection.
+func TestFeedbackBuildOvershootSwap(t *testing.T) {
+	conn := starConn(2000)
+	conn.SetParallelism(1)
+	// Written order keeps d1 (50 rows) on the probe side and the filtered d2
+	// on the build side. Unanalyzed, the three always-true range conjuncts
+	// estimate 0.5^3 = 0.125 of d2's 2000 rows (est 250), but all 2000 pass:
+	// an 8x build overshoot, past the 4x/256-row thresholds.
+	const sql = `SELECT COUNT(*) AS n FROM d1
+		JOIN d2 ON d1.k1 = d2.k2
+		WHERE d2.v2 < 5000 AND d2.v2 > -1 AND d2.k2 < 5000`
+
+	first, err := conn.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := conn.Framework.Feedback()
+	if c := fb.Counters(); c.BuildOvershoots == 0 {
+		t.Fatalf("build overshoot not recorded: %+v", c)
+	}
+
+	// The overshoot marked the statement for replanning; the second
+	// execution replans and the adaptive pass swaps the join's sides.
+	second, err := conn.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fb.Counters(); c.SwapsApplied == 0 {
+		t.Fatalf("build/probe swap not applied on replan: %+v", c)
+	}
+	if len(first.Rows) != 1 || len(second.Rows) != 1 || first.Rows[0][0] != second.Rows[0][0] {
+		t.Fatalf("swap changed the result: %v vs %v", first.Rows, second.Rows)
+	}
+
+	// The executed span tree of the second run has the big side as the
+	// join's first (probe) child and d1 as the build input.
+	traces := conn.LastTraces(1)
+	if len(traces) == 0 || traces[0].Spans == nil {
+		t.Fatal("no trace for the swapped run")
+	}
+	join := findSpan(traces[0].Spans, "HashJoin")
+	if join == nil || len(join.Children) != 2 {
+		t.Fatalf("no 2-input join span:\n%s", obs.RenderSpans(traces[0].Spans))
+	}
+	if !spanSubtreeHasTable(join.Children[0], "d2") || !spanSubtreeHasTable(join.Children[1], "d1") {
+		t.Fatalf("join sides not swapped (want d2 probe, d1 build):\n%s",
+			obs.RenderSpans(traces[0].Spans))
+	}
+}
+
+// spanSubtreeHasTable reports whether any span under s scans table.
+func spanSubtreeHasTable(s *obs.SpanStats, table string) bool {
+	if s == nil {
+		return false
+	}
+	if strings.Contains(s.Attrs, "table=["+table+"]") {
+		return true
+	}
+	for _, c := range s.Children {
+		if spanSubtreeHasTable(c, table) {
+			return true
+		}
+	}
+	return false
+}
+
+// bestOf runs sql n times and returns the fastest wall-clock execution.
+func bestOf(t *testing.T, conn *calcite.Connection, sql string, n int) time.Duration {
+	t.Helper()
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := conn.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestFeedbackConvergence is the acceptance test for the feedback loop: a
+// star-join workload planned with stale (never-ANALYZEd) statistics must,
+// after at most 5 executions, run within 2x of the fully-ANALYZEd plan's
+// runtime — the harvested cardinalities steer the join-order enumeration to
+// the same neighborhood the real statistics would.
+func TestFeedbackConvergence(t *testing.T) {
+	const factRows = 20000
+
+	analyzed := starConn(factRows)
+	analyzed.SetParallelism(1)
+	analyzeStar(t, analyzed)
+	bestOf(t, analyzed, starQuery, 1) // warm the plan cache
+	baseline := bestOf(t, analyzed, starQuery, 3)
+
+	stale := starConn(factRows)
+	stale.SetParallelism(1)
+	// Converge: each execution harvests actuals; drifted statements are
+	// re-planned with corrected cardinalities on their next execution.
+	want := runRows(t, analyzed, starQuery)
+	for i := 0; i < 5; i++ {
+		got := runRows(t, stale, starQuery)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("execution %d: feedback changed the result: %v vs %v", i, got, want)
+		}
+	}
+	if c := stale.Framework.Feedback().Counters(); c.Replans == 0 {
+		t.Fatalf("stale-stats workload never requested a replan: %+v", c)
+	}
+
+	converged := bestOf(t, stale, starQuery, 3)
+	if converged > 2*baseline {
+		t.Fatalf("not converged after 5 executions: %v vs analyzed %v (limit 2x)",
+			converged, baseline)
+	}
+}

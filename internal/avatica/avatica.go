@@ -329,6 +329,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/close", s.handleClose)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/plans", s.handleDebugPlans)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.EnablePprof {
 		mountPprof(mux)

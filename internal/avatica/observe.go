@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"calcite/internal/feedback"
 	"calcite/internal/memory"
 	"calcite/internal/obs"
 )
@@ -103,7 +104,8 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := r.URL.Path
 		switch route {
-		case "/prepare", "/execute", "/fetch", "/close", "/metrics", "/debug/queries", "/healthz":
+		case "/prepare", "/execute", "/fetch", "/close", "/metrics",
+			"/debug/queries", "/debug/plans", "/healthz":
 		default:
 			route = "other"
 		}
@@ -156,6 +158,28 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// DebugPlansResponse is the JSON shape of /debug/plans: per-fingerprint
+// plan-quality reports (est/actual/q-error per operator), worst estimation
+// error first.
+type DebugPlansResponse struct {
+	Plans []feedback.PlanReport `json:"plans"`
+}
+
+func (s *Server) handleDebugPlans(w http.ResponseWriter, r *http.Request) {
+	plans := s.fw.Feedback().Report()
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "invalid limit", http.StatusBadRequest)
+			return
+		}
+		if n > 0 && len(plans) > n {
+			plans = plans[:n]
+		}
+	}
+	writeJSON(w, DebugPlansResponse{Plans: plans})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"calcite/internal/exec"
+	"calcite/internal/feedback"
 	"calcite/internal/memory"
 	"calcite/internal/meta"
 	"calcite/internal/mv"
@@ -143,6 +144,15 @@ type Framework struct {
 	planCacheMu sync.Mutex
 	planCache   *PlanCache
 
+	// DisableFeedback turns off the cardinality-feedback loop: traces are
+	// not harvested, no corrections enter the metadata chain, and no
+	// adaptive build/probe swaps are applied (the A/B baseline).
+	DisableFeedback bool
+
+	// fbMu guards the lazily created cardinality-feedback store.
+	fbMu    sync.Mutex
+	fbStore *feedback.Store
+
 	// obsMu guards the lazily created observability engine.
 	obsMu  sync.Mutex
 	obsEng *obs.Engine
@@ -268,10 +278,12 @@ func (f *Framework) planCacheIfEnabled() *PlanCache {
 	return f.PlanCache()
 }
 
-// InvalidatePlans flushes the prepared-plan cache. Called on every statement
-// that changes what plans mean — DDL, ANALYZE, INSERT, adapter or table
-// registration — and available to embedders that mutate the catalog
-// directly.
+// InvalidatePlans flushes the prepared-plan cache and the cardinality-
+// feedback store together. Called on every statement that changes what plans
+// mean — DDL, ANALYZE, INSERT, adapter or table registration — and available
+// to embedders that mutate the catalog directly. The two invalidate through
+// the one funnel deliberately: corrections harvested against superseded
+// statistics are as stale as the plans optimized with them.
 func (f *Framework) InvalidatePlans() {
 	f.planCacheMu.Lock()
 	c := f.planCache
@@ -279,12 +291,23 @@ func (f *Framework) InvalidatePlans() {
 	if c != nil {
 		c.Invalidate()
 	}
+	f.fbMu.Lock()
+	fb := f.fbStore
+	f.fbMu.Unlock()
+	if fb != nil {
+		fb.Invalidate()
+	}
 }
 
-// NewMetaQuery builds a metadata session with all registered providers.
+// NewMetaQuery builds a metadata session with all registered providers. The
+// cardinality-feedback store's corrections take precedence over every other
+// provider: an observed row count beats any estimate.
 func (f *Framework) NewMetaQuery() *meta.Query {
 	q := meta.NewQuery(f.Providers...)
 	q.CacheEnabled = f.MetadataCache
+	if fb := f.feedbackIfEnabled(); fb != nil {
+		q.Prepend(fb.MetaProvider())
+	}
 	return q
 }
 
@@ -466,16 +489,19 @@ func cacheableStmt(stmt parser.Statement) bool {
 func (f *Framework) executeQuery(sql string, stmt parser.Statement, opts ExecOptions) (*Result, error) {
 	eng := f.Obs()
 	tr := eng.Begin(sql)
-	res, physical, err := f.runTraced(tr, stmt, opts)
+	res, physical, est, err := f.runTraced(tr, stmt, opts)
 	if err != nil {
 		tr.Error = err.Error()
 	}
-	eng.End(tr)
+	snap := eng.End(tr)
 	if err == nil && physical != nil && cacheableStmt(stmt) {
 		if cache := f.planCacheIfEnabled(); cache != nil {
-			cache.Put(sql, physical, res.Columns)
+			cache.Put(sql, physical, res.Columns, est)
 		}
 	}
+	// Harvest after the Put: a replan request evicts the entry just cached,
+	// so the next execution plans against the corrections recorded here.
+	f.harvestFeedback(snap, est)
 	return res, err
 }
 
@@ -488,7 +514,7 @@ func (f *Framework) executeCachedPlan(sql string, ent *planEntry, opts ExecOptio
 	ctx := f.newExecContext(opts)
 	defer ctx.Alloc.Close()
 	ctx.Evaluator.Params = opts.Params
-	prepared := f.attachTrace(ctx, tr, ent.plan)
+	prepared := f.attachTrace(ctx, tr, ent.plan, ent.est)
 	t := time.Now()
 	rows, err := exec.Execute(ctx, prepared)
 	tr.ExecNs = int64(time.Since(t))
@@ -499,22 +525,28 @@ func (f *Framework) executeCachedPlan(sql string, ent *planEntry, opts ExecOptio
 		return nil, err
 	}
 	tr.Rows = int64(len(rows))
-	eng.End(tr)
+	f.harvestFeedback(eng.End(tr), ent.est)
 	return &Result{Columns: ent.columns, Rows: rows}, nil
 }
 
-func (f *Framework) runTraced(tr *obs.QueryTrace, stmt parser.Statement, opts ExecOptions) (*Result, rel.Node, error) {
+func (f *Framework) runTraced(tr *obs.QueryTrace, stmt parser.Statement, opts ExecOptions) (*Result, rel.Node, *feedback.PlanEstimates, error) {
 	t0 := time.Now()
 	logical, err := sql2rel.New(f.Catalog).Convert(stmt)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	tr.PlanNs = int64(time.Since(t0))
 	t1 := time.Now()
 	physical, err := f.Optimize(logical)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	// The adaptive post-pass and the estimate table share one metadata
+	// session (feedback corrections included), so the estimates stamped on
+	// the spans are exactly what the plan was judged by.
+	mq := f.NewMetaQuery()
+	physical = f.applyAdaptiveTactics(physical, mq)
+	est := f.planEstimates(tr.Fingerprint, physical, mq)
 	tr.OptimizeNs = int64(time.Since(t1))
 	ctx := f.newExecContext(opts)
 	// The allocator cleanup is the spill-file guarantee: whatever path
@@ -523,16 +555,16 @@ func (f *Framework) runTraced(tr *obs.QueryTrace, stmt parser.Statement, opts Ex
 	// removed.
 	defer ctx.Alloc.Close()
 	ctx.Evaluator.Params = opts.Params
-	prepared := f.attachTrace(ctx, tr, physical)
+	prepared := f.attachTrace(ctx, tr, physical, est)
 	t2 := time.Now()
 	rows, err := exec.Execute(ctx, prepared)
 	tr.ExecNs = int64(time.Since(t2))
 	f.mergeMemStats(tr, ctx)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	tr.Rows = int64(len(rows))
-	return &Result{Columns: physical.RowType().FieldNames(), Rows: rows}, physical, nil
+	return &Result{Columns: physical.RowType().FieldNames(), Rows: rows}, physical, est, nil
 }
 
 // EffectiveParallelism resolves the configured worker count.
@@ -587,21 +619,24 @@ func (f *Framework) explain(s *parser.ExplainStmt, sql string) (*Result, error) 
 		return nil, err
 	}
 	node := logical
+	// One metadata session serves the adaptive pass and the annotations, so
+	// EXPLAIN shows the estimates (feedback corrections included) the plan
+	// was actually judged by.
+	mq := f.NewMetaQuery()
 	if !s.Logical {
 		physical, err := f.Optimize(logical)
 		if err != nil {
 			return nil, err
 		}
-		node = physical
+		node = f.applyAdaptiveTactics(physical, mq)
 	}
 	// Annotate each operator with the metadata providers' estimates so
 	// EXPLAIN shows what the cost-based decisions were based on.
-	mq := f.NewMetaQuery()
 	text := rel.ExplainAnnotated(node, func(n rel.Node) string {
 		return fmt.Sprintf("rows=%.4g, cost=%.4g", mq.RowCount(n), mq.CumulativeCost(n).Scalar())
 	})
 	if s.Analyze {
-		statsText, err := f.explainAnalyze(node, sql)
+		statsText, err := f.explainAnalyze(node, sql, mq)
 		if err != nil {
 			return nil, err
 		}
@@ -618,16 +653,17 @@ func (f *Framework) explain(s *parser.ExplainStmt, sql string) (*Result, error) 
 // allocator) and renders the run statistics from the finished trace
 // snapshot — the same span tree /debug/queries serves as JSON, so the text
 // and the JSON can never disagree.
-func (f *Framework) explainAnalyze(physical rel.Node, sql string) (string, error) {
+func (f *Framework) explainAnalyze(physical rel.Node, sql string, mq *meta.Query) (string, error) {
 	eng := f.Obs()
 	tr := eng.Begin(sql)
+	est := f.planEstimates(tr.Fingerprint, physical, mq)
 	ctx := f.newExecContext(ExecOptions{})
 	if ctx.Alloc == nil {
 		// No budget configured: track anyway so peaks are still reported.
 		ctx.Alloc = f.newAllocator(nil, true)
 	}
 	defer ctx.Alloc.Close()
-	prepared := f.attachTrace(ctx, tr, physical)
+	prepared := f.attachTrace(ctx, tr, physical, est)
 	start := time.Now()
 	rows, err := exec.Execute(ctx, prepared)
 	tr.ExecNs = int64(time.Since(start))
@@ -639,6 +675,7 @@ func (f *Framework) explainAnalyze(physical rel.Node, sql string) (string, error
 	}
 	tr.Rows = int64(len(rows))
 	snap := eng.End(tr)
+	f.harvestFeedback(snap, est)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "--- run stats ---\n")

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"calcite/internal/exec"
+	"calcite/internal/feedback"
 	"calcite/internal/obs"
 	"calcite/internal/rel"
 )
@@ -88,6 +89,44 @@ func (f *Framework) registerSubsystemMetrics(r *obs.Registry) {
 	r.CounterFunc("calcite_plan_cache_invalidations_total",
 		"Whole-cache flushes (DDL, ANALYZE, INSERT, adapter registration).",
 		func() int64 { return pc.Counters().Invalidations })
+	r.CounterFunc("calcite_plan_cache_feedback_evictions_total",
+		"Targeted evictions requested by the cardinality-feedback loop.",
+		func() int64 { return pc.Counters().FeedbackEvictions })
+
+	fb := f.Feedback()
+	fb.SetObserver(r.Histogram("calcite_plan_qerror",
+		"Per-operator estimation error (q-error) of harvested executions.",
+		[]float64{1, 1.5, 2, 4, 8, 16, 32, 64, 128, 256}).Observe)
+	r.GaugeFunc("calcite_plan_qerror_max",
+		"Worst per-operator q-error observed since the last invalidation.",
+		fb.WorstQError)
+	r.GaugeFunc("calcite_feedback_fingerprints",
+		"Statement fingerprints tracked by the feedback store.",
+		func() float64 { fps, _ := fb.Size(); return float64(fps) })
+	r.GaugeFunc("calcite_feedback_corrections",
+		"Operator shapes with an active cardinality correction.",
+		func() float64 { _, ops := fb.Size(); return float64(ops) })
+	r.CounterFunc("calcite_feedback_harvests_total",
+		"Finished traces folded into the feedback store.",
+		func() int64 { return fb.Counters().Harvests })
+	r.CounterFunc("calcite_feedback_samples_total",
+		"Per-operator actual-vs-estimate observations harvested.",
+		func() int64 { return fb.Counters().Samples })
+	r.CounterFunc("calcite_feedback_corrections_total",
+		"Corrected row counts served to planning sessions.",
+		func() int64 { return fb.Counters().Corrections })
+	r.CounterFunc("calcite_feedback_replans_total",
+		"Re-planning requests (estimation error past the replan threshold).",
+		func() int64 { return fb.Counters().Replans })
+	r.CounterFunc("calcite_feedback_build_overshoots_total",
+		"Hash-join build sides that overshot their estimate past the swap threshold.",
+		func() int64 { return fb.Counters().BuildOvershoots })
+	r.CounterFunc("calcite_feedback_swaps_total",
+		"Build/probe swaps applied by the adaptive re-planner.",
+		func() int64 { return fb.Counters().SwapsApplied })
+	r.CounterFunc("calcite_feedback_invalidations_total",
+		"Feedback-store flushes (shared with the plan cache's DDL/ANALYZE funnel).",
+		func() int64 { return fb.Counters().Invalidations })
 
 	wp := f.WorkerPool()
 	r.GaugeFunc("calcite_workers_busy",
@@ -112,8 +151,10 @@ func (f *Framework) registerSubsystemMetrics(r *obs.Registry) {
 
 // attachTrace prepares physical for execution and attaches the trace's span
 // tree to the execution context, one span per node of the prepared
-// (post-parallel-rewrite) plan.
-func (f *Framework) attachTrace(ctx *exec.Context, tr *obs.QueryTrace, physical rel.Node) rel.Node {
+// (post-parallel-rewrite) plan. When the plan carries an estimate table,
+// spans are stamped with their path ids and estimated row counts and the
+// hash-join build-overshoot hook is armed, feeding the adaptive re-planner.
+func (f *Framework) attachTrace(ctx *exec.Context, tr *obs.QueryTrace, physical rel.Node, est *feedback.PlanEstimates) rel.Node {
 	prepared := f.prepareForExecution(physical)
 	if tr != nil {
 		if f.RowMode {
@@ -122,7 +163,13 @@ func (f *Framework) attachTrace(ctx *exec.Context, tr *obs.QueryTrace, physical 
 			tr.Parallelism = f.EffectiveParallelism()
 		}
 		ctx.Trace = tr
-		ctx.Spans = exec.BuildSpans(tr, prepared)
+		ctx.Spans = exec.BuildSpans(tr, prepared, est.PathRows())
+		if fb := f.feedbackIfEnabled(); fb != nil && est != nil {
+			fp := tr.Fingerprint
+			ctx.BuildOvershoot = func(join rel.Node, estRows, actualRows float64) {
+				fb.RecordBuildOvershoot(fp, feedback.NodeKey(join), estRows, actualRows)
+			}
+		}
 	}
 	return prepared
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"calcite/internal/feedback"
 	"calcite/internal/obs"
 	"calcite/internal/rel"
 )
@@ -33,11 +34,14 @@ import (
 const DefaultPlanCacheSize = 256
 
 // planEntry is one cached statement: the exact SQL (collision/literal guard),
-// the optimized physical plan, and its output column names.
+// the optimized physical plan, its output column names, and the plan's
+// per-operator estimate table (so cache hits stamp spans and harvest
+// feedback without re-planning).
 type planEntry struct {
 	sql     string
 	plan    rel.Node
 	columns []string
+	est     *feedback.PlanEstimates
 }
 
 // PlanCache is a concurrency-safe LRU of optimized plans with hit/miss/
@@ -49,10 +53,11 @@ type PlanCache struct {
 	order *list.List               // front = most recently used
 	byKey map[string]*list.Element // fingerprint → element holding *planEntry
 
-	hits          atomic.Int64
-	misses        atomic.Int64
-	evictions     atomic.Int64
-	invalidations atomic.Int64
+	hits              atomic.Int64
+	misses            atomic.Int64
+	evictions         atomic.Int64
+	invalidations     atomic.Int64
+	feedbackEvictions atomic.Int64
 }
 
 type planElem struct {
@@ -90,9 +95,9 @@ func (c *PlanCache) Get(sql string) (*planEntry, bool) {
 // Put stores an optimized plan for sql, evicting the least recently used
 // entry beyond capacity. A fingerprint collision (same key, different text)
 // is resolved in favor of the newest statement.
-func (c *PlanCache) Put(sql string, plan rel.Node, columns []string) {
+func (c *PlanCache) Put(sql string, plan rel.Node, columns []string, est *feedback.PlanEstimates) {
 	key := obs.Fingerprint(sql)
-	ent := &planEntry{sql: sql, plan: plan, columns: columns}
+	ent := &planEntry{sql: sql, plan: plan, columns: columns, est: est}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -107,6 +112,24 @@ func (c *PlanCache) Put(sql string, plan rel.Node, columns []string) {
 		delete(c.byKey, oldest.Value.(*planElem).key)
 		c.evictions.Add(1)
 	}
+}
+
+// EvictFingerprint drops the entry for one statement fingerprint — the
+// feedback loop's targeted invalidation: the next execution of that
+// statement re-plans with corrected estimates while the rest of the cache
+// stays warm. Reports whether an entry was present.
+func (c *PlanCache) EvictFingerprint(key string) bool {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.feedbackEvictions.Add(1)
+	}
+	return ok
 }
 
 // Invalidate drops every entry (DDL, ANALYZE, DML, adapter registration).
@@ -130,14 +153,18 @@ func (c *PlanCache) Len() int {
 // Counters is a point-in-time read of the cache's cumulative counters.
 type PlanCacheCounters struct {
 	Hits, Misses, Evictions, Invalidations int64
+	// FeedbackEvictions counts targeted evictions requested by the
+	// cardinality-feedback loop (EvictFingerprint).
+	FeedbackEvictions int64
 }
 
 // Counters returns the cumulative hit/miss/eviction/invalidation counts.
 func (c *PlanCache) Counters() PlanCacheCounters {
 	return PlanCacheCounters{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Evictions:     c.evictions.Load(),
-		Invalidations: c.invalidations.Load(),
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Evictions:         c.evictions.Load(),
+		Invalidations:     c.invalidations.Load(),
+		FeedbackEvictions: c.feedbackEvictions.Load(),
 	}
 }

@@ -119,6 +119,7 @@ drain:
 	}
 	if !overflow {
 		buildBC.Close()
+		j.noteBuildOvershoot(ctx)
 		probeBC, err := BindBatch(ctx, j.Left())
 		if err != nil {
 			res.Free()
@@ -126,7 +127,32 @@ drain:
 		}
 		return newHashProbeCursor(spec, buildRows, probeBC, res.Free), nil
 	}
-	return bindGraceJoin(ctx, j, spec, res, buildRows, buildBC)
+	cur, err := bindGraceJoin(ctx, j, spec, res, buildRows, buildBC)
+	if err == nil {
+		// The Grace path drains the rest of the build stream into partitions
+		// at bind time, so the build child's span rows are complete here too.
+		j.noteBuildOvershoot(ctx)
+	}
+	return cur, err
+}
+
+// noteBuildOvershoot reports the build side's actual vs estimated rows to
+// the feedback hook once the build is fully drained. The hook (and the
+// estimate, stamped on the build child's span) exists only on traced
+// executions with feedback enabled; thresholds live in the feedback store.
+func (j *HashJoin) noteBuildOvershoot(ctx *Context) {
+	if ctx.BuildOvershoot == nil {
+		return
+	}
+	sp := ctx.SpanFor(j.Right())
+	if sp == nil {
+		return
+	}
+	if est := sp.EstRows(); est > 0 {
+		if actual := float64(sp.Rows()); actual > est {
+			ctx.BuildOvershoot(j, est, actual)
+		}
+	}
 }
 
 // --- in-memory probe ---

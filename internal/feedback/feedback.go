@@ -1,0 +1,706 @@
+// Package feedback closes the loop between execution traces and the
+// optimizer: every finished query trace carries actual per-operator row
+// counts (PR 7), and this package harvests them into a cardinality-feedback
+// store keyed by plan fingerprint and stable operator path id. The store
+// (1) quantifies estimation error as q-error — max(est/actual, actual/est) —
+// for the plan-quality metrics and the /debug/plans report, (2) feeds
+// bounded, exponentially-smoothed corrections back into the metadata layer
+// as a meta.Provider so repeated executions of the same statement converge
+// toward observed cardinalities, and (3) records hash-join build-side
+// overshoots so the next planning of the statement can swap build and probe
+// sides. Corrections are invalidated alongside the plan cache on ANALYZE,
+// DDL and INSERT: fresh statistics supersede stale observations.
+//
+// Corrections are keyed by the canonical logical digest of the operator
+// subtree (NodeKey), not by path: the join-order enumeration explores plan
+// shapes that have no runtime path, while a scan or pushed-down filter keeps
+// the same digest across every join order — exactly the operators whose
+// corrected cardinality steers the enumeration.
+package feedback
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"calcite/internal/meta"
+	"calcite/internal/obs"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+)
+
+// Options tune the store's smoothing, bounding and reaction thresholds.
+type Options struct {
+	// Alpha is the EWMA weight of the newest observation (0 < Alpha <= 1).
+	Alpha float64
+	// MaxRatio bounds a correction relative to the optimizer's estimate:
+	// the corrected row count stays within [est/MaxRatio, est*MaxRatio].
+	MaxRatio float64
+	// ReplanQError is the per-operator q-error at which a harvest requests
+	// re-planning of the statement (its cached plan is evicted). It is set
+	// well above the drift-marker threshold: a mild drift rarely changes the
+	// plan choice, and parameterized statements legitimately vary between
+	// bindings — evicting them would defeat the prepared-plan cache.
+	ReplanQError float64
+	// MaxReplans bounds re-planning requests per statement fingerprint
+	// (until the next invalidation): a statement whose cardinality genuinely
+	// varies between executions must not evict its cached plan forever.
+	MaxReplans int
+	// OvershootFactor is the build-actual/estimate ratio at which a hash
+	// join's build overshoot is recorded as a swap preference.
+	OvershootFactor float64
+	// OvershootMinRows ignores overshoots below this build size (swapping a
+	// few hundred rows is noise).
+	OvershootMinRows float64
+}
+
+// DefaultOptions are the tuning used by the framework.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:            0.5,
+		MaxRatio:         64,
+		ReplanQError:     4,
+		MaxReplans:       5,
+		OvershootFactor:  4,
+		OvershootMinRows: 256,
+	}
+}
+
+// OpEstimate is one operator's optimization-time estimate: its stable path
+// id in the plan tree, its operator name, its canonical logical digest (the
+// correction key), the estimated row count and — for joins whose condition
+// resolves to base columns — the plan-shape-independent condition signature
+// used to learn join selectivities.
+type OpEstimate struct {
+	Path    string
+	Op      string
+	Key     string
+	Rows    float64
+	JoinSig string
+}
+
+// PlanEstimates is the estimate table of one optimized plan, computed once
+// at plan time and kept alongside the plan (plan cache entries carry it so
+// cache hits stamp spans without re-planning).
+type PlanEstimates struct {
+	Fingerprint string
+	ByPath      map[string]OpEstimate
+}
+
+// EstimatePlan walks an optimized physical plan assigning stable path ids
+// ("0" for the root, parent+"."+childIndex below) and records each
+// operator's estimated row count and correction key.
+func EstimatePlan(fingerprint string, root rel.Node, rowCount func(rel.Node) float64) *PlanEstimates {
+	pe := &PlanEstimates{Fingerprint: fingerprint, ByPath: map[string]OpEstimate{}}
+	var walk func(n rel.Node, path string)
+	walk = func(n rel.Node, path string) {
+		e := OpEstimate{Path: path, Op: n.Op(), Key: NodeKey(n), Rows: rowCount(n)}
+		if j, ok := unwrap(n).(*rel.Join); ok {
+			e.JoinSig = conditionSignature(n, j.Condition)
+		}
+		pe.ByPath[path] = e
+		for i, in := range n.Inputs() {
+			walk(in, path+"."+strconv.Itoa(i))
+		}
+	}
+	if root != nil {
+		walk(root, "0")
+	}
+	return pe
+}
+
+// PathRows flattens the table to path → estimated rows, the shape the span
+// builder stamps onto the trace.
+func (pe *PlanEstimates) PathRows() map[string]float64 {
+	if pe == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(pe.ByPath))
+	for p, e := range pe.ByPath {
+		out[p] = e.Rows
+	}
+	return out
+}
+
+// NodeKey returns the canonical logical digest hash of the subtree rooted at
+// n: each node is unwrapped to its logical prototype (rel.Wrapped) and its
+// convention prefix stripped, so a logical join explored by the join-order
+// enumeration and the enumerable hash join that executed it hash alike.
+func NodeKey(n rel.Node) string {
+	h := uint64(14695981039346656037)
+	writeNodeKey(n, &h)
+	return strconv.FormatUint(h, 16)
+}
+
+func writeNodeKey(n rel.Node, h *uint64) {
+	u := n
+	for {
+		w, ok := u.(rel.Wrapped)
+		if !ok {
+			break
+		}
+		u = w.Unwrap()
+	}
+	op := strings.TrimPrefix(u.Op(), "Logical")
+	op = strings.TrimPrefix(op, "Enumerable")
+	hashString(h, op)
+	if a := u.Attrs(); a != "" {
+		hashString(h, "{")
+		hashString(h, a)
+		hashString(h, "}")
+	}
+	// Children come from the original node: Unwrap preserves inputs, and the
+	// wrappers' own input lists are authoritative for the executed tree.
+	if ins := n.Inputs(); len(ins) > 0 {
+		hashString(h, "(")
+		for i, in := range ins {
+			if i > 0 {
+				hashString(h, ",")
+			}
+			writeNodeKey(in, h)
+		}
+		hashString(h, ")")
+	}
+}
+
+func hashString(h *uint64, s string) {
+	for i := 0; i < len(s); i++ {
+		*h ^= uint64(s[i])
+		*h *= 1099511628211
+	}
+}
+
+func unwrap(n rel.Node) rel.Node {
+	for {
+		w, ok := n.(rel.Wrapped)
+		if !ok {
+			return n
+		}
+		n = w.Unwrap()
+	}
+}
+
+// columnOriginName resolves output column col of n to "table#ordinal" of the
+// base table it originates from, tracing through filters, sorts, converters,
+// physical wrappers, identity projections and join input concatenation — the
+// feedback twin of the metadata layer's column-origin walk, producing a name
+// instead of a statistics handle.
+func columnOriginName(n rel.Node, col int) (string, bool) {
+	for {
+		n = unwrap(n)
+		switch x := n.(type) {
+		case *rel.TableScan:
+			return strings.Join(x.QualifiedName, ".") + "#" + strconv.Itoa(col), true
+		case *rel.Filter, *rel.Sort, *rel.Converter:
+			n = x.Inputs()[0]
+		case *rel.Project:
+			if col >= len(x.Exprs) {
+				return "", false
+			}
+			ref, ok := x.Exprs[col].(*rex.InputRef)
+			if !ok {
+				return "", false
+			}
+			n, col = x.Inputs()[0], ref.Index
+		case *rel.Join:
+			nLeft := rel.FieldCount(x.Left())
+			if col < nLeft {
+				n = x.Left()
+			} else if x.Kind.ProjectsRight() {
+				n, col = x.Right(), col-nLeft
+			} else {
+				return "", false
+			}
+		default:
+			return "", false
+		}
+	}
+}
+
+// conditionSignature canonicalizes a join condition into a plan-shape-
+// independent name: every conjunct must be an equality of two column refs
+// that both resolve to base-table columns; each is rendered with its sides
+// ordered and the conjuncts sorted. "sales.fk2 = d2.k2" keeps the same
+// signature in every join order, which is what lets a selectivity observed
+// under one order price the orders the optimizer has not executed yet.
+// Returns "" when any conjunct fails to resolve.
+func conditionSignature(n rel.Node, condition rex.Node) string {
+	if condition == nil || rex.IsAlwaysTrue(condition) {
+		return ""
+	}
+	conjuncts := rex.Conjuncts(condition)
+	parts := make([]string, 0, len(conjuncts))
+	for _, term := range conjuncts {
+		c, ok := term.(*rex.Call)
+		if !ok || c.Op != rex.OpEquals || len(c.Operands) != 2 {
+			return ""
+		}
+		a, aok := c.Operands[0].(*rex.InputRef)
+		b, bok := c.Operands[1].(*rex.InputRef)
+		if !aok || !bok {
+			return ""
+		}
+		an, ok := columnOriginName(n, a.Index)
+		if !ok {
+			return ""
+		}
+		bn, ok := columnOriginName(n, b.Index)
+		if !ok {
+			return ""
+		}
+		if bn < an {
+			an, bn = bn, an
+		}
+		parts = append(parts, an+"="+bn)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}
+
+// correction is the smoothed observation history of one operator shape.
+type correction struct {
+	op      string
+	estRows float64 // optimizer estimate at last harvest (bounding anchor)
+	actual  float64 // EWMA of observed row counts
+	samples int64
+	lastQ   float64
+	maxQ    float64
+}
+
+// opState is the per-path est/actual/error state of one fingerprint, the
+// /debug/plans payload.
+type opState struct {
+	op      string
+	estRows float64
+	actual  float64
+	lastQ   float64
+	samples int64
+}
+
+// planState aggregates everything observed about one statement fingerprint.
+type planState struct {
+	sql           string
+	executions    int64
+	lastMaxQ      float64
+	maxQ          float64
+	overshoots    int64
+	replans       int64
+	pendingReplan bool
+	ops           map[string]*opState // by path
+}
+
+// swapState is a recorded build/probe swap preference for one join shape.
+type swapState struct {
+	estRows    float64
+	actualRows float64
+	count      int64
+}
+
+// selCorrection is the smoothed observed selectivity of one join condition
+// signature: actual join output over the product of its input cardinalities.
+// Unlike row-count corrections it transfers to join orders that have never
+// executed — the condition keeps its signature in every order.
+type selCorrection struct {
+	sel     float64
+	samples int64
+}
+
+// Store is the concurrency-safe cardinality-feedback store. One per
+// framework; planning sessions read corrections through MetaProvider, the
+// execute path writes through Harvest and RecordBuildOvershoot.
+type Store struct {
+	opts Options
+
+	mu          sync.RWMutex
+	corrections map[string]*correction    // by NodeKey
+	plans       map[string]*planState     // by fingerprint
+	swaps       map[string]*swapState     // by join NodeKey
+	sels        map[string]*selCorrection // by join condition signature
+	worstQ      float64
+
+	// correctionCount mirrors len(corrections) so the planner's hot path can
+	// skip digest computation entirely while the store is empty.
+	correctionCount atomic.Int64
+	swapCount       atomic.Int64
+	selCount        atomic.Int64
+
+	harvests      atomic.Int64
+	samples       atomic.Int64
+	applied       atomic.Int64
+	replans       atomic.Int64
+	overshoots    atomic.Int64
+	swapsApplied  atomic.Int64
+	invalidations atomic.Int64
+
+	observeQ atomic.Pointer[func(float64)]
+}
+
+// NewStore builds an empty store; zero-valued options fall back to defaults.
+func NewStore(opts Options) *Store {
+	def := DefaultOptions()
+	if opts.Alpha <= 0 || opts.Alpha > 1 {
+		opts.Alpha = def.Alpha
+	}
+	if opts.MaxRatio <= 1 {
+		opts.MaxRatio = def.MaxRatio
+	}
+	if opts.ReplanQError <= 1 {
+		opts.ReplanQError = def.ReplanQError
+	}
+	if opts.MaxReplans <= 0 {
+		opts.MaxReplans = def.MaxReplans
+	}
+	if opts.OvershootFactor <= 1 {
+		opts.OvershootFactor = def.OvershootFactor
+	}
+	if opts.OvershootMinRows <= 0 {
+		opts.OvershootMinRows = def.OvershootMinRows
+	}
+	s := &Store{opts: opts}
+	s.reset()
+	return s
+}
+
+func (s *Store) reset() {
+	s.corrections = map[string]*correction{}
+	s.plans = map[string]*planState{}
+	s.swaps = map[string]*swapState{}
+	s.sels = map[string]*selCorrection{}
+	s.correctionCount.Store(0)
+	s.swapCount.Store(0)
+	s.selCount.Store(0)
+}
+
+// SetObserver installs the q-error histogram hook (each harvested operator's
+// q-error is passed once). Safe to call at any time.
+func (s *Store) SetObserver(fn func(float64)) {
+	if fn == nil {
+		return
+	}
+	s.observeQ.Store(&fn)
+}
+
+// Harvest folds one finished trace into the store: every span carrying a
+// path id is matched to the plan's estimate table, its q-error observed and
+// its operator's correction updated. Returns true when the statement should
+// be re-planned — the worst q-error reached ReplanQError, or a build
+// overshoot was recorded during this execution.
+func (s *Store) Harvest(snap *obs.TraceSnapshot, est *PlanEstimates) bool {
+	if snap == nil || est == nil || snap.Spans == nil || snap.Error != "" {
+		return false
+	}
+	s.harvests.Add(1)
+	observe := s.observeQ.Load()
+
+	s.mu.Lock()
+	ps := s.plans[snap.Fingerprint]
+	if ps == nil {
+		ps = &planState{sql: snap.SQL, ops: map[string]*opState{}}
+		s.plans[snap.Fingerprint] = ps
+	}
+	ps.executions++
+	maxQ := 0.0
+	var walk func(sp *obs.SpanStats)
+	walk = func(sp *obs.SpanStats) {
+		if sp == nil {
+			return
+		}
+		if e, ok := est.ByPath[sp.Path]; ok && sp.Path != "" && e.Rows > 0 {
+			actual := float64(sp.Rows)
+			q := obs.QError(e.Rows, actual)
+			if q > maxQ {
+				maxQ = q
+			}
+			s.samples.Add(1)
+			if observe != nil {
+				(*observe)(q)
+			}
+			c := s.corrections[e.Key]
+			if c == nil {
+				c = &correction{op: e.Op, actual: actual}
+				s.corrections[e.Key] = c
+				s.correctionCount.Add(1)
+			} else {
+				c.actual = s.opts.Alpha*actual + (1-s.opts.Alpha)*c.actual
+			}
+			c.estRows = e.Rows
+			c.samples++
+			c.lastQ = q
+			if q > c.maxQ {
+				c.maxQ = q
+			}
+			os := ps.ops[sp.Path]
+			if os == nil {
+				os = &opState{}
+				ps.ops[sp.Path] = os
+			}
+			os.op = e.Op
+			os.estRows = e.Rows
+			os.actual = actual
+			os.lastQ = q
+			os.samples++
+
+			// Joins additionally teach their condition's selectivity: the
+			// observed output over the product of the observed inputs. The
+			// signature survives reordering, so this is the correction that
+			// prices join orders the optimizer has never executed.
+			if e.JoinSig != "" && len(sp.Children) == 2 {
+				aL := math.Max(float64(sp.Children[0].Rows), 1)
+				aR := math.Max(float64(sp.Children[1].Rows), 1)
+				implied := math.Min(math.Max(actual, 1)/(aL*aR), 1)
+				sc := s.sels[e.JoinSig]
+				if sc == nil {
+					s.sels[e.JoinSig] = &selCorrection{sel: implied, samples: 1}
+					s.selCount.Add(1)
+				} else {
+					sc.sel = s.opts.Alpha*implied + (1-s.opts.Alpha)*sc.sel
+					sc.samples++
+				}
+			}
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(snap.Spans)
+	ps.lastMaxQ = maxQ
+	if maxQ > ps.maxQ {
+		ps.maxQ = maxQ
+	}
+	if maxQ > s.worstQ {
+		s.worstQ = maxQ
+	}
+	replan := (maxQ >= s.opts.ReplanQError || ps.pendingReplan) &&
+		ps.replans < int64(s.opts.MaxReplans)
+	ps.pendingReplan = false
+	if replan {
+		ps.replans++
+	}
+	s.mu.Unlock()
+
+	if replan {
+		s.replans.Add(1)
+	}
+	return replan
+}
+
+// CorrectedRowCount returns the feedback-corrected row estimate for n when
+// an operator with the same canonical shape has been observed, bounded to
+// within MaxRatio of the optimizer's own estimate at last harvest.
+func (s *Store) CorrectedRowCount(n rel.Node) (float64, bool) {
+	if s.correctionCount.Load() == 0 {
+		return 0, false
+	}
+	key := NodeKey(n)
+	s.mu.RLock()
+	c, ok := s.corrections[key]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	v := c.actual
+	if anchor := c.estRows; anchor > 0 {
+		v = math.Min(math.Max(v, anchor/s.opts.MaxRatio), anchor*s.opts.MaxRatio)
+	}
+	s.mu.RUnlock()
+	s.applied.Add(1)
+	return math.Max(v, 1), true
+}
+
+// CorrectedSelectivity returns the observed selectivity for a predicate
+// whose condition signature on n matches a harvested join condition.
+func (s *Store) CorrectedSelectivity(n rel.Node, predicate rex.Node) (float64, bool) {
+	if s.selCount.Load() == 0 {
+		return 0, false
+	}
+	sig := conditionSignature(n, predicate)
+	if sig == "" {
+		return 0, false
+	}
+	s.mu.RLock()
+	sc, ok := s.sels[sig]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	v := sc.sel
+	s.mu.RUnlock()
+	s.applied.Add(1)
+	return v, true
+}
+
+// MetaProvider adapts the store into the metadata provider chain: RowCount
+// answers from observed cardinalities, Selectivity from observed join
+// selectivities, everything else falls through.
+func (s *Store) MetaProvider() meta.Provider {
+	return meta.Provider{
+		Name: "feedback",
+		RowCount: func(q *meta.Query, n rel.Node) (float64, bool) {
+			return s.CorrectedRowCount(n)
+		},
+		Selectivity: func(q *meta.Query, n rel.Node, predicate rex.Node) (float64, bool) {
+			return s.CorrectedSelectivity(n, predicate)
+		},
+	}
+}
+
+// RecordBuildOvershoot notes that a hash join's build side produced actual
+// rows against an estimate of est. Past the configured factor (and noise
+// floor) the join shape gains a swap preference and the statement is marked
+// for re-planning at its next harvest.
+func (s *Store) RecordBuildOvershoot(fingerprint, joinKey string, est, actual float64) {
+	if est <= 0 || actual < s.opts.OvershootMinRows || actual <= est*s.opts.OvershootFactor {
+		return
+	}
+	s.overshoots.Add(1)
+	s.mu.Lock()
+	sw := s.swaps[joinKey]
+	if sw == nil {
+		sw = &swapState{}
+		s.swaps[joinKey] = sw
+		s.swapCount.Add(1)
+	}
+	sw.estRows, sw.actualRows = est, actual
+	sw.count++
+	ps := s.plans[fingerprint]
+	if ps == nil {
+		ps = &planState{ops: map[string]*opState{}}
+		s.plans[fingerprint] = ps
+	}
+	ps.overshoots++
+	ps.pendingReplan = true
+	s.mu.Unlock()
+}
+
+// PreferSwap reports whether the join shape has a recorded build-overshoot
+// swap preference.
+func (s *Store) PreferSwap(joinKey string) bool {
+	if s.swapCount.Load() == 0 {
+		return false
+	}
+	s.mu.RLock()
+	_, ok := s.swaps[joinKey]
+	s.mu.RUnlock()
+	return ok
+}
+
+// SwapCount returns the number of join shapes with a swap preference (fast
+// emptiness check for the planning post-pass).
+func (s *Store) SwapCount() int64 { return s.swapCount.Load() }
+
+// NoteSwapApplied counts one applied build/probe swap.
+func (s *Store) NoteSwapApplied() { s.swapsApplied.Add(1) }
+
+// Invalidate drops all corrections, plan records and swap preferences —
+// called from the same DDL/ANALYZE/INSERT path that flushes the plan cache.
+func (s *Store) Invalidate() {
+	s.mu.Lock()
+	empty := len(s.corrections) == 0 && len(s.plans) == 0 && len(s.swaps) == 0
+	s.reset()
+	s.worstQ = 0
+	s.mu.Unlock()
+	if !empty {
+		s.invalidations.Add(1)
+	}
+}
+
+// Size reports the tracked fingerprint and operator-correction counts.
+func (s *Store) Size() (fingerprints, operators int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.plans), len(s.corrections)
+}
+
+// WorstQError returns the worst per-operator q-error harvested since the
+// last invalidation.
+func (s *Store) WorstQError() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.worstQ
+}
+
+// Counters is a point-in-time read of the store's cumulative counters.
+type Counters struct {
+	Harvests        int64
+	Samples         int64
+	Corrections     int64
+	Replans         int64
+	BuildOvershoots int64
+	SwapsApplied    int64
+	Invalidations   int64
+}
+
+// Counters returns the cumulative activity counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Harvests:        s.harvests.Load(),
+		Samples:         s.samples.Load(),
+		Corrections:     s.applied.Load(),
+		Replans:         s.replans.Load(),
+		BuildOvershoots: s.overshoots.Load(),
+		SwapsApplied:    s.swapsApplied.Load(),
+		Invalidations:   s.invalidations.Load(),
+	}
+}
+
+// OpReport is one operator's est/actual/error row in a plan report.
+type OpReport struct {
+	Path       string  `json:"path"`
+	Op         string  `json:"op"`
+	EstRows    float64 `json:"est_rows"`
+	ActualRows float64 `json:"actual_rows"`
+	QError     float64 `json:"qerror"`
+	Samples    int64   `json:"samples"`
+}
+
+// PlanReport is the plan-quality summary of one statement fingerprint.
+type PlanReport struct {
+	Fingerprint     string     `json:"fingerprint"`
+	SQL             string     `json:"sql"`
+	Executions      int64      `json:"executions"`
+	LastMaxQError   float64    `json:"last_max_qerror"`
+	MaxQError       float64    `json:"max_qerror"`
+	BuildOvershoots int64      `json:"build_overshoots,omitempty"`
+	Ops             []OpReport `json:"ops"`
+}
+
+// Report returns per-fingerprint plan-quality summaries, worst estimation
+// error first — the /debug/plans payload.
+func (s *Store) Report() []PlanReport {
+	s.mu.RLock()
+	out := make([]PlanReport, 0, len(s.plans))
+	for fp, ps := range s.plans {
+		r := PlanReport{
+			Fingerprint:     fp,
+			SQL:             ps.sql,
+			Executions:      ps.executions,
+			LastMaxQError:   ps.lastMaxQ,
+			MaxQError:       ps.maxQ,
+			BuildOvershoots: ps.overshoots,
+			Ops:             make([]OpReport, 0, len(ps.ops)),
+		}
+		for path, os := range ps.ops {
+			r.Ops = append(r.Ops, OpReport{
+				Path:       path,
+				Op:         os.op,
+				EstRows:    os.estRows,
+				ActualRows: os.actual,
+				QError:     os.lastQ,
+				Samples:    os.samples,
+			})
+		}
+		sort.Slice(r.Ops, func(i, j int) bool { return r.Ops[i].Path < r.Ops[j].Path })
+		out = append(out, r)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxQError != out[j].MaxQError {
+			return out[i].MaxQError > out[j].MaxQError
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

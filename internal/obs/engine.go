@@ -160,6 +160,7 @@ func (e *Engine) logSlow(snap *TraceSnapshot) {
 		Rows:        snap.Rows,
 		PeakBytes:   snap.PeakBytes,
 		Spilled:     snap.Spilled,
+		MaxQError:   snap.MaxQError,
 		Error:       snap.Error,
 	})
 	if err != nil {
@@ -179,5 +180,6 @@ type slowLogEntry struct {
 	Rows        int64   `json:"rows"`
 	PeakBytes   int64   `json:"peak_bytes"`
 	Spilled     int64   `json:"spilled_bytes"`
+	MaxQError   float64 `json:"max_qerror,omitempty"`
 	Error       string  `json:"error,omitempty"`
 }

@@ -237,3 +237,56 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatalf("p50 = %v, want within (10, 20]", p50)
 	}
 }
+
+// TestHistogramQuantileEdgeCases complements TestHistogramQuantile with the
+// degenerate shapes: nil receiver, a histogram with no finite bounds (all
+// mass necessarily in +Inf), a single-bucket histogram, and out-of-range q.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+
+	r := NewRegistry()
+
+	// No finite bounds (nil falls back to the default latency buckets, so an
+	// explicitly empty slice is needed): every observation lands in +Inf and
+	// there is no bound to clamp to — the estimate degrades to 0 rather than
+	// inventing a value.
+	unbounded := r.Histogram("edge_unbounded", "h", []float64{})
+	unbounded.Observe(7)
+	unbounded.Observe(9)
+	if got := unbounded.Quantile(0.5); got != 0 {
+		t.Fatalf("boundless histogram quantile = %v, want 0", got)
+	}
+	if unbounded.Count() != 2 || unbounded.Sum() != 16 {
+		t.Fatalf("count/sum = %d/%v", unbounded.Count(), unbounded.Sum())
+	}
+
+	// Single bucket: interpolation spans [0, bound].
+	single := r.Histogram("edge_single", "h", []float64{10})
+	for i := 0; i < 4; i++ {
+		single.Observe(5)
+	}
+	if got := single.Quantile(0.5); got != 5 {
+		t.Fatalf("single-bucket p50 = %v, want 5 (midpoint of [0,10])", got)
+	}
+	if got := single.Quantile(1); got != 10 {
+		t.Fatalf("single-bucket p100 = %v, want 10", got)
+	}
+
+	// Single bucket with all mass beyond the bound clamps to it.
+	over := r.Histogram("edge_over", "h", []float64{10})
+	over.Observe(1e9)
+	if got := over.Quantile(0.5); got != 10 {
+		t.Fatalf("overflow-only p50 = %v, want clamp to 10", got)
+	}
+
+	// q outside [0, 1] clamps instead of extrapolating.
+	if got := single.Quantile(-3); got != 0 {
+		t.Fatalf("q=-3 -> %v, want 0", got)
+	}
+	if got := single.Quantile(42); got != 10 {
+		t.Fatalf("q=42 -> %v, want 10", got)
+	}
+}

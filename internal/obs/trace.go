@@ -10,6 +10,7 @@ package obs
 // as text and /debug/queries serves as JSON.
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -33,6 +34,13 @@ type Span struct {
 	rows      atomic.Int64
 	batches   atomic.Int64
 	elapsedNs atomic.Int64
+
+	// Plan-feedback identity, stamped once after span construction: the
+	// stable operator path id ("0", "0.1", ...) shared with the optimizer's
+	// estimate table, and the optimizer's row estimate for this operator
+	// (0 = no estimate known).
+	path    string
+	estRows float64
 
 	// Memory counters, attached once by AttachMemStats after execution.
 	peakBytes    int64
@@ -72,6 +80,27 @@ func (s *Span) AddElapsed(d time.Duration) {
 
 // Rows returns the rows delivered so far.
 func (s *Span) Rows() int64 { return s.rows.Load() }
+
+// SetEstimate stamps the span with its stable operator path id and the
+// optimizer's row estimate (est <= 0 keeps the path but records no
+// estimate). Called once, at span-tree construction.
+func (s *Span) SetEstimate(path string, est float64) {
+	if s == nil {
+		return
+	}
+	s.path = path
+	if est > 0 {
+		s.estRows = est
+	}
+}
+
+// EstRows returns the optimizer's row estimate for this operator (0 when
+// unknown).
+func (s *Span) EstRows() float64 { return s.estRows }
+
+// Path returns the stable operator path id ("" for operators with no
+// counterpart in the optimized plan, e.g. exchanges).
+func (s *Span) Path() string { return s.path }
 
 // QueryTrace is one query execution being traced. It is built by the
 // framework's execute path, handed to the executor (which attaches spans to
@@ -153,7 +182,9 @@ func findMemSpan(s *Span, op string) *Span {
 type SpanStats struct {
 	Name         string       `json:"name"`
 	Attrs        string       `json:"attrs,omitempty"`
+	Path         string       `json:"path,omitempty"`
 	Rows         int64        `json:"rows"`
+	EstRows      float64      `json:"est_rows,omitempty"`
 	Batches      int64        `json:"batches"`
 	ElapsedNs    int64        `json:"elapsed_ns"`
 	PeakBytes    int64        `json:"peak_bytes,omitempty"`
@@ -163,6 +194,25 @@ type SpanStats struct {
 	Children     []*SpanStats `json:"children,omitempty"`
 }
 
+// QError returns the estimation-error factor of this operator — the q-error
+// max(est/actual, actual/est), both sides floored at one row — or 0 when the
+// operator has no estimate.
+func (s *SpanStats) QError() float64 {
+	if s == nil || s.EstRows <= 0 {
+		return 0
+	}
+	return QError(s.EstRows, float64(s.Rows))
+}
+
+// QError is the symmetric relative estimation error of est vs actual:
+// max(est/actual, actual/est) with both values floored at 1, so a perfect
+// estimate scores 1 and over- and under-estimation score alike.
+func QError(est, actual float64) float64 {
+	e := math.Max(est, 1)
+	a := math.Max(actual, 1)
+	return math.Max(e/a, a/e)
+}
+
 func (s *Span) snapshot() *SpanStats {
 	if s == nil {
 		return nil
@@ -170,7 +220,9 @@ func (s *Span) snapshot() *SpanStats {
 	out := &SpanStats{
 		Name:         s.Name,
 		Attrs:        s.Attrs,
+		Path:         s.path,
 		Rows:         s.rows.Load(),
+		EstRows:      s.estRows,
 		Batches:      s.batches.Load(),
 		ElapsedNs:    s.elapsedNs.Load(),
 		PeakBytes:    s.peakBytes,
@@ -187,27 +239,45 @@ func (s *Span) snapshot() *SpanStats {
 // TraceSnapshot is a finished query trace: immutable, safe to share between
 // the ring buffer, the slow-query log and HTTP handlers.
 type TraceSnapshot struct {
-	ID          uint64     `json:"id"`
-	SQL         string     `json:"sql"`
-	Fingerprint string     `json:"fingerprint"`
-	Start       time.Time  `json:"start"`
-	PlanNs      int64      `json:"plan_ns"`
-	OptimizeNs  int64      `json:"optimize_ns"`
-	ExecNs      int64      `json:"exec_ns"`
-	TotalNs     int64      `json:"total_ns"`
-	Rows        int64      `json:"rows"`
-	Error       string     `json:"error,omitempty"`
-	Cached      bool       `json:"cached,omitempty"`
-	Parallelism int        `json:"parallelism,omitempty"`
-	PeakBytes   int64      `json:"peak_bytes"`
-	Spilled     int64      `json:"spilled_bytes"`
-	Slow        bool       `json:"slow,omitempty"`
-	Spans       *SpanStats `json:"spans,omitempty"`
+	ID          uint64    `json:"id"`
+	SQL         string    `json:"sql"`
+	Fingerprint string    `json:"fingerprint"`
+	Start       time.Time `json:"start"`
+	PlanNs      int64     `json:"plan_ns"`
+	OptimizeNs  int64     `json:"optimize_ns"`
+	ExecNs      int64     `json:"exec_ns"`
+	TotalNs     int64     `json:"total_ns"`
+	Rows        int64     `json:"rows"`
+	Error       string    `json:"error,omitempty"`
+	Cached      bool      `json:"cached,omitempty"`
+	Parallelism int       `json:"parallelism,omitempty"`
+	PeakBytes   int64     `json:"peak_bytes"`
+	Spilled     int64     `json:"spilled_bytes"`
+	Slow        bool      `json:"slow,omitempty"`
+	// MaxQError is the worst per-operator estimation error of the execution
+	// (see SpanStats.QError); 0 when no operator carried an estimate.
+	MaxQError float64    `json:"max_qerror,omitempty"`
+	Spans     *SpanStats `json:"spans,omitempty"`
+}
+
+func maxQError(s *SpanStats) float64 {
+	if s == nil {
+		return 0
+	}
+	q := s.QError()
+	for _, c := range s.Children {
+		if cq := maxQError(c); cq > q {
+			q = cq
+		}
+	}
+	return q
 }
 
 // Snapshot condenses the live trace into its immutable form.
 func (t *QueryTrace) Snapshot() *TraceSnapshot {
+	spans := t.Root.snapshot()
 	return &TraceSnapshot{
+		MaxQError:   maxQError(spans),
 		ID:          t.ID,
 		SQL:         t.SQL,
 		Fingerprint: t.Fingerprint,
@@ -222,15 +292,22 @@ func (t *QueryTrace) Snapshot() *TraceSnapshot {
 		Parallelism: t.Parallelism,
 		PeakBytes:   t.PeakBytes,
 		Spilled:     t.SpilledBytes,
-		Spans:       t.Root.snapshot(),
+		Spans:       spans,
 	}
 }
+
+// DriftQError is the per-operator q-error at which RenderSpans flags the
+// operator's estimate as drifted (the "[q=N.N!]" marker) — the estimate is
+// off by at least this factor in either direction.
+const DriftQError = 2.0
 
 // RenderSpans renders the span tree as indented text — the EXPLAIN ANALYZE
 // operator-stats section. One line per operator:
 //
-//	EnumerableSort: rows=42, batches=1, elapsed=1.2ms, peak=128.0KiB, spilled=800.0KiB, spill-files=3, spill-events=2
+//	EnumerableSort: rows=42, est=100 [q=2.4!], batches=1, elapsed=1.2ms, peak=128.0KiB, spilled=800.0KiB, spill-files=3, spill-events=2
 //
+// The optimizer's row estimate renders next to the actual count on operators
+// that carry one, with the drift marker when the q-error reaches DriftQError.
 // Memory fields appear only on operators the governor tracked; spill fields
 // only when the operator spilled.
 func RenderSpans(root *SpanStats) string {
@@ -247,6 +324,15 @@ func renderSpan(b *strings.Builder, s *SpanStats, depth int) {
 	b.WriteString(s.Name)
 	b.WriteString(": rows=")
 	b.WriteString(strconv.FormatInt(s.Rows, 10))
+	if s.EstRows > 0 {
+		b.WriteString(", est=")
+		b.WriteString(strconv.FormatFloat(s.EstRows, 'g', 4, 64))
+		if q := s.QError(); q >= DriftQError {
+			b.WriteString(" [q=")
+			b.WriteString(strconv.FormatFloat(q, 'f', 1, 64))
+			b.WriteString("!]")
+		}
+	}
 	b.WriteString(", batches=")
 	b.WriteString(strconv.FormatInt(s.Batches, 10))
 	b.WriteString(", elapsed=")

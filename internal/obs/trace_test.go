@@ -268,3 +268,102 @@ func TestSnapshotJSONShape(t *testing.T) {
 		}
 	}
 }
+
+func TestQError(t *testing.T) {
+	cases := []struct{ est, actual, want float64 }{
+		{100, 100, 1},
+		{100, 200, 2},
+		{200, 100, 2},
+		{1, 50, 50},
+		{0, 50, 50},   // est floors at 1
+		{100, 0, 100}, // actual floors at 1
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.actual); got != c.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.actual, got, c.want)
+		}
+	}
+	var nilSpan *SpanStats
+	if nilSpan.QError() != 0 {
+		t.Fatal("nil span q-error should be 0")
+	}
+	if (&SpanStats{Rows: 10}).QError() != 0 {
+		t.Fatal("span without estimate should report q-error 0")
+	}
+	if got := (&SpanStats{Rows: 10, EstRows: 40}).QError(); got != 4 {
+		t.Fatalf("span q-error = %v, want 4", got)
+	}
+}
+
+// TestSnapshotMaxQError: the trace-level worst q-error is the max over the
+// whole span tree, and estimates stamped on live spans survive into the
+// snapshot with their paths.
+func TestSnapshotMaxQError(t *testing.T) {
+	tr := &QueryTrace{SQL: "SELECT 1"}
+	root := tr.NewSpan(nil, "EnumerableHashJoin", "", "")
+	left := tr.NewSpan(root, "EnumerableTableScan", "", "")
+	right := tr.NewSpan(root, "EnumerableTableScan", "", "")
+	root.SetEstimate("0", 100)
+	left.SetEstimate("0.0", 10)
+	right.SetEstimate("0.1", 1000)
+	root.AddRows(100)  // q = 1
+	left.AddRows(80)   // q = 8 (worst)
+	right.AddRows(500) // q = 2
+
+	snap := tr.Snapshot()
+	if snap.MaxQError != 8 {
+		t.Fatalf("MaxQError = %v, want 8", snap.MaxQError)
+	}
+	if s := snap.Spans.Children[0]; s.Path != "0.0" || s.EstRows != 10 {
+		t.Fatalf("child span path/est = %q/%v", s.Path, s.EstRows)
+	}
+	// max_qerror rides the JSON wire shape.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"max_qerror":8`) {
+		t.Fatalf("snapshot JSON missing max_qerror: %s", raw)
+	}
+}
+
+// TestRenderSpansEstimates: operators carrying an estimate render est= next
+// to rows=, with the drift marker once the q-error reaches DriftQError.
+func TestRenderSpansEstimates(t *testing.T) {
+	s := &SpanStats{
+		Name: "EnumerableHashJoin", Rows: 500, EstRows: 100, Batches: 1,
+		Children: []*SpanStats{
+			{Name: "EnumerableTableScan", Rows: 95, EstRows: 100, Batches: 1},
+			{Name: "EnumerableTableScan", Rows: 42, Batches: 1}, // no estimate
+		},
+	}
+	got := RenderSpans(s)
+	want := "EnumerableHashJoin: rows=500, est=100 [q=5.0!], batches=1, elapsed=0s\n" +
+		"  EnumerableTableScan: rows=95, est=100, batches=1, elapsed=0s\n" +
+		"  EnumerableTableScan: rows=42, batches=1, elapsed=0s\n"
+	if got != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSlowLogMaxQError: slow-query log lines carry the execution's worst
+// per-operator estimation error.
+func TestSlowLogMaxQError(t *testing.T) {
+	e := NewEngine()
+	var logBuf bytes.Buffer
+	e.SetSlowQuery(time.Nanosecond, &logBuf)
+
+	tr := e.Begin("SELECT * FROM t")
+	sp := tr.NewSpan(nil, "EnumerableTableScan", "", "")
+	sp.SetEstimate("0", 10)
+	sp.AddRows(250) // q = 25
+	e.End(tr)
+
+	var entry map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(logBuf.Bytes()), &entry); err != nil {
+		t.Fatalf("slow log not JSON: %v (%q)", err, logBuf.String())
+	}
+	if entry["max_qerror"] != float64(25) {
+		t.Fatalf("slow log max_qerror = %v, want 25", entry["max_qerror"])
+	}
+}

@@ -109,7 +109,10 @@ type leafSource struct {
 	rowType *types.Type
 }
 
-func (l *leafSource) Op() string                               { return "PartitionSource" }
+func (l *leafSource) Op() string { return "PartitionSource" }
+
+// SyntheticNode marks the leaf as a post-optimization artifact (rel.Synthetic).
+func (l *leafSource) SyntheticNode()                           {}
 func (l *leafSource) Inputs() []rel.Node                       { return nil }
 func (l *leafSource) RowType() *types.Type                     { return l.rowType }
 func (l *leafSource) Traits() trait.Set                        { return trait.NewSet(trait.Enumerable) }
@@ -246,6 +249,10 @@ func NewRoundRobinExchange(input rel.Node, pool *Pool, p int) *Exchange {
 
 func (e *Exchange) Op() string         { return e.Kind.String() }
 func (e *Exchange) Inputs() []rel.Node { return []rel.Node{e.input} }
+
+// SyntheticNode marks exchanges as post-optimization artifacts
+// (rel.Synthetic): they carry no optimizer estimate of their own.
+func (e *Exchange) SyntheticNode() {}
 
 func (e *Exchange) RowType() *types.Type {
 	t := e.input.RowType()
@@ -652,6 +659,11 @@ func NewPartialAgg(inner *exec.Aggregate, pool *Pool, p int) *PartialAgg {
 func (a *PartialAgg) Op() string         { return "ParallelPartialAggregate" }
 func (a *PartialAgg) Inputs() []rel.Node { return a.inner.Inputs() }
 func (a *PartialAgg) Attrs() string      { return a.inner.Attrs() }
+
+// SyntheticNode marks the partial stage as a post-optimization artifact
+// (rel.Synthetic): the optimized plan's Aggregate corresponds to the final
+// stage above it.
+func (a *PartialAgg) SyntheticNode() {}
 
 func (a *PartialAgg) RowType() *types.Type {
 	innerT := a.inner.RowType()

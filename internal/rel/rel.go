@@ -43,6 +43,16 @@ type Wrapped interface {
 	Unwrap() Node
 }
 
+// Synthetic marks physical operators materialized after optimization —
+// exchanges, partition sources, partial-aggregation stages inserted by the
+// parallel rewrite. They have no counterpart in the optimized plan, so the
+// trace layer skips them when computing stable operator path ids: a
+// synthetic node passes its position in the optimized tree through to its
+// (single) input unchanged.
+type Synthetic interface {
+	SyntheticNode()
+}
+
 // Digest returns the canonical digest of the subtree rooted at n. Two nodes
 // with equal digests produce the same multiset of rows.
 func Digest(n Node) string {

@@ -8,6 +8,9 @@ package calcite_test
 // params, cursor pagination and the plan-cache path the server rides.
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"reflect"
 	"sort"
 	"strings"
@@ -18,6 +21,11 @@ import (
 )
 
 func startDiffServer(t *testing.T) (*avatica.Server, *avatica.Client) {
+	srv, client, _ := startDiffServerAddr(t)
+	return srv, client
+}
+
+func startDiffServerAddr(t *testing.T) (*avatica.Server, *avatica.Client, string) {
 	t.Helper()
 	remote := diffConn()
 	srv := avatica.NewServer(remote.Framework)
@@ -26,7 +34,7 @@ func startDiffServer(t *testing.T) (*avatica.Server, *avatica.Client) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Stop() })
-	return srv, avatica.NewClient(addr)
+	return srv, avatica.NewClient(addr), addr
 }
 
 // compareWire checks columns and rows from the wire against the embedded
@@ -111,5 +119,68 @@ func TestWireDifferentialPaginated(t *testing.T) {
 	}
 	if got := srv.CursorBytes(); got != 0 {
 		t.Fatalf("cursor bytes leaked after paginated replay: %d", got)
+	}
+}
+
+// TestWirePlanQuality replays the corpus over the wire and checks the
+// plan-quality observability surface: /metrics carries a populated q-error
+// histogram (the tables are never ANALYZEd, so the default selectivities
+// misestimate), and /debug/plans reports est/actual rows per operator.
+func TestWirePlanQuality(t *testing.T) {
+	_, client, addr := startDiffServerAddr(t)
+	for _, q := range diffQueries {
+		client.Query(q.sql, q.params...) // errors agree with embedded; not at issue here
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	var sawQErrorMass bool
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "calcite_plan_qerror_count ") &&
+			!strings.HasSuffix(line, " 0") {
+			sawQErrorMass = true
+		}
+	}
+	if !sawQErrorMass {
+		t.Fatalf("/metrics q-error histogram empty after corpus replay:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "calcite_plan_qerror_max ") {
+		t.Fatalf("/metrics missing worst-q gauge:\n%s", metrics)
+	}
+
+	presp, err := http.Get("http://" + addr + "/debug/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/plans status = %d", presp.StatusCode)
+	}
+	var plans avatica.DebugPlansResponse
+	if err := json.Unmarshal(pbody, &plans); err != nil {
+		t.Fatalf("/debug/plans bad JSON: %v", err)
+	}
+	if len(plans.Plans) == 0 {
+		t.Fatal("/debug/plans empty after corpus replay")
+	}
+	var estimated bool
+	for _, p := range plans.Plans {
+		if p.Fingerprint == "" || p.SQL == "" {
+			t.Fatalf("plan report lacks identity: %+v", p)
+		}
+		for _, op := range p.Ops {
+			if op.EstRows > 0 && op.ActualRows > 0 && op.QError >= 1 {
+				estimated = true
+			}
+		}
+	}
+	if !estimated {
+		t.Fatal("/debug/plans carries no operator with est+actual rows")
 	}
 }
