@@ -3,12 +3,21 @@
 // returns "existing records which have already been received" (the history,
 // up to the watermark); with STREAM, the system processes the incoming
 // records — here, every buffered event including those past the watermark.
+//
+// The table is batch-native: both the history and the stream enumerate as
+// column-major typed batches (schema.BatchScannableTable plus
+// StreamScanBatches), so continuous queries ingest vectors rather than
+// boxed rows. For tests it is also a replay source with controllable
+// event-time skew: SetMaxSkew admits bounded out-of-order appends, and
+// SetReplaySkew deterministically perturbs the arrival order of an
+// in-order event log so the same out-of-order run can be replayed.
 package streamtab
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"calcite/internal/core"
 	"calcite/internal/plan"
@@ -17,7 +26,8 @@ import (
 )
 
 // Table is a time-ordered event table. It implements schema.ScannableTable
-// (history), schema.StreamableTable and StreamScan (incoming records).
+// and schema.BatchScannableTable (history), schema.StreamableTable and
+// StreamScan/StreamScanBatches (incoming records).
 type Table struct {
 	name       string
 	rowType    *types.Type
@@ -25,34 +35,87 @@ type Table struct {
 
 	mu        sync.RWMutex
 	events    [][]any
+	maxTs     int64
+	hasEvents bool
 	watermark int64
+	maxSkew   int64
+
+	// Replay skew: when replaySkew > 0, StreamScan yields the events in a
+	// deterministically perturbed arrival order (seeded, bounded by the
+	// skew) instead of append order.
+	replaySkew int64
+	replaySeed int64
+
+	// cols/vecs are the lazily built column-major snapshot of the arrival-
+	// ordered events (boxed columns plus typed vectors), serving
+	// StreamScanBatches zero-copy; Append and SetReplaySkew invalidate both.
+	cols  [][]any
+	vecs  []*schema.Vector
+	colsN int
 }
 
 // NewTable creates a stream table; rowtimeCol is the ordinal of the
-// monotonic event-time column (int64 epoch millis).
+// monotonic event-time column (epoch millis, time.Time, or any integer
+// type — values are normalized to int64 millis on append).
 func NewTable(name string, rowType *types.Type, rowtimeCol int) *Table {
 	return &Table{name: name, rowType: rowType, rowtimeCol: rowtimeCol}
 }
 
-// Append adds events; rowtime must be non-decreasing.
+// SetMaxSkew allows appends whose rowtime trails the maximum seen so far by
+// up to ms milliseconds — the source-side counterpart of a consumer's
+// bounded out-of-orderness. Zero (the default) requires non-decreasing
+// rowtimes.
+func (t *Table) SetMaxSkew(ms int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.maxSkew = ms
+}
+
+// SetReplaySkew makes StreamScan replay the events in a deterministic
+// pseudo-random arrival order where each event may arrive up to ms
+// milliseconds of event time late relative to earlier arrivals. The same
+// (seed, ms) pair always produces the same order; ms == 0 restores append
+// order.
+func (t *Table) SetReplaySkew(seed, ms int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.replaySeed, t.replaySkew = seed, ms
+	t.cols, t.vecs, t.colsN = nil, nil, 0
+}
+
+// rowtimeMillis coerces a rowtime value to epoch milliseconds.
+func rowtimeMillis(v any) (int64, bool) {
+	if ts, ok := v.(time.Time); ok {
+		return ts.UnixMilli(), true
+	}
+	return types.AsInt(v)
+}
+
+// Append adds events. Rowtimes may be time.Time or any integer type and are
+// stored normalized to int64 millis; each must be within the configured max
+// skew of the largest rowtime seen so far.
 func (t *Table) Append(rows ...[]any) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	last := int64(-1 << 62)
-	if n := len(t.events); n > 0 {
-		last, _ = t.events[n-1][t.rowtimeCol].(int64)
-	}
 	for _, row := range rows {
-		ts, ok := row[t.rowtimeCol].(int64)
+		ts, ok := rowtimeMillis(row[t.rowtimeCol])
 		if !ok {
-			return fmt.Errorf("streamtab: rowtime column must be int64 millis, got %T", row[t.rowtimeCol])
+			return fmt.Errorf("streamtab: rowtime column must be a timestamp (time.Time or integer millis), got %T", row[t.rowtimeCol])
 		}
-		if ts < last {
-			return fmt.Errorf("streamtab: out-of-order event (rowtime %d < %d); streams are time-ordered sets of records", ts, last)
+		if t.hasEvents && ts < t.maxTs-t.maxSkew {
+			return fmt.Errorf("streamtab: out-of-order event (rowtime %d < %d - max skew %d); streams are time-ordered sets of records", ts, t.maxTs, t.maxSkew)
 		}
-		last = ts
+		if _, isInt := row[t.rowtimeCol].(int64); !isInt {
+			// Normalize in a copy; the caller keeps its slice.
+			row = append([]any(nil), row...)
+			row[t.rowtimeCol] = ts
+		}
+		if !t.hasEvents || ts > t.maxTs {
+			t.maxTs, t.hasEvents = ts, true
+		}
 		t.events = append(t.events, row)
 	}
+	t.cols, t.vecs, t.colsN = nil, nil, 0
 	return nil
 }
 
@@ -73,25 +136,167 @@ func (t *Table) Stats() schema.Statistics {
 	return schema.Statistics{RowCount: float64(len(t.events))}
 }
 
+// history returns the rows with rowtime <= watermark, in arrival order.
+// Callers hold at least a read lock.
+func (t *Table) history() [][]any {
+	rows := t.arrivalLocked()
+	out := make([][]any, 0, len(rows))
+	for _, row := range rows {
+		if ts, _ := rowtimeMillis(row[t.rowtimeCol]); ts <= t.watermark {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// arrivalLocked returns the events in arrival order: append order, or the
+// seeded skewed permutation when replay skew is set. Callers hold at least
+// a read lock.
+func (t *Table) arrivalLocked() [][]any {
+	if t.replaySkew <= 0 {
+		return t.events
+	}
+	// Perturb each event's position by sorting on rowtime plus a seeded
+	// jitter in [0, skew]. If a precedes b in the result then
+	// ts(a) <= ts(b) + skew, so the arrival stream's out-of-orderness is
+	// bounded by exactly the configured skew.
+	type keyed struct {
+		key int64
+		row []any
+	}
+	rng := t.replaySeed
+	perturbed := make([]keyed, len(t.events))
+	for i, row := range t.events {
+		// Deterministic LCG (Knuth's MMIX constants).
+		rng = rng*6364136223846793005 + 1442695040888963407
+		jitter := (rng >> 33) % (t.replaySkew + 1)
+		if jitter < 0 {
+			jitter += t.replaySkew + 1
+		}
+		ts, _ := rowtimeMillis(row[t.rowtimeCol])
+		perturbed[i] = keyed{key: ts + jitter, row: row}
+	}
+	sort.SliceStable(perturbed, func(i, j int) bool { return perturbed[i].key < perturbed[j].key })
+	out := make([][]any, len(perturbed))
+	for i, k := range perturbed {
+		out[i] = k.row
+	}
+	return out
+}
+
 // Scan returns the historical rows (rowtime <= watermark): the semantics of
 // querying a stream without the STREAM keyword.
 func (t *Table) Scan() (schema.Cursor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	i := sort.Search(len(t.events), func(i int) bool {
-		ts, _ := t.events[i][t.rowtimeCol].(int64)
-		return ts > t.watermark
-	})
-	return schema.NewSliceCursor(append([][]any(nil), t.events[:i]...)), nil
+	return schema.NewSliceCursor(t.history()), nil
 }
 
-// StreamScan returns all buffered events — the incoming records a STREAM
-// query processes.
+// ScanBatches implements schema.BatchScannableTable for the history.
+func (t *Table) ScanBatches(batchSize int) (schema.BatchCursor, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := t.history()
+	cols, vecs := buildColumnar(rows, t.rowType)
+	return newBatchCursor(cols, vecs, len(rows), batchSize), nil
+}
+
+// StreamScan returns all buffered events in arrival order — the incoming
+// records a STREAM query processes.
 func (t *Table) StreamScan() (schema.Cursor, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return schema.NewSliceCursor(append([][]any(nil), t.events...)), nil
+	rows := t.arrivalLocked()
+	return schema.NewSliceCursor(append([][]any(nil), rows...)), nil
 }
+
+// StreamScanBatches enumerates the incoming records as zero-copy windows
+// over a cached columnar snapshot of the arrival order.
+func (t *Table) StreamScanBatches(batchSize int) (schema.BatchCursor, error) {
+	if batchSize <= 0 {
+		batchSize = schema.DefaultBatchSize
+	}
+	t.mu.RLock()
+	cols, vecs, n := t.cols, t.vecs, t.colsN
+	t.mu.RUnlock()
+	if cols == nil {
+		t.mu.Lock()
+		if t.cols == nil {
+			rows := t.arrivalLocked()
+			t.cols, t.vecs = buildColumnar(rows, t.rowType)
+			t.colsN = len(rows)
+		}
+		cols, vecs, n = t.cols, t.vecs, t.colsN
+		t.mu.Unlock()
+	}
+	return newBatchCursor(cols, vecs, n, batchSize), nil
+}
+
+// buildColumnar transposes rows into boxed columns plus typed vectors
+// (vector kinds from the declared column types).
+func buildColumnar(rows [][]any, rowType *types.Type) ([][]any, []*schema.Vector) {
+	w := len(rowType.Fields)
+	cols := make([][]any, w)
+	for c := 0; c < w; c++ {
+		col := make([]any, len(rows))
+		for r, row := range rows {
+			col[r] = row[c]
+		}
+		cols[c] = col
+	}
+	var vecs []*schema.Vector
+	if !schema.ForceBoxed() {
+		vecs = make([]*schema.Vector, w)
+		for c := 0; c < w; c++ {
+			vecs[c] = schema.BuildVector(cols[c], schema.VecKindForType(rowType.Fields[c].Type))
+		}
+	}
+	return cols, vecs
+}
+
+// batchCursor serves batches as zero-copy slices of a columnar snapshot.
+type batchCursor struct {
+	cols      [][]any
+	vecs      []*schema.Vector
+	n         int
+	batchSize int
+	pos       int
+	seq       int64
+}
+
+func newBatchCursor(cols [][]any, vecs []*schema.Vector, n, batchSize int) *batchCursor {
+	if batchSize <= 0 {
+		batchSize = schema.DefaultBatchSize
+	}
+	return &batchCursor{cols: cols, vecs: vecs, n: n, batchSize: batchSize}
+}
+
+func (c *batchCursor) NextBatch() (*schema.Batch, error) {
+	if c.pos >= c.n {
+		return nil, schema.Done
+	}
+	end := c.pos + c.batchSize
+	if end > c.n {
+		end = c.n
+	}
+	cols := make([][]any, len(c.cols))
+	for i := range cols {
+		cols[i] = c.cols[i][c.pos:end]
+	}
+	var vecs []*schema.Vector
+	if c.vecs != nil {
+		vecs = make([]*schema.Vector, len(c.vecs))
+		for i, v := range c.vecs {
+			vecs[i] = v.Slice(c.pos, end)
+		}
+	}
+	b := &schema.Batch{Len: end - c.pos, Cols: cols, Vecs: vecs, Seq: c.seq}
+	c.seq++
+	c.pos = end
+	return b, nil
+}
+
+func (c *batchCursor) Close() error { return nil }
 
 // Adapter groups stream tables in a schema.
 type Adapter struct {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"calcite/internal/core"
+	"calcite/internal/exec"
 	"calcite/internal/memory"
 	"calcite/internal/types"
 )
@@ -96,8 +97,17 @@ type CloseRequest struct {
 	StatementID int64 `json:"statementId"`
 }
 
+// CancelRequest interrupts the statement's in-flight execution (if any) and
+// releases its retained cursor. The statement itself stays prepared.
+type CancelRequest struct {
+	StatementID int64 `json:"statementId"`
+}
+
 // CodeServerBusy is the wire code of an admission rejection (HTTP 503).
 const CodeServerBusy = "SERVER_BUSY"
+
+// CodeCanceled is the wire code of an interrupted execution.
+const CodeCanceled = "CANCELED"
 
 // --- server ---
 
@@ -135,6 +145,10 @@ type stmtEntry struct {
 	sql      string
 	lastUsed time.Time
 	cursor   *cursor
+	// running is the interrupt flag of the statement's in-flight execution
+	// (nil when idle); /cancel sets it and the engine's drain loops and
+	// streaming operators fail with exec.ErrCanceled.
+	running *atomic.Bool
 }
 
 // Server serves a Framework over HTTP.
@@ -326,6 +340,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/prepare", s.handlePrepare)
 	mux.HandleFunc("/execute", s.handleExecute)
 	mux.HandleFunc("/fetch", s.handleFetch)
+	mux.HandleFunc("/cancel", s.handleCancel)
 	mux.HandleFunc("/close", s.handleClose)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
@@ -424,11 +439,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	defer s.admission().release()
 
 	sql := req.SQL
+	interrupt := &atomic.Bool{}
 	if req.StatementID != 0 {
 		s.mu.Lock()
 		stored, ok := s.stmts[req.StatementID]
 		if ok {
 			stored.lastUsed = s.now() // touch: execution keeps a statement live
+			stored.running = interrupt
 			sql = stored.sql
 		}
 		s.mu.Unlock()
@@ -436,15 +453,37 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, ExecuteResponse{Error: fmt.Sprintf("unknown statement %d (closed or evicted)", req.StatementID)})
 			return
 		}
+		defer func() {
+			s.mu.Lock()
+			if e, ok := s.stmts[req.StatementID]; ok && e.running == interrupt {
+				e.running = nil
+			}
+			s.mu.Unlock()
+		}()
 	}
+	// A client disconnect interrupts the execution: a continuous query whose
+	// consumer went away must not keep accumulating window state.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-r.Context().Done():
+			interrupt.Store(true)
+		case <-watchDone:
+		}
+	}()
+	defer close(watchDone)
 	params := make([]any, len(req.Params))
 	for i, p := range req.Params {
 		params[i] = normalizeJSON(p)
 	}
 	pool := s.tenantPool(r.Header.Get(TenantHeader))
 	start := time.Now()
-	res, err := s.fw.ExecuteOpts(sql, core.ExecOptions{Params: params, Pool: pool})
+	res, err := s.fw.ExecuteOpts(sql, core.ExecOptions{Params: params, Pool: pool, Interrupt: interrupt})
 	if err != nil {
+		if errors.Is(err, exec.ErrCanceled) {
+			writeJSON(w, ExecuteResponse{Error: err.Error(), Code: CodeCanceled})
+			return
+		}
 		writeJSON(w, ExecuteResponse{Error: err.Error()})
 		return
 	}
@@ -566,6 +605,30 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
+}
+
+// handleCancel interrupts a statement's in-flight execution and releases its
+// retained cursor; the statement stays prepared. Canceling an idle statement
+// only drops the cursor.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req CancelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, map[string]string{"error": err.Error()})
+		return
+	}
+	s.mu.Lock()
+	e, ok := s.stmts[req.StatementID]
+	interrupted := false
+	if ok {
+		if e.running != nil {
+			e.running.Store(true)
+			interrupted = true
+		}
+		s.releaseCursor(e)
+		e.lastUsed = s.now()
+	}
+	s.mu.Unlock()
+	writeJSON(w, map[string]bool{"canceled": ok, "interrupted": interrupted})
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
@@ -722,6 +785,13 @@ func (c *Client) Fetch(statementID int64, fetchSize int) (*ExecuteResponse, erro
 	}
 	normalizeRows(&resp)
 	return &resp, nil
+}
+
+// Cancel interrupts a statement's in-flight execution and releases its
+// retained cursor; the statement stays prepared.
+func (c *Client) Cancel(statementID int64) error {
+	var resp map[string]any
+	return c.post("/cancel", CancelRequest{StatementID: statementID}, &resp)
 }
 
 // Close releases a prepared statement.

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"calcite/internal/exec"
@@ -429,6 +430,10 @@ type ExecOptions struct {
 	// child pool here so one tenant cannot starve another. A query with a
 	// Pool override always runs governed (tracked, spill-capable).
 	Pool *memory.Pool
+	// Interrupt, when non-nil, cancels the execution cooperatively: setting
+	// it makes the engine's drain loops and streaming operators fail with
+	// exec.ErrCanceled. The serving tier arms it per statement.
+	Interrupt *atomic.Bool
 }
 
 // Execute parses, plans and runs a SQL statement (including DDL). Query and
@@ -776,5 +781,6 @@ func (f *Framework) newExecContext(opts ExecOptions) *exec.Context {
 	ctx.BatchSize = f.BatchSize
 	ctx.Alloc = f.newAllocator(opts.Pool, false)
 	ctx.WindowRecompute = f.WindowRecompute
+	ctx.Interrupt = opts.Interrupt
 	return ctx
 }

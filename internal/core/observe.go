@@ -147,6 +147,27 @@ func (f *Framework) registerSubsystemMetrics(r *obs.Registry) {
 	r.CounterFunc("calcite_morsels_dispatched_total",
 		"Scan morsels claimed by workers.",
 		func() int64 { return wp.MorselsDispatched() })
+
+	// Streaming: the continuous-query operators keep package-level atomics
+	// (hot-path friendly); the registry samples them at scrape time.
+	r.CounterFunc("calcite_stream_rows_total",
+		"Events ingested by streaming aggregation operators.",
+		exec.StreamRowsIn)
+	r.CounterFunc("calcite_stream_windows_emitted_total",
+		"Windows emitted by streaming aggregation operators.",
+		exec.StreamWindowsEmitted)
+	r.CounterFunc("calcite_stream_late_events_total",
+		"Events dropped because they arrived behind the watermark.",
+		exec.StreamLateDropped)
+	r.GaugeFunc("calcite_stream_watermark_lag_ms",
+		"Gap between the newest rowtime seen and the current watermark.",
+		func() float64 { return float64(exec.StreamWatermarkLagMs()) })
+	r.GaugeFunc("calcite_stream_state_bytes",
+		"Bytes of standing window state held by live streaming queries.",
+		func() float64 { return float64(exec.StreamStateBytes()) })
+	exec.SetStreamEmitObserver(r.Histogram("calcite_stream_emit_seconds",
+		"Latency of watermark-driven window emission rounds.",
+		[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}).Observe)
 }
 
 // attachTrace prepares physical for execution and attaches the trace's span

@@ -10,7 +10,9 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"calcite/internal/memory"
 	"calcite/internal/obs"
@@ -18,6 +20,10 @@ import (
 	"calcite/internal/rex"
 	"calcite/internal/schema"
 )
+
+// ErrCanceled reports that a query was interrupted through its context's
+// Interrupt flag (client cancel, server shutdown).
+var ErrCanceled = errors.New("exec: query canceled")
 
 // Context carries per-query execution state.
 type Context struct {
@@ -56,6 +62,16 @@ type Context struct {
 	// the signal to record the overshoot and swap build/probe sides on the
 	// next planning of the statement.
 	BuildOvershoot func(join rel.Node, estRows, actualRows float64)
+	// Interrupt, when non-nil and set, interrupts execution cooperatively:
+	// the drain loops and long-running operators (streaming aggregation)
+	// check it between rows/batches and fail with ErrCanceled. The serving
+	// tier arms it for client cancellation and disconnects.
+	Interrupt *atomic.Bool
+}
+
+// Interrupted reports whether the query's interrupt flag is set.
+func (ctx *Context) Interrupted() bool {
+	return ctx != nil && ctx.Interrupt != nil && ctx.Interrupt.Load()
 }
 
 // NewContext returns an execution context with no parameters. Batch mode is
@@ -89,7 +105,7 @@ func Execute(ctx *Context, root rel.Node) ([][]any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return drainBatches(bc)
+		return drainBatchesCtx(ctx, bc)
 	}
 	cur, err := BindNode(ctx, root)
 	if err != nil {
@@ -98,6 +114,9 @@ func Execute(ctx *Context, root rel.Node) ([][]any, error) {
 	defer cur.Close()
 	var out [][]any
 	for {
+		if ctx.Interrupted() {
+			return nil, ErrCanceled
+		}
 		row, err := cur.Next()
 		if err == schema.Done {
 			return out, nil
@@ -106,6 +125,25 @@ func Execute(ctx *Context, root rel.Node) ([][]any, error) {
 			return nil, err
 		}
 		out = append(out, row)
+	}
+}
+
+// drainBatchesCtx is drainBatches with a per-batch interrupt check.
+func drainBatchesCtx(ctx *Context, bc schema.BatchCursor) ([][]any, error) {
+	defer bc.Close()
+	var rows [][]any
+	for {
+		if ctx.Interrupted() {
+			return nil, ErrCanceled
+		}
+		b, err := bc.NextBatch()
+		if err == schema.Done {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = b.AppendRows(rows)
 	}
 }
 

@@ -31,8 +31,8 @@ func logicalOp[T rel.Node]() *plan.Operand {
 func Rules() []plan.Rule {
 	return []plan.Rule{
 		ScanRule(), FilterRule(), ProjectRule(), SortRule(), AggregateRule(),
-		HashJoinRule(), NestedLoopJoinRule(), SetOpRule(), ValuesRule(),
-		WindowRule(), TableModifyRule(),
+		StreamAggregateRule(), HashJoinRule(), NestedLoopJoinRule(),
+		SetOpRule(), ValuesRule(), WindowRule(), TableModifyRule(),
 	}
 }
 
@@ -94,6 +94,19 @@ func AggregateRule() plan.Rule {
 		Fire: func(call *plan.Call) {
 			a := call.Rel(0).(*rel.Aggregate)
 			call.Transform(NewAggregate(call.Convert(a.Inputs()[0], trait.Enumerable), a.GroupKeys, a.Calls))
+		},
+	}
+}
+
+// StreamAggregateRule converts a logical streaming (windowed) aggregation.
+func StreamAggregateRule() plan.Rule {
+	return &plan.FuncRule{
+		Name: "EnumerableStreamAggregateRule",
+		Op:   logicalOp[*rel.StreamAggregate](),
+		Fire: func(call *plan.Call) {
+			a := call.Rel(0).(*rel.StreamAggregate)
+			call.Transform(NewStreamAgg(call.Convert(a.Inputs()[0], trait.Enumerable),
+				a.Window, a.LatenessMs, a.GroupKeys, a.Calls))
 		},
 	}
 }

@@ -87,7 +87,12 @@ func (r *rewriter) rewrite(n rel.Node) (rel.Node, trait.Distribution) {
 	switch x := n.(type) {
 	case *exec.Scan:
 		if _, ok := x.Table.(schema.BatchScannableTable); ok {
-			return NewMorselScan(x, r.pool, r.p), trait.RandomDist()
+			// Stream tables enumerate in arrival order and downstream
+			// operators lean on its bounded out-of-orderness; morsels would
+			// interleave arbitrarily, so stream scans stay serial.
+			if _, stream := x.Table.(schema.StreamableTable); !stream {
+				return NewMorselScan(x, r.pool, r.p), trait.RandomDist()
+			}
 		}
 		return n, trait.Singleton()
 
@@ -154,6 +159,28 @@ func (r *rewriter) rewrite(n rel.Node) (rel.Node, trait.Distribution) {
 			{Field: w + 1, Direction: trait.Ascending},
 		}
 		return NewMergeGatherExchange(final, coll, 2, 0, -1, r.pool, r.p), trait.Singleton()
+
+	case *exec.StreamAgg:
+		// Keyed tumble/hop windows scatter by group key; the input below the
+		// exchange deliberately stays serial (no recursive rewrite): morsel
+		// scans interleave arbitrarily, which would break each partition's
+		// bounded out-of-orderness, while Scatter preserves the single
+		// producer's arrival order per partition. Global windows have no key
+		// to scatter on, and session windows close in data-dependent order
+		// (a long-lived session outlasts later-starting ones), so neither
+		// has a mergeable per-partition collation — they run serially.
+		if len(x.GroupKeys) == 0 || x.Window.Kind == rel.SessionWindow {
+			in, d := r.rewrite(x.Inputs()[0])
+			return x.WithNewInputs([]rel.Node{r.singleton(in, d)}), trait.Singleton()
+		}
+		ex := NewHashExchange(x.Inputs()[0], x.GroupKeys, r.pool, r.p)
+		sp := NewStreamAggPar(x.WithNewInputs([]rel.Node{ex}).(*exec.StreamAgg), r.pool, r.p)
+		coll := trait.Collation{{Field: 0, Direction: trait.Ascending}}
+		for i := range x.GroupKeys {
+			coll = append(coll, trait.FieldCollation{Field: 2 + i, Direction: trait.Ascending})
+		}
+		coll = append(coll, trait.FieldCollation{Field: 1, Direction: trait.Ascending})
+		return NewMergeGatherExchange(sp, coll, 0, 0, -1, r.pool, r.p), trait.Singleton()
 
 	case *exec.Window:
 		in, d := r.rewrite(x.Inputs()[0])

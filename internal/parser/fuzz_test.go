@@ -27,6 +27,12 @@ func FuzzParse(f *testing.F) {
 		"SELECT m['k'], arr[1], j.x.y FROM t",
 		"SELECT a FROM (SELECT a FROM t WHERE b = ?) s WHERE a BETWEEN ? AND ?",
 		"SELECT STREAM rowtime, productId FROM orders",
+		// Windowed-stream surface: group windows and their auxiliary
+		// start/end functions, well-formed and malformed.
+		"SELECT STREAM TUMBLE_START(rowtime, INTERVAL '1' HOUR) AS ws, TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS we, COUNT(*) FROM orders GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR, INTERVAL '10' MINUTE)",
+		"SELECT STREAM HOP_START(rowtime, INTERVAL '30' MINUTE, INTERVAL '1' HOUR) AS ws, k, SUM(v) FROM s.events GROUP BY HOP(rowtime, INTERVAL '30' MINUTE, INTERVAL '1' HOUR), k",
+		"SELECT STREAM SESSION_END(rowtime, INTERVAL '5' SECOND), COUNT(*) FROM s.events GROUP BY SESSION(rowtime, INTERVAL '5' SECOND, INTERVAL '2' SECOND)",
+		"SELECT STREAM TUMBLE_END(rowtime) FROM o GROUP BY TUMBLE(rowtime), HOP(rowtime, INTERVAL '0' SECOND, INTERVAL '-1' HOUR)",
 		"VALUES (1, 'a'), (2, 'b')",
 		"INSERT INTO t VALUES (1, 2.5, 'x'), (NULL, -3e2, '')",
 		"CREATE TABLE t (a BIGINT, b VARCHAR, c DOUBLE)",

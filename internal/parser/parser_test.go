@@ -132,6 +132,48 @@ func TestParseStreamAndWindows(t *testing.T) {
 	}
 }
 
+// TestParseGroupWindows: the windowed-stream grammar — TUMBLE/HOP/SESSION
+// in GROUP BY, their _START/_END auxiliaries in the select list, and the
+// optional lateness interval — all parse as plain function calls with the
+// expected shapes (semantic validation happens in sql2rel).
+func TestParseGroupWindows(t *testing.T) {
+	sel := mustParse(t, `SELECT STREAM HOP_START(rowtime, INTERVAL '30' MINUTE, INTERVAL '1' HOUR) AS ws,
+		HOP_END(rowtime, INTERVAL '30' MINUTE, INTERVAL '1' HOUR) AS we, k, SUM(v) AS s
+		FROM s.events GROUP BY HOP(rowtime, INTERVAL '30' MINUTE, INTERVAL '1' HOUR), k`).(*SelectStmt)
+	if !sel.Stream {
+		t.Error("STREAM flag")
+	}
+	ws := sel.Items[0].Expr.(*FuncCall)
+	if ws.Name != "HOP_START" || len(ws.Args) != 3 {
+		t.Fatalf("HOP_START: %+v", ws)
+	}
+	if _, ok := ws.Args[1].(*IntervalLit); !ok {
+		t.Fatalf("slide arg: %T", ws.Args[1])
+	}
+	hop := sel.GroupBy[0].(*FuncCall)
+	if hop.Name != "HOP" || len(hop.Args) != 3 {
+		t.Fatalf("HOP: %+v", hop)
+	}
+
+	sel = mustParse(t, `SELECT STREAM SESSION_END(rowtime, INTERVAL '5' SECOND), COUNT(*)
+		FROM s.events GROUP BY SESSION(rowtime, INTERVAL '5' SECOND, INTERVAL '2' SECOND)`).(*SelectStmt)
+	sess := sel.GroupBy[0].(*FuncCall)
+	if sess.Name != "SESSION" || len(sess.Args) != 3 {
+		t.Fatalf("SESSION with lateness: %+v", sess)
+	}
+	iv := sess.Args[2].(*IntervalLit)
+	if iv.Millis != 2000 {
+		t.Fatalf("lateness interval: %+v", iv)
+	}
+
+	// The interval units compose: minutes and seconds are both millis.
+	sel = mustParse(t, `SELECT STREAM COUNT(*) FROM o GROUP BY TUMBLE(rowtime, INTERVAL '2' MINUTE)`).(*SelectStmt)
+	tum := sel.GroupBy[0].(*FuncCall)
+	if tum.Args[1].(*IntervalLit).Millis != 120000 {
+		t.Fatalf("TUMBLE size: %+v", tum.Args[1])
+	}
+}
+
 func TestParseFrameBounds(t *testing.T) {
 	frameOf := func(sql string) *FrameSpec {
 		t.Helper()

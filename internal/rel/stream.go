@@ -1,0 +1,153 @@
+package rel
+
+// Streaming relational operators (§7.2 of the paper): a continuous query
+// over a time-ordered stream is planned as a StreamAggregate — one node
+// carrying the group-window specification (TUMBLE/HOP/SESSION over the
+// rowtime column), the watermark policy (bounded out-of-orderness), the
+// grouping keys and the aggregate calls. The executor maintains per-
+// (window, key) incremental state and emits finished windows as the
+// watermark advances; the planner treats the node like any other logical
+// operator (digests, traits, conversion rules).
+
+import (
+	"fmt"
+	"strings"
+
+	"calcite/internal/rex"
+	"calcite/internal/trait"
+	"calcite/internal/types"
+)
+
+// WindowKind enumerates the group-window functions of §7.2.
+type WindowKind int
+
+const (
+	// TumbleWindow assigns each row to exactly one fixed [n·size, (n+1)·size)
+	// window.
+	TumbleWindow WindowKind = iota
+	// HopWindow assigns each row to every window of length Size starting each
+	// Slide period that contains it (overlapping windows).
+	HopWindow
+	// SessionWindow groups rows of one key separated by gaps < Gap into one
+	// data-dependent window.
+	SessionWindow
+)
+
+func (k WindowKind) String() string {
+	switch k {
+	case TumbleWindow:
+		return "TUMBLE"
+	case HopWindow:
+		return "HOP"
+	case SessionWindow:
+		return "SESSION"
+	}
+	return "?"
+}
+
+// StreamWindow is the window specification of a streaming aggregation.
+type StreamWindow struct {
+	Kind WindowKind
+	// RowtimeCol is the input ordinal of the monotonic event-time column
+	// (epoch milliseconds).
+	RowtimeCol int
+	// SizeMs is the window length (TUMBLE, HOP).
+	SizeMs int64
+	// SlideMs is the hop period (HOP; equals SizeMs for TUMBLE).
+	SlideMs int64
+	// GapMs is the session inactivity gap (SESSION).
+	GapMs int64
+}
+
+func (w StreamWindow) String() string {
+	switch w.Kind {
+	case HopWindow:
+		return fmt.Sprintf("HOP($%d, slide=%d, size=%d)", w.RowtimeCol, w.SlideMs, w.SizeMs)
+	case SessionWindow:
+		return fmt.Sprintf("SESSION($%d, gap=%d)", w.RowtimeCol, w.GapMs)
+	}
+	return fmt.Sprintf("TUMBLE($%d, size=%d)", w.RowtimeCol, w.SizeMs)
+}
+
+// StreamAggregate is the continuous windowed aggregation over a stream.
+// The output row is [window_start, window_end, group keys…, agg results…].
+type StreamAggregate struct {
+	base
+	Window StreamWindow
+	// LatenessMs is the watermark policy: the bounded out-of-orderness the
+	// operator tolerates. The watermark trails the maximum rowtime seen by
+	// this many milliseconds; a window is emitted once the watermark passes
+	// its end, and rows arriving after every window containing them has been
+	// emitted are dropped as late.
+	LatenessMs int64
+	// GroupKeys are the input ordinals of the non-window grouping columns.
+	GroupKeys []int
+	Calls     []rex.AggCall
+}
+
+// StreamAggregateRowType computes the output type: window bounds, then the
+// key columns, then one column per aggregate call.
+func StreamAggregateRowType(input Node, groupKeys []int, calls []rex.AggCall) *types.Type {
+	inFields := input.RowType().Fields
+	fields := make([]types.Field, 0, 2+len(groupKeys)+len(calls))
+	fields = append(fields,
+		types.Field{Name: "window_start", Type: types.Timestamp},
+		types.Field{Name: "window_end", Type: types.Timestamp})
+	for _, k := range groupKeys {
+		fields = append(fields, inFields[k])
+	}
+	for _, c := range calls {
+		name := c.Name
+		if name == "" {
+			name = c.Func.String()
+		}
+		fields = append(fields, types.Field{Name: name, Type: c.ResultType(inFields)})
+	}
+	return types.Row(fields...)
+}
+
+// NewStreamAggregate creates a logical streaming aggregation.
+func NewStreamAggregate(input Node, win StreamWindow, latenessMs int64, groupKeys []int, calls []rex.AggCall) *StreamAggregate {
+	return NewStreamAggregateTraits("LogicalStreamAggregate", trait.NewSet(trait.Logical),
+		input, win, latenessMs, groupKeys, calls)
+}
+
+// NewStreamAggregateTraits creates a streaming aggregation with explicit op
+// name and traits.
+func NewStreamAggregateTraits(op string, ts trait.Set, input Node, win StreamWindow, latenessMs int64, groupKeys []int, calls []rex.AggCall) *StreamAggregate {
+	return &StreamAggregate{
+		base:       newBase(op, ts, StreamAggregateRowType(input, groupKeys, calls), input),
+		Window:     win,
+		LatenessMs: latenessMs,
+		GroupKeys:  groupKeys,
+		Calls:      calls,
+	}
+}
+
+func (a *StreamAggregate) Attrs() string {
+	var b strings.Builder
+	b.WriteString("window=[")
+	b.WriteString(a.Window.String())
+	b.WriteString("]")
+	if a.LatenessMs > 0 {
+		fmt.Fprintf(&b, ", lateness=%dms", a.LatenessMs)
+	}
+	b.WriteString(", group=[")
+	for i, k := range a.GroupKeys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "$%d", k)
+	}
+	b.WriteString("]")
+	for _, c := range a.Calls {
+		b.WriteString(", ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+func (a *StreamAggregate) WithNewInputs(inputs []Node) Node {
+	checkInputs(a.op, len(inputs), 1)
+	return NewStreamAggregateTraits(a.op, a.traits, inputs[0], a.Window, a.LatenessMs, a.GroupKeys, a.Calls)
+}

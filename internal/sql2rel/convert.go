@@ -180,6 +180,22 @@ func (v streamView) Scan() (schema.Cursor, error) {
 	return nil, fmt.Errorf("sql2rel: stream table %s is not scannable", v.Name())
 }
 
+// ScanBatches forwards batch-native stream enumeration when the table
+// supports it, falling back to batching the row stream: continuous queries
+// then ingest typed columnar batches end to end.
+func (v streamView) ScanBatches(batchSize int) (schema.BatchCursor, error) {
+	if sb, ok := v.StreamableTable.(interface {
+		StreamScanBatches(batchSize int) (schema.BatchCursor, error)
+	}); ok {
+		return sb.StreamScanBatches(batchSize)
+	}
+	cur, err := v.Scan()
+	if err != nil {
+		return nil, err
+	}
+	return schema.BatchCursorFromCursor(cur, len(v.RowType().Fields), batchSize), nil
+}
+
 func (c *Converter) convertFrom(te parser.TableExpr, stream bool) (*fromResult, error) {
 	switch t := te.(type) {
 	case *parser.TableName:

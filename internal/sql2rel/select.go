@@ -66,7 +66,16 @@ func (c *Converter) convertSelect(sel *parser.SelectStmt) (rel.Node, error) {
 	var selConv *validate.ExprConverter
 
 	if hasAgg {
-		node, conv, err := c.buildAggregate(sel, input, scope, mono)
+		var node rel.Node
+		var conv *validate.ExprConverter
+		var err error
+		if sel.Stream && hasGroupWindow(sel.GroupBy) {
+			// Continuous query: SELECT STREAM with a group window becomes a
+			// StreamAggregate (incremental window maintenance, §7.2).
+			node, conv, err = c.buildStreamAggregate(sel, input, scope, mono)
+		} else {
+			node, conv, err = c.buildAggregate(sel, input, scope, mono)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +238,7 @@ func (c *Converter) buildAggregate(sel *parser.SelectStmt, input rel.Node, scope
 		if f, ok := g.(*parser.FuncCall); ok && groupWindowFuncs[strings.ToUpper(f.Name)] {
 			name := strings.ToUpper(f.Name)
 			if name != "TUMBLE" {
-				return nil, nil, fmt.Errorf("sql2rel: %s windows are supported through the stream package API; SQL GROUP BY supports TUMBLE (see §7.2 notes in DESIGN.md)", name)
+				return nil, nil, fmt.Errorf("sql2rel: %s windows require SELECT STREAM over a stream table (§7.2); batch GROUP BY supports TUMBLE only", name)
 			}
 			if len(f.Args) != 2 {
 				return nil, nil, fmt.Errorf("sql2rel: TUMBLE requires (rowtime, interval)")

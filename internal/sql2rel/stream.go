@@ -1,0 +1,313 @@
+package sql2rel
+
+// Continuous-query lowering (§7.2): SELECT STREAM with a group window
+// (TUMBLE/HOP/SESSION over the rowtime column) in GROUP BY becomes a
+// rel.StreamAggregate — one node carrying the window spec, the watermark
+// policy and the aggregate calls — instead of the batch TUMBLE rewrite.
+// The auxiliary functions ({TUMBLE,HOP,SESSION}_{START,END}) resolve to the
+// window_start / window_end columns the operator emits.
+
+import (
+	"fmt"
+	"strings"
+
+	"calcite/internal/parser"
+	"calcite/internal/rel"
+	"calcite/internal/rex"
+	"calcite/internal/types"
+	"calcite/internal/validate"
+)
+
+// hasGroupWindow reports whether any GROUP BY item is a group-window call.
+func hasGroupWindow(groupBy []parser.Expr) bool {
+	for _, g := range groupBy {
+		if f, ok := g.(*parser.FuncCall); ok && groupWindowFuncs[strings.ToUpper(f.Name)] {
+			return true
+		}
+	}
+	return false
+}
+
+// groupWindowArity gives the required argument counts per window kind: the
+// core arguments, before the optional trailing lateness interval.
+var groupWindowCoreArgs = map[string]int{"TUMBLE": 2, "HOP": 3, "SESSION": 2}
+
+// buildStreamAggregate lowers SELECT STREAM … GROUP BY TUMBLE/HOP/SESSION
+// into pre-projection + rel.StreamAggregate (+ HAVING filter). The
+// pre-projection lays out [plain group keys…, aggregate arguments…, rowtime];
+// the operator's output is [window_start, window_end, keys…, agg results…].
+func (c *Converter) buildStreamAggregate(sel *parser.SelectStmt, input rel.Node, scope *validate.Scope, mono map[int]bool) (rel.Node, *validate.ExprConverter, error) {
+	rawConv := &validate.ExprConverter{Scope: scope}
+	inFields := scope.AllFields()
+
+	// Split GROUP BY into the one group window and the plain keys.
+	var winCall *parser.FuncCall
+	var plainKeys []parser.Expr
+	for _, g := range sel.GroupBy {
+		if f, ok := g.(*parser.FuncCall); ok && groupWindowFuncs[strings.ToUpper(f.Name)] {
+			if winCall != nil {
+				return nil, nil, fmt.Errorf("sql2rel: at most one group window (TUMBLE/HOP/SESSION) is allowed in GROUP BY")
+			}
+			winCall = f
+			continue
+		}
+		plainKeys = append(plainKeys, g)
+	}
+	name := strings.ToUpper(winCall.Name)
+
+	constMs := func(e parser.Expr, what string) (int64, error) {
+		n, err := rawConv.Convert(e)
+		if err != nil {
+			return 0, err
+		}
+		v, err := rex.EvalConstant(n)
+		if err != nil {
+			return 0, fmt.Errorf("sql2rel: %s %s must be a constant interval: %v", name, what, err)
+		}
+		ms, ok := types.AsInt(v)
+		if !ok {
+			return 0, fmt.Errorf("sql2rel: bad %s %s %v", name, what, v)
+		}
+		return ms, nil
+	}
+
+	coreArgs := groupWindowCoreArgs[name]
+	if len(winCall.Args) < coreArgs || len(winCall.Args) > coreArgs+1 {
+		switch name {
+		case "HOP":
+			return nil, nil, fmt.Errorf("sql2rel: HOP requires (rowtime, slide, size [, lateness])")
+		case "SESSION":
+			return nil, nil, fmt.Errorf("sql2rel: SESSION requires (rowtime, gap [, lateness])")
+		}
+		return nil, nil, fmt.Errorf("sql2rel: TUMBLE requires (rowtime, size [, lateness])")
+	}
+
+	win := rel.StreamWindow{}
+	switch name {
+	case "TUMBLE":
+		size, err := constMs(winCall.Args[1], "size")
+		if err != nil {
+			return nil, nil, err
+		}
+		if size <= 0 {
+			return nil, nil, fmt.Errorf("sql2rel: TUMBLE size must be a positive interval, got %d ms", size)
+		}
+		win = rel.StreamWindow{Kind: rel.TumbleWindow, SizeMs: size, SlideMs: size}
+	case "HOP":
+		slide, err := constMs(winCall.Args[1], "slide")
+		if err != nil {
+			return nil, nil, err
+		}
+		size, err := constMs(winCall.Args[2], "size")
+		if err != nil {
+			return nil, nil, err
+		}
+		if slide <= 0 || size <= 0 {
+			return nil, nil, fmt.Errorf("sql2rel: HOP slide and size must be positive intervals, got slide=%d ms size=%d ms", slide, size)
+		}
+		if size%slide != 0 {
+			return nil, nil, fmt.Errorf("sql2rel: HOP size (%d ms) must be a multiple of its slide (%d ms)", size, slide)
+		}
+		win = rel.StreamWindow{Kind: rel.HopWindow, SizeMs: size, SlideMs: slide}
+	case "SESSION":
+		gap, err := constMs(winCall.Args[1], "gap")
+		if err != nil {
+			return nil, nil, err
+		}
+		if gap <= 0 {
+			return nil, nil, fmt.Errorf("sql2rel: SESSION gap must be a positive interval, got %d ms", gap)
+		}
+		win = rel.StreamWindow{Kind: rel.SessionWindow, GapMs: gap}
+	}
+	var latenessMs int64
+	if len(winCall.Args) == coreArgs+1 {
+		v, err := constMs(winCall.Args[coreArgs], "lateness")
+		if err != nil {
+			return nil, nil, err
+		}
+		if v < 0 {
+			return nil, nil, fmt.Errorf("sql2rel: %s lateness must be non-negative, got %d ms", name, v)
+		}
+		latenessMs = v
+	}
+
+	// §7.2: the window's time argument must be a monotonic (rowtime) column.
+	tsNode, err := rawConv.Convert(winCall.Args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	tsRef, ok := tsNode.(*rex.InputRef)
+	if !ok || !mono[tsRef.Index] {
+		return nil, nil, fmt.Errorf("sql2rel: %s requires a monotonic rowtime column as its first argument (§7.2)", name)
+	}
+
+	// Pre-projection: plain group keys first; aggregate arguments are
+	// appended by the sink; the rowtime column is appended last.
+	var preExprs []rex.Node
+	var preNames []string
+	groupMap := map[string]int{}               // digest -> StreamAggregate OUTPUT ordinal
+	groupTypes := map[string]*types.Type{}     // digest -> output type
+	groupMap[validate.ExprDigest(winCall)] = 0 // the window expr itself selects window_start
+	groupTypes[validate.ExprDigest(winCall)] = types.Timestamp
+
+	for _, g := range plainKeys {
+		digest := validate.ExprDigest(g)
+		if _, dup := groupMap[digest]; dup {
+			continue
+		}
+		e, err := rawConv.Convert(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx := len(preExprs)
+		preExprs = append(preExprs, e)
+		preNames = append(preNames, groupFieldName(g, inFields, e))
+		groupMap[digest] = 2 + idx // output space: window_start, window_end first
+		groupTypes[digest] = e.Type()
+	}
+	nKeys := len(preExprs)
+
+	// Aggregate calls collected from the select list / HAVING / ORDER BY.
+	var calls []rex.AggCall
+	callIdx := map[string]int{}
+	sink := func(f *parser.FuncCall) (int, *types.Type, error) {
+		digest := validate.ExprDigest(f)
+		if i, ok := callIdx[digest]; ok {
+			return 2 + nKeys + i, calls[i].ResultType(fieldsOf(preExprs, preNames)), nil
+		}
+		kind, ok := rex.LookupAggFunc(f.Name)
+		if !ok && f.Star {
+			kind = rex.AggCount
+		} else if !ok {
+			return 0, nil, fmt.Errorf("sql2rel: unknown aggregate %q", f.Name)
+		}
+		var args []int
+		if !f.Star {
+			for _, a := range f.Args {
+				e, err := rawConv.Convert(a)
+				if err != nil {
+					return 0, nil, err
+				}
+				args = append(args, len(preExprs))
+				preExprs = append(preExprs, e)
+				preNames = append(preNames, fmt.Sprintf("$agg_arg%d", len(preExprs)))
+			}
+		}
+		call := rex.NewAggCall(kind, args, f.Distinct, strings.ToUpper(f.Name))
+		i := len(calls)
+		calls = append(calls, call)
+		callIdx[digest] = i
+		return 2 + nKeys + i, call.ResultType(fieldsOf(preExprs, preNames)), nil
+	}
+
+	special := map[string]func(*parser.FuncCall) (rex.Node, error){}
+	registerStreamWindowAux(special, name, winCall.Args[:coreArgs])
+
+	aggConv := &validate.ExprConverter{
+		Scope:        scope,
+		GroupExprMap: groupMap,
+		GroupTypes:   groupTypes,
+		AggSink:      sink,
+		RawScope:     scope,
+		SpecialFuncs: special,
+	}
+
+	// Pre-convert select items, HAVING and aggregated ORDER BY expressions so
+	// every aggregate argument lands in the pre-projection before the node is
+	// materialized.
+	items, err := expandStars(sel.Items, scope)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, it := range items {
+		if _, err := aggConv.Convert(it.Expr); err != nil {
+			return nil, nil, err
+		}
+	}
+	var havingExpr rex.Node
+	if sel.Having != nil {
+		havingExpr, err = aggConv.Convert(sel.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if exprHasAggregate(o.Expr) {
+			if _, err := aggConv.Convert(o.Expr); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// The rowtime column rides last in the pre-projection.
+	win.RowtimeCol = len(preExprs)
+	preExprs = append(preExprs, tsNode)
+	preNames = append(preNames, "$rowtime")
+
+	var node rel.Node = input
+	if !rex.IsIdentityProjection(preExprs, rel.FieldCount(input)) {
+		node = rel.NewProject(input, preExprs, preNames)
+	}
+	keys := make([]int, nKeys)
+	for i := range keys {
+		keys[i] = i
+	}
+	node = rel.NewStreamAggregate(node, win, latenessMs, keys, calls)
+	if havingExpr != nil {
+		node = rel.NewFilter(node, havingExpr)
+	}
+
+	outConv := &validate.ExprConverter{
+		Scope:        validate.NewScope(nil),
+		GroupExprMap: groupMap,
+		GroupTypes:   groupTypes,
+		SpecialFuncs: special,
+		AggSink: func(f *parser.FuncCall) (int, *types.Type, error) {
+			digest := validate.ExprDigest(f)
+			if i, ok := callIdx[digest]; ok {
+				return 2 + nKeys + i, node.RowType().Fields[2+nKeys+i].Type, nil
+			}
+			return 0, nil, fmt.Errorf("sql2rel: aggregate %s not registered", f.Name)
+		},
+	}
+	return node, outConv, nil
+}
+
+// registerStreamWindowAux wires {KIND}_START and {KIND}_END to the
+// window_start / window_end output columns of the StreamAggregate. The
+// auxiliary call must repeat the window's core arguments (the optional
+// lateness interval is not repeated).
+func registerStreamWindowAux(special map[string]func(*parser.FuncCall) (rex.Node, error), kind string, coreArgs []parser.Expr) {
+	var want strings.Builder
+	for i, a := range coreArgs {
+		if i > 0 {
+			want.WriteString(",")
+		}
+		want.WriteString(validate.ExprDigest(a))
+	}
+	match := func(f *parser.FuncCall) bool {
+		if len(f.Args) != len(coreArgs) {
+			return false
+		}
+		var got strings.Builder
+		for i, a := range f.Args {
+			if i > 0 {
+				got.WriteString(",")
+			}
+			got.WriteString(validate.ExprDigest(a))
+		}
+		return got.String() == want.String()
+	}
+	special[kind+"_START"] = func(f *parser.FuncCall) (rex.Node, error) {
+		if !match(f) {
+			return nil, fmt.Errorf("sql2rel: %s_START arguments do not match the GROUP BY %s", kind, kind)
+		}
+		return rex.NewInputRef(0, types.Timestamp), nil
+	}
+	special[kind+"_END"] = func(f *parser.FuncCall) (rex.Node, error) {
+		if !match(f) {
+			return nil, fmt.Errorf("sql2rel: %s_END arguments do not match the GROUP BY %s", kind, kind)
+		}
+		return rex.NewInputRef(1, types.Timestamp), nil
+	}
+}

@@ -9,10 +9,21 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"calcite/internal/rex"
 	"calcite/internal/schema"
+	"calcite/internal/types"
 )
+
+// rowtimeMillis coerces a rowtime value to epoch milliseconds: time.Time
+// and every integer type are accepted; anything else is rejected.
+func rowtimeMillis(v any) (int64, bool) {
+	if ts, ok := v.(time.Time); ok {
+		return ts.UnixMilli(), true
+	}
+	return types.AsInt(v)
+}
 
 // Event is one element of a stream: a row plus its event time (epoch
 // millis). Rowtime must be non-decreasing within a stream ("streams as
@@ -215,9 +226,9 @@ func EventsFromCursor(cur schema.Cursor, rowtimeCol int) ([]Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		ts, ok := row[rowtimeCol].(int64)
+		ts, ok := rowtimeMillis(row[rowtimeCol])
 		if !ok {
-			return nil, fmt.Errorf("stream: rowtime column %d is %T, want int64 millis", rowtimeCol, row[rowtimeCol])
+			return nil, fmt.Errorf("stream: rowtime column %d is %T, want a timestamp (time.Time or integer millis)", rowtimeCol, row[rowtimeCol])
 		}
 		out = append(out, Event{Rowtime: ts, Row: row})
 	}

@@ -1,0 +1,279 @@
+package calcite_test
+
+// Differential suite for continuous queries (§7.2): the incremental
+// streaming engine (StreamAggregate) must produce exactly the windows of
+// the row-mode batch oracle (internal/stream), for every window kind ×
+// grouping × arrival order × parallelism — and under a memory budget small
+// enough to force window state to spill.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"calcite"
+	"calcite/internal/adapter/streamtab"
+	"calcite/internal/rex"
+	"calcite/internal/stream"
+	"calcite/internal/types"
+)
+
+// genStreamEvents builds a deterministic in-order event log
+// [rowtime, k, v] with nKeys distinct keys and ~400ms mean spacing.
+func genStreamEvents(n int, nKeys int64) [][]any {
+	rows := make([][]any, 0, n)
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int64) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int64(rng>>33) % mod
+	}
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += next(400)
+		rows = append(rows, []any{ts, next(nKeys), next(1000)})
+	}
+	return rows
+}
+
+// streamFixture loads rows into a stream table (replaying with the given
+// bounded event-time skew when skewMs > 0) behind a fresh connection.
+func streamFixture(t *testing.T, rows [][]any, skewMs int64) (*calcite.Connection, *streamtab.Table) {
+	t.Helper()
+	tb := streamtab.NewTable("events", types.Row(
+		types.Field{Name: "rowtime", Type: types.Timestamp},
+		types.Field{Name: "k", Type: types.BigInt},
+		types.Field{Name: "v", Type: types.BigInt},
+	), 0)
+	for _, r := range rows {
+		if err := tb.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if skewMs > 0 {
+		tb.SetReplaySkew(42, skewMs)
+	}
+	conn := calcite.Open()
+	sa := streamtab.New("s")
+	sa.AddTable(tb)
+	conn.RegisterAdapter(sa)
+	return conn, tb
+}
+
+// oracleWindows recomputes the expected windows with the row-mode oracle.
+func oracleWindows(t *testing.T, tb *streamtab.Table, kind string, a, b int64, keyed bool) [][]any {
+	t.Helper()
+	cur, err := tb.StreamScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := stream.EventsFromCursor(cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keyCols []int
+	if keyed {
+		keyCols = []int{1}
+	}
+	calls := []rex.AggCall{
+		rex.NewAggCall(rex.AggCount, nil, false, "c"),
+		rex.NewAggCall(rex.AggSum, []int{2}, false, "s"),
+	}
+	var wins []stream.Window
+	switch kind {
+	case "TUMBLE":
+		wins, err = stream.Tumble(events, a, keyCols, calls)
+	case "HOP":
+		wins, err = stream.Hop(events, a, b, keyCols, calls)
+	case "SESSION":
+		wins, err = stream.Session(events, a, keyCols, calls)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]any, 0, len(wins))
+	for _, w := range wins {
+		row := []any{w.Start, w.End}
+		row = append(row, w.Key...)
+		row = append(row, w.Values...)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// canonRows renders rows to a sorted string multiset for order-insensitive
+// comparison.
+func canonRows(rows [][]any) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffRows(t *testing.T, label string, got, want [][]any) {
+	t.Helper()
+	g, w := canonRows(got), canonRows(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d windows, oracle has %d\n got: %v\nwant: %v", label, len(g), len(w), g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: window %d differs\n got: %s\nwant: %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+// streamDiffCases enumerates the SQL surface of each window kind. Lateness
+// (the trailing interval) always covers the replay skew, so no event is
+// dropped and the incremental result must equal the full recompute.
+var streamDiffCases = []struct {
+	kind string
+	a, b int64 // TUMBLE: size; HOP: slide, size; SESSION: gap (ms)
+	sql  map[bool]string
+}{
+	{
+		kind: "TUMBLE", a: 1000,
+		sql: map[bool]string{
+			true: `SELECT STREAM TUMBLE_START(rowtime, INTERVAL '1' SECOND) AS ws,
+				TUMBLE_END(rowtime, INTERVAL '1' SECOND) AS we, k, COUNT(*) AS c, SUM(v) AS s
+				FROM s.events GROUP BY TUMBLE(rowtime, INTERVAL '1' SECOND, INTERVAL '2' SECOND), k`,
+			false: `SELECT STREAM TUMBLE_START(rowtime, INTERVAL '1' SECOND) AS ws,
+				TUMBLE_END(rowtime, INTERVAL '1' SECOND) AS we, COUNT(*) AS c, SUM(v) AS s
+				FROM s.events GROUP BY TUMBLE(rowtime, INTERVAL '1' SECOND, INTERVAL '2' SECOND)`,
+		},
+	},
+	{
+		kind: "HOP", a: 1000, b: 3000,
+		sql: map[bool]string{
+			true: `SELECT STREAM HOP_START(rowtime, INTERVAL '1' SECOND, INTERVAL '3' SECOND) AS ws,
+				HOP_END(rowtime, INTERVAL '1' SECOND, INTERVAL '3' SECOND) AS we, k, COUNT(*) AS c, SUM(v) AS s
+				FROM s.events GROUP BY HOP(rowtime, INTERVAL '1' SECOND, INTERVAL '3' SECOND, INTERVAL '2' SECOND), k`,
+			false: `SELECT STREAM HOP_START(rowtime, INTERVAL '1' SECOND, INTERVAL '3' SECOND) AS ws,
+				HOP_END(rowtime, INTERVAL '1' SECOND, INTERVAL '3' SECOND) AS we, COUNT(*) AS c, SUM(v) AS s
+				FROM s.events GROUP BY HOP(rowtime, INTERVAL '1' SECOND, INTERVAL '3' SECOND, INTERVAL '2' SECOND)`,
+		},
+	},
+	{
+		kind: "SESSION", a: 2000,
+		sql: map[bool]string{
+			true: `SELECT STREAM SESSION_START(rowtime, INTERVAL '2' SECOND) AS ws,
+				SESSION_END(rowtime, INTERVAL '2' SECOND) AS we, k, COUNT(*) AS c, SUM(v) AS s
+				FROM s.events GROUP BY SESSION(rowtime, INTERVAL '2' SECOND, INTERVAL '2' SECOND), k`,
+			false: `SELECT STREAM SESSION_START(rowtime, INTERVAL '2' SECOND) AS ws,
+				SESSION_END(rowtime, INTERVAL '2' SECOND) AS we, COUNT(*) AS c, SUM(v) AS s
+				FROM s.events GROUP BY SESSION(rowtime, INTERVAL '2' SECOND, INTERVAL '2' SECOND)`,
+		},
+	},
+}
+
+// TestStreamDifferentialOracle: streaming incremental ≡ batch recompute for
+// TUMBLE/HOP/SESSION × (global, keyed) × (in-order, bounded out-of-order
+// arrival) × parallelism 1 and 4.
+func TestStreamDifferentialOracle(t *testing.T) {
+	rows := genStreamEvents(1200, 3)
+	for _, skew := range []int64{0, 2000} {
+		conn, tb := streamFixture(t, rows, skew)
+		for _, par := range []int{1, 4} {
+			conn.SetParallelism(par)
+			for _, tc := range streamDiffCases {
+				for _, keyed := range []bool{false, true} {
+					label := fmt.Sprintf("%s/keyed=%v/skew=%d/par=%d", tc.kind, keyed, skew, par)
+					res, err := conn.Query(tc.sql[keyed])
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					want := oracleWindows(t, tb, tc.kind, tc.a, tc.b, keyed)
+					diffRows(t, label, res.Rows, want)
+					if tc.kind != "SESSION" {
+						assertEmissionOrder(t, label, res.Rows, keyed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assertEmissionOrder checks the deterministic merged emission order of
+// tumbling/hopping windows: (window_start, key…, window_end) ascending.
+func assertEmissionOrder(t *testing.T, label string, rows [][]any, keyed bool) {
+	t.Helper()
+	key := func(r []any) []any {
+		if keyed {
+			return []any{r[0], r[2], r[1]}
+		}
+		return []any{r[0], r[1]}
+	}
+	for i := 1; i < len(rows); i++ {
+		a, b := key(rows[i-1]), key(rows[i])
+		for j := range a {
+			if c := types.Compare(a[j], b[j]); c < 0 {
+				break
+			} else if c > 0 {
+				t.Fatalf("%s: emission order violated at row %d: %v after %v", label, i, rows[i], rows[i-1])
+			}
+		}
+	}
+}
+
+// TestStreamWindowValidation: the windowed-stream surface rejects malformed
+// window specs with targeted errors (satellite of the grammar tests in
+// internal/parser).
+func TestStreamWindowValidation(t *testing.T) {
+	conn, _ := streamFixture(t, genStreamEvents(10, 2), 0)
+	cases := []struct{ sql, wantErr string }{
+		{`SELECT STREAM COUNT(*) FROM s.events GROUP BY TUMBLE(rowtime)`,
+			"TUMBLE requires (rowtime, size [, lateness])"},
+		{`SELECT STREAM COUNT(*) FROM s.events GROUP BY HOP(rowtime, INTERVAL '1' SECOND)`,
+			"HOP requires (rowtime, slide, size [, lateness])"},
+		{`SELECT STREAM COUNT(*) FROM s.events GROUP BY SESSION(rowtime)`,
+			"SESSION requires (rowtime, gap [, lateness])"},
+		{`SELECT STREAM COUNT(*) FROM s.events GROUP BY TUMBLE(rowtime, INTERVAL '0' SECOND)`,
+			"TUMBLE size must be a positive interval"},
+		{`SELECT STREAM COUNT(*) FROM s.events GROUP BY HOP(rowtime, INTERVAL '2' SECOND, INTERVAL '3' SECOND)`,
+			"must be a multiple of its slide"},
+		{`SELECT STREAM COUNT(*) FROM s.events GROUP BY SESSION(rowtime, INTERVAL '1' SECOND, INTERVAL '-1' SECOND)`,
+			"lateness must be non-negative"},
+		{`SELECT STREAM COUNT(*) FROM s.events GROUP BY TUMBLE(v, INTERVAL '1' SECOND)`,
+			"monotonic rowtime column"},
+		{`SELECT STREAM COUNT(*) FROM s.events
+			GROUP BY TUMBLE(rowtime, INTERVAL '1' SECOND), HOP(rowtime, INTERVAL '1' SECOND, INTERVAL '2' SECOND)`,
+			"at most one group window"},
+		{`SELECT STREAM TUMBLE_END(rowtime, INTERVAL '2' SECOND) FROM s.events GROUP BY TUMBLE(rowtime, INTERVAL '1' SECOND)`,
+			"TUMBLE_END arguments do not match the GROUP BY TUMBLE"},
+	}
+	for _, tc := range cases {
+		_, err := conn.Query(tc.sql)
+		if err == nil {
+			t.Errorf("%s: expected error %q, got none", tc.sql, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", tc.sql, err, tc.wantErr)
+		}
+	}
+}
+
+// TestStreamDifferentialUnderMemoryLimit forces the standing window state
+// past a quarter-working-set budget: the operator must spill (not error)
+// and still match the oracle exactly.
+func TestStreamDifferentialUnderMemoryLimit(t *testing.T) {
+	rows := genStreamEvents(6000, 40)
+	conn, tb := streamFixture(t, rows, 2000)
+	conn.SetMemoryLimit(256 << 10)
+	// A long lateness holds every pane live until the final drain, so the
+	// standing state is the whole working set.
+	sql := `SELECT STREAM HOP_START(rowtime, INTERVAL '1' SECOND, INTERVAL '8' SECOND) AS ws,
+		HOP_END(rowtime, INTERVAL '1' SECOND, INTERVAL '8' SECOND) AS we, k, COUNT(*) AS c, SUM(v) AS s
+		FROM s.events GROUP BY HOP(rowtime, INTERVAL '1' SECOND, INTERVAL '8' SECOND, INTERVAL '600' SECOND), k`
+	res, err := conn.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleWindows(t, tb, "HOP", 1000, 8000, true)
+	diffRows(t, "HOP/spill", res.Rows, want)
+	if n := conn.Framework.MemoryPool().Counters().SpillEvents; n == 0 {
+		t.Error("expected streaming state to spill under the 256KB budget")
+	}
+}
